@@ -1,0 +1,236 @@
+(* idlc: the template-driven IDL compiler CLI (paper Fig. 6).
+
+   Subcommand-free: one invocation compiles one IDL file through one
+   mapping (or a custom template), or dumps intermediate representations:
+
+     idlc A.idl --mapping heidi-cpp -o out/
+     idlc A.idl --template my.tmpl -o out/
+     idlc A.idl --dump-est          # Fig. 8-style Perl rendering
+     idlc A.idl --dump-est-text     # machine-readable EST
+     idlc A.idl --reformat          # pretty-print the parsed IDL
+     idlc --list-mappings
+
+   Interface Repository (Section 5's OmniBroker integration):
+
+     idlc A.idl --ir /tmp/ir                   # parse and store the EST
+     idlc --ir /tmp/ir --ir-list               # what is stored
+     idlc --ir /tmp/ir --from-ir A -m tcl      # generate without reparsing
+*)
+
+open Cmdliner
+
+let list_mappings () =
+  List.iter
+    (fun (m : Mappings.Mapping.t) ->
+      Printf.printf "%-12s %-6s %s\n" m.Mappings.Mapping.name
+        m.Mappings.Mapping.language m.Mappings.Mapping.description;
+      List.iter
+        (fun t -> Printf.printf "%14s- template %S\n" "" t)
+        (Mappings.Mapping.template_names m))
+    Mappings.Registry.all
+
+type dump = Dump_none | Dump_perl | Dump_text | Dump_reformat
+
+let ir_list dir =
+  let repo = Core.Repository.open_ ~dir in
+  List.iter
+    (fun unit_name ->
+      Printf.printf "%s\n" unit_name;
+      match Core.Repository.load repo unit_name with
+      | None -> ()
+      | Some est ->
+          List.iter
+            (fun iface ->
+              Printf.printf "  %s\n"
+                (Est.Node.prop_or iface "repoId" ~default:"<no id>"))
+            (Est.Node.group est "interfaceList"))
+    (Core.Repository.units repo)
+
+let run input mapping_name template_file out_dir dump list_flag ir_dir ir_list_flag
+    from_ir =
+  try
+    if list_flag then (
+      list_mappings ();
+      `Ok 0)
+    else if ir_list_flag then (
+      match ir_dir with
+      | Some dir ->
+          ir_list dir;
+          `Ok 0
+      | None -> `Error (true, "--ir-list requires --ir DIR"))
+    else
+      let est_source () =
+        (* The EST comes from the IR (no IDL parsing at all) or from a
+           source file; either way stage 2 is identical (Fig. 6). *)
+        match (from_ir, ir_dir, input) with
+        | Some unit_name, Some dir, _ -> (
+            let repo = Core.Repository.open_ ~dir in
+            match Core.Repository.load repo unit_name with
+            | Some est -> est
+            | None ->
+                failwith (Printf.sprintf "unit %S is not in the repository" unit_name))
+        | Some _, None, _ -> failwith "--from-ir requires --ir DIR"
+        | None, _, Some path ->
+            let est = Core.Compiler.est_of_file path in
+            (match ir_dir with
+            | Some dir ->
+                let repo = Core.Repository.open_ ~dir in
+                let unit_name = Core.Repository.store repo est in
+                Printf.eprintf "stored unit %S in %s\n" unit_name dir
+            | None -> ());
+            est
+        | None, _, None -> failwith "an input .idl file (or --from-ir) is required"
+      in
+      match input with
+      | None when from_ir = None -> `Error (true, "an input .idl file is required")
+      | _ -> (
+          match dump with
+          | Dump_reformat ->
+              (match input with
+              | Some path ->
+                  print_string (Idl.Pretty.to_string (Idl.Parser.parse_file path))
+              | None -> failwith "--reformat requires an input file");
+              `Ok 0
+          | Dump_perl ->
+              print_string (Est.Dump.to_perl (est_source ()));
+              `Ok 0
+          | Dump_text ->
+              print_string (Est.Dump.to_text (est_source ()));
+              `Ok 0
+          | Dump_none -> (
+              let result =
+                match template_file with
+                | Some tf ->
+                    (* A custom template: run with the union of every
+                       built-in mapping's map functions so templates can
+                       reference any of them. *)
+                    let maps =
+                      List.fold_left
+                        (fun acc (m : Mappings.Mapping.t) ->
+                          Template.Maps.union acc m.Mappings.Mapping.maps)
+                        (Template.Maps.create ()) Mappings.Registry.all
+                    in
+                    let root = est_source () in
+                    let src =
+                      let ic = open_in_bin tf in
+                      Fun.protect
+                        ~finally:(fun () -> close_in_noerr ic)
+                        (fun () -> really_input_string ic (in_channel_length ic))
+                    in
+                    Core.Compiler.generate ~maps ~templates:[ (tf, src) ] root
+                | None -> (
+                    match Mappings.Registry.find mapping_name with
+                    | None ->
+                        failwith
+                          (Printf.sprintf
+                             "unknown mapping %S (try --list-mappings)"
+                             mapping_name)
+                    | Some mapping ->
+                        Core.Compiler.generate
+                          ~maps:mapping.Mappings.Mapping.maps
+                          ~templates:mapping.Mappings.Mapping.templates
+                          (est_source ()))
+              in
+              if result.Core.Compiler.stdout <> "" then
+                print_string result.Core.Compiler.stdout;
+              match out_dir with
+              | Some dir ->
+                  let written = Core.Compiler.write_result ~dir result in
+                  List.iter (Printf.printf "wrote %s\n") written;
+                  `Ok 0
+              | None ->
+                  List.iter
+                    (fun (name, content) ->
+                      Printf.printf "===== %s =====\n%s" name content)
+                    result.Core.Compiler.files;
+                  `Ok 0))
+  with
+  | Idl.Diag.Idl_error d ->
+      Printf.eprintf "%s\n" (Idl.Diag.to_string d);
+      `Ok 1
+  | Template.Parse.Template_error _ as e ->
+      Printf.eprintf "%s\n" (Printexc.to_string e);
+      `Ok 1
+  | Template.Eval.Eval_error _ as e ->
+      Printf.eprintf "%s\n" (Printexc.to_string e);
+      `Ok 1
+  | Failure m ->
+      Printf.eprintf "idlc: %s\n" m;
+      `Ok 1
+  | Sys_error m ->
+      Printf.eprintf "idlc: %s\n" m;
+      `Ok 1
+
+let input_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.idl" ~doc:"IDL source file.")
+
+let mapping_arg =
+  Arg.(
+    value
+    & opt string "heidi-cpp"
+    & info [ "m"; "mapping" ] ~docv:"NAME"
+        ~doc:"Built-in mapping to generate with (see $(b,--list-mappings)).")
+
+let template_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "t"; "template" ] ~docv:"FILE.tmpl"
+        ~doc:"Generate with a custom template instead of a built-in mapping.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"DIR"
+        ~doc:"Write generated files under $(docv) instead of stdout.")
+
+let dump_arg =
+  let flags =
+    [
+      (Dump_perl, Arg.info [ "dump-est" ] ~doc:"Print the Fig. 8-style Perl rendering of the EST and exit.");
+      (Dump_text, Arg.info [ "dump-est-text" ] ~doc:"Print the machine-readable EST and exit.");
+      (Dump_reformat, Arg.info [ "reformat" ] ~doc:"Pretty-print the parsed IDL and exit.");
+    ]
+  in
+  Arg.(value & vflag Dump_none flags)
+
+let list_arg =
+  Arg.(value & flag & info [ "list-mappings" ] ~doc:"List built-in mappings and exit.")
+
+let ir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ir" ] ~docv:"DIR"
+        ~doc:
+          "Interface Repository directory. With an input file, store its \
+           EST there after parsing; combine with $(b,--from-ir) or \
+           $(b,--ir-list) to generate or inspect without reparsing.")
+
+let ir_list_arg =
+  Arg.(
+    value & flag
+    & info [ "ir-list" ] ~doc:"List the units and interfaces stored in the IR.")
+
+let from_ir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from-ir" ] ~docv:"UNIT"
+        ~doc:"Generate from a unit stored in the IR instead of parsing IDL.")
+
+let cmd =
+  let doc = "template-driven IDL compiler (Welling & Ott, Middleware 2000)" in
+  let info = Cmd.info "idlc" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ input_arg $ mapping_arg $ template_arg $ out_arg $ dump_arg
+       $ list_arg $ ir_arg $ ir_list_arg $ from_ir_arg))
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok _ -> exit 0
+  | Error _ -> exit 124

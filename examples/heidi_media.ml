@@ -1,0 +1,184 @@
+(* Heidi media control: a simulation of the paper's motivating
+   application.
+
+   Heidi was NEC's in-house multimedia prototyping system; HeidiRMI was
+   built to carry its control messaging (Section 3). This example stands
+   in for that workload: a media server hosts camera and mixer objects,
+   and a control client drives them over the HeidiRMI text protocol using
+   the stubs and skeletons that `idlc --mapping ocaml` generated from
+   examples/idl/heidi.idl (checked in under examples/gen/).
+
+   It exercises every Section 3.1 feature:
+   - remote calls with results (structs, sequences, enums),
+   - attributes ([readonly attribute Status state]),
+   - declared exceptions ([raises (SourceBusy)]),
+   - oneway calls,
+   - object references as parameters,
+   - and incopy pass-by-value with a serializable object.
+
+   Run with: dune exec examples/heidi_media.exe *)
+
+open Heidi_rmi
+
+let status_name = function Start -> "Start" | Stop -> "Stop" | Pause -> "Pause"
+
+(* ---------------- servant implementations (server side) ------------- *)
+
+let make_camera ~name ~bitrate =
+  let state = ref Stop in
+  let attached = ref None in
+  {
+    Heidi_Camera.attach =
+      (fun sink () ->
+        match !attached with
+        | Some sink0 when sink0 <> sink ->
+            raise_heidi_sourcebusy { source = name; retry_after_ms = 250 }
+        | _ ->
+            attached := Some sink;
+            state := Start;
+            Printf.printf "  [server] camera %s attached to %s\n%!" name sink);
+    describe = (fun () -> { name; bitrate_kbps = !bitrate; live = true });
+    zoom =
+      (fun level () ->
+        Printf.printf "  [server] camera %s zoom -> %d\n%!" name level;
+        bitrate := 800 + (100 * level));
+    hint =
+      (fun text () ->
+        Printf.printf "  [server] camera %s hint (oneway): %s\n%!" name text);
+    get_state = (fun () -> !state);
+  }
+
+let make_mixer server_orb =
+  let inputs : heidi_mediainfo list ref = ref [] in
+  let levels = ref [ 100; 100 ] in
+  let master = ref 80 in
+  let client_orb_for_inputs = server_orb in
+  {
+    Heidi_Mixer.get_master_level = (fun () -> !master);
+    set_master_level = (fun v -> master := v);
+    add_input =
+      (fun cam_ref () ->
+        (* The mixer calls *back* through the reference it was handed —
+           object references as parameters work in both directions. *)
+        let cam = Heidi_Camera.Stub.of_ref client_orb_for_inputs cam_ref in
+        let info = Heidi_Camera.Stub.describe cam () in
+        inputs := !inputs @ [ info ];
+        Printf.printf "  [server] mixer input #%d: %s @%dkbps\n%!"
+          (List.length !inputs) info.name info.bitrate_kbps;
+        List.length !inputs);
+    add_snapshot =
+      (fun src_ref () ->
+        (* An incopy argument: if it travelled by value, src_ref is a
+           *local* reference freshly exported by our factory below. *)
+        let src = Heidi_Source.Stub.of_ref client_orb_for_inputs src_ref in
+        let info = Heidi_Source.Stub.describe src () in
+        inputs := !inputs @ [ info ];
+        Printf.printf "  [server] mixer snapshot input: %s (via %s)\n%!"
+          info.name src_ref.Orb.Objref.proto;
+        List.length !inputs);
+    inputs = (fun () -> !inputs);
+    levels = (fun () -> !levels);
+    set_levels = (fun values () -> levels := values);
+  }
+
+(* ---------------- wiring ---------------- *)
+
+let () =
+  (* Two address spaces in one process, talking over the in-memory
+     transport with the HeidiRMI text protocol. *)
+  let server = Orb.create () in
+  Orb.start server;
+  let client = Orb.create () in
+  Orb.start client;
+
+  (* Server setup: two cameras and a mixer. *)
+  let cam1 = make_camera ~name:"studio-cam" ~bitrate:(ref 800) in
+  let cam2 = make_camera ~name:"field-cam" ~bitrate:(ref 1200) in
+  let mixer_impl = make_mixer server in
+  let cam1_ref = Orb.export server (Heidi_Camera.skeleton cam1) in
+  let cam2_ref = Orb.export server (Heidi_Camera.skeleton cam2) in
+  let mixer_ref = Orb.export server (Heidi_Mixer.skeleton mixer_impl) in
+
+  (* The incopy factory: when a Source arrives by value, rebuild a local
+     servant from its marshaled state and hand back a local reference
+     ("no skeleton is ever created" for the sender's object —
+     Section 3.1). *)
+  Orb.Serial.register_factory incopy_registry ~type_id:Heidi_Source.repo_id
+    (fun d ->
+      let info = get_heidi_mediainfo d in
+      let local_impl =
+        {
+          Heidi_Source.attach = (fun _sink () -> ());
+          describe = (fun () -> info);
+          get_state = (fun () -> Pause);
+        }
+      in
+      Orb.export server (Heidi_Source.skeleton local_impl));
+
+  Printf.printf "camera 1 reference: %s\n" (Orb.Objref.to_string cam1_ref);
+  Printf.printf "mixer reference:    %s\n\n" (Orb.Objref.to_string mixer_ref);
+
+  (* Client side: drive the cameras through generated stubs. *)
+  let cam1_stub = Heidi_Camera.Stub.of_ref client cam1_ref in
+  let mixer = Heidi_Mixer.Stub.of_ref client mixer_ref in
+
+  Printf.printf "cam1 state before attach: %s\n"
+    (status_name (Heidi_Camera.Stub.get_state cam1_stub ()));
+  Heidi_Camera.Stub.attach cam1_stub "rtp://sink-0" ();
+  Printf.printf "cam1 state after attach:  %s\n"
+    (status_name (Heidi_Camera.Stub.get_state cam1_stub ()));
+
+  (* A declared exception crosses the wire and is re-raised locally. *)
+  (try Heidi_Camera.Stub.attach cam1_stub "rtp://other-sink" ()
+   with Orb.Remote_exception { repo_id; payload; codec }
+     when repo_id = heidi_sourcebusy_repo_id ->
+     let m = decode_heidi_sourcebusy (codec.Wire.Codec.decoder payload) in
+     Printf.printf "SourceBusy from %s: retry after %dms\n" m.source
+       m.retry_after_ms);
+
+  (* oneway: fire and forget. *)
+  Heidi_Camera.Stub.hint cam1_stub "pan left slowly" ();
+
+  Heidi_Camera.Stub.zoom cam1_stub 4 ();
+  let info = Heidi_Camera.Stub.describe cam1_stub () in
+  Printf.printf "cam1 now: %s @%dkbps live=%b\n" info.name info.bitrate_kbps
+    info.live;
+
+  (* Object references as parameters: hand the mixer both cameras. *)
+  let n1 = Heidi_Mixer.Stub.add_input mixer cam1_ref () in
+  let n2 = Heidi_Mixer.Stub.add_input mixer cam2_ref () in
+  Printf.printf "mixer inputs: %d then %d\n" n1 n2;
+
+  (* incopy pass-by-value: serialize a local still-image source. The
+     serializer marshals its state; the server reconstructs it locally. *)
+  let still = { name = "title-card"; bitrate_kbps = 0; live = false } in
+  let still_impl =
+    {
+      Heidi_Source.attach = (fun _ () -> ());
+      describe = (fun () -> still);
+      get_state = (fun () -> Pause);
+    }
+  in
+  let still_ref = Orb.export client (Heidi_Source.skeleton still_impl) in
+  let n3 =
+    Heidi_Mixer.Stub.add_snapshot mixer
+      ~ser_src:(fun e -> put_heidi_mediainfo e still)
+      still_ref ()
+  in
+  Printf.printf "mixer inputs after snapshot: %d\n" n3;
+
+  (* Sequences and structs as results. *)
+  let all = Heidi_Mixer.Stub.inputs mixer () in
+  Printf.printf "mixer sees: %s\n"
+    (String.concat ", " (List.map (fun (i : heidi_mediainfo) -> i.name) all));
+  Heidi_Mixer.Stub.set_levels mixer [ 80; 95; 100 ] ();
+  Printf.printf "levels: %s\n"
+    (String.concat " "
+       (List.map string_of_int (Heidi_Mixer.Stub.levels mixer ())));
+
+  Printf.printf "\nconnections opened by client: %d (cached and reused)\n"
+    (Orb.connections_opened client);
+  Printf.printf "requests served by server:    %d\n" (Orb.requests_served server);
+
+  Orb.shutdown client;
+  Orb.shutdown server

@@ -1,0 +1,83 @@
+type result = { files : (string * string) list; stdout : string }
+
+let base_of_filename filename =
+  let base = Filename.basename filename in
+  match Filename.chop_suffix_opt ~suffix:".idl" base with
+  | Some b -> b
+  | None -> ( match base with "<string>" | "" -> "out" | b -> b)
+
+let est_of_string ?(filename = "<string>") ?file_base src =
+  let ast = Idl.Parser.parse_string ~filename src in
+  let sem = Est.Resolve.spec ast in
+  let root = Est.Build.of_spec sem in
+  let file_base =
+    match file_base with Some b -> b | None -> base_of_filename filename
+  in
+  Est.Node.add_prop root "fileBase" file_base;
+  Est.Node.add_prop root "fileName" filename;
+  root
+
+let est_of_file path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  est_of_string ~filename:path src
+
+let generate ?(maps = Template.Maps.empty) ~templates root =
+  let outputs =
+    List.map
+      (fun (name, src) ->
+        let tmpl = Template.Parse.parse ~name src in
+        Template.Eval.run ~maps tmpl root)
+      templates
+  in
+  (* Merge: concatenate stdout; append same-named files in order. *)
+  let stdout = String.concat "" (List.map (fun o -> o.Template.Eval.stdout) outputs) in
+  let files = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun (name, content) ->
+          match Hashtbl.find_opt files name with
+          | Some prev -> Hashtbl.replace files name (prev ^ content)
+          | None ->
+              Hashtbl.replace files name content;
+              order := name :: !order)
+        o.Template.Eval.files)
+    outputs;
+  {
+    files = List.rev_map (fun name -> (name, Hashtbl.find files name)) !order;
+    stdout;
+  }
+
+let compile_string ?filename ?file_base ~mapping src =
+  let root = est_of_string ?filename ?file_base src in
+  generate ~maps:mapping.Mappings.Mapping.maps
+    ~templates:mapping.Mappings.Mapping.templates root
+
+let compile_file ~mapping path =
+  let root = est_of_file path in
+  generate ~maps:mapping.Mappings.Mapping.maps
+    ~templates:mapping.Mappings.Mapping.templates root
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then (
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+
+let write_result ~dir result =
+  mkdir_p dir;
+  List.map
+    (fun (name, content) ->
+      let path = Filename.concat dir name in
+      mkdir_p (Filename.dirname path);
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content);
+      path)
+    result.files

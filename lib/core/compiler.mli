@@ -1,0 +1,44 @@
+(** The template-driven IDL compiler (paper Fig. 6).
+
+    Two stages, exactly as in the architecture diagram: a generic parser
+    producing the enhanced syntax tree, and a template-driven
+    code-generator. Nothing about any particular mapping is hard-coded
+    here — "the generated code now depends only on the template that is
+    provided to the code-generator". *)
+
+type result = {
+  files : (string * string) list;
+      (** Generated files ([@openfile] targets), in generation order.
+          Later templates writing the same name append. *)
+  stdout : string;  (** Output produced outside any [@openfile]. *)
+}
+
+val est_of_string : ?filename:string -> ?file_base:string -> string -> Est.Node.t
+(** Stage 1 alone: parse + resolve + build the EST. The root node carries
+    a [fileBase] property (derived from [filename] unless [file_base] is
+    given) that templates use to name output files.
+    @raise Idl.Diag.Idl_error on parse or semantic errors. *)
+
+val est_of_file : string -> Est.Node.t
+
+val generate :
+  ?maps:Template.Maps.t -> templates:(string * string) list -> Est.Node.t -> result
+(** Stage 2 alone: run each (named) template over the EST, with the given
+    map functions, merging outputs.
+    @raise Template.Parse.Template_error / Template.Eval.Eval_error. *)
+
+val compile_string :
+  ?filename:string ->
+  ?file_base:string ->
+  mapping:Mappings.Mapping.t ->
+  string ->
+  result
+(** The full pipeline for one mapping.
+    @raise Idl.Diag.Idl_error on IDL errors, template exceptions on
+    template errors. *)
+
+val compile_file : mapping:Mappings.Mapping.t -> string -> result
+
+val write_result : dir:string -> result -> string list
+(** Write every generated file under [dir] (created if missing); returns
+    the paths written. *)

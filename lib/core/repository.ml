@@ -1,0 +1,60 @@
+type t = { dir : string }
+
+let extension = ".est"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then (
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+
+let open_ ~dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+let path t name = Filename.concat t.dir (name ^ extension)
+
+let store t est =
+  match Est.Node.prop est "fileBase" with
+  | None | Some "" ->
+      invalid_arg "Repository.store: EST root has no fileBase property"
+  | Some name ->
+      let oc = open_out_bin (path t name) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Est.Dump.to_text est));
+      name
+
+let load t name =
+  let file = path t name in
+  if not (Sys.file_exists file) then None
+  else
+    let ic = open_in_bin file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Some (Est.Dump.of_text text)
+
+let units t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:extension f)
+  |> List.sort compare
+
+let remove t name =
+  let file = path t name in
+  if Sys.file_exists file then Sys.remove file
+
+let find_interface t ~repo_id =
+  let matches est =
+    List.find_opt
+      (fun node -> Est.Node.prop node "repoId" = Some repo_id)
+      (Est.Node.group est "interfaceList")
+  in
+  List.find_map
+    (fun name ->
+      match load t name with
+      | None -> None
+      | Some est -> Option.map (fun iface -> (name, iface)) (matches est))
+    (units t)

@@ -1,0 +1,37 @@
+(** A persistent Interface Repository.
+
+    Section 5 compares the two-stage compiler with OmniBroker's own: its
+    parser "stores an abstract representation of the IDL source in a
+    possibly persistent global Interface Repository (IR) in support of a
+    distributed development environment", and the paper suggests the
+    template code-generator "would integrate well ... the IR could [be]
+    modified to store the EST instead of the parse tree". This module is
+    exactly that integration: a directory of serialized ESTs, keyed by
+    compilation unit, that stage 2 can generate from without re-parsing
+    any IDL (see [idlc --ir]). *)
+
+type t
+
+val open_ : dir:string -> t
+(** Open (creating the directory if needed). *)
+
+val dir : t -> string
+
+val store : t -> Est.Node.t -> string
+(** Store an EST under its [fileBase] root property; returns the unit
+    name. Overwrites any previous version.
+    @raise Invalid_argument if the root lacks a [fileBase]. *)
+
+val load : t -> string -> Est.Node.t option
+(** Load a unit's EST by name. *)
+
+val units : t -> string list
+(** Stored unit names, sorted. *)
+
+val remove : t -> string -> unit
+
+val find_interface : t -> repo_id:string -> (string * Est.Node.t) option
+(** Search every stored unit for an interface node with the given
+    repository ID; returns (unit name, interface node). This is the
+    query a distributed development environment runs ("details of each
+    required IDL interface", Section 5). *)

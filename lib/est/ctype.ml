@@ -1,0 +1,153 @@
+type t =
+  | Void
+  | Short
+  | Long
+  | Long_long
+  | Unsigned_short
+  | Unsigned_long
+  | Unsigned_long_long
+  | Float
+  | Double
+  | Boolean
+  | Char
+  | Octet
+  | Any
+  | String of int option
+  | Sequence of t * int option
+  | Objref of string
+  | Struct of string
+  | Union of string
+  | Enum of string
+  | Alias of string * t
+
+let rec resolve_alias = function Alias (_, t) -> resolve_alias t | t -> t
+
+let flat_name = function
+  | Objref n | Struct n | Union n | Enum n | Alias (n, _) -> Some n
+  | _ -> None
+
+let rec is_variable_length t =
+  match resolve_alias t with
+  | String _ | Sequence _ | Objref _ | Any -> true
+  (* Without member information, aggregates are conservatively variable;
+     Build.of_spec computes the exact answer from the semantic model. *)
+  | Struct _ | Union _ -> true
+  | Alias (_, t) -> is_variable_length t
+  | _ -> false
+
+let rec to_string = function
+  | Void -> "void"
+  | Short -> "short"
+  | Long -> "long"
+  | Long_long -> "longlong"
+  | Unsigned_short -> "ushort"
+  | Unsigned_long -> "ulong"
+  | Unsigned_long_long -> "ulonglong"
+  | Float -> "float"
+  | Double -> "double"
+  | Boolean -> "boolean"
+  | Char -> "char"
+  | Octet -> "octet"
+  | Any -> "any"
+  | String None -> "string"
+  | String (Some n) -> Printf.sprintf "string(%d)" n
+  | Sequence (t, None) -> Printf.sprintf "sequence(%s)" (to_string t)
+  | Sequence (t, Some n) -> Printf.sprintf "sequence(%s,%d)" (to_string t) n
+  | Objref n -> Printf.sprintf "objref(%s)" n
+  | Struct n -> Printf.sprintf "struct(%s)" n
+  | Union n -> Printf.sprintf "union(%s)" n
+  | Enum n -> Printf.sprintf "enum(%s)" n
+  | Alias (n, t) -> Printf.sprintf "alias(%s)=%s" n (to_string t)
+
+(* Hand-written parser for the encoding above. The grammar is LL(1):
+   a bare word, or word '(' args ')', optionally followed by '=' type
+   for aliases. *)
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("Ctype.of_string: " ^ m)) fmt in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let word () =
+    let start = !pos in
+    while
+      !pos < len
+      && (match s.[!pos] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected a word at offset %d in %S" start s;
+    String.sub s start (!pos - start)
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail "expected %C at offset %d in %S" c !pos s
+  in
+  let int_arg () =
+    let start = !pos in
+    while !pos < len && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      advance ()
+    done;
+    if !pos = start then fail "expected an integer at offset %d in %S" start s;
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let rec ty () =
+    let w = word () in
+    match w with
+    | "void" -> Void
+    | "short" -> Short
+    | "long" -> Long
+    | "longlong" -> Long_long
+    | "ushort" -> Unsigned_short
+    | "ulong" -> Unsigned_long
+    | "ulonglong" -> Unsigned_long_long
+    | "float" -> Float
+    | "double" -> Double
+    | "boolean" -> Boolean
+    | "char" -> Char
+    | "octet" -> Octet
+    | "any" -> Any
+    | "string" ->
+        if peek () = Some '(' then (
+          advance ();
+          let n = int_arg () in
+          expect ')';
+          String (Some n))
+        else String None
+    | "sequence" ->
+        expect '(';
+        let elem = ty () in
+        let bound =
+          if peek () = Some ',' then (
+            advance ();
+            Some (int_arg ()))
+          else None
+        in
+        expect ')';
+        Sequence (elem, bound)
+    | "objref" | "struct" | "union" | "enum" | "alias" ->
+        expect '(';
+        let name = word () in
+        expect ')';
+        let named =
+          match w with
+          | "objref" -> Objref name
+          | "struct" -> Struct name
+          | "union" -> Union name
+          | "enum" -> Enum name
+          | _ ->
+              expect '=';
+              Alias (name, ty ())
+        in
+        named
+    | other -> fail "unknown type constructor %S in %S" other s
+  in
+  let result = ty () in
+  if !pos <> len then fail "trailing characters at offset %d in %S" !pos s;
+  result
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal = ( = )

@@ -1,0 +1,52 @@
+(** Canonical (fully resolved) IDL types.
+
+    After semantic analysis every type reference is reduced to one of these
+    constructors. Named user types carry their {e flat name} — the scoped
+    name joined with ["_"], e.g. [Heidi::A] becomes ["Heidi_A"] — which is
+    the spelling used in EST properties (compare Fig. 8 of the paper, where
+    the parameter node carries [typeName = "Heidi_A"]).
+
+    The [to_string]/[of_string] pair defines the self-contained textual
+    encoding stored in EST properties and consumed by template map
+    functions; it round-trips exactly. *)
+
+type t =
+  | Void
+  | Short
+  | Long
+  | Long_long
+  | Unsigned_short
+  | Unsigned_long
+  | Unsigned_long_long
+  | Float
+  | Double
+  | Boolean
+  | Char
+  | Octet
+  | Any
+  | String of int option
+  | Sequence of t * int option
+  | Objref of string  (** Interface reference, by flat name. *)
+  | Struct of string
+  | Union of string
+  | Enum of string
+  | Alias of string * t  (** Typedef: alias flat name and resolved target. *)
+
+val resolve_alias : t -> t
+(** Strip [Alias] wrappers down to the underlying canonical type. *)
+
+val flat_name : t -> string option
+(** The flat name of a named type ([Objref], [Struct], [Union], [Enum],
+    [Alias]), or [None] for anonymous/primitive types. *)
+
+val is_variable_length : t -> bool
+(** True for types whose marshaled size depends on the value (strings,
+    sequences, object references, and aggregates containing them) —
+    the EST's [IsVariable] property (Fig. 8). *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Failure on a malformed encoding. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,171 @@
+(* ---------------- Fig. 8-style Perl rendering ---------------- *)
+
+let to_perl root =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "#!/usr/bin/perl\nuse Ast;\nuse JeevesUtil;\n\n";
+  let counter = ref 0 in
+  let rec emit parent_var node =
+    let var = Printf.sprintf "$n%d" !counter in
+    incr counter;
+    (match Node.prop node "repoId" with
+    | Some id -> Buffer.add_string buf (Printf.sprintf "# %s\n" id)
+    | None -> ());
+    Buffer.add_string buf
+      (Printf.sprintf "%s = Ast::New(%S, %S%s);\n" var (Node.name node)
+         (Node.kind node)
+         (match parent_var with Some p -> ", " ^ p | None -> ""));
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (Printf.sprintf "%s->AddProp(%S, %S);\n" var k v))
+      (Node.props node);
+    List.iter
+      (fun (g, children) ->
+        Buffer.add_string buf (Printf.sprintf "# group %s\n" g);
+        List.iter (fun c -> emit (Some var) c) children)
+      (Node.groups node)
+  in
+  emit None root;
+  Buffer.contents buf
+
+(* ---------------- machine format ---------------- *)
+
+(* Line-based, fully parenthesized:
+     node <kind> <name>
+     prop <key> <value>
+     group <g>
+     endgroup
+     endnode
+   All operands are OCaml %S-quoted strings, so values may contain any
+   characters including newlines. *)
+
+let to_text root =
+  let buf = Buffer.create 4096 in
+  let rec emit node =
+    Buffer.add_string buf
+      (Printf.sprintf "node %S %S\n" (Node.kind node) (Node.name node));
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "prop %S %S\n" k v))
+      (Node.props node);
+    List.iter
+      (fun (g, children) ->
+        Buffer.add_string buf (Printf.sprintf "group %S\n" g);
+        List.iter emit children;
+        Buffer.add_string buf "endgroup\n")
+      (Node.groups node);
+    Buffer.add_string buf "endnode\n"
+  in
+  emit root;
+  Buffer.contents buf
+
+(* Tokenizer: words and %S-quoted strings separated by whitespace. *)
+type tok = Word of string | Str of string
+
+let tokenize s =
+  let len = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("Dump.of_text: " ^ m)) fmt in
+  while !i < len do
+    match s.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '"' ->
+        let buf = Buffer.create 16 in
+        incr i;
+        let rec scan () =
+          if !i >= len then fail "unterminated string"
+          else
+            match s.[!i] with
+            | '"' -> incr i
+            | '\\' ->
+                if !i + 1 >= len then fail "truncated escape";
+                (match s.[!i + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 'b' -> Buffer.add_char buf '\b'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '"' -> Buffer.add_char buf '"'
+                | '\'' -> Buffer.add_char buf '\''
+                | '0' .. '9' ->
+                    if !i + 3 >= len then fail "truncated numeric escape";
+                    let code = int_of_string (String.sub s (!i + 1) 3) in
+                    Buffer.add_char buf (Char.chr code);
+                    i := !i + 2
+                | c -> fail "unknown escape '\\%c'" c);
+                i := !i + 2;
+                scan ()
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                scan ()
+        in
+        scan ();
+        toks := Str (Buffer.contents buf) :: !toks
+    | _ ->
+        let start = !i in
+        while
+          !i < len
+          && match s.[!i] with ' ' | '\t' | '\n' | '\r' | '"' -> false | _ -> true
+        do
+          incr i
+        done;
+        toks := Word (String.sub s start (!i - start)) :: !toks
+  done;
+  List.rev !toks
+
+let of_text s =
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("Dump.of_text: " ^ m)) fmt in
+  let toks = ref (tokenize s) in
+  let next () =
+    match !toks with
+    | [] -> fail "unexpected end of input"
+    | t :: rest ->
+        toks := rest;
+        t
+  in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let str () =
+    match next () with Str s -> s | Word w -> fail "expected a string, got %S" w
+  in
+  let rec parse_node () =
+    (match next () with
+    | Word "node" -> ()
+    | Word w -> fail "expected 'node', got %S" w
+    | Str s -> fail "expected 'node', got string %S" s);
+    let kind = str () in
+    let name = str () in
+    let node = Node.create ~name ~kind in
+    let rec body () =
+      match peek () with
+      | Some (Word "prop") ->
+          ignore (next ());
+          let k = str () in
+          let v = str () in
+          Node.add_prop node k v;
+          body ()
+      | Some (Word "group") ->
+          ignore (next ());
+          let g = str () in
+          let rec children () =
+            match peek () with
+            | Some (Word "endgroup") -> ignore (next ())
+            | Some (Word "node") ->
+                Node.add_child node ~group:g (parse_node ());
+                children ()
+            | Some (Word w) -> fail "expected child node or 'endgroup', got %S" w
+            | Some (Str s) -> fail "unexpected string %S in group" s
+            | None -> fail "unterminated group %S" g
+          in
+          children ();
+          body ()
+      | Some (Word "endnode") -> ignore (next ())
+      | Some (Word w) -> fail "unexpected %S in node body" w
+      | Some (Str s) -> fail "unexpected string %S in node body" s
+      | None -> fail "unterminated node"
+    in
+    body ();
+    node
+  in
+  let root = parse_node () in
+  (match !toks with [] -> () | _ -> fail "trailing tokens after root node");
+  root

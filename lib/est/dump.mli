@@ -1,0 +1,22 @@
+(** External representations of the EST.
+
+    [to_perl] mirrors the paper's Fig. 8: the prototype emitted a Perl
+    program that rebuilt the EST inside the interpreter. We emit the same
+    shape for inspection and golden tests.
+
+    [to_text]/[of_text] are a round-tripping machine format. The paper
+    (Section 4.1) notes that re-evaluating a program that rebuilds the EST
+    in memory "is certainly more efficient than parsing an external
+    representation" — bench §E4 quantifies exactly this by comparing
+    [of_text] parsing against reusing the in-memory tree. *)
+
+val to_perl : Node.t -> string
+(** Render the EST as the Fig. 8-style Perl program. *)
+
+val to_text : Node.t -> string
+(** Serialize to the line-based machine format. *)
+
+val of_text : string -> Node.t
+(** Parse the machine format back into an EST.
+    Guarantee: [of_text (to_text n)] is {!Node.equal} to [n].
+    @raise Failure on malformed input. *)

@@ -1,0 +1,48 @@
+type t = {
+  n_name : string;
+  n_kind : string;
+  mutable n_props : (string * string) list;  (* insertion order *)
+  mutable n_groups : (string * t list ref) list;  (* insertion order *)
+}
+
+let create ~name ~kind = { n_name = name; n_kind = kind; n_props = []; n_groups = [] }
+let name n = n.n_name
+let kind n = n.n_kind
+
+let add_prop n key value =
+  if List.mem_assoc key n.n_props then
+    n.n_props <- List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) n.n_props
+  else n.n_props <- n.n_props @ [ (key, value) ]
+
+let prop n key = List.assoc_opt key n.n_props
+let prop_or n key ~default = Option.value ~default (prop n key)
+let props n = n.n_props
+
+let add_child n ~group child =
+  match List.assoc_opt group n.n_groups with
+  | Some cell -> cell := !cell @ [ child ]
+  | None -> n.n_groups <- n.n_groups @ [ (group, ref [ child ]) ]
+
+let group n g =
+  match List.assoc_opt g n.n_groups with Some cell -> !cell | None -> []
+
+let groups n = List.map (fun (g, cell) -> (g, !cell)) n.n_groups
+
+let rec iter f n =
+  f n;
+  List.iter (fun (_, cell) -> List.iter (iter f) !cell) n.n_groups
+
+let size n =
+  let count = ref 0 in
+  iter (fun _ -> incr count) n;
+  !count
+
+let rec equal a b =
+  a.n_name = b.n_name && a.n_kind = b.n_kind && a.n_props = b.n_props
+  && List.length a.n_groups = List.length b.n_groups
+  && List.for_all2
+       (fun (g1, c1) (g2, c2) ->
+         g1 = g2
+         && List.length !c1 = List.length !c2
+         && List.for_all2 equal !c1 !c2)
+       a.n_groups b.n_groups

@@ -1,0 +1,51 @@
+type t =
+  | V_int of int64
+  | V_float of float
+  | V_bool of bool
+  | V_char of char
+  | V_string of string
+  | V_enum of string * string
+
+let to_string = function
+  | V_int i -> Printf.sprintf "int:%Ld" i
+  | V_float f -> Printf.sprintf "float:%h" f
+  | V_bool b -> Printf.sprintf "bool:%b" b
+  | V_char c -> Printf.sprintf "char:%d" (Char.code c)
+  | V_string s -> Printf.sprintf "string:%s" s
+  | V_enum (e, m) -> Printf.sprintf "enum:%s:%s" e m
+
+let of_string s =
+  let fail () = failwith (Printf.sprintf "Value.of_string: malformed %S" s) in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let tag = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match tag with
+      | "int" -> ( match Int64.of_string_opt rest with Some v -> V_int v | None -> fail ())
+      | "float" -> (
+          match float_of_string_opt rest with Some v -> V_float v | None -> fail ())
+      | "bool" -> (
+          match bool_of_string_opt rest with Some v -> V_bool v | None -> fail ())
+      | "char" -> (
+          match int_of_string_opt rest with
+          | Some v when v >= 0 && v < 256 -> V_char (Char.chr v)
+          | _ -> fail ())
+      | "string" -> V_string rest
+      | "enum" -> (
+          match String.index_opt rest ':' with
+          | Some j ->
+              V_enum
+                ( String.sub rest 0 j,
+                  String.sub rest (j + 1) (String.length rest - j - 1) )
+          | None -> fail ())
+      | _ -> fail ())
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b =
+  match (a, b) with
+  | V_float x, V_float y ->
+      (* Distinguish by bit pattern so nan = nan and 0. <> -0. round-trip. *)
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | a, b -> a = b

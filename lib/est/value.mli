@@ -1,0 +1,22 @@
+(** Evaluated constant values: results of folding IDL constant
+    expressions, used for [const] declarations and default parameter
+    values.
+
+    Like {!Ctype}, values have a self-contained textual encoding stored in
+    EST properties (e.g. the [defaultParam] property of Fig. 9) and mapped
+    into target-language literals by a template map function. *)
+
+type t =
+  | V_int of int64
+  | V_float of float
+  | V_bool of bool
+  | V_char of char
+  | V_string of string
+  | V_enum of string * string  (** Enum flat name, member name. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Failure on a malformed encoding. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

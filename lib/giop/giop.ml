@@ -1,0 +1,11 @@
+let magic = "GIOP1"
+
+let protocol ?(order = Wire.Cdr_codec.Big_endian) () =
+  let name =
+    match order with
+    | Wire.Cdr_codec.Big_endian -> "giop-be"
+    | Wire.Cdr_codec.Little_endian -> "giop-le"
+  in
+  Orb.Protocol.generic ~name
+    ~framing:(Orb.Protocol.Length_prefixed { header = magic })
+    (Wire.Cdr_codec.codec order)

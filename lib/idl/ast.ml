@@ -1,0 +1,314 @@
+(** Abstract syntax tree for the OMG IDL subset accepted by the compiler.
+
+    The subset covers the constructs used throughout the paper — modules,
+    interfaces (with multiple inheritance and forward declarations),
+    typedefs, structs, unions, enums, constants, exceptions, attributes and
+    operations — plus the two HeidiRMI syntax extensions of Section 3.1:
+
+    - default parameter values ([void p(in long l = 0)]), and
+    - the [incopy] parameter-passing mode (pass-by-value for object
+      references). *)
+
+type ident = string
+
+(** A possibly-qualified name such as [Heidi::A] or [::Heidi::Start].
+    [absolute] is true when the name starts with [::]. *)
+type scoped_name = { absolute : bool; parts : ident list; sn_loc : Loc.t }
+
+(** Primitive and constructed type specifications. Named user types appear
+    as [Named] and are resolved during semantic analysis. *)
+type type_spec =
+  | Void
+  | Short
+  | Long
+  | Long_long
+  | Unsigned_short
+  | Unsigned_long
+  | Unsigned_long_long
+  | Float
+  | Double
+  | Boolean
+  | Char
+  | Octet
+  | String of int option  (** Optional bound: [string<16>]. *)
+  | Any
+  | Sequence of type_spec * int option  (** Optional bound. *)
+  | Named of scoped_name
+
+(** Literals and constant expressions, used for [const] declarations and
+    default parameter values. *)
+type const_expr =
+  | Int_lit of int64
+  | Float_lit of float
+  | Bool_lit of bool
+  | Char_lit of char
+  | String_lit of string
+  | Name_ref of scoped_name  (** Reference to a constant or enumerator. *)
+  | Unary of unary_op * const_expr
+  | Binary of binary_op * const_expr * const_expr
+
+and unary_op = Neg | Pos | Bit_not
+
+and binary_op =
+  | Or
+  | Xor
+  | And
+  | Shift_left
+  | Shift_right
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+
+(** Parameter-passing modes. [Incopy] is the paper's extension: identical to
+    [In] for value types, pass-by-value for object references. *)
+type param_mode = In | Out | Inout | Incopy
+
+type param = {
+  p_mode : param_mode;
+  p_type : type_spec;
+  p_name : ident;
+  p_default : const_expr option;  (** Paper extension: default value. *)
+  p_loc : Loc.t;
+}
+
+type operation = {
+  op_oneway : bool;
+  op_return : type_spec;
+  op_name : ident;
+  op_params : param list;
+  op_raises : scoped_name list;
+  op_loc : Loc.t;
+}
+
+type attribute = {
+  at_readonly : bool;
+  at_type : type_spec;
+  at_names : ident list;  (** IDL allows [attribute long a, b;]. *)
+  at_loc : Loc.t;
+}
+
+type struct_member = { sm_type : type_spec; sm_names : ident list; sm_loc : Loc.t }
+
+type case_label = Case_value of const_expr | Case_default
+
+type union_case = {
+  uc_labels : case_label list;
+  uc_type : type_spec;
+  uc_name : ident;
+  uc_loc : Loc.t;
+}
+
+type enum_decl = { en_name : ident; en_members : ident list; en_loc : Loc.t }
+
+type struct_decl = {
+  st_name : ident;
+  st_members : struct_member list;
+  st_loc : Loc.t;
+}
+
+type union_decl = {
+  un_name : ident;
+  un_disc : type_spec;
+  un_cases : union_case list;
+  un_loc : Loc.t;
+}
+
+type typedef_decl = {
+  td_type : type_spec;
+  td_names : ident list;
+  td_loc : Loc.t;
+}
+
+type const_decl = {
+  cn_type : type_spec;
+  cn_name : ident;
+  cn_value : const_expr;
+  cn_loc : Loc.t;
+}
+
+type except_decl = {
+  ex_name : ident;
+  ex_members : struct_member list;
+  ex_loc : Loc.t;
+}
+
+(** Entries allowed inside an interface body. *)
+type export =
+  | Ex_op of operation
+  | Ex_attr of attribute
+  | Ex_typedef of typedef_decl
+  | Ex_struct of struct_decl
+  | Ex_union of union_decl
+  | Ex_enum of enum_decl
+  | Ex_const of const_decl
+  | Ex_except of except_decl
+
+type interface_decl = {
+  if_name : ident;
+  if_inherits : scoped_name list;
+  if_exports : export list;
+  if_loc : Loc.t;
+}
+
+(** Top-level (or module-level) definitions. *)
+type definition =
+  | D_pragma_prefix of string * Loc.t
+      (** [#pragma prefix "nec.com"]: prefixes the repository IDs of the
+          definitions that follow it in the same scope. *)
+  | D_module of ident * definition list * Loc.t
+  | D_interface of interface_decl
+  | D_forward of ident * Loc.t  (** Forward interface declaration. *)
+  | D_typedef of typedef_decl
+  | D_struct of struct_decl
+  | D_union of union_decl
+  | D_enum of enum_decl
+  | D_const of const_decl
+  | D_except of except_decl
+
+type spec = definition list
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors and accessors                              *)
+(* ------------------------------------------------------------------ *)
+
+let scoped ?(absolute = false) ?(loc = Loc.dummy) parts =
+  { absolute; parts; sn_loc = loc }
+
+let scoped_name_to_string sn =
+  (if sn.absolute then "::" else "") ^ String.concat "::" sn.parts
+
+let definition_name = function
+  | D_pragma_prefix (p, _) -> "#pragma prefix " ^ p
+  | D_module (n, _, _) -> n
+  | D_interface i -> i.if_name
+  | D_forward (n, _) -> n
+  | D_typedef t -> String.concat "," t.td_names
+  | D_struct s -> s.st_name
+  | D_union u -> u.un_name
+  | D_enum e -> e.en_name
+  | D_const c -> c.cn_name
+  | D_except e -> e.ex_name
+
+let definition_loc = function
+  | D_pragma_prefix (_, l) | D_module (_, _, l) | D_forward (_, l) -> l
+  | D_interface i -> i.if_loc
+  | D_typedef t -> t.td_loc
+  | D_struct s -> s.st_loc
+  | D_union u -> u.un_loc
+  | D_enum e -> e.en_loc
+  | D_const c -> c.cn_loc
+  | D_except e -> e.ex_loc
+
+(** Structural equality that ignores source locations; used by the
+    parser/pretty-printer round-trip tests. *)
+let rec equal_type_spec a b =
+  match (a, b) with
+  | Sequence (t1, b1), Sequence (t2, b2) -> equal_type_spec t1 t2 && b1 = b2
+  | Named n1, Named n2 -> n1.absolute = n2.absolute && n1.parts = n2.parts
+  | a, b -> a = b
+
+let rec equal_const_expr a b =
+  match (a, b) with
+  | Name_ref n1, Name_ref n2 -> n1.absolute = n2.absolute && n1.parts = n2.parts
+  | Unary (o1, e1), Unary (o2, e2) -> o1 = o2 && equal_const_expr e1 e2
+  | Binary (o1, a1, b1), Binary (o2, a2, b2) ->
+      o1 = o2 && equal_const_expr a1 a2 && equal_const_expr b1 b2
+  | a, b -> a = b
+
+let equal_param a b =
+  a.p_mode = b.p_mode
+  && equal_type_spec a.p_type b.p_type
+  && a.p_name = b.p_name
+  &&
+  match (a.p_default, b.p_default) with
+  | None, None -> true
+  | Some x, Some y -> equal_const_expr x y
+  | _ -> false
+
+let equal_operation a b =
+  a.op_oneway = b.op_oneway
+  && equal_type_spec a.op_return b.op_return
+  && a.op_name = b.op_name
+  && List.length a.op_params = List.length b.op_params
+  && List.for_all2 equal_param a.op_params b.op_params
+  && List.length a.op_raises = List.length b.op_raises
+  && List.for_all2
+       (fun (x : scoped_name) (y : scoped_name) ->
+         x.absolute = y.absolute && x.parts = y.parts)
+       a.op_raises b.op_raises
+
+let equal_attribute a b =
+  a.at_readonly = b.at_readonly
+  && equal_type_spec a.at_type b.at_type
+  && a.at_names = b.at_names
+
+let equal_struct_member a b =
+  equal_type_spec a.sm_type b.sm_type && a.sm_names = b.sm_names
+
+let equal_case_label a b =
+  match (a, b) with
+  | Case_default, Case_default -> true
+  | Case_value x, Case_value y -> equal_const_expr x y
+  | _ -> false
+
+let equal_union_case a b =
+  List.length a.uc_labels = List.length b.uc_labels
+  && List.for_all2 equal_case_label a.uc_labels b.uc_labels
+  && equal_type_spec a.uc_type b.uc_type
+  && a.uc_name = b.uc_name
+
+let rec equal_definition a b =
+  match (a, b) with
+  | D_pragma_prefix (p1, _), D_pragma_prefix (p2, _) -> p1 = p2
+  | D_module (n1, ds1, _), D_module (n2, ds2, _) ->
+      n1 = n2
+      && List.length ds1 = List.length ds2
+      && List.for_all2 equal_definition ds1 ds2
+  | D_interface i1, D_interface i2 ->
+      i1.if_name = i2.if_name
+      && List.length i1.if_inherits = List.length i2.if_inherits
+      && List.for_all2
+           (fun (x : scoped_name) (y : scoped_name) ->
+             x.absolute = y.absolute && x.parts = y.parts)
+           i1.if_inherits i2.if_inherits
+      && List.length i1.if_exports = List.length i2.if_exports
+      && List.for_all2 equal_export i1.if_exports i2.if_exports
+  | D_forward (n1, _), D_forward (n2, _) -> n1 = n2
+  | D_typedef t1, D_typedef t2 ->
+      equal_type_spec t1.td_type t2.td_type && t1.td_names = t2.td_names
+  | D_struct s1, D_struct s2 ->
+      s1.st_name = s2.st_name
+      && List.length s1.st_members = List.length s2.st_members
+      && List.for_all2 equal_struct_member s1.st_members s2.st_members
+  | D_union u1, D_union u2 ->
+      u1.un_name = u2.un_name
+      && equal_type_spec u1.un_disc u2.un_disc
+      && List.length u1.un_cases = List.length u2.un_cases
+      && List.for_all2 equal_union_case u1.un_cases u2.un_cases
+  | D_enum e1, D_enum e2 -> e1.en_name = e2.en_name && e1.en_members = e2.en_members
+  | D_const c1, D_const c2 ->
+      equal_type_spec c1.cn_type c2.cn_type
+      && c1.cn_name = c2.cn_name
+      && equal_const_expr c1.cn_value c2.cn_value
+  | D_except e1, D_except e2 ->
+      e1.ex_name = e2.ex_name
+      && List.length e1.ex_members = List.length e2.ex_members
+      && List.for_all2 equal_struct_member e1.ex_members e2.ex_members
+  | _ -> false
+
+and equal_export a b =
+  match (a, b) with
+  | Ex_op o1, Ex_op o2 -> equal_operation o1 o2
+  | Ex_attr a1, Ex_attr a2 -> equal_attribute a1 a2
+  | Ex_typedef t1, Ex_typedef t2 -> equal_definition (D_typedef t1) (D_typedef t2)
+  | Ex_struct s1, Ex_struct s2 -> equal_definition (D_struct s1) (D_struct s2)
+  | Ex_union u1, Ex_union u2 -> equal_definition (D_union u1) (D_union u2)
+  | Ex_enum e1, Ex_enum e2 -> equal_definition (D_enum e1) (D_enum e2)
+  | Ex_const c1, Ex_const c2 -> equal_definition (D_const c1) (D_const c2)
+  | Ex_except e1, Ex_except e2 -> equal_definition (D_except e1) (D_except e2)
+  | _ -> false
+
+let equal_spec a b =
+  List.length a = List.length b && List.for_all2 equal_definition a b

@@ -1,0 +1,24 @@
+type severity = Error | Warning
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Idl_error of t
+
+let error ~loc fmt =
+  Format.kasprintf
+    (fun message -> raise (Idl_error { severity = Error; loc; message }))
+    fmt
+
+let warning ~loc fmt =
+  Format.kasprintf (fun message -> { severity = Warning; loc; message }) fmt
+
+let pp ppf t =
+  let tag = match t.severity with Error -> "error" | Warning -> "warning" in
+  Format.fprintf ppf "%a: %s: %s" Loc.pp t.loc tag t.message
+
+let to_string t = Format.asprintf "%a" pp t
+
+let () =
+  Printexc.register_printer (function
+    | Idl_error d -> Some (to_string d)
+    | _ -> None)

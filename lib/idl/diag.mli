@@ -1,0 +1,17 @@
+(** Diagnostics: compile-time errors and warnings with source locations. *)
+
+type severity = Error | Warning
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Idl_error of t
+(** Raised by the lexer, parser, and semantic analysis on fatal errors. *)
+
+val error : loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~loc fmt ...] raises {!Idl_error} with a formatted message. *)
+
+val warning : loc:Loc.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [warning ~loc fmt ...] builds a warning diagnostic (not raised). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

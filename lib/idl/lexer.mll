@@ -1,0 +1,107 @@
+{
+(* Lexer for the OMG IDL subset (plus HeidiRMI extensions). Produces
+   Token.t values tagged with Loc.t positions via the standard
+   Lexing.lexbuf position tracking. *)
+
+let loc_of_lexbuf lexbuf =
+  let p = Lexing.lexeme_start_p lexbuf in
+  Loc.make ~file:p.Lexing.pos_fname ~line:p.Lexing.pos_lnum
+    ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol + 1)
+
+let lex_error lexbuf fmt =
+  Format.kasprintf
+    (fun message ->
+      raise
+        (Diag.Idl_error
+           { Diag.severity = Diag.Error; loc = loc_of_lexbuf lexbuf; message }))
+    fmt
+
+let char_of_escape lexbuf = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | 'v' -> '\011'
+  | 'b' -> '\b'
+  | 'f' -> '\012'
+  | 'a' -> '\007'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> lex_error lexbuf "invalid escape sequence '\\%c'" c
+
+let buf = Buffer.create 64
+}
+
+let digit = ['0'-'9']
+let hex_digit = ['0'-'9' 'a'-'f' 'A'-'F']
+let oct_digit = ['0'-'7']
+let letter = ['a'-'z' 'A'-'Z' '_']
+let ident = letter (letter | digit)*
+let ws = [' ' '\t' '\r']
+
+let float_lit =
+  digit+ '.' digit* (['e' 'E'] ['+' '-']? digit+)?
+  | '.' digit+ (['e' 'E'] ['+' '-']? digit+)?
+  | digit+ ['e' 'E'] ['+' '-']? digit+
+
+rule token = parse
+  | ws+                { token lexbuf }
+  | '\n'               { Lexing.new_line lexbuf; token lexbuf }
+  | "//" [^ '\n']*     { token lexbuf }
+  | "/*"               { comment lexbuf; token lexbuf }
+  | "#" ws* "pragma" ws+ "prefix" ws+ '"' ([^ '"' '\n']* as p) '"' [^ '\n']*
+                       { Token.PRAGMA_PREFIX p }
+  | "#" [^ '\n']*      { token lexbuf }   (* other preprocessor lines are skipped *)
+  | float_lit as s     { Token.FLOAT_LIT (float_of_string s) }
+  | "0" ['x' 'X'] (hex_digit+ as s)
+                       { Token.INT_LIT (Int64.of_string ("0x" ^ s)) }
+  | "0" (oct_digit+ as s)
+                       { Token.INT_LIT (Int64.of_string ("0o" ^ s)) }
+  | digit+ as s        { match Int64.of_string_opt s with
+                         | Some i -> Token.INT_LIT i
+                         | None -> lex_error lexbuf "integer literal %s overflows" s }
+  | ident as s         { Token.of_ident s }
+  | "'" ([^ '\\' '\''] as c) "'" { Token.CHAR_LIT c }
+  | "'" '\\' (_ as c) "'"        { Token.CHAR_LIT (char_of_escape lexbuf c) }
+  | '"'                { Buffer.clear buf; string_lit lexbuf }
+  | "::"               { Token.COLONCOLON }
+  | "<<"               { Token.SHL }
+  | ">>"               { Token.SHR }
+  | '{'                { Token.LBRACE }
+  | '}'                { Token.RBRACE }
+  | '('                { Token.LPAREN }
+  | ')'                { Token.RPAREN }
+  | '['                { Token.LBRACKET }
+  | ']'                { Token.RBRACKET }
+  | '<'                { Token.LT }
+  | '>'                { Token.GT }
+  | ';'                { Token.SEMI }
+  | ':'                { Token.COLON }
+  | ','                { Token.COMMA }
+  | '='                { Token.EQ }
+  | '+'                { Token.PLUS }
+  | '-'                { Token.MINUS }
+  | '*'                { Token.STAR }
+  | '/'                { Token.SLASH }
+  | '%'                { Token.PERCENT }
+  | '|'                { Token.PIPE }
+  | '^'                { Token.CARET }
+  | '&'                { Token.AMP }
+  | '~'                { Token.TILDE }
+  | eof                { Token.EOF }
+  | _ as c             { lex_error lexbuf "unexpected character %C" c }
+
+and comment = parse
+  | "*/"               { () }
+  | '\n'               { Lexing.new_line lexbuf; comment lexbuf }
+  | eof                { lex_error lexbuf "unterminated comment" }
+  | _                  { comment lexbuf }
+
+and string_lit = parse
+  | '"'                { Token.STRING_LIT (Buffer.contents buf) }
+  | '\\' (_ as c)      { Buffer.add_char buf (char_of_escape lexbuf c);
+                         string_lit lexbuf }
+  | '\n'               { lex_error lexbuf "newline in string literal" }
+  | eof                { lex_error lexbuf "unterminated string literal" }
+  | _ as c             { Buffer.add_char buf c; string_lit lexbuf }

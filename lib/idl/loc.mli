@@ -1,0 +1,17 @@
+(** Source locations for IDL and template sources. *)
+
+type t = {
+  file : string;  (** Source file name, or a pseudo-name such as ["<string>"]. *)
+  line : int;  (** 1-based line number. *)
+  col : int;  (** 1-based column number. *)
+}
+
+val dummy : t
+(** A placeholder location for synthesized nodes. *)
+
+val make : file:string -> line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["file:line:col"]. *)
+
+val to_string : t -> string

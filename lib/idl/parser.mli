@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the OMG IDL subset (plus HeidiRMI
+    extensions). The grammar follows CORBA 2.0 chapter 3, restricted to the
+    constructs listed in {!Ast}, and extended with default parameter values
+    and the [incopy] parameter mode. *)
+
+val parse_string : ?filename:string -> string -> Ast.spec
+(** [parse_string ~filename src] parses IDL source text. [filename] is used
+    in diagnostics (default ["<string>"]).
+    @raise Diag.Idl_error on lexical or syntax errors. *)
+
+val parse_file : string -> Ast.spec
+(** [parse_file path] reads and parses an IDL file.
+    @raise Diag.Idl_error on lexical or syntax errors.
+    @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,165 @@
+open Ast
+
+let pp_scoped_name ppf sn =
+  Format.pp_print_string ppf (scoped_name_to_string sn)
+
+let rec pp_type_spec ppf = function
+  | Void -> Format.pp_print_string ppf "void"
+  | Short -> Format.pp_print_string ppf "short"
+  | Long -> Format.pp_print_string ppf "long"
+  | Long_long -> Format.pp_print_string ppf "long long"
+  | Unsigned_short -> Format.pp_print_string ppf "unsigned short"
+  | Unsigned_long -> Format.pp_print_string ppf "unsigned long"
+  | Unsigned_long_long -> Format.pp_print_string ppf "unsigned long long"
+  | Float -> Format.pp_print_string ppf "float"
+  | Double -> Format.pp_print_string ppf "double"
+  | Boolean -> Format.pp_print_string ppf "boolean"
+  | Char -> Format.pp_print_string ppf "char"
+  | Octet -> Format.pp_print_string ppf "octet"
+  | Any -> Format.pp_print_string ppf "any"
+  | String None -> Format.pp_print_string ppf "string"
+  | String (Some n) -> Format.fprintf ppf "string<%d>" n
+  | Sequence (t, None) -> Format.fprintf ppf "sequence<%a>" pp_type_spec t
+  | Sequence (t, Some n) -> Format.fprintf ppf "sequence<%a, %d>" pp_type_spec t n
+  | Named sn -> pp_scoped_name ppf sn
+
+(* Constant expressions are printed fully parenthesized below the top
+   level, which keeps the printer independent of precedence while still
+   re-parsing to the same tree. *)
+let rec pp_const_expr ppf = function
+  | Int_lit i -> Format.fprintf ppf "%Ld" i
+  | Float_lit f ->
+      (* Ensure the literal re-lexes as a float (needs '.', 'e' or 'E'). *)
+      let s = Format.asprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+      then Format.pp_print_string ppf s
+      else Format.fprintf ppf "%s.0" s
+  | Bool_lit true -> Format.pp_print_string ppf "TRUE"
+  | Bool_lit false -> Format.pp_print_string ppf "FALSE"
+  | Char_lit c -> Format.fprintf ppf "%C" c
+  | String_lit s -> Format.fprintf ppf "%S" s
+  | Name_ref sn -> pp_scoped_name ppf sn
+  | Unary (op, e) ->
+      let s = match op with Neg -> "-" | Pos -> "+" | Bit_not -> "~" in
+      Format.fprintf ppf "%s(%a)" s pp_const_expr e
+  | Binary (op, a, b) ->
+      let s =
+        match op with
+        | Or -> "|"
+        | Xor -> "^"
+        | And -> "&"
+        | Shift_left -> "<<"
+        | Shift_right -> ">>"
+        | Add -> "+"
+        | Sub -> "-"
+        | Mul -> "*"
+        | Div -> "/"
+        | Mod -> "%"
+      in
+      Format.fprintf ppf "(%a %s %a)" pp_const_expr a s pp_const_expr b
+
+let pp_mode ppf = function
+  | In -> Format.pp_print_string ppf "in"
+  | Out -> Format.pp_print_string ppf "out"
+  | Inout -> Format.pp_print_string ppf "inout"
+  | Incopy -> Format.pp_print_string ppf "incopy"
+
+let pp_param ppf p =
+  Format.fprintf ppf "%a %a %s" pp_mode p.p_mode pp_type_spec p.p_type p.p_name;
+  match p.p_default with
+  | None -> ()
+  | Some e -> Format.fprintf ppf " = %a" pp_const_expr e
+
+let pp_sep_list sep pp ppf xs =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf sep) pp
+    ppf xs
+
+let pp_struct_member ind ppf m =
+  Format.fprintf ppf "%s%a %s;" ind pp_type_spec m.sm_type
+    (String.concat ", " m.sm_names)
+
+let pp_operation ind ppf op =
+  Format.fprintf ppf "%s%s%a %s(%a)" ind
+    (if op.op_oneway then "oneway " else "")
+    pp_type_spec op.op_return op.op_name (pp_sep_list ", " pp_param) op.op_params;
+  if op.op_raises <> [] then
+    Format.fprintf ppf " raises (%a)" (pp_sep_list ", " pp_scoped_name) op.op_raises;
+  Format.pp_print_string ppf ";"
+
+let pp_attribute ind ppf at =
+  Format.fprintf ppf "%s%sattribute %a %s;" ind
+    (if at.at_readonly then "readonly " else "")
+    pp_type_spec at.at_type
+    (String.concat ", " at.at_names)
+
+let rec pp_definition_ind ind ppf def =
+  let sub = ind ^ "  " in
+  match def with
+  | D_pragma_prefix (p, _) -> Format.fprintf ppf "%s#pragma prefix \"%s\"" ind p
+  | D_module (name, defs, _) ->
+      Format.fprintf ppf "%smodule %s {@\n" ind name;
+      List.iter (fun d -> Format.fprintf ppf "%a@\n" (pp_definition_ind sub) d) defs;
+      Format.fprintf ppf "%s};" ind
+  | D_forward (name, _) -> Format.fprintf ppf "%sinterface %s;" ind name
+  | D_interface i ->
+      Format.fprintf ppf "%sinterface %s" ind i.if_name;
+      if i.if_inherits <> [] then
+        Format.fprintf ppf " : %a" (pp_sep_list ", " pp_scoped_name) i.if_inherits;
+      Format.fprintf ppf " {@\n";
+      List.iter
+        (fun e -> Format.fprintf ppf "%a@\n" (pp_export_ind sub) e)
+        i.if_exports;
+      Format.fprintf ppf "%s};" ind
+  | D_typedef t ->
+      Format.fprintf ppf "%stypedef %a %s;" ind pp_type_spec t.td_type
+        (String.concat ", " t.td_names)
+  | D_struct s ->
+      Format.fprintf ppf "%sstruct %s {@\n" ind s.st_name;
+      List.iter
+        (fun m -> Format.fprintf ppf "%a@\n" (pp_struct_member sub) m)
+        s.st_members;
+      Format.fprintf ppf "%s};" ind
+  | D_union u ->
+      Format.fprintf ppf "%sunion %s switch (%a) {@\n" ind u.un_name pp_type_spec
+        u.un_disc;
+      List.iter
+        (fun c ->
+          List.iter
+            (function
+              | Case_value e -> Format.fprintf ppf "%scase %a:@\n" sub pp_const_expr e
+              | Case_default -> Format.fprintf ppf "%sdefault:@\n" sub)
+            c.uc_labels;
+          Format.fprintf ppf "%s  %a %s;@\n" sub pp_type_spec c.uc_type c.uc_name)
+        u.un_cases;
+      Format.fprintf ppf "%s};" ind
+  | D_enum e ->
+      Format.fprintf ppf "%senum %s { %s };" ind e.en_name
+        (String.concat ", " e.en_members)
+  | D_const c ->
+      Format.fprintf ppf "%sconst %a %s = %a;" ind pp_type_spec c.cn_type c.cn_name
+        pp_const_expr c.cn_value
+  | D_except e ->
+      Format.fprintf ppf "%sexception %s {@\n" ind e.ex_name;
+      List.iter
+        (fun m -> Format.fprintf ppf "%a@\n" (pp_struct_member (ind ^ "  ")) m)
+        e.ex_members;
+      Format.fprintf ppf "%s};" ind
+
+and pp_export_ind ind ppf = function
+  | Ex_op op -> pp_operation ind ppf op
+  | Ex_attr at -> pp_attribute ind ppf at
+  | Ex_typedef t -> pp_definition_ind ind ppf (D_typedef t)
+  | Ex_struct s -> pp_definition_ind ind ppf (D_struct s)
+  | Ex_union u -> pp_definition_ind ind ppf (D_union u)
+  | Ex_enum e -> pp_definition_ind ind ppf (D_enum e)
+  | Ex_const c -> pp_definition_ind ind ppf (D_const c)
+  | Ex_except e -> pp_definition_ind ind ppf (D_except e)
+
+let pp_definition ppf d = pp_definition_ind "" ppf d
+
+let pp_spec ppf spec =
+  List.iter (fun d -> Format.fprintf ppf "%a@\n@\n" pp_definition d) spec
+
+let type_spec_to_string t = Format.asprintf "%a" pp_type_spec t
+let const_expr_to_string e = Format.asprintf "%a" pp_const_expr e
+let to_string spec = Format.asprintf "%a" pp_spec spec

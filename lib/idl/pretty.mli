@@ -1,0 +1,14 @@
+(** Pretty-printer producing valid IDL source from an {!Ast.spec}.
+
+    Round-trip guarantee (checked by the property tests):
+    [Parser.parse_string (to_string spec)] is structurally equal to [spec]
+    (locations excepted). *)
+
+val pp_type_spec : Format.formatter -> Ast.type_spec -> unit
+val pp_const_expr : Format.formatter -> Ast.const_expr -> unit
+val pp_definition : Format.formatter -> Ast.definition -> unit
+val pp_spec : Format.formatter -> Ast.spec -> unit
+
+val type_spec_to_string : Ast.type_spec -> string
+val const_expr_to_string : Ast.const_expr -> string
+val to_string : Ast.spec -> string

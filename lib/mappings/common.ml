@@ -1,0 +1,44 @@
+let split_flat s = String.split_on_char '_' s
+
+let split_scoped s =
+  (* Split on "::". *)
+  let rec go acc s =
+    match String.index_opt s ':' with
+    | Some i when i + 1 < String.length s && s.[i + 1] = ':' ->
+        go (String.sub s 0 i :: acc) (String.sub s (i + 2) (String.length s - i - 2))
+    | _ -> List.rev (s :: acc)
+  in
+  go [] s
+
+let contains_scoped_sep s =
+  let rec scan i =
+    if i + 1 >= String.length s then false
+    else if s.[i] = ':' && s.[i + 1] = ':' then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let split_name s = if contains_scoped_sep s then split_scoped s else split_flat s
+
+let last_segment s =
+  match List.rev (split_name s) with seg :: _ -> seg | [] -> s
+
+let hd_name s =
+  let segments =
+    match split_name s with "Heidi" :: rest when rest <> [] -> rest | segs -> segs
+  in
+  "Hd" ^ String.concat "" segments
+
+let cpp_scoped s = String.concat "::" (split_name s)
+let java_name s = last_segment s
+let ctype s = Est.Ctype.of_string s
+let value s = Est.Value.of_string s
+let capitalize = String.capitalize_ascii
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    (* Use the shortest representation that round-trips. *)
+    let shorter = Printf.sprintf "%g" f in
+    if float_of_string shorter = f then shorter else s

@@ -1,0 +1,23 @@
+(** A mapping bundles everything the template-driven compiler needs to
+    target one language convention: the map functions its templates
+    reference, and the template sources themselves.
+
+    This is the paper's central artifact: "the generated code now depends
+    only on the template that is provided to the code-generator"
+    (Section 4). Each built-in mapping corresponds to one of the mappings
+    the paper describes or reports building. *)
+
+type t = {
+  name : string;  (** CLI name, e.g. ["heidi-cpp"]. *)
+  description : string;
+  language : string;  (** Target language, e.g. ["C++"]. *)
+  maps : Template.Maps.t;  (** Map functions referenced by the templates. *)
+  templates : (string * string) list;
+      (** Logical template name (["header"], ["stubs"], ["skeletons"], ...)
+          to template source. Run in list order. *)
+}
+
+val template : t -> string -> string option
+(** Look up a template source by logical name. *)
+
+val template_names : t -> string list

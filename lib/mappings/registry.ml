@@ -1,0 +1,11 @@
+let all : Mapping.t list =
+  [
+    Heidi_cpp.mapping;
+    Corba_cpp.mapping;
+    Java_map.mapping;
+    Tcl_map.mapping;
+    Ocaml_map.mapping;
+  ]
+
+let find name = List.find_opt (fun (m : Mapping.t) -> m.Mapping.name = name) all
+let names = List.map (fun (m : Mapping.t) -> m.Mapping.name) all

@@ -1,0 +1,9 @@
+(** The registry of built-in mappings. *)
+
+val all : Mapping.t list
+(** Every built-in mapping: heidi-cpp, corba-cpp, java, tcl, ocaml. *)
+
+val find : string -> Mapping.t option
+(** Look up a mapping by CLI name. *)
+
+val names : string list

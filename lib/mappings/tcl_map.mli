@@ -1,0 +1,9 @@
+(** The IDL-to-tcl mapping (paper Section 4.2, Fig. 10).
+
+    See the implementation's header comment for the mapping rules; the
+    public surface is the packaged {!Mapping.t} below — map functions
+    and templates are deliberately reachable only through it, so
+    customization happens by writing templates, not by calling into the
+    mapping (the paper's position). *)
+
+val mapping : Mapping.t

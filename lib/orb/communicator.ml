@@ -1,0 +1,48 @@
+type t = { proto : Protocol.t; chan : Transport.channel }
+
+let wrap proto chan = { proto; chan }
+
+(* Length-prefixed framing: magic header, 8 hex digits of body length,
+   newline (for telnet-friendliness of the header even in binary
+   protocols), then the body bytes. *)
+
+let send t msg =
+  let body = t.proto.Protocol.encode_message msg in
+  match t.proto.Protocol.framing with
+  | Protocol.Line ->
+      if String.contains body '\n' then
+        raise
+          (Protocol.Protocol_error
+             "line-framed message bodies must not contain newlines");
+      t.chan.Transport.write (body ^ "\n")
+  | Protocol.Length_prefixed { header } ->
+      t.chan.Transport.write
+        (Printf.sprintf "%s%08x\n%s" header (String.length body) body)
+
+let recv t =
+  match t.proto.Protocol.framing with
+  | Protocol.Line ->
+      let line = t.chan.Transport.read_line () in
+      t.proto.Protocol.decode_message line
+  | Protocol.Length_prefixed { header } ->
+      let hline = t.chan.Transport.read_line () in
+      let hlen = String.length header in
+      if String.length hline <> hlen + 8 || String.sub hline 0 hlen <> header then
+        raise
+          (Protocol.Protocol_error
+             (Printf.sprintf "bad frame header %S (expected %S + length)" hline header));
+      let len_hex = String.sub hline hlen 8 in
+      let len =
+        match int_of_string_opt ("0x" ^ len_hex) with
+        | Some n when n >= 0 -> n
+        | _ ->
+            raise
+              (Protocol.Protocol_error
+                 (Printf.sprintf "bad frame length %S" len_hex))
+      in
+      let body = t.chan.Transport.read_exact len in
+      t.proto.Protocol.decode_message body
+
+let close t = t.chan.Transport.close ()
+let peer t = t.chan.Transport.peer
+let protocol t = t.proto

@@ -1,0 +1,21 @@
+(** The ObjectCommunicator (paper Figs. 4–5): wraps a byte channel and
+    demarcates individual protocol messages on it, applying the
+    protocol's framing. *)
+
+type t
+
+val wrap : Protocol.t -> Transport.channel -> t
+(** Wrap an accepted or connected channel. *)
+
+val send : t -> Protocol.message -> unit
+(** Encode, frame and write one message.
+    @raise Transport.Transport_error on I/O failure. *)
+
+val recv : t -> Protocol.message
+(** Read and decode the next message.
+    @raise Transport.Transport_error on EOF / I/O failure.
+    @raise Protocol.Protocol_error on malformed messages. *)
+
+val close : t -> unit
+val peer : t -> string
+val protocol : t -> Protocol.t

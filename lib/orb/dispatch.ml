@@ -1,0 +1,76 @@
+type strategy = Linear | Binary | Hashed
+
+type 'a table =
+  | T_linear of (string * 'a) list
+  | T_binary of (string * 'a) array  (** sorted by name *)
+  | T_hashed of (string, 'a) Hashtbl.t
+
+let strategy_of_string = function
+  | "linear" -> Some Linear
+  | "binary" -> Some Binary
+  | "hash" | "hashed" -> Some Hashed
+  | _ -> None
+
+let strategy_to_string = function
+  | Linear -> "linear"
+  | Binary -> "binary"
+  | Hashed -> "hashed"
+
+let all_strategies = [ Linear; Binary; Hashed ]
+
+(* First binding for a name wins, like a comparison chain. *)
+let dedup handlers =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then false
+      else (
+        Hashtbl.add seen name ();
+        true))
+    handlers
+
+let compile strategy handlers =
+  let handlers = dedup handlers in
+  match strategy with
+  | Linear -> T_linear handlers
+  | Binary ->
+      let arr = Array.of_list handlers in
+      Array.sort (fun (a, _) (b, _) -> String.compare a b) arr;
+      T_binary arr
+  | Hashed ->
+      let tbl = Hashtbl.create (2 * List.length handlers) in
+      List.iter (fun (name, h) -> Hashtbl.replace tbl name h) handlers;
+      T_hashed tbl
+
+let lookup table op =
+  match table with
+  | T_linear handlers ->
+      (* The baseline: one string comparison per declared operation. *)
+      let rec scan = function
+        | [] -> None
+        | (name, h) :: rest -> if String.equal name op then Some h else scan rest
+      in
+      scan handlers
+  | T_binary arr ->
+      let rec search lo hi =
+        if lo >= hi then None
+        else
+          let mid = (lo + hi) / 2 in
+          let name, h = arr.(mid) in
+          let c = String.compare op name in
+          if c = 0 then Some h
+          else if c < 0 then search lo mid
+          else search (mid + 1) hi
+      in
+      search 0 (Array.length arr)
+  | T_hashed tbl -> Hashtbl.find_opt tbl op
+
+let strategy_of = function
+  | T_linear _ -> Linear
+  | T_binary _ -> Binary
+  | T_hashed _ -> Hashed
+
+let size = function
+  | T_linear l -> List.length l
+  | T_binary a -> Array.length a
+  | T_hashed t -> Hashtbl.length t

@@ -1,0 +1,95 @@
+exception Reject of string
+
+let () =
+  Printexc.register_printer (function
+    | Reject m -> Some (Printf.sprintf "Orb.Interceptor.Reject: %s" m)
+    | _ -> None)
+
+type t = {
+  name : string;
+  on_request : Protocol.request -> Protocol.request;
+  on_reply : Protocol.request -> Protocol.reply -> Protocol.reply;
+}
+
+let make ?(on_request = Fun.id) ?(on_reply = fun _ r -> r) name =
+  { name; on_request; on_reply }
+
+type chain = { mutex : Mutex.t; mutable items : t list (* reversed *) }
+
+let empty_chain () = { mutex = Mutex.create (); items = [] }
+
+let add chain i =
+  Mutex.lock chain.mutex;
+  chain.items <- i :: chain.items;
+  Mutex.unlock chain.mutex
+
+let snapshot chain =
+  Mutex.lock chain.mutex;
+  let items = List.rev chain.items in
+  Mutex.unlock chain.mutex;
+  items
+
+let names chain = List.map (fun i -> i.name) (snapshot chain)
+
+let apply_request chain req =
+  List.fold_left (fun req i -> i.on_request req) req (snapshot chain)
+
+let apply_reply chain req rep =
+  List.fold_left (fun rep i -> i.on_reply req rep) rep (List.rev (snapshot chain))
+
+(* ---------------- stock interceptors ---------------- *)
+
+let logger emit =
+  {
+    name = "logger";
+    on_request =
+      (fun req ->
+        emit
+          (Printf.sprintf "-> %s %s(#%d)%s" req.Protocol.operation
+             (Objref.to_string req.Protocol.target)
+             req.Protocol.req_id
+             (if req.Protocol.oneway then " oneway" else ""));
+        req);
+    on_reply =
+      (fun req rep ->
+        let status =
+          match rep.Protocol.status with
+          | Protocol.Status_ok -> "ok"
+          | Protocol.Status_user_exception id -> "exception " ^ id
+          | Protocol.Status_system_error m -> "error " ^ m
+        in
+        emit (Printf.sprintf "<- %s(#%d) %s" req.Protocol.operation rep.Protocol.rep_id status);
+        rep);
+  }
+
+let call_counter () =
+  let count = ref 0 in
+  let mutex = Mutex.create () in
+  ( {
+      name = "call-counter";
+      on_request =
+        (fun req ->
+          Mutex.lock mutex;
+          incr count;
+          Mutex.unlock mutex;
+          req);
+      on_reply = (fun _ rep -> rep);
+    },
+    fun () ->
+      Mutex.lock mutex;
+      let n = !count in
+      Mutex.unlock mutex;
+      n )
+
+let deny pred ~reason =
+  {
+    name = "deny";
+    on_request =
+      (fun req ->
+        if
+          pred ~op:req.Protocol.operation
+            ~type_id:req.Protocol.target.Objref.type_id
+        then raise (Reject reason)
+        else req);
+    on_reply = (fun _ rep -> rep);
+  }

@@ -1,0 +1,59 @@
+type t = {
+  mutex : Mutex.t;
+  skeletons : (string, Skeleton.t) Hashtbl.t;
+  by_key : (int, string) Hashtbl.t;  (* servant identity -> oid *)
+  mutable next_oid : int;
+  mutable hits : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); skeletons = Hashtbl.create 64;
+    by_key = Hashtbl.create 64; next_oid = 1; hits = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let register t skel =
+  with_lock t (fun () ->
+      let oid = string_of_int t.next_oid in
+      t.next_oid <- t.next_oid + 1;
+      Hashtbl.replace t.skeletons oid skel;
+      oid)
+
+let register_named t ~oid skel =
+  if String.contains oid '#' then
+    invalid_arg "Object_adapter.register_named: oid must not contain '#'";
+  with_lock t (fun () ->
+      if Hashtbl.mem t.skeletons oid then
+        invalid_arg
+          (Printf.sprintf "Object_adapter.register_named: oid %S is taken" oid);
+      Hashtbl.replace t.skeletons oid skel)
+
+let register_cached t ~key build =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.by_key key with
+      | Some oid ->
+          t.hits <- t.hits + 1;
+          oid
+      | None ->
+          let skel = build () in
+          let oid = string_of_int t.next_oid in
+          t.next_oid <- t.next_oid + 1;
+          Hashtbl.replace t.skeletons oid skel;
+          Hashtbl.replace t.by_key key oid;
+          oid)
+
+let cache_hits t = with_lock t (fun () -> t.hits)
+let lookup t oid = with_lock t (fun () -> Hashtbl.find_opt t.skeletons oid)
+
+let unregister t oid =
+  with_lock t (fun () ->
+      Hashtbl.remove t.skeletons oid;
+      (* Drop any identity-cache entry pointing at this oid. *)
+      let stale =
+        Hashtbl.fold (fun k o acc -> if o = oid then k :: acc else acc) t.by_key []
+      in
+      List.iter (Hashtbl.remove t.by_key) stale)
+
+let count t = with_lock t (fun () -> Hashtbl.length t.skeletons)

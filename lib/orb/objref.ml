@@ -1,0 +1,38 @@
+type t = {
+  proto : string;
+  host : string;
+  port : int;
+  oid : string;
+  type_id : string;
+}
+
+let make ~proto ~host ~port ~oid ~type_id = { proto; host; port; oid; type_id }
+
+let to_string r =
+  Printf.sprintf "@%s:%s:%d#%s#%s" r.proto r.host r.port r.oid r.type_id
+
+let of_string_opt s =
+  (* @proto:host:port#oid#type_id — host may not contain ':' or '#';
+     the type id may contain ':' (IDL:...:1.0) but not '#'. *)
+  if String.length s < 2 || s.[0] <> '@' then None
+  else
+    match String.split_on_char '#' (String.sub s 1 (String.length s - 1)) with
+    | [ url; oid; type_id ] -> (
+        match String.split_on_char ':' url with
+        | [ proto; host; port_s ] -> (
+            match int_of_string_opt port_s with
+            | Some port when port >= 0 && port < 65536 && proto <> "" && host <> ""
+              ->
+                Some { proto; host; port; oid; type_id }
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Objref.of_string: malformed reference %S" s)
+
+let endpoint r = (r.proto, r.host, r.port)
+let equal (a : t) b = a = b
+let pp ppf r = Format.pp_print_string ppf (to_string r)

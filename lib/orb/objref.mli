@@ -1,0 +1,33 @@
+(** Stringified object references (paper Section 3.1).
+
+    A HeidiRMI object reference has three parts: the bootstrap URL (a
+    protocol–hostname–port tuple that tells the client how to open a
+    communication channel), the object identifier (unique within its
+    address space), and the object type (the repository ID, which selects
+    the stub and skeleton). The printed form is exactly the paper's:
+
+    {v @tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0 v} *)
+
+type t = {
+  proto : string;  (** Transport protocol, e.g. ["tcp"] or ["mem"]. *)
+  host : string;
+  port : int;
+  oid : string;  (** Object identifier within the address space. *)
+  type_id : string;  (** Repository ID, e.g. ["IDL:Heidi/A:1.0"]. *)
+}
+
+val make : proto:string -> host:string -> port:int -> oid:string -> type_id:string -> t
+
+val to_string : t -> string
+(** [@proto:host:port#oid#type_id] *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on a malformed reference. *)
+
+val of_string_opt : string -> t option
+
+val endpoint : t -> string * string * int
+(** The [(proto, host, port)] connection tuple. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,448 @@
+(* Re-export the runtime's submodules: [Orb] is the library's facade. *)
+module Objref = Objref
+module Dispatch = Dispatch
+module Protocol = Protocol
+module Transport = Transport
+module Communicator = Communicator
+module Skeleton = Skeleton
+module Object_adapter = Object_adapter
+module Serial = Serial
+module Interceptor = Interceptor
+module Smart = Smart
+
+let src = Logs.Src.create "orb" ~doc:"HeidiRMI ORB runtime"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Remote_exception of {
+  repo_id : string;
+  payload : string;
+  codec : Wire.Codec.t;
+}
+
+exception System_exception of string
+
+let () =
+  Printexc.register_printer (function
+    | Remote_exception { repo_id; _ } ->
+        Some (Printf.sprintf "Orb.Remote_exception(%s)" repo_id)
+    | System_exception m -> Some (Printf.sprintf "Orb.System_exception: %s" m)
+    | _ -> None)
+
+type t = {
+  proto : Protocol.t;
+  strat : Dispatch.strategy;
+  transport : string;
+  host : string;
+  cfg_port : int;
+  oa : Object_adapter.t;
+  mutex : Mutex.t;  (* guards the mutable fields below *)
+  mutable listener : Transport.listener option;
+  mutable bound_port : int;
+  mutable running : bool;
+  conns : (string * string * int, conn) Hashtbl.t;  (* endpoint -> cached conn *)
+  client_chain : Interceptor.chain;
+  server_chain : Interceptor.chain;
+  mutable accepted : Communicator.t list;  (* server-side connections *)
+  mutable next_req_id : int;
+  mutable opened : int;  (* outbound connections ever opened *)
+  mutable served : int;  (* requests dispatched *)
+  mutable bootstrap_registry : (string, Objref.t) Hashtbl.t option;
+}
+
+and conn = { comm : Communicator.t; conn_mutex : Mutex.t }
+
+let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
+    ?(transport = "mem") ?(host = "local") ?(port = 0) () =
+  {
+    proto = protocol;
+    strat = strategy;
+    transport;
+    host;
+    cfg_port = port;
+    oa = Object_adapter.create ();
+    mutex = Mutex.create ();
+    listener = None;
+    bound_port = 0;
+    running = false;
+    conns = Hashtbl.create 16;
+    client_chain = Interceptor.empty_chain ();
+    server_chain = Interceptor.empty_chain ();
+    accepted = [];
+    next_req_id = 1;
+    opened = 0;
+    served = 0;
+    bootstrap_registry = None;
+  }
+
+let protocol t = t.proto
+let strategy t = t.strat
+let adapter t = t.oa
+let client_interceptors t = t.client_chain
+let server_interceptors t = t.server_chain
+
+let port t =
+  Mutex.lock t.mutex;
+  let p = t.bound_port in
+  Mutex.unlock t.mutex;
+  p
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ---------------- server side ---------------- *)
+
+let handle_request_inner t (req : Protocol.request) : Protocol.reply option =
+  let codec = t.proto.Protocol.codec in
+  let reply status payload =
+    if req.Protocol.oneway then None
+    else Some { Protocol.rep_id = req.Protocol.req_id; status; payload }
+  in
+  with_lock t (fun () -> t.served <- t.served + 1);
+  match Object_adapter.lookup t.oa req.Protocol.target.Objref.oid with
+  | None ->
+      reply
+        (Protocol.Status_system_error
+           (Printf.sprintf "no object with oid %S in this address space"
+              req.Protocol.target.Objref.oid))
+        ""
+  | Some skel -> (
+      match Skeleton.dispatch skel req.Protocol.operation with
+      | None ->
+          reply
+            (Protocol.Status_system_error
+               (Printf.sprintf "interface %s has no operation %S"
+                  (Skeleton.type_id skel) req.Protocol.operation))
+            ""
+      | Some handler -> (
+          let args = codec.Wire.Codec.decoder req.Protocol.payload in
+          let results = codec.Wire.Codec.encoder () in
+          match handler args results with
+          | () -> reply Protocol.Status_ok (results.Wire.Codec.finish ())
+          | exception Skeleton.User_exception { repo_id; encode } ->
+              let e = codec.Wire.Codec.encoder () in
+              encode e;
+              reply (Protocol.Status_user_exception repo_id)
+                (e.Wire.Codec.finish ())
+          | exception Wire.Codec.Type_error m ->
+              reply
+                (Protocol.Status_system_error
+                   (Printf.sprintf "marshal error in %S: %s" req.Protocol.operation m))
+                ""
+          | exception exn ->
+              reply
+                (Protocol.Status_system_error
+                   (Printf.sprintf "implementation of %S failed: %s"
+                      req.Protocol.operation (Printexc.to_string exn)))
+                ""))
+
+(* Dispatch with the server-side interceptor chain around it (Section 5:
+   Orbix-style filters "triggered in the dispatch path"). *)
+let handle_request t (req : Protocol.request) : Protocol.reply option =
+  match Interceptor.apply_request t.server_chain req with
+  | req -> (
+      match handle_request_inner t req with
+      | None -> None
+      | Some rep -> Some (Interceptor.apply_reply t.server_chain req rep))
+  | exception Interceptor.Reject reason ->
+      if req.Protocol.oneway then None
+      else
+        Some
+          {
+            Protocol.rep_id = req.Protocol.req_id;
+            status = Protocol.Status_system_error ("rejected: " ^ reason);
+            payload = "";
+          }
+
+let serve_connection t comm =
+  let rec loop () =
+    match Communicator.recv comm with
+    | Protocol.Request req ->
+        (match handle_request t req with
+        | Some rep -> Communicator.send comm (Protocol.Reply rep)
+        | None -> ());
+        loop ()
+    | Protocol.Locate_request { req_id; target } ->
+        (* GIOP-style locate: answered by the adapter, never dispatched. *)
+        let found = Object_adapter.lookup t.oa target.Objref.oid <> None in
+        Communicator.send comm
+          (Protocol.Locate_reply { rep_id = req_id; found });
+        loop ()
+    | Protocol.Reply _ | Protocol.Locate_reply _ ->
+        Log.warn (fun m -> m "unexpected reply on server connection from %s"
+                     (Communicator.peer comm));
+        loop ()
+    | exception Transport.Transport_error _ -> Communicator.close comm
+    | exception Protocol.Protocol_error m ->
+        Log.warn (fun m' -> m' "protocol error from %s: %s" (Communicator.peer comm) m);
+        Communicator.close comm
+  in
+  loop ()
+
+let start t =
+  let listener =
+    with_lock t (fun () ->
+        if t.running then None
+        else begin
+          let l = Transport.listen ~proto:t.transport ~host:t.host ~port:t.cfg_port in
+          t.listener <- Some l;
+          t.bound_port <- l.Transport.bound_port;
+          t.running <- true;
+          Some l
+        end)
+  in
+  match listener with
+  | None -> ()
+  | Some l ->
+      let accept_loop () =
+        let rec loop () =
+          match l.Transport.accept () with
+          | chan ->
+              let comm = Communicator.wrap t.proto chan in
+              with_lock t (fun () -> t.accepted <- comm :: t.accepted);
+              ignore (Thread.create (fun () -> serve_connection t comm) ());
+              loop ()
+          | exception Transport.Transport_error _ -> () (* shut down *)
+        in
+        loop ()
+      in
+      ignore (Thread.create accept_loop ())
+
+let shutdown t =
+  let listener, conns, accepted =
+    with_lock t (fun () ->
+        let l = t.listener in
+        t.listener <- None;
+        t.running <- false;
+        let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+        Hashtbl.reset t.conns;
+        let acc = t.accepted in
+        t.accepted <- [];
+        (l, cs, acc))
+  in
+  (match listener with Some l -> l.Transport.shutdown () | None -> ());
+  List.iter (fun c -> try Communicator.close c.comm with _ -> ()) conns;
+  (* Also close server-side connections so peers observe the shutdown and
+     their connection caches reopen against a replacement. *)
+  List.iter (fun comm -> try Communicator.close comm with _ -> ()) accepted
+
+(* ---------------- exporting ---------------- *)
+
+let objref_of t ~oid ~type_id =
+  Objref.make ~proto:t.transport ~host:t.host ~port:(port t) ~oid ~type_id
+
+let export t skel =
+  let oid = Object_adapter.register t.oa skel in
+  objref_of t ~oid ~type_id:(Skeleton.type_id skel)
+
+let export_named t ~oid skel =
+  Object_adapter.register_named t.oa ~oid skel;
+  objref_of t ~oid ~type_id:(Skeleton.type_id skel)
+
+let export_cached t ~key ~type_id build =
+  let oid = Object_adapter.register_cached t.oa ~key build in
+  objref_of t ~oid ~type_id
+
+(* ---------------- client side ---------------- *)
+
+(* Get the cached connection to an endpoint, opening one if needed
+   (paper: "Connections are cached and reused in HeidiRMI, and only if
+   there is no available connection is a new connection opened"). *)
+let get_connection t endpoint =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.conns endpoint with
+      | Some c -> c
+      | None ->
+          let proto_name, host, port = endpoint in
+          let chan = Transport.connect ~proto:proto_name ~host ~port in
+          let c =
+            { comm = Communicator.wrap t.proto chan; conn_mutex = Mutex.create () }
+          in
+          Hashtbl.replace t.conns endpoint c;
+          t.opened <- t.opened + 1;
+          c)
+
+let drop_connection t endpoint =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.conns endpoint with
+      | Some c ->
+          Hashtbl.remove t.conns endpoint;
+          (try Communicator.close c.comm with _ -> ())
+      | None -> ())
+
+let next_req_id t =
+  with_lock t (fun () ->
+      let id = t.next_req_id in
+      t.next_req_id <- t.next_req_id + 1;
+      id)
+
+let exchange conn msg ~oneway =
+  Mutex.lock conn.conn_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.conn_mutex)
+    (fun () ->
+      Communicator.send conn.comm msg;
+      if oneway then None else Some (Communicator.recv conn.comm))
+
+let invoke_raw t target ~op ?(oneway = false) payload =
+  let req_id = next_req_id t in
+  let req =
+    Interceptor.apply_request t.client_chain
+      { Protocol.req_id; target; operation = op; oneway; payload }
+  in
+  let msg = Protocol.Request req in
+  let endpoint = Objref.endpoint req.Protocol.target in
+  let rec attempt retries_left =
+    let conn = get_connection t endpoint in
+    match exchange conn msg ~oneway with
+    | resp -> resp
+    | exception Transport.Transport_error _ when retries_left > 0 ->
+        (* A cached connection may have gone stale; reopen once. *)
+        drop_connection t endpoint;
+        attempt (retries_left - 1)
+  in
+  match attempt 1 with
+  | None -> None
+  | Some (Protocol.Reply reply) -> (
+      let { Protocol.rep_id; status; payload } =
+        Interceptor.apply_reply t.client_chain req reply
+      in
+      if rep_id <> req_id then
+        raise
+          (System_exception
+             (Printf.sprintf "reply id %d does not match request id %d" rep_id req_id));
+      match status with
+      | Protocol.Status_ok -> Some payload
+      | Protocol.Status_user_exception repo_id ->
+          raise
+            (Remote_exception { repo_id; payload; codec = t.proto.Protocol.codec })
+      | Protocol.Status_system_error m -> raise (System_exception m))
+  | Some (Protocol.Request _ | Protocol.Locate_request _ | Protocol.Locate_reply _)
+    ->
+      raise (System_exception "peer sent a non-reply where a reply was expected")
+
+(* GIOP-style LocateRequest: does the peer's adapter know this oid? *)
+let locate t target =
+  let req_id = next_req_id t in
+  let msg = Protocol.Locate_request { req_id; target } in
+  let endpoint = Objref.endpoint target in
+  let rec attempt retries_left =
+    let conn = get_connection t endpoint in
+    match exchange conn msg ~oneway:false with
+    | resp -> resp
+    | exception Transport.Transport_error _ when retries_left > 0 ->
+        drop_connection t endpoint;
+        attempt (retries_left - 1)
+  in
+  match attempt 1 with
+  | Some (Protocol.Locate_reply { rep_id; found }) ->
+      if rep_id <> req_id then
+        raise (System_exception "locate reply id mismatch")
+      else found
+  | Some _ -> raise (System_exception "unexpected message in reply to locate")
+  | None -> raise (System_exception "no reply to locate")
+
+let invoke t target ~op ?oneway marshal =
+  let codec = t.proto.Protocol.codec in
+  let e = codec.Wire.Codec.encoder () in
+  marshal e;
+  match invoke_raw t target ~op ?oneway (e.Wire.Codec.finish ()) with
+  | Some payload -> Some (codec.Wire.Codec.decoder payload)
+  | None -> None
+
+(* A smart proxy (Section 5: Orbix smart proxies / Visibroker smart
+   stubs) bound to this ORB's protocol codec. *)
+let smart_proxy t ?capacity ?invalidate_on target =
+  let raw target ~op payload =
+    match invoke_raw t target ~op payload with
+    | Some reply -> reply
+    | None -> assert false (* oneway never used by Smart *)
+  in
+  Smart.create ?capacity ?invalidate_on ~codec:t.proto.Protocol.codec raw target
+
+let connections_opened t = with_lock t (fun () -> t.opened)
+let requests_served t = with_lock t (fun () -> t.served)
+
+let key_counter = Atomic.make 1
+let servant_key () = Atomic.fetch_and_add key_counter 1
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap naming                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's object references are self-contained, but something must
+   hand out the *first* one. HeidiRMI's answer is the bootstrap port
+   (Section 3.1); this puts a name registry behind it at a well-known
+   oid, so a client that knows only host:port can resolve its way in. *)
+module Bootstrap = struct
+  let type_id = "IDL:Heidi/Bootstrap:1.0"
+  let oid = "bootstrap"
+
+
+  let skeleton registry =
+    Skeleton.create ~type_id
+      [
+        ( "bind",
+          fun args _res ->
+            let name = args.Wire.Codec.get_string () in
+            match Serial.get_byref args with
+            | Some r -> Hashtbl.replace registry name r
+            | None -> Hashtbl.remove registry name );
+        ( "resolve",
+          fun args res ->
+            let name = args.Wire.Codec.get_string () in
+            match Hashtbl.find_opt registry name with
+            | Some r -> Serial.put_byref res (Some r)
+            | None -> failwith (Printf.sprintf "bootstrap: name %S is not bound" name)
+        );
+        ( "unbind",
+          fun args _res ->
+            Hashtbl.remove registry (args.Wire.Codec.get_string ()) );
+        ( "list",
+          fun _args res ->
+            let names =
+              List.sort compare
+                (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+            in
+            res.Wire.Codec.put_len (List.length names);
+            List.iter res.Wire.Codec.put_string names );
+      ]
+
+  let serve t =
+    let registry = Hashtbl.create 16 in
+    let r = export_named t ~oid (skeleton registry) in
+    t.bootstrap_registry <- Some registry;
+    r
+
+  let reference ~proto ~host ~port =
+    Objref.make ~proto ~host ~port ~oid ~type_id
+
+  let bind t ~name objref =
+    match t.bootstrap_registry with
+    | Some registry -> Hashtbl.replace registry name objref
+    | None -> invalid_arg "Bootstrap.bind: serve this ORB first"
+
+  let resolve t boot ~name =
+    match
+      invoke t boot ~op:"resolve" (fun e -> e.Wire.Codec.put_string name)
+    with
+    | Some d -> (
+        match Serial.get_byref d with
+        | Some r -> r
+        | None -> raise (System_exception "bootstrap returned a nil reference"))
+    | None -> assert false
+
+  let unbind t boot ~name =
+    ignore
+      (invoke t boot ~op:"bind" (fun e ->
+           e.Wire.Codec.put_string name;
+           Serial.put_byref e None))
+
+  let list_names t boot =
+    match invoke t boot ~op:"list" (fun _ -> ()) with
+    | Some d ->
+        let n = d.Wire.Codec.get_len () in
+        List.init n (fun _ -> d.Wire.Codec.get_string ())
+    | None -> assert false
+end

@@ -1,0 +1,172 @@
+(** The ORB facade: one value of type {!t} is one HeidiRMI address space.
+
+    Configurable along the three axes the paper argues for (Section 2):
+    the {e wire protocol} (a {!Protocol.t}: text or GIOP-like binary),
+    the {e transport} (["tcp"] or the in-process ["mem"] loopback), and
+    the skeletons' {e dispatch strategy}.
+
+    Server side: {!start} binds the bootstrap port and spawns one thread
+    per accepted connection (Fig. 5). Client side: {!invoke} implements
+    Fig. 4 — it builds a [Call], marshals via the caller's closure, sends
+    the request on a cached connection, and returns a decoder positioned
+    at the reply payload. *)
+
+(** {1 Submodules} *)
+
+module Objref : module type of Objref
+module Dispatch : module type of Dispatch
+module Protocol : module type of Protocol
+module Transport : module type of Transport
+module Communicator : module type of Communicator
+module Skeleton : module type of Skeleton
+module Object_adapter : module type of Object_adapter
+module Serial : module type of Serial
+module Interceptor : module type of Interceptor
+module Smart : module type of Smart
+
+
+type t
+
+exception Remote_exception of {
+  repo_id : string;  (** Repository ID of the raised IDL exception. *)
+  payload : string;  (** Encoded exception members. *)
+  codec : Wire.Codec.t;  (** Codec to decode [payload] with. *)
+}
+(** A declared (IDL) exception raised by the remote implementation. *)
+
+exception System_exception of string
+(** Infrastructure failure reported by the peer (unknown object, unknown
+    operation, marshal error in the skeleton, ...). *)
+
+val create :
+  ?protocol:Protocol.t ->
+  ?strategy:Dispatch.strategy ->
+  ?transport:string ->
+  ?host:string ->
+  ?port:int ->
+  unit ->
+  t
+(** Defaults: the text protocol, [Linear] dispatch, the ["mem"] transport
+    on a fresh port. For TCP use [~transport:"tcp" ~host:"127.0.0.1"]
+    (with [port = 0] picking a free port at {!start}). *)
+
+val start : t -> unit
+(** Bind the bootstrap port and start accepting connections. Idempotent. *)
+
+val shutdown : t -> unit
+(** Stop accepting, close cached client connections. Idempotent. *)
+
+val protocol : t -> Protocol.t
+val strategy : t -> Dispatch.strategy
+(** The configured dispatch strategy. The ORB cannot retrofit strategies
+    into skeletons built elsewhere, so this is the advertised default:
+    skeleton builders (e.g. the generated [skeleton ?strategy] functions)
+    should pass [~strategy:(Orb.strategy orb)] to honour it. *)
+
+val port : t -> int
+(** Bound port (after {!start}). *)
+
+val adapter : t -> Object_adapter.t
+
+val client_interceptors : t -> Interceptor.chain
+(** The chain applied around every outgoing {!invoke}. Client-side
+    {!Interceptor.Reject} propagates to the caller. *)
+
+val server_interceptors : t -> Interceptor.chain
+(** The chain applied around the dispatch path (Section 5's Orbix-style
+    filters). A server-side reject is reported to the peer as a system
+    exception. *)
+
+(** {2 Server side} *)
+
+val export : t -> Skeleton.t -> Objref.t
+(** Register a skeleton under a fresh oid and return its reference. *)
+
+val export_named : t -> oid:string -> Skeleton.t -> Objref.t
+(** Register under a well-known oid (e.g. ["bootstrap"]). *)
+
+val export_cached : t -> key:int -> type_id:string -> (unit -> Skeleton.t) -> Objref.t
+(** Lazy cached export by servant identity (Section 3.1: skeletons are
+    created only when a reference is first passed, then cached). *)
+
+(** {2 Client side} *)
+
+val invoke :
+  t ->
+  Objref.t ->
+  op:string ->
+  ?oneway:bool ->
+  (Wire.Codec.encoder -> unit) ->
+  Wire.Codec.decoder option
+(** [invoke orb target ~op marshal] performs a remote call. Returns
+    [Some decoder] positioned at the reply payload, or [None] for oneway
+    calls.
+    @raise Remote_exception for declared IDL exceptions.
+    @raise System_exception for infrastructure failures.
+    @raise Transport.Transport_error when the peer is unreachable. *)
+
+val locate : t -> Objref.t -> bool
+(** GIOP-style LocateRequest (the message real IIOP uses before or
+    instead of dispatching): asks the target's address space whether the
+    oid is currently exported, without invoking anything.
+    @raise Transport.Transport_error when the peer is unreachable. *)
+
+val invoke_raw :
+  t -> Objref.t -> op:string -> ?oneway:bool -> string -> string option
+(** Payload-level {!invoke}: already-encoded request payload in, reply
+    payload out ([None] for oneway). Same exceptions as {!invoke}. *)
+
+val smart_proxy :
+  t -> ?capacity:int -> ?invalidate_on:string list -> Objref.t -> Smart.t
+(** A client-side caching proxy for [target], bound to this ORB's
+    protocol codec (see {!Smart}). *)
+
+val connections_opened : t -> int
+(** Total outbound connections ever opened — with the connection cache
+    working, repeated calls to one peer keep this at 1 (bench §E6). *)
+
+val requests_served : t -> int
+(** Total requests this address space has dispatched. *)
+
+val servant_key : unit -> int
+(** A process-unique servant identity, for {!export_cached} and stub
+    caches. *)
+
+(** The bootstrap object: a tiny naming service behind the well-known
+    oid ["bootstrap"] (Section 3.1: "The bootstrap port in each address
+    space serves as means to initiate a communication channel"). A
+    client that knows only a server's endpoint can resolve its way in:
+
+    {[
+      (* server *)                          (* client *)
+      let _ = Bootstrap.serve orb in        let boot = Bootstrap.reference
+      Bootstrap.bind orb ~name:"mixer" r;     ~proto:"tcp" ~host ~port in
+                                            Bootstrap.resolve client boot ~name:"mixer"
+    ]}
+
+    The wire interface is an ordinary skeleton, callable from any
+    mapping: [bind(name, obj)], [resolve(name)], [unbind(name)],
+    [list()]. *)
+module Bootstrap : sig
+  val type_id : string
+  val oid : string
+
+  val serve : t -> Objref.t
+  (** Export the bootstrap skeleton under the well-known oid.
+      @raise Invalid_argument if this ORB already serves one. *)
+
+  val reference : proto:string -> host:string -> port:int -> Objref.t
+  (** The bootstrap reference of a remote address space, from its
+      endpoint alone. *)
+
+  val bind : t -> name:string -> Objref.t -> unit
+  (** Bind (or rebind) in the local registry; requires {!serve} first.
+      @raise Invalid_argument before {!serve}. *)
+
+  val resolve : t -> Objref.t -> name:string -> Objref.t
+  (** Remote resolve via a bootstrap reference.
+      @raise System_exception when unbound. *)
+
+  val unbind : t -> Objref.t -> name:string -> unit
+  val list_names : t -> Objref.t -> string list
+end

@@ -1,0 +1,8 @@
+(** Shared function types, defined outside the [Orb] facade so helper
+    modules (e.g. {!Smart}) can reference the invoke shape without a
+    dependency cycle. *)
+
+type raw_invoker = Objref.t -> op:string -> string -> string
+(** Two-way invocation at the payload level: request payload in, reply
+    payload out. Raises the ORB's exceptions on failure. The [Orb]
+    facade's [invoke_raw] has this shape once partially applied. *)

@@ -1,0 +1,133 @@
+type framing = Line | Length_prefixed of { header : string }
+
+type request = {
+  req_id : int;
+  target : Objref.t;
+  operation : string;
+  oneway : bool;
+  payload : string;
+}
+
+type reply_status =
+  | Status_ok
+  | Status_user_exception of string
+  | Status_system_error of string
+
+type reply = { rep_id : int; status : reply_status; payload : string }
+
+type message =
+  | Request of request
+  | Reply of reply
+  | Locate_request of { req_id : int; target : Objref.t }
+  | Locate_reply of { rep_id : int; found : bool }
+
+type t = {
+  name : string;
+  codec : Wire.Codec.t;
+  framing : framing;
+  encode_message : message -> string;
+  decode_message : string -> message;
+}
+
+exception Protocol_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error m -> Some (Printf.sprintf "Orb.Protocol_error: %s" m)
+    | _ -> None)
+
+let tag_request = 0
+let tag_reply = 1
+let tag_locate_request = 2
+let tag_locate_reply = 3
+
+let status_to_int = function
+  | Status_ok -> 0
+  | Status_user_exception _ -> 1
+  | Status_system_error _ -> 2
+
+let generic ~name ~framing (codec : Wire.Codec.t) : t =
+  let encode_message msg =
+    let e = codec.Wire.Codec.encoder () in
+    (match msg with
+    | Request r ->
+        e.put_octet tag_request;
+        e.put_ulong r.req_id;
+        e.put_bool r.oneway;
+        e.put_string (Objref.to_string r.target);
+        e.put_string r.operation;
+        e.put_string r.payload
+    | Reply r ->
+        e.put_octet tag_reply;
+        e.put_ulong r.rep_id;
+        e.put_octet (status_to_int r.status);
+        e.put_string
+          (match r.status with
+          | Status_ok -> ""
+          | Status_user_exception repo_id -> repo_id
+          | Status_system_error message -> message);
+        e.put_string r.payload
+    | Locate_request { req_id; target } ->
+        e.put_octet tag_locate_request;
+        e.put_ulong req_id;
+        e.put_string (Objref.to_string target)
+    | Locate_reply { rep_id; found } ->
+        e.put_octet tag_locate_reply;
+        e.put_ulong rep_id;
+        e.put_bool found);
+    e.finish ()
+  in
+  let decode_message bytes =
+    let d =
+      try codec.Wire.Codec.decoder bytes
+      with Wire.Codec.Type_error m -> raise (Protocol_error m)
+    in
+    try
+      let tag = d.get_octet () in
+      if tag = tag_request then (
+        let req_id = d.get_ulong () in
+        let oneway = d.get_bool () in
+        let target_s = d.get_string () in
+        let operation = d.get_string () in
+        let payload = d.get_string () in
+        let target =
+          match Objref.of_string_opt target_s with
+          | Some r -> r
+          | None ->
+              raise (Protocol_error (Printf.sprintf "malformed target reference %S" target_s))
+        in
+        Request { req_id; target; operation; oneway; payload })
+      else if tag = tag_reply then (
+        let rep_id = d.get_ulong () in
+        let status_code = d.get_octet () in
+        let detail = d.get_string () in
+        let payload = d.get_string () in
+        let status =
+          match status_code with
+          | 0 -> Status_ok
+          | 1 -> Status_user_exception detail
+          | 2 -> Status_system_error detail
+          | n -> raise (Protocol_error (Printf.sprintf "unknown reply status %d" n))
+        in
+        Reply { rep_id; status; payload })
+      else if tag = tag_locate_request then (
+        let req_id = d.get_ulong () in
+        let target_s = d.get_string () in
+        match Objref.of_string_opt target_s with
+        | Some target -> Locate_request { req_id; target }
+        | None ->
+            raise
+              (Protocol_error
+                 (Printf.sprintf "malformed locate target %S" target_s)))
+      else if tag = tag_locate_reply then (
+        (* Decode strictly in wire order (record-field evaluation order
+           is unspecified in OCaml). *)
+        let rep_id = d.get_ulong () in
+        let found = d.get_bool () in
+        Locate_reply { rep_id; found })
+      else raise (Protocol_error (Printf.sprintf "unknown message tag %d" tag))
+    with Wire.Codec.Type_error m -> raise (Protocol_error m)
+  in
+  { name; codec; framing; encode_message; decode_message }
+
+let text = generic ~name:"heidi-text" ~framing:Line Wire.Text_codec.codec

@@ -1,0 +1,62 @@
+(** ORB protocols: a marshaling codec plus a message framing and a
+    request/reply envelope.
+
+    Stubs and skeletons only ever see {!Wire.Codec} encoders/decoders, so
+    "utilizing a particular protocol involves choosing the appropriate ORB
+    run-time library" (paper Section 2) — here, passing a different
+    [Protocol.t] to {!Orb.create}. Two protocols ship with the system: the
+    HeidiRMI newline-terminated text protocol ({!text}) and the GIOP-like
+    binary protocol (in the [Giop] library). *)
+
+type framing =
+  | Line  (** One message per newline-terminated line. *)
+  | Length_prefixed of { header : string }
+      (** [header ^ 8-hex-digit big-endian length ^ body] — the shape of a
+          GIOP-style fixed header carrying a body length. The [header]
+          magic identifies the protocol on the wire. *)
+
+type request = {
+  req_id : int;
+  target : Objref.t;
+  operation : string;
+  oneway : bool;
+  payload : string;  (** Codec-encoded arguments. *)
+}
+
+type reply_status =
+  | Status_ok
+  | Status_user_exception of string  (** Exception repository ID. *)
+  | Status_system_error of string  (** Human-readable error. *)
+
+type reply = { rep_id : int; status : reply_status; payload : string }
+
+type message =
+  | Request of request
+  | Reply of reply
+  | Locate_request of { req_id : int; target : Objref.t }
+      (** GIOP's LocateRequest: "is this object here?" — answered without
+          dispatching anything. *)
+  | Locate_reply of { rep_id : int; found : bool }
+
+type t = {
+  name : string;
+  codec : Wire.Codec.t;
+  framing : framing;
+  encode_message : message -> string;
+  decode_message : string -> message;
+}
+
+val generic : name:string -> framing:framing -> Wire.Codec.t -> t
+(** Build a protocol with the standard envelope over any codec: messages
+    are encoded as [octet tag, ulong request-id, ...header fields...,
+    string payload]. The payload is embedded as a counted string — the
+    CDR-encapsulation trick — so its internal alignment is relative to its
+    own start regardless of header size. *)
+
+val text : t
+(** The HeidiRMI protocol: {!Wire.Text_codec} over {!Line} framing.
+    Requests are single ASCII lines, so a human can telnet to the
+    bootstrap port and type one in (Section 4.2). *)
+
+exception Protocol_error of string
+(** Raised by [decode_message] on malformed messages. *)

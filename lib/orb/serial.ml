@@ -1,0 +1,50 @@
+type 'impl registry = (string, Wire.Codec.decoder -> 'impl) Hashtbl.t
+
+let create_registry () = Hashtbl.create 16
+let register_factory reg ~type_id factory = Hashtbl.replace reg type_id factory
+let find_factory reg ~type_id = Hashtbl.find_opt reg type_id
+
+let put_byref (e : Wire.Codec.encoder) = function
+  | None -> e.put_string ""
+  | Some r -> e.put_string (Objref.to_string r)
+
+let get_byref (d : Wire.Codec.decoder) =
+  match d.get_string () with
+  | "" -> None
+  | s -> (
+      match Objref.of_string_opt s with
+      | Some r -> Some r
+      | None ->
+          raise (Wire.Codec.Type_error (Printf.sprintf "malformed object reference %S" s)))
+
+let put_incopy (e : Wire.Codec.encoder) ~serializer ~type_id ~byref =
+  match serializer with
+  | Some marshal_state ->
+      e.put_bool true;
+      e.put_string type_id;
+      e.put_begin ();
+      marshal_state e;
+      e.put_end ()
+  | None ->
+      e.put_bool false;
+      e.put_string (Objref.to_string (byref ()))
+
+let get_incopy (d : Wire.Codec.decoder) ~registry ~of_ref =
+  if d.get_bool () then (
+    let type_id = d.get_string () in
+    match find_factory registry ~type_id with
+    | None ->
+        raise
+          (Wire.Codec.Type_error
+             (Printf.sprintf "no unmarshal factory registered for %S" type_id))
+    | Some factory ->
+        d.get_begin ();
+        let impl = factory d in
+        d.get_end ();
+        impl)
+  else
+    let s = d.get_string () in
+    match Objref.of_string_opt s with
+    | Some r -> of_ref r
+    | None ->
+        raise (Wire.Codec.Type_error (Printf.sprintf "malformed object reference %S" s))

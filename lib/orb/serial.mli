@@ -1,0 +1,56 @@
+(** Pass-by-value support: the [incopy] extension and the HdSerializable
+    protocol (paper Section 3.1).
+
+    An object reference passed [incopy] is "copied across the IDL
+    interface, if possible": if the implementation provides marshaling
+    primitives (is {e serializable}), its state travels by value and the
+    receiver reconstructs a local object — no skeleton is ever created
+    for it. Otherwise it silently falls back to pass-by-reference,
+    mirroring Java RMI's treatment of [Serializable] vs [Remote]
+    arguments.
+
+    On the wire an [incopy] argument is
+    [bool is_value; (string type_id; group state) | string objref].
+
+    Factories are registered per interface in a typed {!registry} — the
+    analogue of Heidi's dynamic type checking determining whether an
+    object implements [HdSerializable]. *)
+
+type 'impl registry
+(** Maps type IDs to unmarshal factories producing ['impl] values. *)
+
+val create_registry : unit -> 'impl registry
+val register_factory : 'impl registry -> type_id:string -> (Wire.Codec.decoder -> 'impl) -> unit
+val find_factory : 'impl registry -> type_id:string -> (Wire.Codec.decoder -> 'impl) option
+
+(** {2 By-reference helpers} *)
+
+val put_byref : Wire.Codec.encoder -> Objref.t option -> unit
+(** A nil reference is the empty string. *)
+
+val get_byref : Wire.Codec.decoder -> Objref.t option
+(** @raise Wire.Codec.Type_error on a malformed reference. *)
+
+(** {2 incopy helpers} *)
+
+val put_incopy :
+  Wire.Codec.encoder ->
+  serializer:(Wire.Codec.encoder -> unit) option ->
+  type_id:string ->
+  byref:(unit -> Objref.t) ->
+  unit
+(** [put_incopy e ~serializer ~type_id ~byref] — when [serializer] is
+    [Some f], the object travels by value ([f] marshals its state);
+    otherwise [byref ()] is called to obtain (usually lazily export) a
+    reference, which travels instead. *)
+
+val get_incopy :
+  Wire.Codec.decoder ->
+  registry:'impl registry ->
+  of_ref:(Objref.t -> 'impl) ->
+  'impl
+(** Decode an [incopy] argument: a by-value payload is reconstructed via
+    the registered factory for its type ID; a by-reference payload is
+    turned into a stub by [of_ref].
+    @raise Wire.Codec.Type_error when no factory is registered for a
+    by-value payload's type ID, or on malformed input. *)

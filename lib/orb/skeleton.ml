@@ -1,0 +1,44 @@
+type handler = Wire.Codec.decoder -> Wire.Codec.encoder -> unit
+
+exception User_exception of {
+  repo_id : string;
+  encode : Wire.Codec.encoder -> unit;
+}
+
+type t = {
+  sk_type_id : string;
+  table : handler Dispatch.table;
+  parents : t list;
+  local_names : string list;
+}
+
+let create ?(strategy = Dispatch.Linear) ?(parents = []) ~type_id handlers =
+  {
+    sk_type_id = type_id;
+    table = Dispatch.compile strategy handlers;
+    parents;
+    local_names = List.map fst handlers;
+  }
+
+let type_id t = t.sk_type_id
+
+let rec dispatch t op =
+  match Dispatch.lookup t.table op with
+  | Some h -> Some h
+  | None -> List.find_map (fun parent -> dispatch parent op) t.parents
+
+let operation_names t =
+  let seen = Hashtbl.create 16 in
+  let rec collect t acc =
+    let acc =
+      List.fold_left
+        (fun acc name ->
+          if Hashtbl.mem seen name then acc
+          else (
+            Hashtbl.add seen name ();
+            name :: acc))
+        acc t.local_names
+    in
+    List.fold_left (fun acc p -> collect p acc) acc t.parents
+  in
+  List.rev (collect t [])

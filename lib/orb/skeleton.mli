@@ -1,0 +1,42 @@
+(** Server-side skeletons.
+
+    A skeleton binds operation names to handlers that unmarshal
+    parameters, call the target implementation and marshal results
+    (paper Fig. 5). Skeletons mirror the IDL inheritance structure: if
+    dispatch on the local operations fails, it is delegated to each
+    parent skeleton in order, "continuing recursively up the skeleton
+    class hierarchy" (Section 3.1).
+
+    The operation-name lookup within one skeleton uses a pluggable
+    {!Dispatch.strategy}. *)
+
+type handler = Wire.Codec.decoder -> Wire.Codec.encoder -> unit
+(** [handler args results] — decode arguments, invoke the servant,
+    encode results. May raise {!User_exception} for declared IDL
+    exceptions; any other exception becomes a system error reply. *)
+
+exception User_exception of {
+  repo_id : string;  (** The exception's repository ID. *)
+  encode : Wire.Codec.encoder -> unit;  (** Marshals the exception members. *)
+}
+
+type t
+
+val create :
+  ?strategy:Dispatch.strategy ->
+  ?parents:t list ->
+  type_id:string ->
+  (string * handler) list ->
+  t
+(** [create ~type_id handlers] — [strategy] defaults to [Linear] (the
+    baseline most IDL compilers emit). [parents] are the skeletons of the
+    directly inherited interfaces, in declaration order. *)
+
+val type_id : t -> string
+
+val dispatch : t -> string -> handler option
+(** Look up locally, then delegate to parents depth-first in order. *)
+
+val operation_names : t -> string list
+(** All dispatchable operations (local first, then inherited ones not
+    shadowed), in dispatch-resolution order. *)

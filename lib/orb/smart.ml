@@ -1,0 +1,79 @@
+type t = {
+  invoker : Orb_intf.raw_invoker;
+  codec : Wire.Codec.t;
+  target : Objref.t;
+  capacity : int;
+  invalidate_on : string list;
+  mutex : Mutex.t;
+  memo : (string * string, string) Hashtbl.t;  (* (op, args) -> reply payload *)
+  mutable order : (string * string) list;  (* newest first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 64) ?(invalidate_on = []) ~codec invoker target =
+  {
+    invoker;
+    codec;
+    target;
+    capacity = max 1 capacity;
+    invalidate_on;
+    mutex = Mutex.create ();
+    memo = Hashtbl.create 32;
+    order = [];
+    hits = 0;
+    misses = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let invalidate t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.memo;
+      t.order <- [])
+
+let remember t key payload =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.memo key) then (
+        Hashtbl.replace t.memo key payload;
+        t.order <- key :: t.order;
+        if List.length t.order > t.capacity then
+          match List.rev t.order with
+          | oldest :: rest ->
+              Hashtbl.remove t.memo oldest;
+              t.order <- List.rev rest
+          | [] -> ()))
+
+let lookup t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.memo key with
+      | Some payload ->
+          t.hits <- t.hits + 1;
+          Some payload
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let call t ~op marshal =
+  let args =
+    let e = t.codec.Wire.Codec.encoder () in
+    marshal e;
+    e.Wire.Codec.finish ()
+  in
+  if List.mem op t.invalidate_on then (
+    invalidate t;
+    t.codec.Wire.Codec.decoder (t.invoker t.target ~op args))
+  else
+    let key = (op, args) in
+    match lookup t key with
+    | Some payload -> t.codec.Wire.Codec.decoder payload
+    | None ->
+        let payload = t.invoker t.target ~op args in
+        remember t key payload;
+        t.codec.Wire.Codec.decoder payload
+
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+let target t = t.target

@@ -1,0 +1,353 @@
+exception Transport_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Transport_error m -> Some (Printf.sprintf "Orb.Transport_error: %s" m)
+    | _ -> None)
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Transport_error m)) fmt
+
+type channel = {
+  write : string -> unit;
+  read_line : unit -> string;
+  read_exact : int -> string;
+  close : unit -> unit;
+  peer : string;
+}
+
+type listener = {
+  accept : unit -> channel;
+  shutdown : unit -> unit;
+  bound_host : string;
+  bound_port : int;
+}
+
+(* ---------------- TCP ---------------- *)
+
+let tcp_channel fd ~peer =
+  (* [buf] holds bytes read from the socket but not yet consumed; [pos]
+     is the consumption offset. Consuming advances [pos]; the buffer is
+     compacted only when the dead prefix grows large, keeping reads
+     amortized linear in the bytes transferred. *)
+  let buf = Buffer.create 4096 in
+  let pos = ref 0 in
+  let closed = ref false in
+  let available () = Buffer.length buf - !pos in
+  let compact () =
+    if !pos > 65536 && !pos > Buffer.length buf / 2 then begin
+      let rest = Buffer.sub buf !pos (available ()) in
+      Buffer.clear buf;
+      Buffer.add_string buf rest;
+      pos := 0
+    end
+  in
+  let refill () =
+    let chunk = Bytes.create 65536 in
+    let n =
+      try Unix.read fd chunk 0 (Bytes.length chunk)
+      with Unix.Unix_error (e, _, _) ->
+        fail "read from %s failed: %s" peer (Unix.error_message e)
+    in
+    if n = 0 then fail "connection to %s closed by peer" peer;
+    Buffer.add_subbytes buf chunk 0 n
+  in
+  let take n =
+    let head = Buffer.sub buf !pos n in
+    pos := !pos + n;
+    compact ();
+    head
+  in
+  let find_newline () =
+    let len = Buffer.length buf in
+    let rec scan i =
+      if i >= len then None
+      else if Buffer.nth buf i = '\n' then Some i
+      else scan (i + 1)
+    in
+    scan !pos
+  in
+  let rec read_line () =
+    match find_newline () with
+    | Some i ->
+        let line = take (i - !pos + 1) in
+        String.sub line 0 (String.length line - 1)
+    | None ->
+        refill ();
+        read_line ()
+  in
+  let rec read_exact n =
+    if available () >= n then take n
+    else (
+      refill ();
+      read_exact n)
+  in
+  let write s =
+    let bytes = Bytes.of_string s in
+    let len = Bytes.length bytes in
+    let rec go off =
+      if off < len then
+        let n =
+          try Unix.write fd bytes off (len - off)
+          with Unix.Unix_error (e, _, _) ->
+            fail "write to %s failed: %s" peer (Unix.error_message e)
+        in
+        go (off + n)
+    in
+    go 0
+  in
+  let close () =
+    if not !closed then (
+      closed := true;
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  in
+  { write; read_line; read_exact; close; peer }
+
+let resolve_host host =
+  if host = "localhost" || host = "" then Unix.inet_addr_loopback
+  else
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> fail "host %s has no address" host
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found -> fail "unknown host %s" host)
+
+let tcp_listen ~host ~port =
+  let addr = Unix.ADDR_INET (resolve_host host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock addr
+   with Unix.Unix_error (e, _, _) ->
+     fail "bind to %s:%d failed: %s" host port (Unix.error_message e));
+  Unix.listen sock 64;
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopped = ref false in
+  let accept () =
+    if !stopped then fail "listener on port %d is shut down" bound_port;
+    match Unix.accept sock with
+    | fd, Unix.ADDR_INET (peer_addr, peer_port) ->
+        tcp_channel fd
+          ~peer:(Printf.sprintf "%s:%d" (Unix.string_of_inet_addr peer_addr) peer_port)
+    | fd, _ -> tcp_channel fd ~peer:"<unknown>"
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "accept on port %d failed: %s" bound_port (Unix.error_message e)
+  in
+  let shutdown () =
+    if not !stopped then (
+      stopped := true;
+      (* Closing the socket wakes any accept with an error. *)
+      try Unix.close sock with Unix.Unix_error (_, _, _) -> ())
+  in
+  { accept; shutdown; bound_host = host; bound_port }
+
+let tcp_connect ~host ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_INET (resolve_host host, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+     fail "connect to %s:%d failed: %s" host port (Unix.error_message e));
+  tcp_channel sock ~peer:(Printf.sprintf "%s:%d" host port)
+
+(* ---------------- in-memory loopback ---------------- *)
+
+(* A unidirectional byte pipe with blocking reads. The consumption
+   offset [pos] advances on reads; compaction is amortized so large
+   messages do not cause quadratic copying. *)
+module Pipe = struct
+  type t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    buf : Buffer.t;
+    mutable pos : int;  (* consumed prefix *)
+    mutable closed : bool;
+  }
+
+  let create () =
+    { mutex = Mutex.create (); cond = Condition.create (); buf = Buffer.create 1024;
+      pos = 0; closed = false }
+
+  let write t s =
+    Mutex.lock t.mutex;
+    if t.closed then (
+      Mutex.unlock t.mutex;
+      fail "write to closed in-memory channel")
+    else (
+      Buffer.add_string t.buf s;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex)
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+
+  let compact t =
+    if t.pos > 65536 && t.pos > Buffer.length t.buf / 2 then begin
+      let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.pos <- 0
+    end
+
+  (* Blocks until [check buf pos len] returns (consume, result), where
+     [consume] counts from [pos]. *)
+  let read_with t check ~what =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      match check t.buf t.pos (Buffer.length t.buf) with
+      | Some (consume, result) ->
+          t.pos <- t.pos + consume;
+          compact t;
+          Mutex.unlock t.mutex;
+          result
+      | None ->
+          if t.closed then (
+            Mutex.unlock t.mutex;
+            fail "in-memory channel closed while reading %s" what)
+          else (
+            Condition.wait t.cond t.mutex;
+            wait ())
+    in
+    wait ()
+end
+
+let mem_channel_pair ~peer_a ~peer_b =
+  let a_to_b = Pipe.create () and b_to_a = Pipe.create () in
+  let mk ~incoming ~outgoing ~peer =
+    {
+      write = (fun s -> Pipe.write outgoing s);
+      read_line =
+        (fun () ->
+          Pipe.read_with incoming ~what:"line" (fun buf pos len ->
+              let rec scan i =
+                if i >= len then None
+                else if Buffer.nth buf i = '\n' then
+                  Some (i - pos + 1, Buffer.sub buf pos (i - pos))
+                else scan (i + 1)
+              in
+              scan pos));
+      read_exact =
+        (fun n ->
+          Pipe.read_with incoming ~what:"bytes" (fun buf pos len ->
+              if len - pos >= n then Some (n, Buffer.sub buf pos n) else None));
+      close =
+        (fun () ->
+          Pipe.close outgoing;
+          Pipe.close incoming);
+      peer;
+    }
+  in
+  ( mk ~incoming:b_to_a ~outgoing:a_to_b ~peer:peer_a,
+    mk ~incoming:a_to_b ~outgoing:b_to_a ~peer:peer_b )
+
+(* Registry of in-memory listeners: port -> pending-connection queue. *)
+type mem_listener_state = {
+  ml_mutex : Mutex.t;
+  ml_cond : Condition.t;
+  mutable ml_pending : channel list;  (* server-side ends awaiting accept *)
+  mutable ml_closed : bool;
+}
+
+let mem_registry : (int, mem_listener_state) Hashtbl.t = Hashtbl.create 16
+let mem_registry_mutex = Mutex.create ()
+let mem_next_port = ref 1
+
+let mem_reset () =
+  Mutex.lock mem_registry_mutex;
+  Hashtbl.iter
+    (fun _ st ->
+      Mutex.lock st.ml_mutex;
+      st.ml_closed <- true;
+      Condition.broadcast st.ml_cond;
+      Mutex.unlock st.ml_mutex)
+    mem_registry;
+  Hashtbl.reset mem_registry;
+  Mutex.unlock mem_registry_mutex
+
+let mem_listen ~port =
+  Mutex.lock mem_registry_mutex;
+  let port =
+    if port <> 0 then port
+    else (
+      while Hashtbl.mem mem_registry !mem_next_port do
+        incr mem_next_port
+      done;
+      !mem_next_port)
+  in
+  if Hashtbl.mem mem_registry port then (
+    Mutex.unlock mem_registry_mutex;
+    fail "in-memory port %d is already bound" port);
+  let st =
+    { ml_mutex = Mutex.create (); ml_cond = Condition.create (); ml_pending = [];
+      ml_closed = false }
+  in
+  Hashtbl.replace mem_registry port st;
+  Mutex.unlock mem_registry_mutex;
+  let accept () =
+    Mutex.lock st.ml_mutex;
+    let rec wait () =
+      match st.ml_pending with
+      | ch :: rest ->
+          st.ml_pending <- rest;
+          Mutex.unlock st.ml_mutex;
+          ch
+      | [] ->
+          if st.ml_closed then (
+            Mutex.unlock st.ml_mutex;
+            fail "in-memory listener on port %d is shut down" port)
+          else (
+            Condition.wait st.ml_cond st.ml_mutex;
+            wait ())
+    in
+    wait ()
+  in
+  let shutdown () =
+    Mutex.lock mem_registry_mutex;
+    Hashtbl.remove mem_registry port;
+    Mutex.unlock mem_registry_mutex;
+    Mutex.lock st.ml_mutex;
+    st.ml_closed <- true;
+    Condition.broadcast st.ml_cond;
+    Mutex.unlock st.ml_mutex
+  in
+  { accept; shutdown; bound_host = "local"; bound_port = port }
+
+let mem_connect ~port =
+  Mutex.lock mem_registry_mutex;
+  let st = Hashtbl.find_opt mem_registry port in
+  Mutex.unlock mem_registry_mutex;
+  match st with
+  | None -> fail "no in-memory listener on port %d" port
+  | Some st ->
+      let client_end, server_end =
+        mem_channel_pair
+          ~peer_a:(Printf.sprintf "mem:%d(server)" port)
+          ~peer_b:(Printf.sprintf "mem:%d(client)" port)
+      in
+      Mutex.lock st.ml_mutex;
+      if st.ml_closed then (
+        Mutex.unlock st.ml_mutex;
+        fail "in-memory listener on port %d is shut down" port);
+      st.ml_pending <- st.ml_pending @ [ server_end ];
+      Condition.broadcast st.ml_cond;
+      Mutex.unlock st.ml_mutex;
+      client_end
+
+(* ---------------- dispatch by protocol name ---------------- *)
+
+let listen ~proto ~host ~port =
+  match proto with
+  | "tcp" -> tcp_listen ~host ~port
+  | "mem" -> mem_listen ~port
+  | p -> fail "unknown transport protocol %S" p
+
+let connect ~proto ~host ~port =
+  match proto with
+  | "tcp" -> tcp_connect ~host ~port
+  | "mem" -> mem_connect ~port
+  | p -> fail "unknown transport protocol %S" p

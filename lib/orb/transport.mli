@@ -1,0 +1,47 @@
+(** Byte transports.
+
+    Two transports ship with the runtime:
+    - ["tcp"] — real TCP sockets (Unix), one thread per accepted
+      connection on the server side;
+    - ["mem"] — an in-process loopback with the same interface, used by
+      the tests and single-process examples. "Ports" are slots in a
+      process-global registry, so several in-memory ORBs (address spaces)
+      can coexist and call each other deterministically.
+
+    Channels carry raw bytes; message demarcation is the communicator's
+    job (paper: the [ObjectCommunicator] "provides the abstraction of a
+    communication channel on which individual requests can be
+    demarcated"). *)
+
+exception Transport_error of string
+
+type channel = {
+  write : string -> unit;  (** Write all bytes. *)
+  read_line : unit -> string;
+      (** Read up to (and excluding) the next ['\n'].
+          @raise Transport_error on EOF. *)
+  read_exact : int -> string;
+      (** Read exactly [n] bytes.
+          @raise Transport_error on EOF. *)
+  close : unit -> unit;
+  peer : string;  (** Peer description for logs. *)
+}
+
+type listener = {
+  accept : unit -> channel;  (** Blocks until a client connects. *)
+  shutdown : unit -> unit;  (** Stop accepting; wakes blocked accepts. *)
+  bound_host : string;
+  bound_port : int;  (** Actual port (useful when asked for port 0). *)
+}
+
+val listen : proto:string -> host:string -> port:int -> listener
+(** Create a listening endpoint. For ["tcp"], [port = 0] picks a free
+    port. For ["mem"], [port = 0] allocates a fresh slot.
+    @raise Transport_error on unknown protocol or bind failure. *)
+
+val connect : proto:string -> host:string -> port:int -> channel
+(** Open a channel to a listening endpoint.
+    @raise Transport_error on unknown protocol or connection failure. *)
+
+val mem_reset : unit -> unit
+(** Drop all in-memory listeners (test isolation). *)

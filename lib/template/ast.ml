@@ -1,0 +1,57 @@
+(** Abstract syntax of the template language (the paper's Fig. 9 dialect).
+
+    A template is line-oriented. Lines whose first non-blank character is
+    ['@'] are directives; all other lines are text emitted with
+    [${var}] substitutions. The dialect:
+
+    {v
+    @foreach <group> [-ifMore '<sep>'] [-map <var> <MapFn>]...
+      <body>
+    @end <group>
+
+    @if <test>          @if ${x} == "lit" | @if ${x} != "lit" | @if ${x}
+      <then>
+    @else
+      <else>
+    @fi
+
+    @openfile <name-with-substitutions>
+    @# comment
+    v}
+
+    Escapes: a text line ending in [\ ] suppresses its newline (for
+    joining); [$\{] emits a literal [${] (a plain [$] needs no escape, so
+    tcl's [$var] syntax passes through); [@@] at the start of a directive
+    position emits a literal [@] line.
+
+    Extension beyond Fig. 9: [${var:Map::Fn}] applies a named map function
+    inline, overriding any [-map] declaration for [var] in scope. This
+    lets one property be rendered under two spellings in the same loop
+    body (e.g. a return type as a C++ type and as an extract call). *)
+
+type segment =
+  | Lit of string
+  | Var of string
+  | Mapped of string * string  (** variable, map-function name *)
+
+(** Right-hand side of a comparison: a literal or another variable. *)
+type operand = O_lit of string | O_var of string
+
+type cond =
+  | Nonempty of string  (** [@if ${x}] — true when [x] is non-empty. *)
+  | Eq of string * operand
+  | Neq of string * operand
+
+type item =
+  | Text of { segments : segment list; newline : bool; line : int }
+  | Foreach of {
+      group : string;
+      if_more : string option;
+      maps : (string * string) list;  (** variable name → map-function name *)
+      body : item list;
+      line : int;
+    }
+  | If of { cond : cond; then_ : item list; else_ : item list; line : int }
+  | Openfile of { segments : segment list; line : int }
+
+type t = { name : string; items : item list }

@@ -1,0 +1,20 @@
+type fn = string -> string
+type t = (string, fn) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+let register t name fn = Hashtbl.replace t name fn
+let find t name = Hashtbl.find_opt t name
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let of_list l =
+  let t = create () in
+  List.iter (fun (name, fn) -> register t name fn) l;
+  t
+
+let union a b =
+  let t = create () in
+  Hashtbl.iter (fun k v -> Hashtbl.replace t k v) a;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t k v) b;
+  t
+
+let empty : t = Hashtbl.create 1

@@ -1,0 +1,30 @@
+(** Registry of named map functions.
+
+    A map function converts an EST property value into a spelling suitable
+    for the generated code — [CPP::MapClassName] turns [Heidi::A] into
+    [HdA] in the paper's Fig. 9. Map functions are declared next to a
+    mapping (see the [Mappings] library) and referenced by name from
+    [-map] options in templates.
+
+    Property encodings ({!Est.Ctype}, {!Est.Value}) are self-contained, so
+    a map function is simply [string -> string]. *)
+
+type fn = string -> string
+
+type t
+(** A registry of named map functions. *)
+
+val create : unit -> t
+val register : t -> string -> fn -> unit
+(** Replaces any previous binding of the same name. *)
+
+val find : t -> string -> fn option
+val names : t -> string list
+(** Registered names, sorted. *)
+
+val of_list : (string * fn) list -> t
+val union : t -> t -> t
+(** [union a b] — bindings of [b] shadow those of [a]. *)
+
+val empty : t
+(** A shared empty registry (do not register into it). *)

@@ -1,0 +1,234 @@
+exception Template_error of { name : string; line : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Template_error { name; line; message } ->
+        Some (Printf.sprintf "%s:%d: template error: %s" name line message)
+    | _ -> None)
+
+let error ~name ~line fmt =
+  Printf.ksprintf (fun message -> raise (Template_error { name; line; message })) fmt
+
+(* ---------------- segment scanning (${var} substitution) ------------- *)
+
+let scan_segments ~name ~line s : Ast.segment list =
+  let len = String.length s in
+  let segs = ref [] in
+  let lit = Buffer.create 32 in
+  let flush_lit () =
+    if Buffer.length lit > 0 then (
+      segs := Ast.Lit (Buffer.contents lit) :: !segs;
+      Buffer.clear lit)
+  in
+  let i = ref 0 in
+  while !i < len do
+    if !i + 2 < len && s.[!i] = '$' && s.[!i + 1] = '\\' && s.[!i + 2] = '{' then (
+      (* Escaped literal "${" (written "$\{"); a plain "$" needs no escape. *)
+      Buffer.add_string lit "${";
+      i := !i + 3)
+    else if !i + 1 < len && s.[!i] = '$' && s.[!i + 1] = '{' then (
+      match String.index_from_opt s (!i + 2) '}' with
+      | None -> error ~name ~line "unterminated ${...} substitution"
+      | Some close ->
+          flush_lit ();
+          let var = String.sub s (!i + 2) (close - !i - 2) in
+          if var = "" then error ~name ~line "empty ${} substitution";
+          (* ${var:Map::Fn} applies a map function inline. The variable
+             name never contains ':', so split at the first one. *)
+          (match String.index_opt var ':' with
+          | Some j when j > 0 && j < String.length var - 1 ->
+              let v = String.sub var 0 j in
+              let fn = String.sub var (j + 1) (String.length var - j - 1) in
+              segs := Ast.Mapped (v, fn) :: !segs
+          | Some _ -> error ~name ~line "malformed inline map in ${%s}" var
+          | None -> segs := Ast.Var var :: !segs);
+          i := close + 1)
+    else (
+      Buffer.add_char lit s.[!i];
+      incr i)
+  done;
+  flush_lit ();
+  List.rev !segs
+
+(* ---------------- directive-line tokenizer ---------------- *)
+
+(* Words separated by blanks; quoted strings may use single or double
+   quotes (Fig. 9 writes -ifMore ','). *)
+let tokenize_directive ~name ~line s =
+  let len = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < len do
+    match s.[!i] with
+    | ' ' | '\t' -> incr i
+    | ('\'' | '"') as q ->
+        let buf = Buffer.create 8 in
+        incr i;
+        while !i < len && s.[!i] <> q do
+          Buffer.add_char buf s.[!i];
+          incr i
+        done;
+        if !i >= len then error ~name ~line "unterminated quoted string in directive";
+        incr i;
+        toks := Buffer.contents buf :: !toks
+    | _ ->
+        let start = !i in
+        while !i < len && s.[!i] <> ' ' && s.[!i] <> '\t' do
+          incr i
+        done;
+        toks := String.sub s start (!i - start) :: !toks
+  done;
+  List.rev !toks
+
+(* ---------------- condition parsing ---------------- *)
+
+let parse_operand tok : Ast.operand =
+  if String.length tok > 3 && String.sub tok 0 2 = "${" && tok.[String.length tok - 1] = '}'
+  then Ast.O_var (String.sub tok 2 (String.length tok - 3))
+  else Ast.O_lit tok
+
+let parse_var ~name ~line tok =
+  if
+    String.length tok > 3
+    && String.sub tok 0 2 = "${"
+    && tok.[String.length tok - 1] = '}'
+  then String.sub tok 2 (String.length tok - 3)
+  else error ~name ~line "expected a ${variable}, found %S" tok
+
+let parse_cond ~name ~line toks : Ast.cond =
+  match toks with
+  | [ v ] -> Ast.Nonempty (parse_var ~name ~line v)
+  | [ v; "=="; rhs ] -> Ast.Eq (parse_var ~name ~line v, parse_operand rhs)
+  | [ v; "!="; rhs ] -> Ast.Neq (parse_var ~name ~line v, parse_operand rhs)
+  (* The paper's Fig. 9 also writes the mathematical ≠; accept it. *)
+  | [ v; "\xe2\x89\xa0"; rhs ] -> Ast.Neq (parse_var ~name ~line v, parse_operand rhs)
+  | _ -> error ~name ~line "malformed @if condition"
+
+(* ---------------- foreach option parsing ---------------- *)
+
+let parse_foreach_opts ~name ~line toks =
+  let rec go if_more maps = function
+    | [] -> (if_more, List.rev maps)
+    | "-ifMore" :: sep :: rest -> go (Some sep) maps rest
+    | "-map" :: var :: fn :: rest -> go if_more ((var, fn) :: maps) rest
+    | tok :: _ -> error ~name ~line "unknown @foreach option %S" tok
+  in
+  go None [] toks
+
+(* ---------------- line classification ---------------- *)
+
+type line =
+  | L_text of string
+  | L_foreach of string * string option * (string * string) list
+  | L_end of string
+  | L_if of Ast.cond
+  | L_else
+  | L_fi
+  | L_openfile of string
+  | L_comment
+
+let classify ~name ~line raw =
+  let stripped = String.trim raw in
+  let is_directive =
+    String.length stripped > 1
+    && stripped.[0] = '@'
+    && stripped.[1] <> '@' (* @@ escapes a literal @ *)
+  in
+  if not is_directive then
+    if String.length stripped > 1 && stripped.[0] = '@' && stripped.[1] = '@' then
+      (* Replace the leading @@ with @ in the raw line. *)
+      let idx = String.index raw '@' in
+      L_text (String.sub raw 0 idx ^ String.sub raw (idx + 1) (String.length raw - idx - 1))
+    else L_text raw
+  else
+    let body = String.sub stripped 1 (String.length stripped - 1) in
+    match String.index_opt body ' ' with
+    | None -> (
+        match body with
+        | "else" -> L_else
+        | "fi" -> L_fi
+        | "end" -> L_end ""
+        | "#" -> L_comment
+        | d when String.length d > 0 && d.[0] = '#' -> L_comment
+        | d -> error ~name ~line "unknown directive @%s" d)
+    | Some sp -> (
+        let keyword = String.sub body 0 sp in
+        let rest = String.sub body (sp + 1) (String.length body - sp - 1) in
+        match keyword with
+        | "foreach" -> (
+            match tokenize_directive ~name ~line rest with
+            | group :: opts ->
+                let if_more, maps = parse_foreach_opts ~name ~line opts in
+                L_foreach (group, if_more, maps)
+            | [] -> error ~name ~line "@foreach requires a group name")
+        | "end" -> L_end (String.trim rest)
+        | "if" -> L_if (parse_cond ~name ~line (tokenize_directive ~name ~line rest))
+        | "openfile" -> L_openfile (String.trim rest)
+        | "#" -> L_comment
+        | d -> error ~name ~line "unknown directive @%s" d)
+
+(* ---------------- block structure ---------------- *)
+
+let parse ~name src : Ast.t =
+  let raw_lines = String.split_on_char '\n' src in
+  (* Drop a single trailing empty line produced by a final '\n'. *)
+  let raw_lines =
+    match List.rev raw_lines with "" :: rest -> List.rev rest | _ -> raw_lines
+  in
+  let lines =
+    List.mapi (fun i raw -> (i + 1, classify ~name ~line:(i + 1) raw)) raw_lines
+  in
+  (* Recursive-descent over the classified lines. *)
+  let rec items acc = function
+    | [] -> (List.rev acc, [])
+    | ((line, l) :: rest : (int * line) list) -> (
+        match l with
+        | L_comment -> items acc rest
+        | L_text raw ->
+            let newline = not (String.length raw > 0 && raw.[String.length raw - 1] = '\\') in
+            let raw = if newline then raw else String.sub raw 0 (String.length raw - 1) in
+            let segments = scan_segments ~name ~line raw in
+            items (Ast.Text { segments; newline; line } :: acc) rest
+        | L_openfile spec ->
+            let segments = scan_segments ~name ~line spec in
+            items (Ast.Openfile { segments; line } :: acc) rest
+        | L_foreach (group, if_more, maps) -> (
+            let body, rest' = items [] rest in
+            match rest' with
+            | (line2, L_end g) :: rest'' ->
+                if g <> "" && g <> group then
+                  error ~name ~line:line2 "@end %s does not match @foreach %s" g group;
+                items (Ast.Foreach { group; if_more; maps; body; line } :: acc) rest''
+            | _ -> error ~name ~line "@foreach %s is missing its @end" group)
+        | L_if cond -> (
+            let then_, rest' = items [] rest in
+            match rest' with
+            | (_, L_else) :: rest'' -> (
+                let else_, rest''' = items [] rest'' in
+                match rest''' with
+                | (_, L_fi) :: rest'''' ->
+                    items (Ast.If { cond; then_; else_; line } :: acc) rest''''
+                | _ -> error ~name ~line "@if is missing its @fi")
+            | (_, L_fi) :: rest'' ->
+                items (Ast.If { cond; then_; else_ = []; line } :: acc) rest''
+            | _ -> error ~name ~line "@if is missing its @fi")
+        | L_end _ | L_else | L_fi -> (List.rev acc, (line, l) :: rest))
+  in
+  let parsed, leftover = items [] lines in
+  (match leftover with
+  | [] -> ()
+  | (line, L_end g) :: _ -> error ~name ~line "@end %s without a matching @foreach" g
+  | (line, L_else) :: _ -> error ~name ~line "@else without a matching @if"
+  | (line, L_fi) :: _ -> error ~name ~line "@fi without a matching @if"
+  | (line, _) :: _ -> error ~name ~line "unexpected input")
+  ;
+  { Ast.name; items = parsed }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse ~name:path content

@@ -1,0 +1,18 @@
+(** Parser for the template language: text → {!Ast.t}.
+
+    Parsing a template corresponds to the first of the paper's two
+    code-generation steps (Section 4.1): it "need only be performed once
+    for a particular code-generation template" — the resulting {!Ast.t} is
+    the compiled form that {!Eval.run} executes repeatedly. *)
+
+exception Template_error of { name : string; line : int; message : string }
+
+val parse : name:string -> string -> Ast.t
+(** [parse ~name src] compiles template source text. [name] is used in
+    error messages.
+    @raise Template_error on malformed directives or unbalanced blocks. *)
+
+val parse_file : string -> Ast.t
+(** Read and compile a template file.
+    @raise Template_error on malformed input.
+    @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,190 @@
+type byte_order = Big_endian | Little_endian
+
+(* ---------------- encoding ---------------- *)
+
+let make_encoder order () : Codec.encoder =
+  let buf = Buffer.create 128 in
+  let align n =
+    let pos = Buffer.length buf in
+    let pad = (n - (pos mod n)) mod n in
+    for _ = 1 to pad do
+      Buffer.add_char buf '\000'
+    done
+  in
+  let add16 v =
+    match order with
+    | Big_endian -> Buffer.add_uint16_be buf (v land 0xffff)
+    | Little_endian -> Buffer.add_uint16_le buf (v land 0xffff)
+  in
+  let add32 v =
+    match order with
+    | Big_endian -> Buffer.add_int32_be buf v
+    | Little_endian -> Buffer.add_int32_le buf v
+  in
+  let add64 v =
+    match order with
+    | Big_endian -> Buffer.add_int64_be buf v
+    | Little_endian -> Buffer.add_int64_le buf v
+  in
+  let put_ulong v =
+    let v = Codec.range_check "unsigned long" ~min:0 ~max:4294967295 v in
+    align 4;
+    add32 (Int32.of_int v)
+  in
+  let put_string s =
+    (* ulong length including NUL, then bytes, then NUL. *)
+    put_ulong (String.length s + 1);
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\000'
+  in
+  {
+    put_bool = (fun b -> Buffer.add_char buf (if b then '\001' else '\000'));
+    put_char = (fun c -> Buffer.add_char buf c);
+    put_octet =
+      (fun v ->
+        Buffer.add_char buf (Char.chr (Codec.range_check "octet" ~min:0 ~max:255 v)));
+    put_short =
+      (fun v ->
+        let v = Codec.range_check "short" ~min:(-32768) ~max:32767 v in
+        align 2;
+        add16 v);
+    put_ushort =
+      (fun v ->
+        let v = Codec.range_check "unsigned short" ~min:0 ~max:65535 v in
+        align 2;
+        add16 v);
+    put_long =
+      (fun v ->
+        let v = Codec.range_check "long" ~min:(-2147483648) ~max:2147483647 v in
+        align 4;
+        add32 (Int32.of_int v));
+    put_ulong;
+    put_longlong =
+      (fun v ->
+        align 8;
+        add64 v);
+    put_ulonglong =
+      (fun v ->
+        align 8;
+        add64 v);
+    put_float =
+      (fun v ->
+        align 4;
+        add32 (Int32.bits_of_float v));
+    put_double =
+      (fun v ->
+        align 8;
+        add64 (Int64.bits_of_float v));
+    put_string;
+    put_begin = (fun () -> ());
+    put_end = (fun () -> ());
+    put_len = put_ulong;
+    finish = (fun () -> Buffer.contents buf);
+  }
+
+(* ---------------- decoding ---------------- *)
+
+let make_decoder order payload : Codec.decoder =
+  let pos = ref 0 in
+  let len = String.length payload in
+  let need n what =
+    if !pos + n > len then
+      raise
+        (Codec.Type_error
+           (Printf.sprintf "truncated payload: need %d bytes for %s at offset %d"
+              n what !pos))
+  in
+  let align n =
+    let pad = (n - (!pos mod n)) mod n in
+    pos := !pos + pad
+  in
+  let byte what =
+    need 1 what;
+    let c = payload.[!pos] in
+    incr pos;
+    c
+  in
+  let get16 what =
+    align 2;
+    need 2 what;
+    let v =
+      match order with
+      | Big_endian -> String.get_uint16_be payload !pos
+      | Little_endian -> String.get_uint16_le payload !pos
+    in
+    pos := !pos + 2;
+    v
+  in
+  let get32 what =
+    align 4;
+    need 4 what;
+    let v =
+      match order with
+      | Big_endian -> String.get_int32_be payload !pos
+      | Little_endian -> String.get_int32_le payload !pos
+    in
+    pos := !pos + 4;
+    v
+  in
+  let get64 what =
+    align 8;
+    need 8 what;
+    let v =
+      match order with
+      | Big_endian -> String.get_int64_be payload !pos
+      | Little_endian -> String.get_int64_le payload !pos
+    in
+    pos := !pos + 8;
+    v
+  in
+  let get_ulong () =
+    let v = Int32.to_int (get32 "unsigned long") in
+    if v < 0 then v + 0x1_0000_0000 else v
+  in
+  let get_string () =
+    let n = get_ulong () in
+    if n = 0 then
+      raise (Codec.Type_error "malformed CDR string: zero length (must include NUL)");
+    need n "string body";
+    let s = String.sub payload !pos (n - 1) in
+    if payload.[!pos + n - 1] <> '\000' then
+      raise (Codec.Type_error "malformed CDR string: missing NUL terminator");
+    pos := !pos + n;
+    s
+  in
+  {
+    get_bool =
+      (fun () ->
+        match byte "boolean" with
+        | '\000' -> false
+        | '\001' -> true
+        | c ->
+            raise
+              (Codec.Type_error
+                 (Printf.sprintf "invalid boolean byte 0x%02x" (Char.code c))));
+    get_char = (fun () -> byte "char");
+    get_octet = (fun () -> Char.code (byte "octet"));
+    get_short =
+      (fun () ->
+        let v = get16 "short" in
+        if v >= 32768 then v - 65536 else v);
+    get_ushort = (fun () -> get16 "unsigned short");
+    get_long = (fun () -> Int32.to_int (get32 "long"));
+    get_ulong;
+    get_longlong = (fun () -> get64 "long long");
+    get_ulonglong = (fun () -> get64 "unsigned long long");
+    get_float = (fun () -> Int32.float_of_bits (get32 "float"));
+    get_double = (fun () -> Int64.float_of_bits (get64 "double"));
+    get_string;
+    get_begin = (fun () -> ());
+    get_end = (fun () -> ());
+    get_len = get_ulong;
+    at_end = (fun () -> !pos >= len);
+  }
+
+let codec order : Codec.t =
+  {
+    Codec.name = (match order with Big_endian -> "cdr-be" | Little_endian -> "cdr-le");
+    encoder = make_encoder order;
+    decoder = make_decoder order;
+  }

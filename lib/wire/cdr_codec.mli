@@ -1,0 +1,20 @@
+(** CDR-style binary codec: the "general-purpose standard protocol"
+    counterpart to the HeidiRMI text codec, used by the GIOP-like binary
+    ORB protocol ({!Giop}).
+
+    Faithful to CORBA CDR in the properties that matter for the paper's
+    protocol-cost comparison (bench §E2):
+    - primitives are aligned to their natural boundary relative to the
+      start of the payload (2 for short, 4 for long/float, 8 for
+      long long/double);
+    - both byte orders are supported; the decoder is told which to use
+      (GIOP carries the flag in its message header);
+    - strings are encoded as a ulong length including the terminating
+      NUL, followed by the bytes and the NUL;
+    - booleans/chars/octets are single bytes; [begin]/[end] structuring
+      is a no-op (CDR is positional and untyped on the wire). *)
+
+type byte_order = Big_endian | Little_endian
+
+val codec : byte_order -> Codec.t
+(** Codec named ["cdr-be"] or ["cdr-le"]. *)

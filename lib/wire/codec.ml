@@ -1,0 +1,57 @@
+exception Type_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Type_error m -> Some (Printf.sprintf "Wire.Codec.Type_error: %s" m)
+    | _ -> None)
+
+type encoder = {
+  put_bool : bool -> unit;
+  put_char : char -> unit;
+  put_octet : int -> unit;
+  put_short : int -> unit;
+  put_ushort : int -> unit;
+  put_long : int -> unit;
+  put_ulong : int -> unit;
+  put_longlong : int64 -> unit;
+  put_ulonglong : int64 -> unit;
+  put_float : float -> unit;
+  put_double : float -> unit;
+  put_string : string -> unit;
+  put_begin : unit -> unit;
+  put_end : unit -> unit;
+  put_len : int -> unit;
+  finish : unit -> string;
+}
+
+type decoder = {
+  get_bool : unit -> bool;
+  get_char : unit -> char;
+  get_octet : unit -> int;
+  get_short : unit -> int;
+  get_ushort : unit -> int;
+  get_long : unit -> int;
+  get_ulong : unit -> int;
+  get_longlong : unit -> int64;
+  get_ulonglong : unit -> int64;
+  get_float : unit -> float;
+  get_double : unit -> float;
+  get_string : unit -> string;
+  get_begin : unit -> unit;
+  get_end : unit -> unit;
+  get_len : unit -> int;
+  at_end : unit -> bool;
+}
+
+type t = {
+  name : string;
+  encoder : unit -> encoder;
+  decoder : string -> decoder;
+}
+
+let range_check what ~min ~max v =
+  if v < min || v > max then
+    raise
+      (Type_error
+         (Printf.sprintf "%s value %d out of range [%d, %d]" what v min max))
+  else v

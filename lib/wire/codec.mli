@@ -1,0 +1,66 @@
+(** Pluggable marshaling codecs.
+
+    A codec turns a sequence of typed primitive values into a payload
+    string and back. The HeidiRMI text protocol ({!Text_codec}) and the
+    CDR binary encoding ({!Cdr_codec}) both implement this interface;
+    the {!Call} abstraction (paper Fig. 4) is built on top of it, so the
+    on-the-wire protocol can be swapped without touching stubs or
+    skeletons — the configurability argued for in Section 2.
+
+    Integer widths: [short]/[ushort]/[long]/[ulong] use OCaml [int] with
+    range checks on encode; [long long]/[unsigned long long] use [int64].
+    [float] is encoded at 32-bit precision, [double] at 64-bit. *)
+
+exception Type_error of string
+(** Raised by decoders on type or format mismatches (the text codec tags
+    every token with its type; CDR detects only truncation). *)
+
+type encoder = {
+  put_bool : bool -> unit;
+  put_char : char -> unit;
+  put_octet : int -> unit;
+  put_short : int -> unit;
+  put_ushort : int -> unit;
+  put_long : int -> unit;
+  put_ulong : int -> unit;
+  put_longlong : int64 -> unit;
+  put_ulonglong : int64 -> unit;
+  put_float : float -> unit;
+  put_double : float -> unit;
+  put_string : string -> unit;
+  put_begin : unit -> unit;
+      (** Open a structuring group (paper: the [Call]'s [begin] function,
+          used to delimit structs and sequences). *)
+  put_end : unit -> unit;
+  put_len : int -> unit;  (** Sequence length prefix. *)
+  finish : unit -> string;  (** The completed payload. *)
+}
+
+type decoder = {
+  get_bool : unit -> bool;
+  get_char : unit -> char;
+  get_octet : unit -> int;
+  get_short : unit -> int;
+  get_ushort : unit -> int;
+  get_long : unit -> int;
+  get_ulong : unit -> int;
+  get_longlong : unit -> int64;
+  get_ulonglong : unit -> int64;
+  get_float : unit -> float;
+  get_double : unit -> float;
+  get_string : unit -> string;
+  get_begin : unit -> unit;
+  get_end : unit -> unit;
+  get_len : unit -> int;
+  at_end : unit -> bool;  (** True when the payload is exhausted. *)
+}
+
+type t = {
+  name : string;  (** e.g. ["text"] or ["cdr-be"]. *)
+  encoder : unit -> encoder;
+  decoder : string -> decoder;
+}
+
+val range_check : string -> min:int -> max:int -> int -> int
+(** [range_check what ~min ~max v] returns [v] or raises {!Type_error}
+    naming [what]. Shared by codec implementations. *)

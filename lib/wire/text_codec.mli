@@ -1,0 +1,29 @@
+(** The HeidiRMI text codec (Section 3.1): values as space-separated ASCII
+    tokens on a single line.
+
+    Every token carries a one-character type sigil, which gives the text
+    protocol full type checking on decode — and keeps payloads legible
+    enough for the paper's "telnet into the bootstrap port" debugging
+    scenario:
+
+    {v
+    bT bF          booleans          c65        char (code)
+    o255           octet             h-3 H9     short / ushort
+    l42 L7         long / ulong      q9 Q9      long long / unsigned
+    e1.5 d2.25     float / double    #3         sequence length
+    s"hi there"    string (escaped)  { }        group begin / end
+    v}
+
+    Payloads never contain a newline — strings escape [\n] — so a whole
+    request fits the protocol's newline-terminated framing. *)
+
+val codec : Codec.t
+(** Codec named ["text"]. *)
+
+val escape : string -> string
+(** Escape a string for embedding in a token (backslash, double quote,
+    newlines, CR). *)
+
+val unescape : string -> string
+(** Inverse of {!escape}.
+    @raise Codec.Type_error on malformed escapes. *)

@@ -1,0 +1,101 @@
+type t =
+  | Bool of bool
+  | Char of char
+  | Octet of int
+  | Short of int
+  | Ushort of int
+  | Long of int
+  | Ulong of int
+  | Longlong of int64
+  | Ulonglong of int64
+  | Float of float
+  | Double of float
+  | String of string
+  | Seq of t list
+  | Group of t list
+
+let rec encode (e : Codec.encoder) = function
+  | Bool b -> e.put_bool b
+  | Char c -> e.put_char c
+  | Octet v -> e.put_octet v
+  | Short v -> e.put_short v
+  | Ushort v -> e.put_ushort v
+  | Long v -> e.put_long v
+  | Ulong v -> e.put_ulong v
+  | Longlong v -> e.put_longlong v
+  | Ulonglong v -> e.put_ulonglong v
+  | Float v -> e.put_float v
+  | Double v -> e.put_double v
+  | String s -> e.put_string s
+  | Seq items ->
+      e.put_len (List.length items);
+      List.iter (encode e) items
+  | Group items ->
+      e.put_begin ();
+      List.iter (encode e) items;
+      e.put_end ()
+
+let rec decode_like (d : Codec.decoder) witness =
+  match witness with
+  | Bool _ -> Bool (d.get_bool ())
+  | Char _ -> Char (d.get_char ())
+  | Octet _ -> Octet (d.get_octet ())
+  | Short _ -> Short (d.get_short ())
+  | Ushort _ -> Ushort (d.get_ushort ())
+  | Long _ -> Long (d.get_long ())
+  | Ulong _ -> Ulong (d.get_ulong ())
+  | Longlong _ -> Longlong (d.get_longlong ())
+  | Ulonglong _ -> Ulonglong (d.get_ulonglong ())
+  | Float _ -> Float (d.get_float ())
+  | Double _ -> Double (d.get_double ())
+  | String _ -> String (d.get_string ())
+  | Seq items ->
+      let elem_witness = match items with w :: _ -> Some w | [] -> None in
+      let n = d.get_len () in
+      let rec read k acc =
+        if k = 0 then List.rev acc
+        else
+          match elem_witness with
+          | None -> raise (Codec.Type_error "sequence witness has no element shape")
+          | Some w -> read (k - 1) (decode_like d w :: acc)
+      in
+      Seq (read n [])
+  | Group items ->
+      d.get_begin ();
+      let vs = List.map (fun w -> decode_like d w) items in
+      d.get_end ();
+      Group vs
+
+let round32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let rec equal a b =
+  match (a, b) with
+  | Float x, Float y ->
+      Int64.equal (Int64.bits_of_float (round32 x)) (Int64.bits_of_float (round32 y))
+  | Double x, Double y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Seq xs, Seq ys | Group xs, Group ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | a, b -> a = b
+
+let rec pp ppf = function
+  | Bool b -> Format.fprintf ppf "Bool %b" b
+  | Char c -> Format.fprintf ppf "Char %C" c
+  | Octet v -> Format.fprintf ppf "Octet %d" v
+  | Short v -> Format.fprintf ppf "Short %d" v
+  | Ushort v -> Format.fprintf ppf "Ushort %d" v
+  | Long v -> Format.fprintf ppf "Long %d" v
+  | Ulong v -> Format.fprintf ppf "Ulong %d" v
+  | Longlong v -> Format.fprintf ppf "Longlong %Ld" v
+  | Ulonglong v -> Format.fprintf ppf "Ulonglong %Ld" v
+  | Float v -> Format.fprintf ppf "Float %h" v
+  | Double v -> Format.fprintf ppf "Double %h" v
+  | String s -> Format.fprintf ppf "String %S" s
+  | Seq items ->
+      Format.fprintf ppf "Seq [@[%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+        items
+  | Group items ->
+      Format.fprintf ppf "Group [@[%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+        items

@@ -1,0 +1,39 @@
+(** Generic wire values: a typed tree of marshalable primitives.
+
+    CDR is positional — a decoder must already know the type layout — so
+    decoding is schema-guided: {!decode_like} reads a value of the same
+    shape as its witness argument. Used by the property tests (round-trip
+    through every codec) and the marshaling benchmarks (§E2), and by the
+    [any]-free parts of the runtime that need to copy values between
+    codecs. *)
+
+type t =
+  | Bool of bool
+  | Char of char
+  | Octet of int
+  | Short of int
+  | Ushort of int
+  | Long of int
+  | Ulong of int
+  | Longlong of int64
+  | Ulonglong of int64
+  | Float of float  (** 32-bit precision on the wire. *)
+  | Double of float
+  | String of string
+  | Seq of t list  (** Length-prefixed sequence. *)
+  | Group of t list  (** begin/end structuring (struct bodies). *)
+
+val encode : Codec.encoder -> t -> unit
+
+val decode_like : Codec.decoder -> t -> t
+(** [decode_like dec witness] decodes a value with the same shape as
+    [witness] (for [Seq], the witness's first element — or the empty
+    sequence — defines the element shape).
+    @raise Codec.Type_error on mismatch or truncation. *)
+
+val equal : t -> t -> bool
+(** Structural equality with float-bits comparison; [Float] values are
+    compared after rounding through 32-bit precision, matching what a
+    binary codec preserves. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+(* End-to-end tests of the idlc command-line tool: spawn the real binary
+   and check its outputs and exit codes. *)
+
+(* Under `dune runtest` the cwd is _build/default/test; under a direct
+   `dune exec` it is the project root. *)
+let resolve path =
+  if Sys.file_exists path then path
+  else Filename.concat "_build/default" (String.sub path 3 (String.length path - 3))
+
+let idlc = resolve "../bin/idlc.exe"
+let a_idl = resolve "../examples/idl/A.idl"
+
+let run args =
+  let out = Filename.temp_file "idlc_out" ".txt" in
+  let err = Filename.temp_file "idlc_err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" idlc args (Filename.quote out)
+      (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let stdout_s = read out and stderr_s = read err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout_s, stderr_s)
+
+let test_list_mappings () =
+  let code, out, _ = run "--list-mappings" in
+  Alcotest.(check int) "exit 0" 0 code;
+  List.iter
+    (fun name -> Tutil.check_contains ~what:"mapping listed" out name)
+    [ "heidi-cpp"; "corba-cpp"; "java"; "tcl"; "ocaml" ]
+
+let test_compile_to_stdout () =
+  let code, out, _ = run (a_idl ^ " --mapping heidi-cpp") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Tutil.check_contains ~what:"file banner" out "===== A.hh =====";
+  Tutil.check_contains ~what:"fig3 class" out "class HdA : virtual public HdS"
+
+let test_compile_to_directory () =
+  let dir = Filename.temp_file "idlc_dir" "" in
+  Sys.remove dir;
+  let code, out, _ = run (Printf.sprintf "%s -m tcl -o %s" a_idl (Filename.quote dir)) in
+  Alcotest.(check int) "exit 0" 0 code;
+  Tutil.check_contains ~what:"wrote message" out "wrote";
+  Alcotest.(check bool) "file exists" true (Sys.file_exists (Filename.concat dir "A.tcl"));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_dump_est () =
+  let code, out, _ = run (a_idl ^ " --dump-est") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Tutil.check_contains ~what:"fig8 shape" out "Ast::New(\"A\", \"Interface\"";
+  let code, out, _ = run (a_idl ^ " --dump-est-text") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Tutil.check_contains ~what:"machine form" out "node \"Root\""
+
+let test_reformat () =
+  let code, out, _ = run (a_idl ^ " --reformat") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Tutil.check_contains ~what:"pretty printed" out "interface A : S {"
+
+let test_custom_template () =
+  let tmpl = Filename.temp_file "t" ".tmpl" in
+  let oc = open_out tmpl in
+  output_string oc "@foreach interfaceList\ninterface ${interfaceName}\n@end interfaceList\n";
+  close_out oc;
+  let code, out, _ = run (Printf.sprintf "%s --template %s" a_idl (Filename.quote tmpl)) in
+  Sys.remove tmpl;
+  Alcotest.(check int) "exit 0" 0 code;
+  Tutil.check_contains ~what:"custom output" out "interface S\ninterface A"
+
+let test_error_exit_codes () =
+  let bad = Filename.temp_file "bad" ".idl" in
+  let oc = open_out bad in
+  output_string oc "interface I : Nope { };";
+  close_out oc;
+  let code, _, err = run bad in
+  Sys.remove bad;
+  Alcotest.(check int) "semantic error -> exit 1" 1 code;
+  Tutil.check_contains ~what:"diagnostic on stderr" err "unresolved name";
+  let code, _, err = run "--mapping nosuch this-file-does-not-exist.idl" in
+  Alcotest.(check bool) "missing file fails" true (code <> 0);
+  ignore err
+
+let test_ir_workflow () =
+  let dir = Filename.temp_file "ir" "" in
+  Sys.remove dir;
+  let code, _, _ = run (Printf.sprintf "%s --ir %s -m tcl" a_idl (Filename.quote dir)) in
+  Alcotest.(check int) "store+generate" 0 code;
+  let code, out, _ = run (Printf.sprintf "--ir %s --ir-list" (Filename.quote dir)) in
+  Alcotest.(check int) "list" 0 code;
+  Tutil.check_contains ~what:"unit listed" out "A";
+  Tutil.check_contains ~what:"interface listed" out "IDL:Heidi/A:1.0";
+  let code, out, _ =
+    run (Printf.sprintf "--ir %s --from-ir A -m java" (Filename.quote dir))
+  in
+  Alcotest.(check int) "generate from IR" 0 code;
+  Tutil.check_contains ~what:"java from IR" out "public interface A extends S";
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "idlc",
+        [
+          Alcotest.test_case "--list-mappings" `Quick test_list_mappings;
+          Alcotest.test_case "compile to stdout" `Quick test_compile_to_stdout;
+          Alcotest.test_case "compile to directory" `Quick test_compile_to_directory;
+          Alcotest.test_case "--dump-est" `Quick test_dump_est;
+          Alcotest.test_case "--reformat" `Quick test_reformat;
+          Alcotest.test_case "--template" `Quick test_custom_template;
+          Alcotest.test_case "error exit codes" `Quick test_error_exit_codes;
+          Alcotest.test_case "interface repository workflow" `Quick test_ir_workflow;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* Wire codec tests: the HeidiRMI text codec and the CDR binary codec.
+   Round-trip properties over random value trees, plus format-level
+   checks (alignment, byte order, type tagging, error paths). *)
+
+module W = Wire.Wvalue
+
+let text = Wire.Text_codec.codec
+let cdr_be = Wire.Cdr_codec.codec Wire.Cdr_codec.Big_endian
+let cdr_le = Wire.Cdr_codec.codec Wire.Cdr_codec.Little_endian
+let all_codecs = [ text; cdr_be; cdr_le ]
+
+let roundtrip (codec : Wire.Codec.t) v =
+  let e = codec.Wire.Codec.encoder () in
+  W.encode e v;
+  let payload = e.Wire.Codec.finish () in
+  let d = codec.Wire.Codec.decoder payload in
+  W.decode_like d v
+
+(* ---------------- unit: specific values through every codec -------- *)
+
+let sample_values =
+  [
+    W.Bool true;
+    W.Bool false;
+    W.Char 'x';
+    W.Char '\000';
+    W.Octet 255;
+    W.Short (-32768);
+    W.Ushort 65535;
+    W.Long (-2147483648);
+    W.Ulong 4294967295;
+    W.Longlong Int64.min_int;
+    W.Ulonglong (-1L);
+    W.Float 1.5;
+    W.Double 3.141592653589793;
+    W.String "";
+    W.String "hello world";
+    W.String "with \"quotes\" and \\slashes\\ and\nnewlines";
+    W.Seq [];
+    W.Seq [ W.Long 1; W.Long 2; W.Long 3 ];
+    W.Group [ W.String "point"; W.Long 3; W.Long 4 ];
+    W.Seq [ W.Group [ W.String "a"; W.Bool true ]; W.Group [ W.String "b"; W.Bool false ] ];
+  ]
+
+let test_samples () =
+  List.iter
+    (fun codec ->
+      List.iter
+        (fun v ->
+          let got = roundtrip codec v in
+          if not (W.equal v got) then
+            Alcotest.failf "codec %s: %s round-tripped to %s"
+              codec.Wire.Codec.name
+              (Format.asprintf "%a" W.pp v)
+              (Format.asprintf "%a" W.pp got))
+        sample_values)
+    all_codecs
+
+let test_empty_seq_needs_no_witness () =
+  (* Decoding Seq [] works even without an element witness as long as the
+     wire length is 0. *)
+  List.iter
+    (fun codec ->
+      match roundtrip codec (W.Seq []) with
+      | W.Seq [] -> ()
+      | _ -> Alcotest.fail "empty seq")
+    all_codecs
+
+(* ---------------- text codec specifics ---------------- *)
+
+let test_text_is_single_line () =
+  let e = text.Wire.Codec.encoder () in
+  W.encode e (W.String "line1\nline2\rline3");
+  let payload = e.Wire.Codec.finish () in
+  Alcotest.(check bool) "no raw newline" false (String.contains payload '\n');
+  Alcotest.(check bool) "no raw CR" false (String.contains payload '\r')
+
+let test_text_human_readable () =
+  let e = text.Wire.Codec.encoder () in
+  e.Wire.Codec.put_long 42;
+  e.Wire.Codec.put_bool true;
+  e.Wire.Codec.put_string "hi";
+  Alcotest.(check string) "tokens" "l42 bT s\"hi\"" (e.Wire.Codec.finish ())
+
+let test_text_type_checking () =
+  (* The text protocol detects type mismatches — a property CDR cannot
+     have (it is positional and untyped). *)
+  let e = text.Wire.Codec.encoder () in
+  e.Wire.Codec.put_long 1;
+  let payload = e.Wire.Codec.finish () in
+  let d = text.Wire.Codec.decoder payload in
+  match d.Wire.Codec.get_string () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected a type error"
+
+let test_text_range_checks () =
+  let e = text.Wire.Codec.encoder () in
+  (match e.Wire.Codec.put_short 40000 with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "short range");
+  let e = text.Wire.Codec.encoder () in
+  match e.Wire.Codec.put_octet (-1) with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "octet range"
+
+let test_text_truncation () =
+  let d = text.Wire.Codec.decoder "l1" in
+  ignore (d.Wire.Codec.get_long ());
+  Alcotest.(check bool) "at_end" true (d.Wire.Codec.at_end ());
+  match d.Wire.Codec.get_long () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected end-of-payload error"
+
+let test_text_escape_roundtrip () =
+  let s = "a\\b\"c\nd\re" in
+  Alcotest.(check string) "escape" s
+    (Wire.Text_codec.unescape (Wire.Text_codec.escape s))
+
+(* ---------------- CDR specifics ---------------- *)
+
+let test_cdr_alignment () =
+  (* octet at 0, then long must start at offset 4 (3 padding bytes). *)
+  let e = cdr_be.Wire.Codec.encoder () in
+  e.Wire.Codec.put_octet 1;
+  e.Wire.Codec.put_long 2;
+  let p = e.Wire.Codec.finish () in
+  Alcotest.(check int) "length" 8 (String.length p);
+  Alcotest.(check char) "pad" '\000' p.[1];
+  (* octet then double: 7 padding bytes, total 16. *)
+  let e = cdr_be.Wire.Codec.encoder () in
+  e.Wire.Codec.put_octet 1;
+  e.Wire.Codec.put_double 1.0;
+  Alcotest.(check int) "double align" 16 (String.length (e.Wire.Codec.finish ()))
+
+let test_cdr_byte_order () =
+  let enc codec =
+    let e = codec.Wire.Codec.encoder () in
+    e.Wire.Codec.put_long 1;
+    e.Wire.Codec.finish ()
+  in
+  Alcotest.(check string) "big endian" "\000\000\000\001" (enc cdr_be);
+  Alcotest.(check string) "little endian" "\001\000\000\000" (enc cdr_le)
+
+let test_cdr_string_format () =
+  (* ulong length (incl NUL), bytes, NUL. *)
+  let e = cdr_be.Wire.Codec.encoder () in
+  e.Wire.Codec.put_string "hi";
+  Alcotest.(check string) "layout" "\000\000\000\003hi\000" (e.Wire.Codec.finish ())
+
+let test_cdr_truncation () =
+  let d = cdr_be.Wire.Codec.decoder "\000\000" in
+  match d.Wire.Codec.get_long () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected truncation error"
+
+let test_cdr_bad_bool_and_string () =
+  let d = cdr_be.Wire.Codec.decoder "\007" in
+  (match d.Wire.Codec.get_bool () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "bad bool byte");
+  (* String with zero length is malformed (must include NUL). *)
+  let d = cdr_be.Wire.Codec.decoder "\000\000\000\000" in
+  match d.Wire.Codec.get_string () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "zero-length CDR string"
+
+let test_size_comparison () =
+  (* Sanity for bench §E2: for numeric payloads CDR is denser; both
+     codecs grow linearly in sequence length. *)
+  let seq n = W.Seq (List.init n (fun i -> W.Long (1000000 + i))) in
+  let size codec v =
+    let e = codec.Wire.Codec.encoder () in
+    W.encode e v;
+    String.length (e.Wire.Codec.finish ())
+  in
+  Alcotest.(check bool) "cdr denser for longs" true
+    (size cdr_be (seq 64) < size text (seq 64));
+  Alcotest.(check bool) "text grows" true (size text (seq 128) > size text (seq 64))
+
+(* ---------------- round-trip property ---------------- *)
+
+let gen_wvalue =
+  QCheck.Gen.(
+    let leaf =
+      oneof
+        [
+          map (fun b -> W.Bool b) bool;
+          map (fun c -> W.Char c) (map Char.chr (int_bound 255));
+          map (fun n -> W.Octet (abs n mod 256)) small_int;
+          map (fun n -> W.Short (n mod 32768)) int;
+          map (fun n -> W.Ushort (abs n mod 65536)) int;
+          map (fun n -> W.Long (n mod 2147483648)) int;
+          map (fun n -> W.Ulong (abs n mod 4294967296)) int;
+          map (fun n -> W.Longlong (Int64.of_int n)) int;
+          map (fun n -> W.Ulonglong (Int64.of_int n)) int;
+          map (fun f -> W.Float f) (float_bound_inclusive 1e9);
+          map (fun f -> W.Double f) (float_bound_inclusive 1e12);
+          map (fun s -> W.String s) (string_size ~gen:printable (int_bound 40));
+        ]
+    in
+    let rec tree depth =
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (4, leaf);
+            ( 1,
+              (* All sequence elements share the first element's shape so
+                 that schema-guided decode applies. *)
+              let* elem = tree 0 in
+              let* n = int_bound 6 in
+              let clone = function
+                | W.Long _ -> map (fun v -> W.Long (v mod 2147483648)) int
+                | W.String _ -> map (fun s -> W.String s) (string_size ~gen:printable (int_bound 20))
+                | v -> return v
+              in
+              let* items = flatten_l (List.init n (fun _ -> clone elem)) in
+              return (W.Seq items) );
+            ( 1,
+              let* items = list_size (int_bound 4) (tree (depth - 1)) in
+              return (W.Group items) );
+          ]
+    in
+    tree 3)
+
+let roundtrip_prop codec =
+  QCheck.Test.make ~count:300
+    ~name:(Printf.sprintf "%s round-trips" codec.Wire.Codec.name)
+    (QCheck.make ~print:(Format.asprintf "%a" W.pp) gen_wvalue)
+    (fun v -> W.equal v (roundtrip codec v))
+
+(* Cross-codec: the same value tree encodes/decodes under every codec to
+   the same result (protocol-independence of the Call abstraction). *)
+let cross_codec_prop =
+  QCheck.Test.make ~count:200 ~name:"codecs agree on decoded values"
+    (QCheck.make ~print:(Format.asprintf "%a" W.pp) gen_wvalue)
+    (fun v ->
+      let results = List.map (fun c -> roundtrip c v) all_codecs in
+      List.for_all (fun r -> W.equal r (List.hd results)) results)
+
+let () =
+  Alcotest.run "codecs"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "samples through all codecs" `Quick test_samples;
+          Alcotest.test_case "empty sequences" `Quick test_empty_seq_needs_no_witness;
+        ] );
+      ( "text",
+        [
+          Alcotest.test_case "single line" `Quick test_text_is_single_line;
+          Alcotest.test_case "human readable" `Quick test_text_human_readable;
+          Alcotest.test_case "type checking" `Quick test_text_type_checking;
+          Alcotest.test_case "range checks" `Quick test_text_range_checks;
+          Alcotest.test_case "truncation" `Quick test_text_truncation;
+          Alcotest.test_case "escapes" `Quick test_text_escape_roundtrip;
+        ] );
+      ( "cdr",
+        [
+          Alcotest.test_case "alignment" `Quick test_cdr_alignment;
+          Alcotest.test_case "byte order" `Quick test_cdr_byte_order;
+          Alcotest.test_case "string layout" `Quick test_cdr_string_format;
+          Alcotest.test_case "truncation" `Quick test_cdr_truncation;
+          Alcotest.test_case "malformed bytes" `Quick test_cdr_bad_bool_and_string;
+          Alcotest.test_case "size comparison" `Quick test_size_comparison;
+        ] );
+      ( "property",
+        QCheck_alcotest.to_alcotest cross_codec_prop
+        :: List.map (fun c -> QCheck_alcotest.to_alcotest (roundtrip_prop c)) all_codecs
+      );
+    ]

@@ -1,0 +1,96 @@
+(* CORBA-prescribed C++ mapping tests: the Fig. 1 inheritance hierarchy
+   (stub inherits interface; skeleton inherits interface + ServantBase;
+   tie delegates) and Table 1/2 spellings in generated code. *)
+
+let mapping = Option.get (Mappings.Registry.find "corba-cpp")
+
+let src =
+  {|module Heidi {
+      enum Status { Start, Stop };
+      typedef sequence<long> LongSeq;
+      struct Point { long x; long y; };
+      exception Bad { string why; };
+      interface S { void ping(); };
+      interface A : S {
+        void f(in A a);
+        long sum(in LongSeq xs);
+        readonly attribute Status state;
+        attribute long level;
+      };
+    };|}
+
+let compile () = Core.Compiler.compile_string ~file_base:"A" ~mapping src
+let header () = List.assoc "A.hh" (compile ()).Core.Compiler.files
+let poa () = List.assoc "A_poa.hh" (compile ()).Core.Compiler.files
+
+let test_namespace_and_types () =
+  let h = header () in
+  Tutil.check_contains ~what:"namespace" h "namespace Heidi {";
+  Tutil.check_contains ~what:"CORBA long (Table 1)" h "CORBA::Long";
+  Tutil.check_contains ~what:"enum" h "enum Status { Start, Stop };";
+  Tutil.check_contains ~what:"struct" h "struct Point";
+  Tutil.check_contains ~what:"user exception" h
+    "class Bad : public CORBA::UserException";
+  Tutil.check_contains ~what:"sequence class" h "class LongSeq";
+  Tutil.check_contains ~what:"sequence elem" h "CORBA::Long& operator[](CORBA::ULong);"
+
+let test_table2_declarations () =
+  let h = header () in
+  Tutil.check_contains ~what:"_ptr" h "typedef A* A_ptr;";
+  Tutil.check_contains ~what:"_var" h "typedef ObjVar<A> A_var;";
+  Tutil.check_contains ~what:"narrow" h "static A_ptr _narrow(CORBA::Object_ptr);"
+
+let test_fig1_interface_hierarchy () =
+  let h = header () in
+  (* Inheritance-based model: A inherits S; roots inherit CORBA::Object. *)
+  Tutil.check_contains ~what:"A inherits S" h "class A : virtual public Heidi::S";
+  Tutil.check_contains ~what:"root base" h "class S : virtual public CORBA::Object";
+  (* Interface-typed parameters use _ptr. *)
+  Tutil.check_contains ~what:"param spelling" h "virtual void f(Heidi::A_ptr a) = 0;"
+
+let test_fig1_skeleton_and_tie () =
+  let p = poa () in
+  (* Fig. 1: POA_A inherits the interface class and ServantBase. *)
+  Tutil.check_contains ~what:"skeleton bases" p
+    "class POA_A : virtual public Heidi::A,\n                 virtual public PortableServer::ServantBase";
+  (* Fig. 1: the tie bridges to an unrelated implementation class. *)
+  Tutil.check_contains ~what:"tie template" p "template <class T>";
+  Tutil.check_contains ~what:"tie class" p "class POA_A_tie : public POA_A";
+  Tutil.check_contains ~what:"tie delegation" p "_tied.f(a);";
+  Tutil.check_contains ~what:"tie return" p "return _tied.sum(xs);"
+
+let test_attribute_accessors () =
+  let h = header () in
+  (* CORBA-prescribed attribute mapping: overloaded accessor pair. *)
+  Tutil.check_contains ~what:"getter" h "virtual Heidi::Status state() = 0;";
+  Tutil.check_contains ~what:"rw getter" h "virtual CORBA::Long level() = 0;";
+  Tutil.check_contains ~what:"rw setter" h "virtual void level(CORBA::Long) = 0;"
+
+let test_contrast_with_heidi_mapping () =
+  (* The same IDL through both mappings: CORBA types on one side, legacy
+     Heidi types on the other — the paper's Table 1 in action. *)
+  let heidi = Option.get (Mappings.Registry.find "heidi-cpp") in
+  let h_result = Core.Compiler.compile_string ~file_base:"A" ~mapping:heidi src in
+  let hh = List.assoc "A.hh" h_result.Core.Compiler.files in
+  Tutil.check_not_contains ~what:"no CORBA types in heidi mapping" hh "CORBA::";
+  Tutil.check_not_contains ~what:"no _ptr in heidi mapping" hh "_ptr";
+  let ch = header () in
+  Tutil.check_not_contains ~what:"no Hd types in corba mapping" ch "HdA";
+  Tutil.check_not_contains ~what:"no XBool in corba mapping" ch "XBool"
+
+let () =
+  Alcotest.run "codegen-corba"
+    [
+      ( "header",
+        [
+          Alcotest.test_case "namespaces and data types" `Quick test_namespace_and_types;
+          Alcotest.test_case "Table 2 declarations" `Quick test_table2_declarations;
+          Alcotest.test_case "Fig. 1 interface hierarchy" `Quick test_fig1_interface_hierarchy;
+          Alcotest.test_case "attribute accessors" `Quick test_attribute_accessors;
+        ] );
+      ( "skeletons",
+        [
+          Alcotest.test_case "Fig. 1 skeleton and tie" `Quick test_fig1_skeleton_and_tie;
+          Alcotest.test_case "contrast with heidi mapping" `Quick test_contrast_with_heidi_mapping;
+        ] );
+    ]

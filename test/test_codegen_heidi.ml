@@ -1,0 +1,168 @@
+(* Golden tests for the HeidiRMI C++ mapping: Fig. 3 (the generated
+   interface class header) and Fig. 2 (delegation-based skeletons). *)
+
+let mapping = Option.get (Mappings.Registry.find "heidi-cpp")
+
+let fig3_idl =
+  {|module Heidi {
+  interface S;
+  enum Status {Start, Stop};
+  typedef sequence<S> SSequence;
+  interface S { void ping(); };
+  interface A : S
+  {
+    void f(in A a);
+    void g(incopy S s);
+    void p(in long l = 0);
+    void q(in Status s = Heidi::Start);
+    readonly attribute Status button;
+    void s(in boolean b = TRUE);
+    void t(in SSequence s);
+  };
+};|}
+
+let compile () =
+  Core.Compiler.compile_string ~filename:"A.idl" ~file_base:"A" ~mapping fig3_idl
+
+let file result name =
+  match List.assoc_opt name result.Core.Compiler.files with
+  | Some c -> c
+  | None ->
+      Alcotest.failf "no %s generated (have: %s)" name
+        (String.concat ", " (List.map fst result.Core.Compiler.files))
+
+(* Fig. 3, right-hand side. Deltas vs the paper's figure, documented in
+   EXPERIMENTS.md: parameters are named, S's own declaration appears
+   (the figure omits it), and the attribute getter has no `const`. *)
+let fig3_expected_core =
+  {|// IDL:Heidi/Status:1.0
+enum HdStatus { Start, Stop };
+
+// IDL:Heidi/SSequence:1.0
+typedef HdList<HdS> HdSSequence;
+typedef HdListIterator<HdS> HdSSequenceIter;
+
+// IDL:Heidi/S:1.0
+class HdS
+{
+public:
+    virtual void ping() = 0;
+    virtual ~HdS() { }
+};
+
+// IDL:Heidi/A:1.0
+class HdA : virtual public HdS
+{
+public:
+    virtual void f(HdA* a) = 0;
+    virtual void g(HdS* s) = 0;
+    virtual void p(long l = 0) = 0;
+    virtual void q(HdStatus s = Start) = 0;
+    virtual void s(XBool b = XTrue) = 0;
+    virtual void t(HdSSequence* s) = 0;
+    virtual HdStatus GetButton() = 0;
+    virtual ~HdA() { }
+};|}
+
+let test_fig3_header () =
+  let header = file (compile ()) "A.hh" in
+  Tutil.check_contains ~what:"guard" header "#ifndef _A_hh_";
+  List.iter
+    (fun line -> Tutil.check_contains ~what:"Fig. 3 line" header line)
+    (String.split_on_char '\n' fig3_expected_core |> List.filter (fun l -> l <> ""))
+
+let test_fig3_exact_block () =
+  (* The interface class A must match Fig. 3 as one contiguous block. *)
+  let header = file (compile ()) "A.hh" in
+  let want =
+    "class HdA : virtual public HdS\n{\npublic:\n    virtual void f(HdA* a) = 0;\n\
+    \    virtual void g(HdS* s) = 0;\n    virtual void p(long l = 0) = 0;\n\
+    \    virtual void q(HdStatus s = Start) = 0;\n    virtual void s(XBool b = XTrue) = 0;\n\
+    \    virtual void t(HdSSequence* s) = 0;\n    virtual HdStatus GetButton() = 0;\n\
+    \    virtual ~HdA() { }\n};"
+  in
+  Tutil.check_contains ~what:"Fig. 3 class block" header want
+
+let test_stub_structure () =
+  let stubs = file (compile ()) "A_stub.hh" in
+  (* Section 3.1: A_stub inherits functionality from S_stub and in
+     addition implements the methods of interface A. *)
+  Tutil.check_contains ~what:"stub inheritance" stubs
+    "class HdA_stub : virtual public HdA, virtual public HdS_stub, virtual public HdStub";
+  (* Fig. 4: Call created, parameters marshaled, invoked. *)
+  Tutil.check_contains ~what:"call creation" stubs "HdCall* _c = pb_newCall(\"f\");";
+  Tutil.check_contains ~what:"marshal objref" stubs "_c->insertObject(a);";
+  Tutil.check_contains ~what:"incopy value" stubs "_c->insertValue(s);";
+  Tutil.check_contains ~what:"invoke" stubs "_c->invoke();";
+  Tutil.check_contains ~what:"attribute getter" stubs "pb_newCall(\"_get_button\")"
+
+let test_skeleton_delegation_fig2 () =
+  let skels = file (compile ()) "A_skel.hh" in
+  (* Fig. 2: the skeleton holds a pointer to the implementation — a
+     delegation relation, not inheritance from HdA. *)
+  Tutil.check_contains ~what:"delegate member" skels "HdA* pb_obj_;";
+  Tutil.check_not_contains ~what:"no interface inheritance" skels
+    "class HdA_skel : public HdA";
+  (* Skeletons mirror the IDL hierarchy: A_skel inherits S_skel. *)
+  Tutil.check_contains ~what:"skeleton hierarchy" skels
+    "class HdA_skel : public HdS_skel";
+  (* Section 3.1: failed dispatch delegates up the hierarchy. *)
+  Tutil.check_contains ~what:"delegation" skels
+    "if (HdS_skel::dispatch(_c, _op)) return 1;";
+  (* The baseline dispatch is a strcmp chain (Section 2). *)
+  Tutil.check_contains ~what:"strcmp dispatch" skels "if (strcmp(_op, \"f\") == 0)";
+  (* Root skeletons inherit the generic base and end dispatch with 0. *)
+  Tutil.check_contains ~what:"root base" skels "class HdS_skel : public HdSkeleton";
+  Tutil.check_contains ~what:"fallthrough" skels "return 0;"
+
+let test_multiple_inheritance_dispatch_order () =
+  let src =
+    {|interface L { void l(); };
+      interface R { void r(); };
+      interface B : L, R { void b(); };|}
+  in
+  let result = Core.Compiler.compile_string ~file_base:"m" ~mapping src in
+  let skels = List.assoc "m_skel.hh" result.Core.Compiler.files in
+  (* "dispatching is delegated to each of the corresponding skeleton
+     super-classes in order" — L before R. *)
+  let l_pos = Tutil.find skels "if (HdL_skel::dispatch(_c, _op)) return 1;" in
+  let r_pos = Tutil.find skels "if (HdR_skel::dispatch(_c, _op)) return 1;" in
+  Alcotest.(check bool) "L delegated before R" true (l_pos < r_pos)
+
+let test_structs_and_exceptions () =
+  let src =
+    {|module Heidi {
+        struct Info { string name; long size; };
+        exception Broke { string why; };
+        interface I {
+          Info info() raises (Broke);
+        };
+      };|}
+  in
+  let result = Core.Compiler.compile_string ~file_base:"x" ~mapping src in
+  let header = List.assoc "x.hh" result.Core.Compiler.files in
+  Tutil.check_contains ~what:"struct class" header
+    "class HdInfo : public HdSerializable";
+  Tutil.check_contains ~what:"struct member" header "HdString name;";
+  Tutil.check_contains ~what:"exception class" header
+    "class HdBroke : public HdException";
+  Tutil.check_contains ~what:"exception id" header
+    "return \"IDL:Heidi/Broke:1.0\";"
+
+let () =
+  Alcotest.run "codegen-heidi"
+    [
+      ( "fig3",
+        [
+          Alcotest.test_case "header content (F3)" `Quick test_fig3_header;
+          Alcotest.test_case "interface class block (F3)" `Quick test_fig3_exact_block;
+        ] );
+      ( "stubs-skeletons",
+        [
+          Alcotest.test_case "stub structure (Fig. 4)" `Quick test_stub_structure;
+          Alcotest.test_case "skeleton delegation (Fig. 2)" `Quick test_skeleton_delegation_fig2;
+          Alcotest.test_case "multi-inheritance dispatch order" `Quick
+            test_multiple_inheritance_dispatch_order;
+          Alcotest.test_case "structs and exceptions" `Quick test_structs_and_exceptions;
+        ] );
+    ]

@@ -1,0 +1,72 @@
+(* Java mapping tests (paper Section 4.2): flattened inheritance in
+   stubs and no default-parameter support. *)
+
+let mapping = Option.get (Mappings.Registry.find "java")
+
+let src =
+  {|module Heidi {
+      enum Status { Start, Stop };
+      interface S { void ping(); };
+      interface T { void tick(); };
+      interface A : S, T {
+        void p(in long l = 0);
+        readonly attribute Status state;
+      };
+    };|}
+
+let compile () = Core.Compiler.compile_string ~file_base:"A" ~mapping src
+let file name = List.assoc name (compile ()).Core.Compiler.files
+
+let test_interface_files () =
+  let a = file "A.java" in
+  (* Java interfaces keep multiple inheritance. *)
+  Tutil.check_contains ~what:"extends" a "public interface A extends S, T";
+  (* Section 4.2: no default parameters in the Java mapping — the
+     defaulted IDL parameter becomes a plain one. *)
+  Tutil.check_contains ~what:"no default" a "void p(int l);";
+  Tutil.check_not_contains ~what:"really no default" a "l = 0";
+  Tutil.check_contains ~what:"getter" a "Status getState();";
+  Tutil.check_not_contains ~what:"readonly: no setter" a "setState"
+
+let test_stub_flattening () =
+  let stub = file "AStub.java" in
+  (* Multiple super-classes are expanded: the stub extends only HdStub
+     and re-implements every inherited operation. *)
+  Tutil.check_contains ~what:"single base" stub
+    "public class AStub\n    extends HdStub implements A";
+  Tutil.check_contains ~what:"inherited ping re-implemented" stub
+    "public void ping()";
+  Tutil.check_contains ~what:"inherited tick re-implemented" stub
+    "public void tick()";
+  Tutil.check_contains ~what:"own method" stub "public void p(int l)";
+  Tutil.check_contains ~what:"attribute call" stub "pbNewCall(\"_get_state\")"
+
+let test_base_stubs_standalone () =
+  let s = file "SStub.java" in
+  Tutil.check_contains ~what:"S stub" s "public class SStub";
+  Tutil.check_contains ~what:"S marshals" s "pbNewCall(\"ping\")"
+
+let test_type_spellings () =
+  let result =
+    Core.Compiler.compile_string ~file_base:"t" ~mapping
+      {|typedef sequence<string> Names;
+        interface I {
+          Names all();
+          boolean ok(in double d, in long long q, in octet o);
+        };|}
+  in
+  let i = List.assoc "I.java" result.Core.Compiler.files in
+  Tutil.check_contains ~what:"typedef erased to array" i "String[] all();";
+  Tutil.check_contains ~what:"prims" i "boolean ok(double d, long q, byte o);"
+
+let () =
+  Alcotest.run "codegen-java"
+    [
+      ( "java",
+        [
+          Alcotest.test_case "interfaces" `Quick test_interface_files;
+          Alcotest.test_case "stub flattening (4.2)" `Quick test_stub_flattening;
+          Alcotest.test_case "base stubs" `Quick test_base_stubs_standalone;
+          Alcotest.test_case "type spellings" `Quick test_type_spellings;
+        ] );
+    ]

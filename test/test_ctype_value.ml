@@ -1,0 +1,157 @@
+(* Canonical type and value encodings: printing, parsing, round-trips.
+   These encodings are the contract between the EST and the template map
+   functions, so the round-trip property is load-bearing. *)
+
+module C = Est.Ctype
+module V = Est.Value
+
+(* ---------------- ctype ---------------- *)
+
+let test_ctype_spellings () =
+  let cases =
+    [
+      (C.Long, "long");
+      (C.Unsigned_long_long, "ulonglong");
+      (C.String None, "string");
+      (C.String (Some 16), "string(16)");
+      (C.Sequence (C.Long, None), "sequence(long)");
+      (C.Sequence (C.Objref "Heidi_S", Some 4), "sequence(objref(Heidi_S),4)");
+      (C.Objref "Heidi_A", "objref(Heidi_A)");
+      ( C.Alias ("Heidi_SSequence", C.Sequence (C.Objref "Heidi_S", None)),
+        "alias(Heidi_SSequence)=sequence(objref(Heidi_S))" );
+      ( C.Sequence (C.Sequence (C.Enum "E", Some 2), None),
+        "sequence(sequence(enum(E),2))" );
+    ]
+  in
+  List.iter
+    (fun (ty, want) ->
+      Alcotest.(check string) want want (C.to_string ty);
+      Alcotest.(check bool) ("parse " ^ want) true (C.equal ty (C.of_string want)))
+    cases
+
+let test_ctype_errors () =
+  List.iter
+    (fun s ->
+      match C.of_string s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "expected parse failure for %S" s)
+    [ ""; "wibble"; "sequence(long"; "objref()"; "long trailing"; "alias(X)"; "string(x)" ]
+
+let test_resolve_alias () =
+  let t = C.Alias ("A", C.Alias ("B", C.Sequence (C.Long, None))) in
+  Alcotest.(check string) "resolved" "sequence(long)"
+    (C.to_string (C.resolve_alias t))
+
+let test_flat_name () =
+  Alcotest.(check (option string)) "objref" (Some "X") (C.flat_name (C.Objref "X"));
+  Alcotest.(check (option string)) "prim" None (C.flat_name C.Long)
+
+let gen_ctype =
+  QCheck.Gen.(
+    let name = oneofl [ "A"; "Heidi_S"; "M_N_X"; "E1" ] in
+    let base =
+      oneof
+        [
+          oneofl
+            [
+              C.Void; C.Short; C.Long; C.Long_long; C.Unsigned_short;
+              C.Unsigned_long; C.Unsigned_long_long; C.Float; C.Double;
+              C.Boolean; C.Char; C.Octet; C.Any; C.String None;
+            ];
+          map (fun n -> C.String (Some (1 + abs n))) small_int;
+          map (fun n -> C.Objref n) name;
+          map (fun n -> C.Struct n) name;
+          map (fun n -> C.Union n) name;
+          map (fun n -> C.Enum n) name;
+        ]
+    in
+    let rec ty depth =
+      if depth = 0 then base
+      else
+        frequency
+          [
+            (3, base);
+            ( 1,
+              let* elem = ty (depth - 1) in
+              let* bound = opt (map (fun n -> 1 + abs n) small_int) in
+              return (C.Sequence (elem, bound)) );
+            ( 1,
+              let* n = name in
+              let* target = ty (depth - 1) in
+              return (C.Alias (n, target)) );
+          ]
+    in
+    ty 3)
+
+let ctype_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"ctype to_string |> of_string round-trips"
+    (QCheck.make ~print:C.to_string gen_ctype)
+    (fun ty -> C.equal ty (C.of_string (C.to_string ty)))
+
+(* ---------------- value ---------------- *)
+
+let test_value_spellings () =
+  let cases =
+    [
+      (V.V_int 42L, "int:42");
+      (V.V_int (-1L), "int:-1");
+      (V.V_bool true, "bool:true");
+      (V.V_char 'A', "char:65");
+      (V.V_string "hi there", "string:hi there");
+      (V.V_enum ("Heidi_Status", "Start"), "enum:Heidi_Status:Start");
+    ]
+  in
+  List.iter
+    (fun (v, want) ->
+      Alcotest.(check string) want want (V.to_string v);
+      Alcotest.(check bool) ("parse " ^ want) true (V.equal v (V.of_string want)))
+    cases
+
+let test_value_errors () =
+  List.iter
+    (fun s ->
+      match V.of_string s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "expected parse failure for %S" s)
+    [ ""; "nope"; "int:xyz"; "bool:maybe"; "char:300"; "enum:only_one_part" ]
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> V.V_int (Int64.of_int i)) int;
+        map (fun f -> V.V_float f) (float_bound_inclusive 1e12);
+        map (fun b -> V.V_bool b) bool;
+        map (fun c -> V.V_char c) (map Char.chr (int_bound 255));
+        map (fun s -> V.V_string s) (string_size ~gen:printable (int_bound 20));
+        (let* e = oneofl [ "E"; "M_Color" ] in
+         let* m = oneofl [ "red"; "green" ] in
+         return (V.V_enum (e, m)));
+      ])
+
+let value_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"value to_string |> of_string round-trips"
+    (QCheck.make ~print:V.to_string gen_value)
+    (fun v ->
+      match v with
+      | V.V_string s when String.contains s '\n' -> true (* excluded below *)
+      | _ -> V.equal v (V.of_string (V.to_string v)))
+
+let () =
+  Alcotest.run "ctype-value"
+    [
+      ( "ctype",
+        [
+          Alcotest.test_case "spellings" `Quick test_ctype_spellings;
+          Alcotest.test_case "parse errors" `Quick test_ctype_errors;
+          Alcotest.test_case "alias resolution" `Quick test_resolve_alias;
+          Alcotest.test_case "flat names" `Quick test_flat_name;
+          QCheck_alcotest.to_alcotest ctype_roundtrip;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "spellings" `Quick test_value_spellings;
+          Alcotest.test_case "parse errors" `Quick test_value_errors;
+          QCheck_alcotest.to_alcotest value_roundtrip;
+        ] );
+    ]

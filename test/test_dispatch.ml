@@ -1,0 +1,147 @@
+(* Dispatch strategy tests (paper Section 2's optimization discussion):
+   the three strategies must be observationally identical, differing only
+   in cost (measured in bench §E1). *)
+
+let strategies = Orb.Dispatch.all_strategies
+
+let handlers_of_names names = List.map (fun n -> (n, "handler:" ^ n)) names
+
+let test_basic_lookup () =
+  let names = [ "f"; "g"; "set_levels"; "a_very_long_operation_name" ] in
+  List.iter
+    (fun strat ->
+      let table = Orb.Dispatch.compile strat (handlers_of_names names) in
+      List.iter
+        (fun n ->
+          Alcotest.(check (option string))
+            (Orb.Dispatch.strategy_to_string strat ^ ":" ^ n)
+            (Some ("handler:" ^ n))
+            (Orb.Dispatch.lookup table n))
+        names;
+      Alcotest.(check (option string)) "miss" None (Orb.Dispatch.lookup table "nope");
+      Alcotest.(check (option string)) "empty string" None (Orb.Dispatch.lookup table "");
+      Alcotest.(check int) "size" 4 (Orb.Dispatch.size table))
+    strategies
+
+let test_first_binding_wins () =
+  (* Duplicate names behave like a comparison chain: first wins. *)
+  List.iter
+    (fun strat ->
+      let table = Orb.Dispatch.compile strat [ ("op", "first"); ("op", "second") ] in
+      Alcotest.(check (option string)) "dup" (Some "first")
+        (Orb.Dispatch.lookup table "op");
+      Alcotest.(check int) "dedup size" 1 (Orb.Dispatch.size table))
+    strategies
+
+let test_empty_table () =
+  List.iter
+    (fun strat ->
+      let table = Orb.Dispatch.compile strat [] in
+      Alcotest.(check (option string)) "empty" None (Orb.Dispatch.lookup table "x"))
+    strategies
+
+let test_strategy_names () =
+  List.iter
+    (fun strat ->
+      let name = Orb.Dispatch.strategy_to_string strat in
+      Alcotest.(check (option string)) name (Some name)
+        (Option.map Orb.Dispatch.strategy_to_string
+           (Orb.Dispatch.strategy_of_string name)))
+    strategies;
+  Alcotest.(check bool) "unknown" true (Orb.Dispatch.strategy_of_string "quantum" = None)
+
+(* Property: all strategies agree with an association list oracle. *)
+let gen_names =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (let* base = oneofl [ "op"; "get"; "set"; "dispatch"; "x" ] in
+       let* n = int_bound 30 in
+       return (Printf.sprintf "%s_%d" base n)))
+
+let agreement_prop =
+  QCheck.Test.make ~count:300 ~name:"strategies agree with assoc-list oracle"
+    (QCheck.make
+       ~print:(fun (names, probe) -> String.concat "," names ^ " ? " ^ probe)
+       QCheck.Gen.(
+         let* names = gen_names in
+         let* probe =
+           oneof
+             [ oneofl [ "op_0"; "get_1"; "missing"; "" ];
+               (match names with
+               | [] -> return "none"
+               | _ -> oneofl names) ]
+         in
+         return (names, probe)))
+    (fun (names, probe) ->
+      let handlers = handlers_of_names names in
+      let oracle = List.assoc_opt probe handlers in
+      List.for_all
+        (fun strat ->
+          Orb.Dispatch.lookup (Orb.Dispatch.compile strat handlers) probe = oracle)
+        strategies)
+
+(* Skeleton-level dispatch: delegation up the hierarchy in order
+   (Section 3.1: "dispatching is delegated to each of the corresponding
+   skeleton super-classes in order"). *)
+let skel type_id names ~parents =
+  Orb.Skeleton.create ~type_id ~parents
+    (List.map (fun n -> (n, fun _ (_ : Wire.Codec.encoder) -> ignore n)) names)
+
+let test_skeleton_delegation () =
+  let s = skel "IDL:S:1.0" [ "ping" ] ~parents:[] in
+  let t = skel "IDL:T:1.0" [ "tick" ] ~parents:[] in
+  let a = skel "IDL:A:1.0" [ "f" ] ~parents:[ s; t ] in
+  Alcotest.(check bool) "local" true (Option.is_some (Orb.Skeleton.dispatch a "f"));
+  Alcotest.(check bool) "first parent" true (Option.is_some (Orb.Skeleton.dispatch a "ping"));
+  Alcotest.(check bool) "second parent" true (Option.is_some (Orb.Skeleton.dispatch a "tick"));
+  Alcotest.(check bool) "miss" true (Option.is_none (Orb.Skeleton.dispatch a "nope"));
+  Alcotest.(check (list string)) "operation names, local first"
+    [ "f"; "ping"; "tick" ]
+    (Orb.Skeleton.operation_names a)
+
+let test_skeleton_diamond () =
+  let base = skel "IDL:Base:1.0" [ "shared" ] ~parents:[] in
+  let left = skel "IDL:L:1.0" [ "l" ] ~parents:[ base ] in
+  let right = skel "IDL:R:1.0" [ "r" ] ~parents:[ base ] in
+  let bottom = skel "IDL:B:1.0" [ "b" ] ~parents:[ left; right ] in
+  Alcotest.(check bool) "diamond reachable" true
+    (Option.is_some (Orb.Skeleton.dispatch bottom "shared"));
+  Alcotest.(check (list string)) "names deduplicated"
+    [ "b"; "l"; "shared"; "r" ]
+    (Orb.Skeleton.operation_names bottom)
+
+let test_local_shadows_parent () =
+  let parent =
+    Orb.Skeleton.create ~type_id:"IDL:P:1.0"
+      [ ("op", fun _ (r : Wire.Codec.encoder) -> r.Wire.Codec.put_string "parent") ]
+  in
+  let child =
+    Orb.Skeleton.create ~type_id:"IDL:C:1.0" ~parents:[ parent ]
+      [ ("op", fun _ (r : Wire.Codec.encoder) -> r.Wire.Codec.put_string "child") ]
+  in
+  let codec = Wire.Text_codec.codec in
+  let e = codec.Wire.Codec.encoder () in
+  (match Orb.Skeleton.dispatch child "op" with
+  | Some h -> h (codec.Wire.Codec.decoder "") e
+  | None -> Alcotest.fail "dispatch failed");
+  let d = codec.Wire.Codec.decoder (e.Wire.Codec.finish ()) in
+  Alcotest.(check string) "local wins" "child" (d.Wire.Codec.get_string ())
+
+let () =
+  Alcotest.run "dispatch"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "basic lookup" `Quick test_basic_lookup;
+          Alcotest.test_case "first binding wins" `Quick test_first_binding_wins;
+          Alcotest.test_case "empty table" `Quick test_empty_table;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+          QCheck_alcotest.to_alcotest agreement_prop;
+        ] );
+      ( "skeleton delegation",
+        [
+          Alcotest.test_case "delegation order" `Quick test_skeleton_delegation;
+          Alcotest.test_case "diamond inheritance" `Quick test_skeleton_diamond;
+          Alcotest.test_case "local shadows parent" `Quick test_local_shadows_parent;
+        ] );
+    ]

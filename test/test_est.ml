@@ -1,0 +1,203 @@
+(* EST construction and serialization tests (paper Figs. 7-8).
+
+   The defining property of the enhanced syntax tree: children are
+   grouped by kind regardless of interleaving in the source, with source
+   order preserved within each group. *)
+
+module N = Est.Node
+
+let est_of src = Est.Build.of_spec (Est.Resolve.spec (Idl.Parser.parse_string src))
+
+let fig3_idl =
+  {|module Heidi {
+      interface S;
+      enum Status {Start, Stop};
+      typedef sequence<S> SSequence;
+      interface S { void ping(); };
+      interface A : S {
+        void f(in A a);
+        void g(incopy S s);
+        void p(in long l = 0);
+        void q(in Status s = Heidi::Start);
+        readonly attribute Status button;
+        void s(in boolean b = TRUE);
+        void t(in SSequence s);
+      };
+    };|}
+
+let find_interface root name =
+  match
+    List.find_opt (fun n -> N.name n = name) (N.group root "interfaceList")
+  with
+  | Some n -> n
+  | None -> Alcotest.failf "interface %s not in EST" name
+
+(* Fig. 7: the attribute interleaved between methods q and s lands in its
+   own group; the methods stay contiguous and ordered. *)
+let test_grouping () =
+  let root = est_of fig3_idl in
+  let a = find_interface root "A" in
+  Alcotest.(check (list string))
+    "methods in source order" [ "f"; "g"; "p"; "q"; "s"; "t" ]
+    (List.map N.name (N.group a "methodList"));
+  Alcotest.(check (list string))
+    "attributes grouped separately" [ "button" ]
+    (List.map N.name (N.group a "attributeList"))
+
+let test_root_flattening () =
+  (* Fig. 9 iterates interfaceList at the root: module members must be
+     visible there. *)
+  let root = est_of fig3_idl in
+  Alcotest.(check (list string))
+    "flattened interfaces" [ "S"; "A" ]
+    (List.map N.name (N.group root "interfaceList"));
+  Alcotest.(check (list string))
+    "modules" [ "Heidi" ]
+    (List.map N.name (N.group root "moduleList"))
+
+let test_node_sharing () =
+  (* The same entity node is aliased between the module's local group and
+     the root's flattened group. *)
+  let root = est_of fig3_idl in
+  let via_root = find_interface root "A" in
+  let heidi = List.hd (N.group root "moduleList") in
+  let via_module =
+    List.find (fun n -> N.name n = "A") (N.group heidi "interfaceList")
+  in
+  Alcotest.(check bool) "physically shared" true (via_root == via_module)
+
+let test_fig8_properties () =
+  let root = est_of fig3_idl in
+  let a = find_interface root "A" in
+  Alcotest.(check (option string)) "repoId" (Some "IDL:Heidi/A:1.0") (N.prop a "repoId");
+  Alcotest.(check (option string)) "Parent (Fig. 8)" (Some "Heidi_S") (N.prop a "Parent");
+  Alcotest.(check (option string)) "flatName" (Some "Heidi_A") (N.prop a "flatName");
+  let f = List.hd (N.group a "methodList") in
+  Alcotest.(check (option string)) "returnType" (Some "void") (N.prop f "returnType");
+  let param = List.hd (N.group f "paramList") in
+  Alcotest.(check (option string)) "param type" (Some "objref(Heidi_A)") (N.prop param "type");
+  Alcotest.(check (option string)) "param typeName (Fig. 8)" (Some "Heidi_A")
+    (N.prop param "typeName");
+  Alcotest.(check (option string)) "param mode" (Some "in") (N.prop param "paramMode");
+  Alcotest.(check (option string)) "no default" (Some "") (N.prop param "defaultParam");
+  let p_op = List.nth (N.group a "methodList") 2 in
+  let p_param = List.hd (N.group p_op "paramList") in
+  Alcotest.(check (option string)) "default value" (Some "int:0")
+    (N.prop p_param "defaultParam");
+  let g_op = List.nth (N.group a "methodList") 1 in
+  let g_param = List.hd (N.group g_op "paramList") in
+  Alcotest.(check (option string)) "incopy mode" (Some "incopy")
+    (N.prop g_param "paramMode")
+
+let test_alias_props () =
+  let root = est_of fig3_idl in
+  let heidi = List.hd (N.group root "moduleList") in
+  let alias = List.hd (N.group heidi "aliasList") in
+  Alcotest.(check (option string)) "type" (Some "sequence(objref(Heidi_S))")
+    (N.prop alias "type");
+  Alcotest.(check (option string)) "typeKind" (Some "sequence") (N.prop alias "typeKind");
+  Alcotest.(check (option string)) "seqElemType" (Some "objref(Heidi_S)")
+    (N.prop alias "seqElemType");
+  Alcotest.(check (option string)) "IsVariable equivalent" (Some "true")
+    (N.prop alias "isVariable")
+
+let test_all_method_list () =
+  let root = est_of fig3_idl in
+  let a = find_interface root "A" in
+  Alcotest.(check (list string))
+    "allMethodList: inherited first" [ "ping"; "f"; "g"; "p"; "q"; "s"; "t" ]
+    (List.map N.name (N.group a "allMethodList"));
+  Alcotest.(check (list string))
+    "inheritedList" [ "S" ]
+    (List.map N.name (N.group a "inheritedList"))
+
+let test_enum_members () =
+  let root = est_of fig3_idl in
+  let heidi = List.hd (N.group root "moduleList") in
+  let status = List.hd (N.group heidi "enumList") in
+  Alcotest.(check (list string)) "members" [ "Start"; "Stop" ]
+    (List.map N.name (N.group status "memberList"));
+  Alcotest.(check (option string)) "index" (Some "1")
+    (N.prop (List.nth (N.group status "memberList") 1) "memberIndex")
+
+(* ---------------- node primitives ---------------- *)
+
+let test_node_ops () =
+  let n = N.create ~name:"x" ~kind:"K" in
+  N.add_prop n "a" "1";
+  N.add_prop n "b" "2";
+  N.add_prop n "a" "3" (* replace keeps position *);
+  Alcotest.(check (list (pair string string))) "props" [ ("a", "3"); ("b", "2") ] (N.props n);
+  let c1 = N.create ~name:"c1" ~kind:"C" and c2 = N.create ~name:"c2" ~kind:"C" in
+  N.add_child n ~group:"g" c1;
+  N.add_child n ~group:"g" c2;
+  Alcotest.(check int) "group size" 2 (List.length (N.group n "g"));
+  Alcotest.(check int) "tree size" 3 (N.size n);
+  Alcotest.(check bool) "missing group" true (N.group n "nope" = [])
+
+(* ---------------- dumps ---------------- *)
+
+let test_perl_dump_shape () =
+  let root = est_of fig3_idl in
+  let perl = Est.Dump.to_perl root in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (Tutil.contains perl needle)
+      then Alcotest.failf "perl dump is missing %S" needle)
+    [
+      "use Ast;";
+      "Ast::New(\"Heidi\", \"Module\"";
+      "Ast::New(\"A\", \"Interface\"";
+      "AddProp(\"Parent\", \"Heidi_S\")";
+      "AddProp(\"typeName\", \"Heidi_A\")";
+      "# IDL:Heidi/A:1.0";
+    ]
+
+let test_text_roundtrip () =
+  let root = est_of fig3_idl in
+  let text = Est.Dump.to_text root in
+  let back = Est.Dump.of_text text in
+  Alcotest.(check bool) "equal" true (N.equal root back);
+  (* Values with every awkward character survive. *)
+  let n = N.create ~name:"weird \"name\"\n" ~kind:"K" in
+  N.add_prop n "k ey" "v\\al\"ue\nwith\tstuff\001";
+  let back2 = Est.Dump.of_text (Est.Dump.to_text n) in
+  Alcotest.(check bool) "weird chars" true (N.equal n back2)
+
+let test_text_errors () =
+  List.iter
+    (fun s ->
+      match Est.Dump.of_text s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "expected of_text failure for %S" s)
+    [
+      "";
+      "node \"K\"";
+      "node \"K\" \"n\" prop \"a\"";
+      "node \"K\" \"n\" group \"g\" endnode";
+      "node \"K\" \"n\" endnode trailing";
+    ]
+
+let () =
+  Alcotest.run "est"
+    [
+      ( "grouping",
+        [
+          Alcotest.test_case "kind grouping (Fig. 7)" `Quick test_grouping;
+          Alcotest.test_case "root flattening" `Quick test_root_flattening;
+          Alcotest.test_case "node sharing" `Quick test_node_sharing;
+          Alcotest.test_case "Fig. 8 properties" `Quick test_fig8_properties;
+          Alcotest.test_case "alias/sequence properties" `Quick test_alias_props;
+          Alcotest.test_case "allMethodList" `Quick test_all_method_list;
+          Alcotest.test_case "enum members" `Quick test_enum_members;
+        ] );
+      ("node", [ Alcotest.test_case "primitives" `Quick test_node_ops ]);
+      ( "dump",
+        [
+          Alcotest.test_case "perl rendering (Fig. 8)" `Quick test_perl_dump_shape;
+          Alcotest.test_case "text round-trip" `Quick test_text_roundtrip;
+          Alcotest.test_case "malformed text" `Quick test_text_errors;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Interceptor/filter tests (Section 5: Orbix filters, Visibroker
+   interceptors — the expose-a-hook school of ORB customization). *)
+
+module I = Orb.Interceptor
+module P = Orb.Protocol
+
+let sample_req =
+  {
+    P.req_id = 1;
+    target =
+      Orb.Objref.make ~proto:"mem" ~host:"local" ~port:1 ~oid:"1"
+        ~type_id:"IDL:T:1.0";
+    operation = "op";
+    oneway = false;
+    payload = "";
+  }
+
+let test_chain_ordering () =
+  (* Requests run in registration order; replies in reverse (onion). *)
+  let trace = ref [] in
+  let mk name =
+    I.make name
+      ~on_request:(fun req ->
+        trace := ("req:" ^ name) :: !trace;
+        req)
+      ~on_reply:(fun _ rep ->
+        trace := ("rep:" ^ name) :: !trace;
+        rep)
+  in
+  let chain = I.empty_chain () in
+  I.add chain (mk "outer");
+  I.add chain (mk "inner");
+  Alcotest.(check (list string)) "names" [ "outer"; "inner" ] (I.names chain);
+  let req = I.apply_request chain sample_req in
+  let _ = I.apply_reply chain req { P.rep_id = 1; status = P.Status_ok; payload = "" } in
+  Alcotest.(check (list string)) "onion order"
+    [ "req:outer"; "req:inner"; "rep:inner"; "rep:outer" ]
+    (List.rev !trace)
+
+let test_request_rewriting () =
+  let chain = I.empty_chain () in
+  I.add chain
+    (I.make "renamer" ~on_request:(fun req -> { req with P.operation = "renamed" }));
+  let req = I.apply_request chain sample_req in
+  Alcotest.(check string) "rewritten" "renamed" req.P.operation
+
+let test_reject () =
+  let chain = I.empty_chain () in
+  I.add chain (I.deny (fun ~op ~type_id:_ -> op = "shutdown") ~reason:"not allowed");
+  (match I.apply_request chain { sample_req with P.operation = "shutdown" } with
+  | exception I.Reject "not allowed" -> ()
+  | _ -> Alcotest.fail "expected Reject");
+  (* Non-matching operations pass. *)
+  ignore (I.apply_request chain sample_req)
+
+(* ------------- through a live ORB ------------- *)
+
+let echo_skeleton () =
+  Orb.Skeleton.create ~type_id:"IDL:Test/Echo:1.0"
+    [
+      ("echo", fun args results ->
+          results.Wire.Codec.put_string (args.Wire.Codec.get_string ()));
+      ("shutdown", fun _ _ -> Alcotest.fail "should never be dispatched");
+    ]
+
+let with_pair f =
+  let server = Orb.create () in
+  Orb.start server;
+  let client = Orb.create () in
+  Fun.protect
+    ~finally:(fun () ->
+      Orb.shutdown client;
+      Orb.shutdown server)
+    (fun () -> f ~server ~client)
+
+let call client target ~op s =
+  match Orb.invoke client target ~op (fun e -> e.Wire.Codec.put_string s) with
+  | Some d -> d.Wire.Codec.get_string ()
+  | None -> Alcotest.fail "no reply"
+
+let test_server_side_filter () =
+  with_pair (fun ~server ~client ->
+      let counter, count = I.call_counter () in
+      I.add (Orb.server_interceptors server) counter;
+      I.add (Orb.server_interceptors server)
+        (I.deny (fun ~op ~type_id:_ -> op = "shutdown") ~reason:"admin only");
+      let target = Orb.export server (echo_skeleton ()) in
+      Alcotest.(check string) "normal call passes" "hello"
+        (call client target ~op:"echo" "hello");
+      (* The filter rejects before the skeleton ever runs. *)
+      (match call client target ~op:"shutdown" "x" with
+      | exception Orb.System_exception m ->
+          Tutil.check_contains ~what:"reject surfaces" m "admin only"
+      | _ -> Alcotest.fail "expected rejection");
+      Alcotest.(check int) "counted both" 2 (count ()))
+
+let test_client_side_interceptor () =
+  with_pair (fun ~server ~client ->
+      let log = ref [] in
+      I.add (Orb.client_interceptors client)
+        (I.logger (fun line -> log := line :: !log));
+      let target = Orb.export server (echo_skeleton ()) in
+      Alcotest.(check string) "call works" "x" (call client target ~op:"echo" "x");
+      let lines = List.rev !log in
+      Alcotest.(check int) "two log lines" 2 (List.length lines);
+      Tutil.check_contains ~what:"request logged" (List.nth lines 0) "-> echo";
+      Tutil.check_contains ~what:"reply logged" (List.nth lines 1) "<- echo";
+      (* Client-side reject propagates to the caller directly. *)
+      I.add (Orb.client_interceptors client)
+        (I.deny (fun ~op ~type_id:_ -> op = "echo") ~reason:"offline mode");
+      match call client target ~op:"echo" "y" with
+      | exception I.Reject "offline mode" -> ()
+      | _ -> Alcotest.fail "expected client-side Reject")
+
+let test_reply_rewriting () =
+  with_pair (fun ~server ~client ->
+      (* A server-side interceptor that masks system-error details. *)
+      I.add (Orb.server_interceptors server)
+        (I.make "mask-errors" ~on_reply:(fun _ rep ->
+             match rep.P.status with
+             | P.Status_system_error _ ->
+                 { rep with P.status = P.Status_system_error "internal error" }
+             | _ -> rep));
+      let target = Orb.export server (echo_skeleton ()) in
+      match Orb.invoke client target ~op:"nosuch" (fun _ -> ()) with
+      | exception Orb.System_exception m ->
+          Alcotest.(check string) "masked" "internal error" m
+      | _ -> Alcotest.fail "expected a system exception")
+
+let test_oneway_reject_is_silent () =
+  with_pair (fun ~server ~client ->
+      I.add (Orb.server_interceptors server)
+        (I.deny (fun ~op ~type_id:_ -> op = "echo") ~reason:"no");
+      let target = Orb.export server (echo_skeleton ()) in
+      (* A rejected oneway produces no reply and no client error. *)
+      Alcotest.(check bool) "no reply" true
+        (Orb.invoke client target ~op:"echo" ~oneway:true (fun e ->
+             e.Wire.Codec.put_string "x")
+        = None))
+
+let () =
+  Alcotest.run "interceptor"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "onion ordering" `Quick test_chain_ordering;
+          Alcotest.test_case "request rewriting" `Quick test_request_rewriting;
+          Alcotest.test_case "reject" `Quick test_reject;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "server-side filter" `Quick test_server_side_filter;
+          Alcotest.test_case "client-side interceptor" `Quick test_client_side_interceptor;
+          Alcotest.test_case "reply rewriting" `Quick test_reply_rewriting;
+          Alcotest.test_case "rejected oneway is silent" `Quick test_oneway_reject_is_silent;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+(* Mapping-level tests: Table 1 (type mappings) and Table 2 (reference
+   usages), map functions, and the mapping registry. *)
+
+let map_fn (mapping : Mappings.Mapping.t) name =
+  match Template.Maps.find mapping.Mappings.Mapping.maps name with
+  | Some fn -> fn
+  | None -> Alcotest.failf "mapping %s has no map function %s" mapping.Mappings.Mapping.name name
+
+let heidi = Option.get (Mappings.Registry.find "heidi-cpp")
+let corba = Option.get (Mappings.Registry.find "corba-cpp")
+
+(* Table 1: IDL type -> prescribed C++ type vs alternate (Heidi) type. *)
+let test_table1 () =
+  let prescribed = map_fn corba "CORBA::MapType" in
+  let alternate = map_fn heidi "CPP::MapType" in
+  let rows =
+    [
+      ("long", "CORBA::Long", "long");
+      ("boolean", "CORBA::Boolean", "XBool");
+      ("float", "CORBA::Float", "float");
+      ("short", "CORBA::Short", "short");
+      ("double", "CORBA::Double", "double");
+      ("octet", "CORBA::Octet", "XByte");
+      ("char", "CORBA::Char", "char");
+      ("string", "char*", "HdString");
+    ]
+  in
+  List.iter
+    (fun (idl, want_corba, want_heidi) ->
+      Alcotest.(check string) ("prescribed " ^ idl) want_corba (prescribed idl);
+      Alcotest.(check string) ("alternate " ^ idl) want_heidi (alternate idl))
+    rows
+
+(* Table 2: interface references. CORBA-prescribed A_var/A_ptr vs the
+   legacy A / A* usages the Heidi mapping preserves. *)
+let test_table2 () =
+  let prescribed = map_fn corba "CORBA::MapType" in
+  let alternate = map_fn heidi "CPP::MapType" in
+  Alcotest.(check string) "prescribed objref" "A_ptr" (prescribed "objref(A)");
+  Alcotest.(check string) "legacy objref" "HdA*" (alternate "objref(A)");
+  (* The generated corba-cpp header also declares the _var type. *)
+  let result =
+    Core.Compiler.compile_string ~file_base:"t" ~mapping:corba
+      "interface A { void f(in A x); };"
+  in
+  let header = List.assoc "t.hh" result.Core.Compiler.files in
+  Tutil.check_contains ~what:"Table 2 _ptr" header "typedef A* A_ptr;";
+  Tutil.check_contains ~what:"Table 2 _var" header "A_var;"
+
+let test_hd_naming_convention () =
+  let f = map_fn heidi "CPP::MapClassName" in
+  Alcotest.(check string) "scoped" "HdA" (f "Heidi::A");
+  Alcotest.(check string) "flat" "HdSSequence" (f "Heidi_SSequence");
+  Alcotest.(check string) "top-level" "HdReceiver" (f "Receiver");
+  Alcotest.(check string) "nested" "HdAVCamera" (f "Heidi::AV::Camera")
+
+let test_heidi_type_map () =
+  let f = map_fn heidi "CPP::MapType" in
+  Alcotest.(check string) "sequence" "HdList<HdS>*" (f "sequence(objref(Heidi_S))");
+  Alcotest.(check string) "alias of sequence" "HdSSequence*"
+    (f "alias(Heidi_SSequence)=sequence(objref(Heidi_S))");
+  Alcotest.(check string) "alias of long" "HdMoney" (f "alias(Heidi_Money)=long");
+  Alcotest.(check string) "enum" "HdStatus" (f "enum(Heidi_Status)");
+  Alcotest.(check string) "struct" "HdInfo*" (f "struct(Heidi_Info)");
+  Alcotest.(check string) "nested sequence" "HdList<HdList<long>>*"
+    (f "sequence(sequence(long))");
+  Alcotest.(check string) "longlong" "long long" (f "longlong")
+
+let test_heidi_defaults () =
+  let f = map_fn heidi "CPP::MapDefault" in
+  Alcotest.(check string) "int" "0" (f "int:0");
+  Alcotest.(check string) "true" "XTrue" (f "bool:true");
+  Alcotest.(check string) "false" "XFalse" (f "bool:false");
+  Alcotest.(check string) "enum unqualified (Fig. 3)" "Start" (f "enum:Heidi_Status:Start");
+  Alcotest.(check string) "string" "\"hi\"" (f "string:hi");
+  Alcotest.(check string) "absent" "" (f "")
+
+let test_corba_enum_const_scope () =
+  let f = map_fn corba "CORBA::MapConst" in
+  Alcotest.(check string) "member in enclosing scope" "Heidi::Start"
+    (f "enum:Heidi_Status:Start");
+  Alcotest.(check string) "top-level enum member" "Start" (f "enum:Status:Start")
+
+let test_insert_extract_maps () =
+  let ins = map_fn heidi "CPP::MapInsert" in
+  Alcotest.(check string) "long" "insertLong" (ins "long");
+  Alcotest.(check string) "bool" "insertBool" (ins "boolean");
+  Alcotest.(check string) "objref" "insertObject" (ins "objref(X)");
+  Alcotest.(check string) "seq" "insertList" (ins "sequence(long)");
+  let ext = map_fn heidi "CPP::MapExtract" in
+  Alcotest.(check string) "prim extract" "_c->extractLong()" (ext "long");
+  Alcotest.(check string) "cast extract" "(HdX*) _c->extractObject()" (ext "objref(X)")
+
+let test_java_maps () =
+  let java = Option.get (Mappings.Registry.find "java") in
+  let ty = map_fn java "Java::MapType" in
+  Alcotest.(check string) "long->int" "int" (ty "long");
+  Alcotest.(check string) "sequence->array" "int[]" (ty "sequence(long)");
+  Alcotest.(check string) "alias erased" "int" (ty "alias(T)=long");
+  Alcotest.(check string) "string" "String" (ty "string");
+  Alcotest.(check string) "objref" "S" (ty "objref(Heidi_S)")
+
+let test_ocaml_maps () =
+  let ml = Option.get (Mappings.Registry.find "ocaml") in
+  let ty = map_fn ml "OCaml::MapType" in
+  Alcotest.(check string) "long" "int" (ty "long");
+  Alcotest.(check string) "seq" "int list" (ty "sequence(long)");
+  Alcotest.(check string) "objref" "Orb.Objref.t" (ty "objref(X)");
+  Alcotest.(check string) "enum" "heidi_status" (ty "enum(Heidi_Status)");
+  let putf = map_fn ml "OCaml::MapPut" in
+  Alcotest.(check string) "put long" "put_long" (putf "long");
+  Alcotest.(check string) "put named" "put_heidi_status" (putf "enum(Heidi_Status)");
+  (* Anonymous sequences are a documented restriction. *)
+  match putf "sequence(long)" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "anonymous sequence accepted"
+
+let test_registry () =
+  Alcotest.(check (list string)) "names"
+    [ "heidi-cpp"; "corba-cpp"; "java"; "tcl"; "ocaml" ]
+    Mappings.Registry.names;
+  Alcotest.(check bool) "find missing" true (Mappings.Registry.find "nope" = None);
+  List.iter
+    (fun (m : Mappings.Mapping.t) ->
+      Alcotest.(check bool)
+        (m.Mappings.Mapping.name ^ " has templates")
+        true
+        (Mappings.Mapping.template_names m <> []);
+      (* Every template parses. *)
+      List.iter
+        (fun (tname, src) -> ignore (Template.Parse.parse ~name:tname src))
+        m.Mappings.Mapping.templates)
+    Mappings.Registry.all
+
+let () =
+  Alcotest.run "mappings"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "Table 1: type mappings" `Quick test_table1;
+          Alcotest.test_case "Table 2: reference usages" `Quick test_table2;
+        ] );
+      ( "map functions",
+        [
+          Alcotest.test_case "Hd naming convention" `Quick test_hd_naming_convention;
+          Alcotest.test_case "heidi type map" `Quick test_heidi_type_map;
+          Alcotest.test_case "heidi defaults" `Quick test_heidi_defaults;
+          Alcotest.test_case "corba const scoping" `Quick test_corba_enum_const_scope;
+          Alcotest.test_case "insert/extract" `Quick test_insert_extract_maps;
+          Alcotest.test_case "java maps" `Quick test_java_maps;
+          Alcotest.test_case "ocaml maps" `Quick test_ocaml_maps;
+        ] );
+      ("registry", [ Alcotest.test_case "built-ins" `Quick test_registry ]);
+    ]

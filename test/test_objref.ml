@@ -1,0 +1,71 @@
+(* Stringified object references (paper Section 3.1). *)
+
+let paper_example = "@tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0"
+
+let test_paper_example () =
+  let r = Orb.Objref.of_string paper_example in
+  Alcotest.(check string) "proto" "tcp" r.Orb.Objref.proto;
+  Alcotest.(check string) "host" "galaxy.nec.com" r.Orb.Objref.host;
+  Alcotest.(check int) "port" 1234 r.Orb.Objref.port;
+  Alcotest.(check string) "oid" "9876" r.Orb.Objref.oid;
+  Alcotest.(check string) "type" "IDL:Heidi/A:1.0" r.Orb.Objref.type_id;
+  Alcotest.(check string) "print" paper_example (Orb.Objref.to_string r)
+
+let test_type_id_with_colons () =
+  (* The repository ID part contains ':' characters; only '#' separates. *)
+  let r = Orb.Objref.of_string "@mem:local:7#bootstrap#IDL:X/Y:2.3" in
+  Alcotest.(check string) "type" "IDL:X/Y:2.3" r.Orb.Objref.type_id;
+  Alcotest.(check string) "oid" "bootstrap" r.Orb.Objref.oid
+
+let test_malformed () =
+  List.iter
+    (fun s ->
+      match Orb.Objref.of_string_opt s with
+      | None -> ()
+      | Some _ -> Alcotest.failf "expected parse failure for %S" s)
+    [
+      "";
+      "tcp:h:1#o#t";
+      "@tcp:h#o#t";
+      "@tcp:h:notaport#o#t";
+      "@tcp:h:70000#o#t";
+      "@tcp:h:1#o";
+      "@tcp:h:1#o#t#extra";
+      "@:h:1#o#t";
+      "@tcp::1#o#t";
+    ];
+  match Orb.Objref.of_string "@tcp:h#o#t" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_string should raise"
+
+let test_endpoint () =
+  let r = Orb.Objref.of_string paper_example in
+  Alcotest.(check (triple string string int)) "endpoint"
+    ("tcp", "galaxy.nec.com", 1234) (Orb.Objref.endpoint r)
+
+let gen_objref =
+  QCheck.Gen.(
+    let* proto = oneofl [ "tcp"; "mem"; "udp" ] in
+    let* host = oneofl [ "localhost"; "galaxy.nec.com"; "10.0.0.1"; "h-1.example" ] in
+    let* port = int_bound 65535 in
+    let* oid = oneofl [ "1"; "9876"; "bootstrap"; "a.b.c" ] in
+    let* type_id = oneofl [ "IDL:Heidi/A:1.0"; "IDL:X:2.0"; "t" ] in
+    return (Orb.Objref.make ~proto ~host ~port ~oid ~type_id))
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"objref to_string |> of_string round-trips"
+    (QCheck.make ~print:Orb.Objref.to_string gen_objref)
+    (fun r -> Orb.Objref.equal r (Orb.Objref.of_string (Orb.Objref.to_string r)))
+
+let () =
+  Alcotest.run "objref"
+    [
+      ( "parse-print",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "colons in type id" `Quick test_type_id_with_colons;
+          Alcotest.test_case "malformed references" `Quick test_malformed;
+          Alcotest.test_case "endpoint" `Quick test_endpoint;
+          QCheck_alcotest.to_alcotest roundtrip_prop;
+        ] );
+    ]

@@ -1,0 +1,333 @@
+(* Parser unit tests plus the pretty-printer round-trip property:
+   parse (pretty ast) is structurally equal to ast. *)
+
+module A = Idl.Ast
+
+let parse = Idl.Parser.parse_string ?filename:None
+
+let expect_error name src =
+  match parse src with
+  | exception Idl.Diag.Idl_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected a syntax error" name
+
+(* ---------------- unit tests ---------------- *)
+
+let test_empty () = Alcotest.(check int) "empty" 0 (List.length (parse ""))
+
+let test_module_nesting () =
+  match parse "module M { module N { enum E { a }; }; };" with
+  | [ A.D_module ("M", [ A.D_module ("N", [ A.D_enum e ], _) ], _) ] ->
+      Alcotest.(check (list string)) "members" [ "a" ] e.A.en_members
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_interface_full () =
+  let src =
+    {|interface I : A, ::B::C {
+        typedef long mylong;
+        const short K = 3;
+        exception Broke { string why; };
+        readonly attribute float temp;
+        attribute long a, b;
+        oneway void poke(in long x);
+        long sum(in long a, inout long b, out long c) raises (Broke);
+        void def(in long x, in long y = 2 + 3);
+        void cp(incopy I other);
+      };|}
+  in
+  match parse src with
+  | [ A.D_interface i ] ->
+      Alcotest.(check (list string))
+        "inherits" [ "A"; "::B::C" ]
+        (List.map A.scoped_name_to_string i.A.if_inherits);
+      Alcotest.(check int) "exports" 9 (List.length i.A.if_exports)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_types () =
+  let src =
+    "interface T { void f(in unsigned long long a, in sequence<sequence<long>, 4> b, \
+     in string<16> c, in long long d, in any e); };"
+  in
+  match parse src with
+  | [ A.D_interface { A.if_exports = [ A.Ex_op op ]; _ } ] ->
+      let types = List.map (fun p -> p.A.p_type) op.A.op_params in
+      Alcotest.(check bool) "types" true
+        (types
+        = [
+            A.Unsigned_long_long;
+            A.Sequence (A.Sequence (A.Long, None), Some 4);
+            A.String (Some 16);
+            A.Long_long;
+            A.Any;
+          ])
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_union () =
+  let src =
+    {|union U switch (long) {
+        case 1: case 2: long a;
+        case 3: string b;
+        default: float c;
+      };|}
+  in
+  match parse src with
+  | [ A.D_union u ] ->
+      Alcotest.(check int) "cases" 3 (List.length u.A.un_cases);
+      Alcotest.(check int) "labels of first" 2
+        (List.length (List.hd u.A.un_cases).A.uc_labels)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_const_expr_precedence () =
+  (* 1 + 2 * 3 must parse as 1 + (2 * 3). *)
+  match parse "const long K = 1 + 2 * 3;" with
+  | [ A.D_const { A.cn_value = A.Binary (A.Add, A.Int_lit 1L, A.Binary (A.Mul, A.Int_lit 2L, A.Int_lit 3L)); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_const_expr_shift_or () =
+  match parse "const long K = 1 << 2 | 3 & 4;" with
+  | [ A.D_const { A.cn_value = A.Binary (A.Or, A.Binary (A.Shift_left, _, _), A.Binary (A.And, _, _)); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_default_param_constraints () =
+  expect_error "default then plain" "interface I { void f(in long a = 1, in long b); };";
+  expect_error "default on out" "interface I { void f(out long a = 1); };";
+  ignore (parse "interface I { void f(in long a, in long b = 1, in long c = 2); };")
+
+let test_oneway_constraints () =
+  expect_error "oneway non-void" "interface I { oneway long f(); };";
+  ignore (parse "interface I { oneway void f(in long a); };")
+
+let test_pragma_prefix () =
+  (match parse "#pragma prefix \"nec.com\"\nenum E { a };" with
+  | [ A.D_pragma_prefix ("nec.com", _); A.D_enum _ ] -> ()
+  | _ -> Alcotest.fail "pragma not parsed");
+  (* Other pragmas and preprocessor lines are skipped. *)
+  match parse "#pragma version E 2.0\n#include \"x.idl\"\nenum E { a };" with
+  | [ A.D_enum _ ] -> ()
+  | _ -> Alcotest.fail "other preprocessor lines should be skipped"
+
+let test_pragma_roundtrip () =
+  let spec = parse "#pragma prefix \"nec.com\"\nenum E { a };" in
+  let reparsed = parse (Idl.Pretty.to_string spec) in
+  Alcotest.(check bool) "roundtrip" true (A.equal_spec spec reparsed)
+
+let test_forward_decl () =
+  match parse "interface F; interface F { void f(); };" with
+  | [ A.D_forward ("F", _); A.D_interface _ ] -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_syntax_errors () =
+  expect_error "missing semi" "interface I { void f() }";
+  expect_error "missing brace" "module M { interface I;";
+  expect_error "bad inheritance" "interface I : { };";
+  expect_error "unsigned float" "interface I { void f(in unsigned float x); };";
+  expect_error "trailing garbage" "enum E { a }; junk";
+  expect_error "empty enum" "enum E { };";
+  expect_error "union without labels" "union U switch (long) { long a; };"
+
+(* ---------------- round-trip property ---------------- *)
+
+let gen_ident =
+  QCheck.Gen.(
+    let* base = oneofl [ "a"; "b"; "foo"; "bar"; "val1"; "x_y"; "Zed" ] in
+    let* n = int_bound 99 in
+    return (Printf.sprintf "%s%d" base n))
+
+let gen_scoped_name =
+  QCheck.Gen.(
+    let* absolute = bool in
+    let* parts = list_size (int_range 1 3) gen_ident in
+    return (A.scoped ~absolute parts))
+
+let rec gen_type_spec depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      oneof
+        [
+          oneofl
+            [
+              A.Short; A.Long; A.Long_long; A.Unsigned_short; A.Unsigned_long;
+              A.Unsigned_long_long; A.Float; A.Double; A.Boolean; A.Char;
+              A.Octet; A.Any; A.String None;
+            ];
+          map (fun n -> A.String (Some (1 + abs n mod 100))) small_int;
+          map (fun sn -> A.Named sn) gen_scoped_name;
+        ]
+    else
+      frequency
+        [
+          (3, gen_type_spec 0);
+          ( 1,
+            let* elem = gen_type_spec (depth - 1) in
+            let* bound = opt (map (fun n -> 1 + (abs n mod 100)) small_int) in
+            return (A.Sequence (elem, bound)) );
+        ])
+
+(* Literal-only constant expressions re-parse exactly; negative numbers
+   would come back as Unary(Neg, _), so magnitudes are kept positive and
+   negation is expressed structurally. *)
+let rec gen_const_expr depth =
+  QCheck.Gen.(
+    let leaf =
+      oneof
+        [
+          map (fun n -> A.Int_lit (Int64.of_int (abs n))) small_int;
+          map (fun f -> A.Float_lit (Float.abs f)) (float_bound_inclusive 1e6);
+          map (fun b -> A.Bool_lit b) bool;
+          map (fun c -> A.Char_lit c) (char_range 'a' 'z');
+          map (fun s -> A.String_lit s) (string_size ~gen:(char_range 'a' 'z') (int_bound 8));
+          map (fun sn -> A.Name_ref sn) gen_scoped_name;
+        ]
+    in
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          ( 1,
+            let* op = oneofl [ A.Neg; A.Pos; A.Bit_not ] in
+            let* e = gen_const_expr (depth - 1) in
+            return (A.Unary (op, e)) );
+          ( 1,
+            let* op =
+              oneofl
+                [ A.Or; A.Xor; A.And; A.Shift_left; A.Shift_right; A.Add;
+                  A.Sub; A.Mul; A.Div; A.Mod ]
+            in
+            let* a = gen_const_expr (depth - 1) in
+            let* b = gen_const_expr (depth - 1) in
+            return (A.Binary (op, a, b)) );
+        ])
+
+let gen_param =
+  QCheck.Gen.(
+    let* mode = oneofl [ A.In; A.Out; A.Inout; A.Incopy ] in
+    let* ty = gen_type_spec 1 in
+    let* name = gen_ident in
+    return { A.p_mode = mode; p_type = ty; p_name = name; p_default = None; p_loc = Idl.Loc.dummy })
+
+let gen_operation =
+  QCheck.Gen.(
+    let* ret = oneofl [ A.Void; A.Long; A.String None ] in
+    let* name = gen_ident in
+    let* params = list_size (int_bound 4) gen_param in
+    (* An optional default on the last in-mode parameter keeps the
+       parser's trailing-defaults rule satisfied. *)
+    let* dflt = opt (gen_const_expr 1) in
+    let params =
+      match (List.rev params, dflt) with
+      | last :: rest, Some d
+        when last.A.p_mode = A.In || last.A.p_mode = A.Incopy ->
+          List.rev ({ last with A.p_default = Some d } :: rest)
+      | _ -> params
+    in
+    let* raises = list_size (int_bound 2) gen_scoped_name in
+    return
+      {
+        A.op_oneway = false;
+        op_return = ret;
+        op_name = name;
+        op_params = params;
+        op_raises = raises;
+        op_loc = Idl.Loc.dummy;
+      })
+
+let gen_export =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun op -> A.Ex_op op) gen_operation);
+        ( 1,
+          let* ro = bool in
+          let* ty = gen_type_spec 1 in
+          let* names = list_size (int_range 1 2) gen_ident in
+          return
+            (A.Ex_attr
+               { A.at_readonly = ro; at_type = ty; at_names = names; at_loc = Idl.Loc.dummy })
+        );
+        ( 1,
+          let* ty = gen_type_spec 1 in
+          let* names = list_size (int_range 1 2) gen_ident in
+          return
+            (A.Ex_typedef { A.td_type = ty; td_names = names; td_loc = Idl.Loc.dummy }) );
+      ])
+
+let rec gen_definition depth =
+  QCheck.Gen.(
+    let module_case =
+      (* Constructed only when depth > 0 to avoid unbounded recursion at
+         generator-construction time. *)
+      if depth > 0 then
+        [
+          ( 1,
+            let* name = gen_ident in
+            let* defs = list_size (int_range 1 3) (gen_definition (depth - 1)) in
+            return (A.D_module (name, defs, Idl.Loc.dummy)) );
+        ]
+      else []
+    in
+    frequency
+      (module_case
+      @ [
+        ( 3,
+          let* name = gen_ident in
+          let* inherits = list_size (int_bound 2) gen_scoped_name in
+          let* exports = list_size (int_bound 5) gen_export in
+          return
+            (A.D_interface
+               { A.if_name = name; if_inherits = inherits; if_exports = exports;
+                 if_loc = Idl.Loc.dummy }) );
+        ( 1,
+          let* name = gen_ident in
+          let* members = list_size (int_range 1 4) gen_ident in
+          return (A.D_enum { A.en_name = name; en_members = members; en_loc = Idl.Loc.dummy }) );
+        ( 1,
+          let* name = gen_ident in
+          let* fields =
+            list_size (int_range 1 3)
+              (let* ty = gen_type_spec 1 in
+               let* fname = gen_ident in
+               return { A.sm_type = ty; sm_names = [ fname ]; sm_loc = Idl.Loc.dummy })
+          in
+          return (A.D_struct { A.st_name = name; st_members = fields; st_loc = Idl.Loc.dummy }) );
+        ( 1,
+          let* ty = oneofl [ A.Long; A.Boolean; A.String None; A.Double; A.Char ] in
+          let* name = gen_ident in
+          let* value = gen_const_expr 2 in
+          return
+            (A.D_const { A.cn_type = ty; cn_name = name; cn_value = value; cn_loc = Idl.Loc.dummy })
+        );
+      ]))
+
+let gen_spec = QCheck.Gen.(list_size (int_range 1 4) (gen_definition 2))
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:300 ~name:"pretty |> parse round-trips"
+    (QCheck.make ~print:(fun spec -> Idl.Pretty.to_string spec) gen_spec)
+    (fun spec ->
+      let printed = Idl.Pretty.to_string spec in
+      let reparsed = Idl.Parser.parse_string printed in
+      A.equal_spec spec reparsed)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty input" `Quick test_empty;
+          Alcotest.test_case "module nesting" `Quick test_module_nesting;
+          Alcotest.test_case "interface constructs" `Quick test_interface_full;
+          Alcotest.test_case "type specs" `Quick test_types;
+          Alcotest.test_case "unions" `Quick test_union;
+          Alcotest.test_case "const precedence (* over +)" `Quick test_const_expr_precedence;
+          Alcotest.test_case "const precedence (shift, or, and)" `Quick test_const_expr_shift_or;
+          Alcotest.test_case "default parameter rules" `Quick test_default_param_constraints;
+          Alcotest.test_case "oneway rules" `Quick test_oneway_constraints;
+          Alcotest.test_case "forward declarations" `Quick test_forward_decl;
+          Alcotest.test_case "#pragma prefix" `Quick test_pragma_prefix;
+          Alcotest.test_case "#pragma round-trip" `Quick test_pragma_roundtrip;
+          Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest roundtrip_prop ]);
+    ]

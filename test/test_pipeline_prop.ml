@@ -1,0 +1,215 @@
+(* End-to-end pipeline property: for ANY semantically valid IDL module,
+   every built-in mapping generates output without raising — the
+   whole-compiler counterpart to the per-module property tests.
+
+   A generator of *valid* IDL: names are unique by construction, type
+   references only point at previously declared types, sequences appear
+   only under typedefs (the documented restriction of the ocaml
+   mapping), and interfaces inherit only from previously declared
+   interfaces with disjoint operation names. *)
+
+type pool = {
+  mutable enums : string list;
+  mutable structs : string list;
+  mutable aliases : string list;
+  mutable interfaces : (string * string list) list;
+      (** name, all operation/attribute names (for inheritance clashes) *)
+  mutable exceptions : string list;
+  mutable counter : int;
+}
+
+let fresh pool prefix =
+  pool.counter <- pool.counter + 1;
+  Printf.sprintf "%s%d" prefix pool.counter
+
+let primitives =
+  [ "short"; "long"; "long long"; "unsigned short"; "unsigned long";
+    "float"; "double"; "boolean"; "char"; "octet"; "string" ]
+
+(* A type usable in operation/member position (no anonymous sequences). *)
+let gen_used_type pool st =
+  let candidates =
+    List.concat
+      [
+        List.map (fun p -> p) primitives;
+        pool.enums;
+        pool.structs;
+        pool.aliases;
+        List.map fst pool.interfaces;
+      ]
+  in
+  List.nth candidates (Random.State.int st (List.length candidates))
+
+(* Sequence element types: anything already declared or primitive. *)
+let gen_elem_type = gen_used_type
+
+let gen_definition pool buf st =
+  match Random.State.int st 6 with
+  | 0 ->
+      let name = fresh pool "E" in
+      let members = List.init (1 + Random.State.int st 4) (fun _ -> fresh pool "m") in
+      Buffer.add_string buf
+        (Printf.sprintf "  enum %s { %s };\n" name (String.concat ", " members));
+      pool.enums <- name :: pool.enums
+  | 1 ->
+      let name = fresh pool "S" in
+      let fields =
+        List.init (1 + Random.State.int st 3) (fun _ ->
+            Printf.sprintf "    %s %s;" (gen_used_type pool st) (fresh pool "f"))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  struct %s {\n%s\n  };\n" name (String.concat "\n" fields));
+      pool.structs <- name :: pool.structs
+  | 2 ->
+      let name = fresh pool "T" in
+      if Random.State.bool st then
+        Buffer.add_string buf
+          (Printf.sprintf "  typedef sequence<%s> %s;\n" (gen_elem_type pool st) name)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "  typedef %s %s;\n" (gen_used_type pool st) name);
+      pool.aliases <- name :: pool.aliases
+  | 3 ->
+      let name = fresh pool "X" in
+      Buffer.add_string buf
+        (Printf.sprintf "  exception %s { string %s; };\n" name (fresh pool "why"));
+      pool.exceptions <- name :: pool.exceptions
+  | _ ->
+      let name = fresh pool "I" in
+      let bases =
+        (* Inherit from up to 2 distinct previously declared interfaces. *)
+        match List.map fst pool.interfaces with
+        | [] -> []
+        | available ->
+            let n = Random.State.int st (min 3 (List.length available + 1)) in
+            let rec pick k acc avail =
+              if k = 0 || avail = [] then acc
+              else
+                let i = Random.State.int st (List.length avail) in
+                let b = List.nth avail i in
+                pick (k - 1) (b :: acc) (List.filter (fun x -> x <> b) avail)
+            in
+            pick n [] available
+      in
+      let ops = ref [] in
+      let body = Buffer.create 128 in
+      for _ = 0 to Random.State.int st 4 do
+        let op = fresh pool "op" in
+        ops := op :: !ops;
+        let params =
+          List.init (Random.State.int st 3) (fun _ ->
+              let mode =
+                match Random.State.int st 3 with
+                | 0 -> "in"
+                | 1 -> "incopy"
+                | _ -> "in"
+              in
+              Printf.sprintf "%s %s %s" mode (gen_used_type pool st) (fresh pool "a"))
+        in
+        let raises =
+          match pool.exceptions with
+          | x :: _ when Random.State.bool st -> Printf.sprintf " raises (%s)" x
+          | _ -> ""
+        in
+        let ret = if Random.State.bool st then "void" else gen_used_type pool st in
+        Buffer.add_string body
+          (Printf.sprintf "    %s %s(%s)%s;\n" ret op (String.concat ", " params) raises)
+      done;
+      (if Random.State.bool st then
+         let attr = fresh pool "attr" in
+         ops := attr :: !ops;
+         Buffer.add_string body
+           (Printf.sprintf "    %sattribute %s %s;\n"
+              (if Random.State.bool st then "readonly " else "")
+              (gen_used_type pool st) attr));
+      let inherited_ops =
+        List.concat_map
+          (fun b -> try List.assoc b pool.interfaces with Not_found -> [])
+          bases
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  interface %s%s {\n%s  };\n" name
+           (if bases = [] then "" else " : " ^ String.concat ", " bases)
+           (Buffer.contents body));
+      pool.interfaces <- (name, !ops @ inherited_ops) :: pool.interfaces
+
+let gen_valid_idl st =
+  let pool =
+    { enums = []; structs = []; aliases = []; interfaces = []; exceptions = [];
+      counter = 0 }
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "module Gen {\n";
+  for _ = 0 to 3 + Random.State.int st 8 do
+    gen_definition pool buf st
+  done;
+  Buffer.add_string buf "};\n";
+  Buffer.contents buf
+
+let all_mappings_prop =
+  QCheck.Test.make ~count:200
+    ~name:"every mapping compiles any valid IDL without raising"
+    (QCheck.make ~print:(fun s -> s) gen_valid_idl)
+    (fun src ->
+      (* The property is "no exception": a mapping may legitimately emit
+         nothing for IDL without interfaces (java opens files only per
+         interface). *)
+      List.for_all
+        (fun (m : Mappings.Mapping.t) ->
+          ignore (Core.Compiler.compile_string ~file_base:"g" ~mapping:m src);
+          true)
+        Mappings.Registry.all)
+
+let est_dump_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"valid IDL: EST dump round-trips"
+    (QCheck.make ~print:(fun s -> s) gen_valid_idl)
+    (fun src ->
+      let est = Core.Compiler.est_of_string ~file_base:"g" src in
+      Est.Node.equal est (Est.Dump.of_text (Est.Dump.to_text est)))
+
+let pretty_reparse_resolve_prop =
+  QCheck.Test.make ~count:200
+    ~name:"valid IDL: pretty |> reparse |> resolve still succeeds"
+    (QCheck.make ~print:(fun s -> s) gen_valid_idl)
+    (fun src ->
+      let ast = Idl.Parser.parse_string src in
+      let printed = Idl.Pretty.to_string ast in
+      let sem = Est.Resolve.spec (Idl.Parser.parse_string printed) in
+      Est.Sem.all_entities sem <> [])
+
+(* The generated OCaml must at least be syntactically valid OCaml for any
+   valid IDL (full typing is exercised by the checked-in module). *)
+let ocaml_output_parses_prop =
+  let ocaml_mapping = Option.get (Mappings.Registry.find "ocaml") in
+  QCheck.Test.make ~count:50 ~name:"valid IDL: ocaml mapping output parses"
+    (QCheck.make ~print:(fun s -> s) gen_valid_idl)
+    (fun src ->
+      let result =
+        Core.Compiler.compile_string ~file_base:"g" ~mapping:ocaml_mapping src
+      in
+      let ml = List.assoc "g_rmi.ml" result.Core.Compiler.files in
+      let tmp = Filename.temp_file "gen" ".ml" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove tmp)
+        (fun () ->
+          let oc = open_out tmp in
+          output_string oc ml;
+          close_out oc;
+          Sys.command
+            (Printf.sprintf
+               "ocamlfind ocamlc -stop-after parsing -impl %s 2>/dev/null"
+               (Filename.quote tmp))
+          = 0))
+
+let () =
+  Alcotest.run "pipeline-prop"
+    [
+      ( "valid-IDL properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            all_mappings_prop;
+            est_dump_roundtrip_prop;
+            pretty_reparse_resolve_prop;
+            ocaml_output_parses_prop;
+          ] );
+    ]

@@ -1,0 +1,207 @@
+(* Protocol envelope tests: the request/reply messages of both the text
+   protocol and the GIOP-like binary protocol, plus framing. *)
+
+module P = Orb.Protocol
+
+let protocols =
+  [
+    P.text;
+    Giop.protocol ();
+    Giop.protocol ~order:Wire.Cdr_codec.Little_endian ();
+  ]
+
+let sample_target =
+  Orb.Objref.make ~proto:"tcp" ~host:"galaxy.nec.com" ~port:1234 ~oid:"9876"
+    ~type_id:"IDL:Heidi/A:1.0"
+
+let sample_request payload =
+  P.Request
+    { P.req_id = 42; target = sample_target; operation = "f"; oneway = false; payload }
+
+let check_message proto msg =
+  let bytes = proto.P.encode_message msg in
+  let back = proto.P.decode_message bytes in
+  let render = function
+    | P.Request r ->
+        Printf.sprintf "req %d %s %s %b %S" r.P.req_id
+          (Orb.Objref.to_string r.P.target)
+          r.P.operation r.P.oneway r.P.payload
+    | P.Reply r ->
+        Printf.sprintf "rep %d %s %S" r.P.rep_id
+          (match r.P.status with
+          | P.Status_ok -> "ok"
+          | P.Status_user_exception id -> "exn " ^ id
+          | P.Status_system_error m -> "err " ^ m)
+          r.P.payload
+    | P.Locate_request { req_id; target } ->
+        Printf.sprintf "locate %d %s" req_id (Orb.Objref.to_string target)
+    | P.Locate_reply { rep_id; found } -> Printf.sprintf "located %d %b" rep_id found
+  in
+  Alcotest.(check string) proto.P.name (render msg) (render back)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun proto ->
+      let payload =
+        let e = proto.P.codec.Wire.Codec.encoder () in
+        e.Wire.Codec.put_long 7;
+        e.Wire.Codec.put_string "arg";
+        e.Wire.Codec.finish ()
+      in
+      check_message proto (sample_request payload);
+      check_message proto (sample_request "");
+      check_message proto
+        (P.Request
+           { P.req_id = 0; target = sample_target; operation = "_get_state";
+             oneway = true; payload }))
+    protocols
+
+let test_locate_roundtrip () =
+  List.iter
+    (fun proto ->
+      check_message proto (P.Locate_request { req_id = 5; target = sample_target });
+      check_message proto (P.Locate_reply { rep_id = 5; found = true });
+      check_message proto (P.Locate_reply { rep_id = 6; found = false }))
+    protocols
+
+let test_reply_roundtrip () =
+  List.iter
+    (fun proto ->
+      check_message proto (P.Reply { P.rep_id = 1; status = P.Status_ok; payload = "" });
+      check_message proto
+        (P.Reply
+           { P.rep_id = 9999; status = P.Status_user_exception "IDL:E:1.0";
+             payload = "xyz" });
+      check_message proto
+        (P.Reply
+           { P.rep_id = 3; status = P.Status_system_error "no object"; payload = "" }))
+    protocols
+
+let test_payload_encapsulation () =
+  (* The payload travels as an opaque counted string: binary payload
+     bytes survive embedding in the envelope of every protocol. *)
+  let binary_payload = "\000\001\255\n\"raw\" \\bytes\000" in
+  List.iter
+    (fun proto ->
+      match proto.P.decode_message (proto.P.encode_message (sample_request binary_payload)) with
+      | P.Request r -> Alcotest.(check string) proto.P.name binary_payload r.P.payload
+      | _ -> Alcotest.fail "wrong message kind")
+    [ Giop.protocol (); Giop.protocol ~order:Wire.Cdr_codec.Little_endian () ]
+
+let test_malformed_messages () =
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun bytes ->
+          match proto.P.decode_message bytes with
+          | exception P.Protocol_error _ -> ()
+          | exception Wire.Codec.Type_error _ ->
+              Alcotest.fail "Type_error leaked through decode_message"
+          | _ -> Alcotest.failf "%s: expected protocol error" proto.P.name)
+        [ ""; "garbage"; "\042" ])
+    protocols
+
+let test_bad_target_rejected () =
+  let proto = P.text in
+  (* Hand-craft a request whose target reference is malformed. *)
+  let e = proto.P.codec.Wire.Codec.encoder () in
+  e.Wire.Codec.put_octet 0;
+  e.Wire.Codec.put_ulong 1;
+  e.Wire.Codec.put_bool false;
+  e.Wire.Codec.put_string "not-a-reference";
+  e.Wire.Codec.put_string "op";
+  e.Wire.Codec.put_string "";
+  match proto.P.decode_message (e.Wire.Codec.finish ()) with
+  | exception P.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "malformed target accepted"
+
+let test_text_message_is_a_line () =
+  let bytes = P.text.P.encode_message (sample_request "l1 s\"x\"") in
+  Alcotest.(check bool) "no newline" false (String.contains bytes '\n')
+
+(* ---------------- framing through a channel ---------------- *)
+
+let exchange_frames proto msgs =
+  let listener = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
+  let port = listener.Orb.Transport.bound_port in
+  let received = ref [] in
+  let server =
+    Thread.create
+      (fun () ->
+        let chan = listener.Orb.Transport.accept () in
+        let comm = Orb.Communicator.wrap proto chan in
+        List.iter (fun _ -> received := Orb.Communicator.recv comm :: !received) msgs;
+        Orb.Communicator.close comm)
+      ()
+  in
+  let chan = Orb.Transport.connect ~proto:"mem" ~host:"local" ~port in
+  let comm = Orb.Communicator.wrap proto chan in
+  List.iter (fun m -> Orb.Communicator.send comm m) msgs;
+  Thread.join server;
+  Orb.Communicator.close comm;
+  listener.Orb.Transport.shutdown ();
+  List.rev !received
+
+let test_framing_preserves_message_boundaries () =
+  List.iter
+    (fun proto ->
+      let msgs =
+        [
+          sample_request "payload-1";
+          P.Reply { P.rep_id = 1; status = P.Status_ok; payload = "payload-2" };
+          sample_request "";
+        ]
+      in
+      let got = exchange_frames proto msgs in
+      Alcotest.(check int) (proto.P.name ^ " count") 3 (List.length got);
+      List.iter2
+        (fun want have ->
+          let payload = function
+            | P.Request r -> r.P.payload
+            | P.Reply r -> r.P.payload
+            | P.Locate_request _ | P.Locate_reply _ -> ""
+          in
+          Alcotest.(check string) proto.P.name (payload want) (payload have))
+        msgs got)
+    protocols
+
+let test_giop_frame_header () =
+  let proto = Giop.protocol () in
+  let listener = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
+  let port = listener.Orb.Transport.bound_port in
+  let t =
+    Thread.create
+      (fun () ->
+        let chan = listener.Orb.Transport.accept () in
+        let comm = Orb.Communicator.wrap proto chan in
+        ignore (Orb.Communicator.send comm (sample_request "x"));
+        Orb.Communicator.close comm)
+      ()
+  in
+  let chan = Orb.Transport.connect ~proto:"mem" ~host:"local" ~port in
+  let header = chan.Orb.Transport.read_line () in
+  Thread.join t;
+  Alcotest.(check string) "magic" Giop.magic (String.sub header 0 (String.length Giop.magic));
+  Alcotest.(check int) "header length" (String.length Giop.magic + 8) (String.length header);
+  chan.Orb.Transport.close ();
+  listener.Orb.Transport.shutdown ()
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "envelope",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "reply round-trip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "locate round-trip" `Quick test_locate_roundtrip;
+          Alcotest.test_case "payload encapsulation" `Quick test_payload_encapsulation;
+          Alcotest.test_case "malformed messages" `Quick test_malformed_messages;
+          Alcotest.test_case "bad target rejected" `Quick test_bad_target_rejected;
+          Alcotest.test_case "text message is one line" `Quick test_text_message_is_a_line;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "message boundaries" `Quick test_framing_preserves_message_boundaries;
+          Alcotest.test_case "GIOP frame header" `Quick test_giop_frame_header;
+        ] );
+    ]

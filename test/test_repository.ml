@@ -1,0 +1,100 @@
+(* Interface Repository tests (Section 5: the OmniBroker IR integration —
+   store the EST, generate later without reparsing). *)
+
+let temp_dir () =
+  let dir = Filename.temp_file "ir" "" in
+  Sys.remove dir;
+  dir
+
+let fig3_idl =
+  {|module Heidi {
+      enum Status {Start, Stop};
+      interface S { void ping(); };
+      interface A : S { void f(in A a); };
+    };|}
+
+let est_of ?(file_base = "A") src =
+  Core.Compiler.est_of_string ~file_base src
+
+let test_store_load_roundtrip () =
+  let repo = Core.Repository.open_ ~dir:(temp_dir ()) in
+  let est = est_of fig3_idl in
+  let name = Core.Repository.store repo est in
+  Alcotest.(check string) "unit name" "A" name;
+  match Core.Repository.load repo "A" with
+  | Some back -> Alcotest.(check bool) "equal" true (Est.Node.equal est back)
+  | None -> Alcotest.fail "unit lost"
+
+let test_units_listing () =
+  let repo = Core.Repository.open_ ~dir:(temp_dir ()) in
+  ignore (Core.Repository.store repo (est_of ~file_base:"zeta" "enum E { a };"));
+  ignore (Core.Repository.store repo (est_of ~file_base:"alpha" "enum F { b };"));
+  Alcotest.(check (list string)) "sorted" [ "alpha"; "zeta" ]
+    (Core.Repository.units repo);
+  Core.Repository.remove repo "zeta";
+  Alcotest.(check (list string)) "removed" [ "alpha" ] (Core.Repository.units repo);
+  Alcotest.(check bool) "missing load" true (Core.Repository.load repo "zeta" = None)
+
+let test_overwrite () =
+  let repo = Core.Repository.open_ ~dir:(temp_dir ()) in
+  ignore (Core.Repository.store repo (est_of "enum E { a };"));
+  ignore (Core.Repository.store repo (est_of "enum E { a, b };"));
+  match Core.Repository.load repo "A" with
+  | Some est ->
+      let enum = List.hd (Est.Node.group est "enumList") in
+      Alcotest.(check int) "latest version" 2
+        (List.length (Est.Node.group enum "memberList"))
+  | None -> Alcotest.fail "unit lost"
+
+let test_find_interface () =
+  let repo = Core.Repository.open_ ~dir:(temp_dir ()) in
+  ignore (Core.Repository.store repo (est_of fig3_idl));
+  ignore
+    (Core.Repository.store repo
+       (est_of ~file_base:"R" "interface Receiver { void print(in string t); };"));
+  (match Core.Repository.find_interface repo ~repo_id:"IDL:Heidi/A:1.0" with
+  | Some (unit_name, iface) ->
+      Alcotest.(check string) "unit" "A" unit_name;
+      Alcotest.(check string) "iface" "A" (Est.Node.name iface)
+  | None -> Alcotest.fail "interface not found");
+  (match Core.Repository.find_interface repo ~repo_id:"IDL:Receiver:1.0" with
+  | Some (unit_name, _) -> Alcotest.(check string) "unit" "R" unit_name
+  | None -> Alcotest.fail "interface not found");
+  Alcotest.(check bool) "missing" true
+    (Core.Repository.find_interface repo ~repo_id:"IDL:No/Such:1.0" = None)
+
+let test_generate_from_ir () =
+  (* The Section 5 scenario end to end: stage 1 stores; much later,
+     stage 2 generates from the IR without any IDL around. *)
+  let repo = Core.Repository.open_ ~dir:(temp_dir ()) in
+  ignore (Core.Repository.store repo (est_of fig3_idl));
+  let est = Option.get (Core.Repository.load repo "A") in
+  let mapping = Option.get (Mappings.Registry.find "heidi-cpp") in
+  let result =
+    Core.Compiler.generate ~maps:mapping.Mappings.Mapping.maps
+      ~templates:mapping.Mappings.Mapping.templates est
+  in
+  Tutil.check_contains ~what:"generated from IR"
+    (List.assoc "A.hh" result.Core.Compiler.files)
+    "class HdA : virtual public HdS"
+
+let test_store_requires_file_base () =
+  let repo = Core.Repository.open_ ~dir:(temp_dir ()) in
+  let bare = Est.Node.create ~name:"" ~kind:"Root" in
+  match Core.Repository.store repo bare with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stored an EST without a fileBase"
+
+let () =
+  Alcotest.run "repository"
+    [
+      ( "interface repository",
+        [
+          Alcotest.test_case "store/load round-trip" `Quick test_store_load_roundtrip;
+          Alcotest.test_case "unit listing and removal" `Quick test_units_listing;
+          Alcotest.test_case "overwrite keeps latest" `Quick test_overwrite;
+          Alcotest.test_case "find interface by repo id" `Quick test_find_interface;
+          Alcotest.test_case "generate from the IR" `Quick test_generate_from_ir;
+          Alcotest.test_case "fileBase required" `Quick test_store_requires_file_base;
+        ] );
+    ]

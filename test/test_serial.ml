@@ -1,0 +1,152 @@
+(* Pass-by-reference and incopy pass-by-value marshaling (Section 3.1). *)
+
+let codecs =
+  [
+    Wire.Text_codec.codec;
+    Wire.Cdr_codec.codec Wire.Cdr_codec.Big_endian;
+  ]
+
+let sample_ref =
+  Orb.Objref.make ~proto:"mem" ~host:"local" ~port:3 ~oid:"17"
+    ~type_id:"IDL:Heidi/S:1.0"
+
+let through codec put get =
+  let e = codec.Wire.Codec.encoder () in
+  put e;
+  get (codec.Wire.Codec.decoder (e.Wire.Codec.finish ()))
+
+let test_byref_roundtrip () =
+  List.iter
+    (fun codec ->
+      let got =
+        through codec
+          (fun e -> Orb.Serial.put_byref e (Some sample_ref))
+          Orb.Serial.get_byref
+      in
+      Alcotest.(check bool) codec.Wire.Codec.name true
+        (got = Some sample_ref))
+    codecs
+
+let test_nil_reference () =
+  List.iter
+    (fun codec ->
+      let got =
+        through codec (fun e -> Orb.Serial.put_byref e None) Orb.Serial.get_byref
+      in
+      Alcotest.(check bool) "nil" true (got = None))
+    codecs
+
+let test_byref_malformed () =
+  let codec = Wire.Text_codec.codec in
+  let e = codec.Wire.Codec.encoder () in
+  e.Wire.Codec.put_string "not a reference";
+  match Orb.Serial.get_byref (codec.Wire.Codec.decoder (e.Wire.Codec.finish ())) with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "malformed reference accepted"
+
+(* A toy serializable "document": state is a title and a body. *)
+type doc = { title : string; body : string }
+
+let put_doc (e : Wire.Codec.encoder) d =
+  e.Wire.Codec.put_string d.title;
+  e.Wire.Codec.put_string d.body
+
+let get_doc (d : Wire.Codec.decoder) =
+  let title = d.Wire.Codec.get_string () in
+  let body = d.Wire.Codec.get_string () in
+  { title; body }
+
+let doc_type = "IDL:Docs/Doc:1.0"
+
+let test_incopy_by_value () =
+  List.iter
+    (fun codec ->
+      let registry = Orb.Serial.create_registry () in
+      Orb.Serial.register_factory registry ~type_id:doc_type (fun d ->
+          `Local (get_doc d));
+      let doc = { title = "readme"; body = "hello" } in
+      let got =
+        through codec
+          (fun e ->
+            Orb.Serial.put_incopy e
+              ~serializer:(Some (fun e -> put_doc e doc))
+              ~type_id:doc_type
+              ~byref:(fun () -> Alcotest.fail "byref must not be called"))
+          (fun d ->
+            Orb.Serial.get_incopy d ~registry ~of_ref:(fun r -> `Remote r))
+      in
+      match got with
+      | `Local d ->
+          Alcotest.(check string) "title" "readme" d.title;
+          Alcotest.(check string) "body" "hello" d.body
+      | `Remote _ -> Alcotest.fail "expected by-value arrival")
+    codecs
+
+let test_incopy_fallback_to_reference () =
+  (* A non-serializable object falls back to pass-by-reference, "if
+     possible" semantics (Section 3.1). *)
+  List.iter
+    (fun codec ->
+      let registry = Orb.Serial.create_registry () in
+      let got =
+        through codec
+          (fun e ->
+            Orb.Serial.put_incopy e ~serializer:None ~type_id:doc_type
+              ~byref:(fun () -> sample_ref))
+          (fun d -> Orb.Serial.get_incopy d ~registry ~of_ref:(fun r -> `Remote r))
+      in
+      match got with
+      | `Remote r -> Alcotest.(check bool) "same ref" true (Orb.Objref.equal r sample_ref)
+      | `Local _ -> Alcotest.fail "expected by-reference arrival")
+    codecs
+
+let test_incopy_missing_factory () =
+  let codec = Wire.Text_codec.codec in
+  let registry = Orb.Serial.create_registry () in
+  let e = codec.Wire.Codec.encoder () in
+  Orb.Serial.put_incopy e
+    ~serializer:(Some (fun e -> put_doc e { title = "t"; body = "b" }))
+    ~type_id:"IDL:Unknown:1.0"
+    ~byref:(fun () -> sample_ref);
+  match
+    Orb.Serial.get_incopy
+      (codec.Wire.Codec.decoder (e.Wire.Codec.finish ()))
+      ~registry
+      ~of_ref:(fun _ -> `Remote)
+  with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "missing factory accepted"
+
+let test_factory_registry () =
+  let registry = Orb.Serial.create_registry () in
+  Alcotest.(check bool) "absent" true
+    (Orb.Serial.find_factory registry ~type_id:"x" = None);
+  Orb.Serial.register_factory registry ~type_id:"x" (fun _ -> 1);
+  Orb.Serial.register_factory registry ~type_id:"y" (fun _ -> 2);
+  Alcotest.(check bool) "present" true
+    (Option.is_some (Orb.Serial.find_factory registry ~type_id:"x"));
+  (* Re-registration replaces. *)
+  Orb.Serial.register_factory registry ~type_id:"x" (fun _ -> 3);
+  let codec = Wire.Text_codec.codec in
+  let d = codec.Wire.Codec.decoder "" in
+  match Orb.Serial.find_factory registry ~type_id:"x" with
+  | Some f -> Alcotest.(check int) "replaced" 3 (f d)
+  | None -> Alcotest.fail "factory lost"
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "by-reference",
+        [
+          Alcotest.test_case "round-trip" `Quick test_byref_roundtrip;
+          Alcotest.test_case "nil reference" `Quick test_nil_reference;
+          Alcotest.test_case "malformed" `Quick test_byref_malformed;
+        ] );
+      ( "incopy",
+        [
+          Alcotest.test_case "by value" `Quick test_incopy_by_value;
+          Alcotest.test_case "fallback to reference" `Quick test_incopy_fallback_to_reference;
+          Alcotest.test_case "missing factory" `Quick test_incopy_missing_factory;
+          Alcotest.test_case "factory registry" `Quick test_factory_registry;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* Smart proxy tests (Section 5: Orbix smart proxies / Visibroker smart
+   stubs): client-side caching of object state. *)
+
+let with_pair f =
+  let server = Orb.create () in
+  Orb.start server;
+  let client = Orb.create () in
+  Fun.protect
+    ~finally:(fun () ->
+      Orb.shutdown client;
+      Orb.shutdown server)
+    (fun () -> f ~server ~client)
+
+(* A counter servant that tracks how many remote calls actually land. *)
+let counter_skeleton () =
+  let value = ref 0 in
+  let gets = ref 0 in
+  ( Orb.Skeleton.create ~type_id:"IDL:Test/Counter:1.0"
+      [
+        ("get", fun _ results ->
+            incr gets;
+            results.Wire.Codec.put_long !value);
+        ("add", fun args results ->
+            value := !value + args.Wire.Codec.get_long ();
+            results.Wire.Codec.put_long !value);
+        ("describe", fun args results ->
+            incr gets;
+            let detail = args.Wire.Codec.get_string () in
+            results.Wire.Codec.put_string (Printf.sprintf "counter(%s)=%d" detail !value));
+      ],
+    gets )
+
+let get proxy =
+  let d = Orb.Smart.call proxy ~op:"get" (fun _ -> ()) in
+  d.Wire.Codec.get_long ()
+
+let add proxy n =
+  let d = Orb.Smart.call proxy ~op:"add" (fun e -> e.Wire.Codec.put_long n) in
+  d.Wire.Codec.get_long ()
+
+let test_caching_and_invalidation () =
+  with_pair (fun ~server ~client ->
+      let skel, gets = counter_skeleton () in
+      let target = Orb.export server skel in
+      let proxy = Orb.smart_proxy client ~invalidate_on:[ "add" ] target in
+      Alcotest.(check int) "first get" 0 (get proxy);
+      Alcotest.(check int) "cached get" 0 (get proxy);
+      Alcotest.(check int) "cached get again" 0 (get proxy);
+      Alcotest.(check int) "only one remote get" 1 !gets;
+      (* A mutating call flushes the cache. *)
+      Alcotest.(check int) "add" 5 (add proxy 5);
+      Alcotest.(check int) "fresh get after write" 5 (get proxy);
+      Alcotest.(check int) "cached again" 5 (get proxy);
+      Alcotest.(check int) "two remote gets total" 2 !gets;
+      Alcotest.(check int) "hits" 3 (Orb.Smart.hits proxy);
+      Alcotest.(check int) "misses" 2 (Orb.Smart.misses proxy))
+
+let test_distinct_arguments_miss () =
+  with_pair (fun ~server ~client ->
+      let skel, gets = counter_skeleton () in
+      let target = Orb.export server skel in
+      let proxy = Orb.smart_proxy client target in
+      let describe detail =
+        let d =
+          Orb.Smart.call proxy ~op:"describe" (fun e -> e.Wire.Codec.put_string detail)
+        in
+        d.Wire.Codec.get_string ()
+      in
+      Alcotest.(check string) "a" "counter(a)=0" (describe "a");
+      Alcotest.(check string) "b" "counter(b)=0" (describe "b");
+      Alcotest.(check string) "a cached" "counter(a)=0" (describe "a");
+      Alcotest.(check int) "two remote calls" 2 !gets)
+
+let test_explicit_invalidate () =
+  with_pair (fun ~server ~client ->
+      let skel, gets = counter_skeleton () in
+      let target = Orb.export server skel in
+      let proxy = Orb.smart_proxy client target in
+      ignore (get proxy);
+      ignore (get proxy);
+      Orb.Smart.invalidate proxy;
+      ignore (get proxy);
+      Alcotest.(check int) "invalidate forces refetch" 2 !gets)
+
+let test_capacity_eviction () =
+  with_pair (fun ~server ~client ->
+      let skel, gets = counter_skeleton () in
+      let target = Orb.export server skel in
+      let proxy = Orb.smart_proxy client ~capacity:2 target in
+      let describe detail =
+        ignore
+          (Orb.Smart.call proxy ~op:"describe" (fun e -> e.Wire.Codec.put_string detail))
+      in
+      describe "a";
+      describe "b";
+      describe "c" (* evicts "a" *);
+      describe "a" (* miss again *);
+      Alcotest.(check int) "eviction caused a refetch" 4 !gets)
+
+let test_exceptions_not_cached () =
+  with_pair (fun ~server ~client ->
+      let fails = ref 0 in
+      let skel =
+        Orb.Skeleton.create ~type_id:"IDL:Test/Flaky:1.0"
+          [
+            ("flaky", fun _ results ->
+                incr fails;
+                if !fails = 1 then failwith "first call breaks"
+                else results.Wire.Codec.put_bool true);
+          ]
+      in
+      let target = Orb.export server skel in
+      let proxy = Orb.smart_proxy client target in
+      (match Orb.Smart.call proxy ~op:"flaky" (fun _ -> ()) with
+      | exception Orb.System_exception _ -> ()
+      | _ -> Alcotest.fail "expected failure");
+      (* The failure was not cached: the retry reaches the servant. *)
+      let d = Orb.Smart.call proxy ~op:"flaky" (fun _ -> ()) in
+      Alcotest.(check bool) "retry succeeds" true (d.Wire.Codec.get_bool ());
+      Alcotest.(check int) "two servant calls" 2 !fails)
+
+let () =
+  Alcotest.run "smart"
+    [
+      ( "smart proxies",
+        [
+          Alcotest.test_case "caching + invalidate_on" `Quick test_caching_and_invalidation;
+          Alcotest.test_case "distinct arguments" `Quick test_distinct_arguments_miss;
+          Alcotest.test_case "explicit invalidate" `Quick test_explicit_invalidate;
+          Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+          Alcotest.test_case "exceptions not cached" `Quick test_exceptions_not_cached;
+        ] );
+    ]

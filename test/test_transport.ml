@@ -1,0 +1,173 @@
+(* Transport tests: the in-memory loopback and real TCP, through the same
+   channel interface. *)
+
+let with_pair ~proto f =
+  let host = if proto = "tcp" then "127.0.0.1" else "local" in
+  let listener = Orb.Transport.listen ~proto ~host ~port:0 in
+  let accepted = ref None in
+  let t =
+    Thread.create
+      (fun () -> accepted := Some (listener.Orb.Transport.accept ()))
+      ()
+  in
+  let client =
+    Orb.Transport.connect ~proto ~host ~port:listener.Orb.Transport.bound_port
+  in
+  Thread.join t;
+  let server = Option.get !accepted in
+  Fun.protect
+    ~finally:(fun () ->
+      client.Orb.Transport.close ();
+      server.Orb.Transport.close ();
+      listener.Orb.Transport.shutdown ())
+    (fun () -> f ~client ~server)
+
+let protos = [ "mem"; "tcp" ]
+
+let test_line_reading () =
+  List.iter
+    (fun proto ->
+      with_pair ~proto (fun ~client ~server ->
+          client.Orb.Transport.write "first line\nsecond";
+          client.Orb.Transport.write " line\nthird\n";
+          Alcotest.(check string) "l1" "first line" (server.Orb.Transport.read_line ());
+          Alcotest.(check string) "l2" "second line" (server.Orb.Transport.read_line ());
+          Alcotest.(check string) "l3" "third" (server.Orb.Transport.read_line ())))
+    protos
+
+let test_exact_reading () =
+  List.iter
+    (fun proto ->
+      with_pair ~proto (fun ~client ~server ->
+          client.Orb.Transport.write "abcdefgh";
+          Alcotest.(check string) "3" "abc" (server.Orb.Transport.read_exact 3);
+          Alcotest.(check string) "5" "defgh" (server.Orb.Transport.read_exact 5)))
+    protos
+
+let test_mixed_line_and_exact () =
+  (* GIOP framing interleaves both read modes. *)
+  List.iter
+    (fun proto ->
+      with_pair ~proto (fun ~client ~server ->
+          client.Orb.Transport.write "HDR00000003\nxyzrest\n";
+          Alcotest.(check string) "header" "HDR00000003"
+            (server.Orb.Transport.read_line ());
+          Alcotest.(check string) "body" "xyz" (server.Orb.Transport.read_exact 3);
+          Alcotest.(check string) "next line" "rest" (server.Orb.Transport.read_line ())))
+    protos
+
+let test_bidirectional () =
+  List.iter
+    (fun proto ->
+      with_pair ~proto (fun ~client ~server ->
+          client.Orb.Transport.write "ping\n";
+          Alcotest.(check string) "ping" "ping" (server.Orb.Transport.read_line ());
+          server.Orb.Transport.write "pong\n";
+          Alcotest.(check string) "pong" "pong" (client.Orb.Transport.read_line ())))
+    protos
+
+let test_binary_safety () =
+  List.iter
+    (fun proto ->
+      with_pair ~proto (fun ~client ~server ->
+          let blob = String.init 256 Char.chr in
+          client.Orb.Transport.write blob;
+          Alcotest.(check string) "blob" blob (server.Orb.Transport.read_exact 256)))
+    protos
+
+let test_eof_on_close () =
+  List.iter
+    (fun proto ->
+      with_pair ~proto (fun ~client ~server ->
+          client.Orb.Transport.write "partial";
+          client.Orb.Transport.close ();
+          match server.Orb.Transport.read_line () with
+          | exception Orb.Transport.Transport_error _ -> ()
+          | line -> Alcotest.failf "expected EOF error, read %S" line))
+    protos
+
+let test_connect_failure () =
+  (match Orb.Transport.connect ~proto:"mem" ~host:"local" ~port:59999 with
+  | exception Orb.Transport.Transport_error _ -> ()
+  | _ -> Alcotest.fail "mem connect to unbound port succeeded");
+  match Orb.Transport.connect ~proto:"nope" ~host:"x" ~port:1 with
+  | exception Orb.Transport.Transport_error _ -> ()
+  | _ -> Alcotest.fail "unknown protocol accepted"
+
+let test_mem_port_allocation () =
+  let l1 = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
+  let l2 = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
+  Alcotest.(check bool) "distinct ports" true
+    (l1.Orb.Transport.bound_port <> l2.Orb.Transport.bound_port);
+  (match Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:l1.Orb.Transport.bound_port with
+  | exception Orb.Transport.Transport_error _ -> ()
+  | _ -> Alcotest.fail "double bind succeeded");
+  l1.Orb.Transport.shutdown ();
+  l2.Orb.Transport.shutdown ();
+  (* After shutdown the port is free again. *)
+  let l3 = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:l1.Orb.Transport.bound_port in
+  l3.Orb.Transport.shutdown ()
+
+let test_listener_shutdown_wakes_accept () =
+  let listener = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
+  let result = ref `Pending in
+  let t =
+    Thread.create
+      (fun () ->
+        match listener.Orb.Transport.accept () with
+        | _ -> result := `Accepted
+        | exception Orb.Transport.Transport_error _ -> result := `Stopped)
+      ()
+  in
+  Thread.delay 0.05;
+  listener.Orb.Transport.shutdown ();
+  Thread.join t;
+  Alcotest.(check bool) "woken with error" true (!result = `Stopped)
+
+let test_multiple_connections () =
+  let listener = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
+  let port = listener.Orb.Transport.bound_port in
+  let served = ref 0 in
+  let server =
+    Thread.create
+      (fun () ->
+        for _ = 1 to 3 do
+          let chan = listener.Orb.Transport.accept () in
+          let line = chan.Orb.Transport.read_line () in
+          chan.Orb.Transport.write (line ^ "!\n");
+          incr served;
+          chan.Orb.Transport.close ()
+        done)
+      ()
+  in
+  List.iter
+    (fun name ->
+      let c = Orb.Transport.connect ~proto:"mem" ~host:"local" ~port in
+      c.Orb.Transport.write (name ^ "\n");
+      Alcotest.(check string) name (name ^ "!") (c.Orb.Transport.read_line ());
+      c.Orb.Transport.close ())
+    [ "a"; "b"; "c" ];
+  Thread.join server;
+  Alcotest.(check int) "served" 3 !served;
+  listener.Orb.Transport.shutdown ()
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "channels",
+        [
+          Alcotest.test_case "line reading" `Quick test_line_reading;
+          Alcotest.test_case "exact reading" `Quick test_exact_reading;
+          Alcotest.test_case "mixed reads" `Quick test_mixed_line_and_exact;
+          Alcotest.test_case "bidirectional" `Quick test_bidirectional;
+          Alcotest.test_case "binary safety" `Quick test_binary_safety;
+          Alcotest.test_case "EOF on close" `Quick test_eof_on_close;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "connect failures" `Quick test_connect_failure;
+          Alcotest.test_case "mem port allocation" `Quick test_mem_port_allocation;
+          Alcotest.test_case "shutdown wakes accept" `Quick test_listener_shutdown_wakes_accept;
+          Alcotest.test_case "sequential connections" `Quick test_multiple_connections;
+        ] );
+    ]
