@@ -1,0 +1,117 @@
+(* Per-endpoint circuit breakers: trip after consecutive connection
+   failures, fast-fail while open, probe once after a cool-down. *)
+
+exception Circuit_open of string
+
+let () =
+  Printexc.register_printer (function
+    | Circuit_open m -> Some (Printf.sprintf "Orb.Breaker.Circuit_open: %s" m)
+    | _ -> None)
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = { failure_threshold : int; reset_timeout : float }
+
+let default_config = { failure_threshold = 5; reset_timeout = 1.0 }
+
+type entry = {
+  mutable st : state;
+  mutable failures : int;  (* consecutive, since the last success *)
+  mutable opened_at : float;
+  mutable probing : bool;  (* a half-open probe is in flight *)
+}
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable trips : int;
+  mutable fast_fails : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    mutex = Mutex.create ();
+    entries = Hashtbl.create 8;
+    trips = 0;
+    fast_fails = 0;
+  }
+
+let with_mutex t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let e = { st = Closed; failures = 0; opened_at = 0.; probing = false } in
+      Hashtbl.replace t.entries key e;
+      e
+
+type decision = Proceed | Probe | Fast_fail
+
+let before_call t key =
+  with_mutex t (fun () ->
+      let e = entry t key in
+      match e.st with
+      | Closed -> Proceed
+      | Open ->
+          if
+            Unix.gettimeofday () -. e.opened_at >= t.cfg.reset_timeout
+            && not e.probing
+          then begin
+            e.st <- Half_open;
+            e.probing <- true;
+            Probe
+          end
+          else begin
+            t.fast_fails <- t.fast_fails + 1;
+            Fast_fail
+          end
+      | Half_open ->
+          if e.probing then begin
+            t.fast_fails <- t.fast_fails + 1;
+            Fast_fail
+          end
+          else begin
+            e.probing <- true;
+            Probe
+          end)
+
+let success t key =
+  with_mutex t (fun () ->
+      let e = entry t key in
+      e.st <- Closed;
+      e.failures <- 0;
+      e.probing <- false)
+
+let failure t key =
+  with_mutex t (fun () ->
+      let e = entry t key in
+      e.failures <- e.failures + 1;
+      let should_trip =
+        e.st = Half_open || e.failures >= t.cfg.failure_threshold
+      in
+      e.probing <- false;
+      if should_trip then begin
+        if e.st <> Open then t.trips <- t.trips + 1;
+        e.st <- Open;
+        e.opened_at <- Unix.gettimeofday ()
+      end)
+
+let state t key = with_mutex t (fun () -> (entry t key).st)
+let trips t = with_mutex t (fun () -> t.trips)
+let fast_fails t = with_mutex t (fun () -> t.fast_fails)
+
+let reset t =
+  with_mutex t (fun () ->
+      Hashtbl.reset t.entries;
+      t.trips <- 0;
+      t.fast_fails <- 0)

@@ -1,0 +1,65 @@
+(** Per-endpoint circuit breakers.
+
+    A breaker tracks consecutive connection-level failures per endpoint
+    (the connection-cache key). After [failure_threshold] consecutive
+    failures the circuit {e trips} to [Open]: calls fast-fail with
+    {!Circuit_open} without touching the network, protecting both the
+    caller (no pile-up behind a dead peer) and the peer (no reconnect
+    storm). After [reset_timeout] seconds one caller is let through as a
+    {e half-open} probe — the ORB uses a [Locate_request] ping — and its
+    outcome closes or re-trips the circuit.
+
+    State machine: [Closed] --(threshold failures)--> [Open]
+    --(reset_timeout elapses; one probe)--> [Half_open]
+    --(probe ok)--> [Closed] / --(probe fails)--> [Open]. *)
+
+exception Circuit_open of string
+(** Raised (by the ORB) instead of attempting a call on a tripped
+    endpoint. *)
+
+type state = Closed | Open | Half_open
+
+val state_to_string : state -> string
+
+type config = {
+  failure_threshold : int;
+      (** Consecutive failures that trip the circuit. *)
+  reset_timeout : float;
+      (** Seconds the circuit stays open before allowing a probe. *)
+}
+
+val default_config : config
+(** 5 consecutive failures; 1s cool-down. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** What a caller should do right now. *)
+type decision =
+  | Proceed  (** Circuit closed: call normally. *)
+  | Probe
+      (** Half-open and this caller won the probe slot: make one
+          lightweight attempt and report {!success} or {!failure}. *)
+  | Fast_fail  (** Tripped: do not touch the network. *)
+
+val before_call : t -> string -> decision
+(** Gate one call to endpoint [key]. [Probe] is granted to exactly one
+    caller at a time; concurrent callers get [Fast_fail] until the
+    probe's outcome is reported. *)
+
+val success : t -> string -> unit
+(** Any decoded reply — including system errors — closes the circuit:
+    the peer is responsive. *)
+
+val failure : t -> string -> unit
+(** A connection-level failure (transport error / timeout). *)
+
+val state : t -> string -> state
+val trips : t -> int  (** Times any circuit transitioned to [Open]. *)
+
+val fast_fails : t -> int
+(** Calls rejected without touching the network. *)
+
+val reset : t -> unit
+(** Forget all endpoints and statistics. *)

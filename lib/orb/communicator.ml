@@ -46,3 +46,4 @@ let recv t =
 let close t = t.chan.Transport.close ()
 let peer t = t.chan.Transport.peer
 let protocol t = t.proto
+let set_deadline t d = t.chan.Transport.set_deadline d

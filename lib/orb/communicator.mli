@@ -14,8 +14,14 @@ val send : t -> Protocol.message -> unit
 val recv : t -> Protocol.message
 (** Read and decode the next message.
     @raise Transport.Transport_error on EOF / I/O failure.
+    @raise Transport.Timeout past the channel deadline.
     @raise Protocol.Protocol_error on malformed messages. *)
 
 val close : t -> unit
 val peer : t -> string
 val protocol : t -> Protocol.t
+
+val set_deadline : t -> float option -> unit
+(** Install or clear the underlying channel's read deadline (an absolute
+    [Unix.gettimeofday] instant); it spans all reads of a framed
+    message. *)

@@ -9,10 +9,12 @@ type t = {
   name : string;
   on_request : Protocol.request -> Protocol.request;
   on_reply : Protocol.request -> Protocol.reply -> Protocol.reply;
+  on_error : Protocol.request -> exn -> unit;
 }
 
-let make ?(on_request = Fun.id) ?(on_reply = fun _ r -> r) name =
-  { name; on_request; on_reply }
+let make ?(on_request = Fun.id) ?(on_reply = fun _ r -> r)
+    ?(on_error = fun _ _ -> ()) name =
+  { name; on_request; on_reply; on_error }
 
 type chain = { mutex : Mutex.t; mutable items : t list (* reversed *) }
 
@@ -37,6 +39,9 @@ let apply_request chain req =
 let apply_reply chain req rep =
   List.fold_left (fun rep i -> i.on_reply req rep) rep (List.rev (snapshot chain))
 
+let apply_error chain req exn =
+  List.iter (fun i -> i.on_error req exn) (snapshot chain)
+
 (* ---------------- stock interceptors ---------------- *)
 
 let logger emit =
@@ -52,14 +57,16 @@ let logger emit =
         req);
     on_reply =
       (fun req rep ->
-        let status =
-          match rep.Protocol.status with
-          | Protocol.Status_ok -> "ok"
-          | Protocol.Status_user_exception id -> "exception " ^ id
-          | Protocol.Status_system_error m -> "error " ^ m
-        in
-        emit (Printf.sprintf "<- %s(#%d) %s" req.Protocol.operation rep.Protocol.rep_id status);
+        emit
+          (Printf.sprintf "<- %s(#%d) %s" req.Protocol.operation
+             rep.Protocol.rep_id
+             (Protocol.status_to_string rep.Protocol.status));
         rep);
+    on_error =
+      (fun req exn ->
+        emit
+          (Printf.sprintf "!! %s(#%d) %s" req.Protocol.operation
+             req.Protocol.req_id (Printexc.to_string exn)));
   }
 
 let call_counter () =
@@ -74,6 +81,26 @@ let call_counter () =
           Mutex.unlock mutex;
           req);
       on_reply = (fun _ rep -> rep);
+      on_error = (fun _ _ -> ());
+    },
+    fun () ->
+      Mutex.lock mutex;
+      let n = !count in
+      Mutex.unlock mutex;
+      n )
+
+let failure_counter () =
+  let count = ref 0 in
+  let mutex = Mutex.create () in
+  ( {
+      name = "failure-counter";
+      on_request = Fun.id;
+      on_reply = (fun _ rep -> rep);
+      on_error =
+        (fun _ _ ->
+          Mutex.lock mutex;
+          incr count;
+          Mutex.unlock mutex);
     },
     fun () ->
       Mutex.lock mutex;
@@ -92,4 +119,5 @@ let deny pred ~reason =
         then raise (Reject reason)
         else req);
     on_reply = (fun _ rep -> rep);
+    on_error = (fun _ _ -> ());
   }

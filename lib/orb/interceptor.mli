@@ -21,11 +21,17 @@ type t = {
           target and oneway flag are fair game) or raise {!Reject}. *)
   on_reply : Protocol.request -> Protocol.reply -> Protocol.reply;
       (** Observes/rewrites the reply paired with its request. *)
+  on_error : Protocol.request -> exn -> unit;
+      (** Observes invocation failures that produced no reply: transport
+          errors (each failed attempt, including ones about to be
+          retried), deadline timeouts, and circuit-breaker fast-fails.
+          Observation only — it cannot suppress the exception. *)
 }
 
 val make :
   ?on_request:(Protocol.request -> Protocol.request) ->
   ?on_reply:(Protocol.request -> Protocol.reply -> Protocol.reply) ->
+  ?on_error:(Protocol.request -> exn -> unit) ->
   string ->
   t
 (** Identity behaviour for omitted hooks. *)
@@ -43,6 +49,9 @@ val apply_request : chain -> Protocol.request -> Protocol.request
 val apply_reply : chain -> Protocol.request -> Protocol.reply -> Protocol.reply
 (** Reverse registration order. *)
 
+val apply_error : chain -> Protocol.request -> exn -> unit
+(** Registration order; exceptions from hooks propagate. *)
+
 (** {2 Stock interceptors} *)
 
 val logger : (string -> unit) -> t
@@ -50,6 +59,10 @@ val logger : (string -> unit) -> t
 
 val call_counter : unit -> t * (unit -> int)
 (** Counts requests; returns the interceptor and a reader. *)
+
+val failure_counter : unit -> t * (unit -> int)
+(** Counts invocation failures seen by [on_error]; returns the
+    interceptor and a reader. *)
 
 val deny : (op:string -> type_id:string -> bool) -> reason:string -> t
 (** Rejects requests for which the predicate returns true — a minimal

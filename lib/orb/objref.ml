@@ -13,13 +13,17 @@ let to_string r =
 
 let of_string_opt s =
   (* @proto:host:port#oid#type_id — host may not contain ':' or '#';
-     the type id may contain ':' (IDL:...:1.0) but not '#'. *)
+     the type id may contain ':' (IDL:...:1.0) but not '#'. The proto
+     may itself contain ':' (e.g. "faulty:mem"), so the url is parsed
+     from the right: last segment is the port, the one before it the
+     host, everything earlier the proto. *)
   if String.length s < 2 || s.[0] <> '@' then None
   else
     match String.split_on_char '#' (String.sub s 1 (String.length s - 1)) with
     | [ url; oid; type_id ] -> (
-        match String.split_on_char ':' url with
-        | [ proto; host; port_s ] -> (
+        match List.rev (String.split_on_char ':' url) with
+        | port_s :: host :: proto_rev when proto_rev <> [] -> (
+            let proto = String.concat ":" (List.rev proto_rev) in
             match int_of_string_opt port_s with
             | Some port when port >= 0 && port < 65536 && proto <> "" && host <> ""
               ->

@@ -9,6 +9,8 @@ module Object_adapter = Object_adapter
 module Serial = Serial
 module Interceptor = Interceptor
 module Smart = Smart
+module Retry = Retry
+module Breaker = Breaker
 
 let src = Logs.Src.create "orb" ~doc:"HeidiRMI ORB runtime"
 
@@ -35,6 +37,9 @@ type t = {
   transport : string;
   host : string;
   cfg_port : int;
+  call_timeout : float option;  (* default per-call deadline, seconds *)
+  retry : Retry.policy;
+  breaker : Breaker.t option;
   oa : Object_adapter.t;
   mutex : Mutex.t;  (* guards the mutable fields below *)
   mutable listener : Transport.listener option;
@@ -47,19 +52,25 @@ type t = {
   mutable next_req_id : int;
   mutable opened : int;  (* outbound connections ever opened *)
   mutable served : int;  (* requests dispatched *)
+  mutable retries : int;  (* attempts beyond the first, across all calls *)
+  mutable timeouts : int;  (* calls that hit their deadline *)
   mutable bootstrap_registry : (string, Objref.t) Hashtbl.t option;
 }
 
 and conn = { comm : Communicator.t; conn_mutex : Mutex.t }
 
 let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
-    ?(transport = "mem") ?(host = "local") ?(port = 0) () =
+    ?(transport = "mem") ?(host = "local") ?(port = 0) ?call_timeout
+    ?(retry = Retry.default) ?breaker () =
   {
     proto = protocol;
     strat = strategy;
     transport;
     host;
     cfg_port = port;
+    call_timeout;
+    retry;
+    breaker = Option.map (fun config -> Breaker.create ~config ()) breaker;
     oa = Object_adapter.create ();
     mutex = Mutex.create ();
     listener = None;
@@ -72,6 +83,8 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     next_req_id = 1;
     opened = 0;
     served = 0;
+    retries = 0;
+    timeouts = 0;
     bootstrap_registry = None;
   }
 
@@ -173,12 +186,23 @@ let serve_connection t comm =
         Log.warn (fun m -> m "unexpected reply on server connection from %s"
                      (Communicator.peer comm));
         loop ()
-    | exception Transport.Transport_error _ -> Communicator.close comm
-    | exception Protocol.Protocol_error m ->
-        Log.warn (fun m' -> m' "protocol error from %s: %s" (Communicator.peer comm) m);
-        Communicator.close comm
   in
-  loop ()
+  (* Whatever ends the connection — EOF or I/O failure on either recv or
+     send, a malformed message, even a servant-thread bug — close it and
+     drop it from the accepted list, so a long-lived server does not
+     accumulate dead communicators. *)
+  Fun.protect
+    ~finally:(fun () ->
+      with_lock t (fun () ->
+          t.accepted <- List.filter (fun c -> c != comm) t.accepted))
+    (fun () ->
+      try loop () with
+      | Transport.Transport_error _ | Transport.Timeout _ ->
+          Communicator.close comm
+      | Protocol.Protocol_error m ->
+          Log.warn (fun m' ->
+              m' "protocol error from %s: %s" (Communicator.peer comm) m);
+          Communicator.close comm)
 
 let start t =
   let listener =
@@ -248,20 +272,41 @@ let export_cached t ~key ~type_id build =
 
 (* Get the cached connection to an endpoint, opening one if needed
    (paper: "Connections are cached and reused in HeidiRMI, and only if
-   there is no available connection is a new connection opened"). *)
+   there is no available connection is a new connection opened").
+
+   The blocking [Transport.connect] happens OUTSIDE the ORB mutex — a
+   slow or hung connect must not stall every concurrent call and the
+   stats counters. Losing a connect race is resolved first-wins: the
+   cache entry that got there first is kept, ours is closed.
+
+   Returns the connection plus whether WE opened it just now: a fresh
+   connection that then fails on receive means the request most likely
+   reached a live server, so it is never retried (duplicate-dispatch
+   risk); only a cached (possibly stale) connection justifies the
+   reconnect-and-retry path. *)
 let get_connection t endpoint =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.conns endpoint with
-      | Some c -> c
-      | None ->
-          let proto_name, host, port = endpoint in
-          let chan = Transport.connect ~proto:proto_name ~host ~port in
-          let c =
-            { comm = Communicator.wrap t.proto chan; conn_mutex = Mutex.create () }
-          in
-          Hashtbl.replace t.conns endpoint c;
-          t.opened <- t.opened + 1;
-          c)
+  match with_lock t (fun () -> Hashtbl.find_opt t.conns endpoint) with
+  | Some c -> (c, false)
+  | None -> (
+      let proto_name, host, port = endpoint in
+      let chan = Transport.connect ~proto:proto_name ~host ~port in
+      let c =
+        { comm = Communicator.wrap t.proto chan; conn_mutex = Mutex.create () }
+      in
+      let outcome =
+        with_lock t (fun () ->
+            match Hashtbl.find_opt t.conns endpoint with
+            | Some winner -> `Lost winner
+            | None ->
+                Hashtbl.replace t.conns endpoint c;
+                t.opened <- t.opened + 1;
+                `Won)
+      in
+      match outcome with
+      | `Won -> (c, true)
+      | `Lost winner ->
+          (try Communicator.close c.comm with _ -> ());
+          (winner, false))
 
 let drop_connection t endpoint =
   with_lock t (fun () ->
@@ -277,32 +322,153 @@ let next_req_id t =
       t.next_req_id <- t.next_req_id + 1;
       id)
 
-let exchange conn msg ~oneway =
+(* Tags a transport failure with the exchange phase it struck in.
+   [`Send] means no reply bytes were read — retry-safe territory;
+   [`Recv] means the request went out and anything may have happened. *)
+exception Exchange_failed of [ `Send | `Recv ] * exn
+
+let exchange conn msg ~oneway ~deadline =
   Mutex.lock conn.conn_mutex;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.conn_mutex)
+    ~finally:(fun () ->
+      (try Communicator.set_deadline conn.comm None with _ -> ());
+      Mutex.unlock conn.conn_mutex)
     (fun () ->
-      Communicator.send conn.comm msg;
-      if oneway then None else Some (Communicator.recv conn.comm))
+      Communicator.set_deadline conn.comm deadline;
+      (try Communicator.send conn.comm msg
+       with e -> raise (Exchange_failed (`Send, e)));
+      if oneway then None
+      else
+        try Some (Communicator.recv conn.comm)
+        with e -> raise (Exchange_failed (`Recv, e)))
 
-let invoke_raw t target ~op ?(oneway = false) payload =
+let endpoint_key (proto, host, port) = Printf.sprintf "%s:%s:%d" proto host port
+
+let count_failure t e =
+  with_lock t (fun () ->
+      match e with Transport.Timeout _ -> t.timeouts <- t.timeouts + 1 | _ -> ())
+
+let breaker_failure t key e =
+  match (t.breaker, Retry.classify e) with
+  | Some br, (Retry.Transient | Retry.Deadline) -> Breaker.failure br key
+  | _ -> ()
+
+let breaker_success t key =
+  match t.breaker with Some br -> Breaker.success br key | None -> ()
+
+(* Absolute deadline for one call: the per-call timeout, else the ORB
+   default, else none. *)
+let call_deadline t timeout =
+  match (timeout, t.call_timeout) with
+  | Some s, _ | None, Some s -> Some (Unix.gettimeofday () +. s)
+  | None, None -> None
+
+(* The fault-tolerant request/reply engine shared by [invoke_raw] and
+   [locate]: circuit-breaker gate, then attempts under the retry policy.
+   [notify] feeds each failure to the client interceptor chain. *)
+let rec request_reply t target msg ~oneway ~timeout ~notify =
+  let endpoint = Objref.endpoint target in
+  let key = endpoint_key endpoint in
+  (match t.breaker with
+  | None -> ()
+  | Some br -> (
+      match Breaker.before_call br key with
+      | Breaker.Proceed -> ()
+      | Breaker.Fast_fail ->
+          let e =
+            Breaker.Circuit_open
+              (Printf.sprintf "circuit open for endpoint %s" key)
+          in
+          notify e;
+          raise e
+      | Breaker.Probe -> (
+          (* Half-open: one lightweight Locate_request ping decides
+             whether the endpoint is back before real traffic flows. *)
+          match probe t target ~timeout with
+          | () -> Breaker.success br key
+          | exception e ->
+              Breaker.failure br key;
+              count_failure t e;
+              notify e;
+              raise e)));
+  let deadline = call_deadline t timeout in
+  let rec attempt n =
+    let retry_after e =
+      with_lock t (fun () -> t.retries <- t.retries + 1);
+      notify e;
+      Thread.delay (Retry.delay_for t.retry ~attempt:n);
+      attempt (n + 1)
+    in
+    match get_connection t endpoint with
+    | exception e ->
+        (* Connect failure: nothing was sent, always safe to retry. *)
+        breaker_failure t key e;
+        count_failure t e;
+        if Retry.retryable t.retry ~attempt:n e then retry_after e
+        else begin
+          notify e;
+          raise e
+        end
+    | conn, fresh -> (
+        match exchange conn msg ~oneway ~deadline with
+        | resp ->
+            breaker_success t key;
+            resp
+        | exception Exchange_failed (phase, e) ->
+            (* Never leave a failed connection poisoning the cache. *)
+            drop_connection t endpoint;
+            breaker_failure t key e;
+            count_failure t e;
+            let retry_safe =
+              match phase with
+              | `Send -> true
+              | `Recv ->
+                  (* Only the stale-cached-connection case: the peer
+                     closed a connection we reused, before our request
+                     can have been dispatched against a live server. A
+                     fresh connection failing mid-receive, or a
+                     deadline timeout, may mean the call is executing —
+                     never retried. *)
+                  not fresh
+            in
+            if retry_safe && Retry.retryable t.retry ~attempt:n e then
+              retry_after e
+            else begin
+              notify e;
+              raise e
+            end)
+  in
+  attempt 1
+
+(* The half-open probe: a single-attempt Locate_request on a fresh
+   connection. Any decoded locate reply (found or not) proves the
+   endpoint is serving again. *)
+and probe t target ~timeout =
+  let req_id = next_req_id t in
+  let msg = Protocol.Locate_request { req_id; target } in
+  let endpoint = Objref.endpoint target in
+  let deadline = call_deadline t timeout in
+  let conn, _ = get_connection t endpoint in
+  match exchange conn msg ~oneway:false ~deadline with
+  | Some (Protocol.Locate_reply _) -> ()
+  | Some _ | None ->
+      drop_connection t endpoint;
+      raise (System_exception "unexpected message in reply to breaker probe")
+  | exception Exchange_failed (_, e) ->
+      drop_connection t endpoint;
+      raise e
+
+let invoke_raw t target ~op ?(oneway = false) ?timeout payload =
   let req_id = next_req_id t in
   let req =
     Interceptor.apply_request t.client_chain
       { Protocol.req_id; target; operation = op; oneway; payload }
   in
   let msg = Protocol.Request req in
-  let endpoint = Objref.endpoint req.Protocol.target in
-  let rec attempt retries_left =
-    let conn = get_connection t endpoint in
-    match exchange conn msg ~oneway with
-    | resp -> resp
-    | exception Transport.Transport_error _ when retries_left > 0 ->
-        (* A cached connection may have gone stale; reopen once. *)
-        drop_connection t endpoint;
-        attempt (retries_left - 1)
-  in
-  match attempt 1 with
+  let notify e = Interceptor.apply_error t.client_chain req e in
+  match
+    request_reply t req.Protocol.target msg ~oneway ~timeout ~notify
+  with
   | None -> None
   | Some (Protocol.Reply reply) -> (
       let { Protocol.rep_id; status; payload } =
@@ -323,19 +489,12 @@ let invoke_raw t target ~op ?(oneway = false) payload =
       raise (System_exception "peer sent a non-reply where a reply was expected")
 
 (* GIOP-style LocateRequest: does the peer's adapter know this oid? *)
-let locate t target =
+let locate t ?timeout target =
   let req_id = next_req_id t in
   let msg = Protocol.Locate_request { req_id; target } in
-  let endpoint = Objref.endpoint target in
-  let rec attempt retries_left =
-    let conn = get_connection t endpoint in
-    match exchange conn msg ~oneway:false with
-    | resp -> resp
-    | exception Transport.Transport_error _ when retries_left > 0 ->
-        drop_connection t endpoint;
-        attempt (retries_left - 1)
-  in
-  match attempt 1 with
+  match
+    request_reply t target msg ~oneway:false ~timeout ~notify:(fun _ -> ())
+  with
   | Some (Protocol.Locate_reply { rep_id; found }) ->
       if rep_id <> req_id then
         raise (System_exception "locate reply id mismatch")
@@ -343,11 +502,11 @@ let locate t target =
   | Some _ -> raise (System_exception "unexpected message in reply to locate")
   | None -> raise (System_exception "no reply to locate")
 
-let invoke t target ~op ?oneway marshal =
+let invoke t target ~op ?oneway ?timeout marshal =
   let codec = t.proto.Protocol.codec in
   let e = codec.Wire.Codec.encoder () in
   marshal e;
-  match invoke_raw t target ~op ?oneway (e.Wire.Codec.finish ()) with
+  match invoke_raw t target ~op ?oneway ?timeout (e.Wire.Codec.finish ()) with
   | Some payload -> Some (codec.Wire.Codec.decoder payload)
   | None -> None
 
@@ -363,6 +522,34 @@ let smart_proxy t ?capacity ?invalidate_on target =
 
 let connections_opened t = with_lock t (fun () -> t.opened)
 let requests_served t = with_lock t (fun () -> t.served)
+
+type stats = {
+  opened : int;
+  served : int;
+  retries : int;
+  timeouts : int;
+  breaker_trips : int;
+  breaker_fast_fails : int;
+  server_connections : int;
+}
+
+let stats t =
+  let opened, served, retries, timeouts, server_connections =
+    with_lock t (fun () ->
+        (t.opened, t.served, t.retries, t.timeouts, List.length t.accepted))
+  in
+  let breaker_trips, breaker_fast_fails =
+    match t.breaker with
+    | Some br -> (Breaker.trips br, Breaker.fast_fails br)
+    | None -> (0, 0)
+  in
+  { opened; served; retries; timeouts; breaker_trips; breaker_fast_fails;
+    server_connections }
+
+let breaker_state t target =
+  match t.breaker with
+  | None -> None
+  | Some br -> Some (Breaker.state br (endpoint_key (Objref.endpoint target)))
 
 let key_counter = Atomic.make 1
 let servant_key () = Atomic.fetch_and_add key_counter 1

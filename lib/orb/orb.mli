@@ -23,6 +23,8 @@ module Object_adapter : module type of Object_adapter
 module Serial : module type of Serial
 module Interceptor : module type of Interceptor
 module Smart : module type of Smart
+module Retry : module type of Retry
+module Breaker : module type of Breaker
 
 
 type t
@@ -44,11 +46,28 @@ val create :
   ?transport:string ->
   ?host:string ->
   ?port:int ->
+  ?call_timeout:float ->
+  ?retry:Retry.policy ->
+  ?breaker:Breaker.config ->
   unit ->
   t
 (** Defaults: the text protocol, [Linear] dispatch, the ["mem"] transport
     on a fresh port. For TCP use [~transport:"tcp" ~host:"127.0.0.1"]
-    (with [port = 0] picking a free port at {!start}). *)
+    (with [port = 0] picking a free port at {!start}).
+
+    Fault-tolerance knobs (see DESIGN.md "Failure model"):
+    - [call_timeout] — default per-call deadline in seconds; a call whose
+      reply does not arrive in time raises {!Transport.Timeout}. No
+      deadline by default.
+    - [retry] — the {!Retry.policy} for transient connection failures
+      (default {!Retry.default}: 3 attempts with exponential backoff).
+      Retries fire only for connection setup and sends that failed
+      before any reply bytes were read — a dispatched request is never
+      duplicated.
+    - [breaker] — enable a per-endpoint circuit {!Breaker} with this
+      config; repeated connection failures then fast-fail with
+      {!Breaker.Circuit_open} until a half-open [Locate_request] probe
+      succeeds. Disabled by default. *)
 
 val start : t -> unit
 (** Bind the bootstrap port and start accepting connections. Idempotent. *)
@@ -96,23 +115,34 @@ val invoke :
   Objref.t ->
   op:string ->
   ?oneway:bool ->
+  ?timeout:float ->
   (Wire.Codec.encoder -> unit) ->
   Wire.Codec.decoder option
 (** [invoke orb target ~op marshal] performs a remote call. Returns
     [Some decoder] positioned at the reply payload, or [None] for oneway
-    calls.
+    calls. [timeout] (seconds) overrides the ORB's [call_timeout] for
+    this call.
     @raise Remote_exception for declared IDL exceptions.
     @raise System_exception for infrastructure failures.
-    @raise Transport.Transport_error when the peer is unreachable. *)
+    @raise Transport.Transport_error when the peer is unreachable (after
+    the retry policy is exhausted).
+    @raise Transport.Timeout when the deadline passes first.
+    @raise Breaker.Circuit_open when the endpoint's circuit is tripped. *)
 
-val locate : t -> Objref.t -> bool
+val locate : t -> ?timeout:float -> Objref.t -> bool
 (** GIOP-style LocateRequest (the message real IIOP uses before or
     instead of dispatching): asks the target's address space whether the
     oid is currently exported, without invoking anything.
     @raise Transport.Transport_error when the peer is unreachable. *)
 
 val invoke_raw :
-  t -> Objref.t -> op:string -> ?oneway:bool -> string -> string option
+  t ->
+  Objref.t ->
+  op:string ->
+  ?oneway:bool ->
+  ?timeout:float ->
+  string ->
+  string option
 (** Payload-level {!invoke}: already-encoded request payload in, reply
     payload out ([None] for oneway). Same exceptions as {!invoke}. *)
 
@@ -127,6 +157,25 @@ val connections_opened : t -> int
 
 val requests_served : t -> int
 (** Total requests this address space has dispatched. *)
+
+(** Observability counters for one ORB (address space). *)
+type stats = {
+  opened : int;  (** Outbound connections ever opened. *)
+  served : int;  (** Requests dispatched by this address space. *)
+  retries : int;  (** Invocation attempts beyond the first. *)
+  timeouts : int;  (** Calls that hit their deadline. *)
+  breaker_trips : int;  (** Circuit transitions to [Open] (0 if disabled). *)
+  breaker_fast_fails : int;
+      (** Calls rejected without touching the network (0 if disabled). *)
+  server_connections : int;
+      (** Currently live accepted server-side connections. *)
+}
+
+val stats : t -> stats
+
+val breaker_state : t -> Objref.t -> Breaker.state option
+(** Circuit state for the target's endpoint; [None] when no breaker is
+    configured. *)
 
 val servant_key : unit -> int
 (** A process-unique servant identity, for {!export_cached} and stub

@@ -46,6 +46,11 @@ let status_to_int = function
   | Status_user_exception _ -> 1
   | Status_system_error _ -> 2
 
+let status_to_string = function
+  | Status_ok -> "ok"
+  | Status_user_exception id -> "exception " ^ id
+  | Status_system_error m -> "error " ^ m
+
 let generic ~name ~framing (codec : Wire.Codec.t) : t =
   let encode_message msg =
     let e = codec.Wire.Codec.encoder () in

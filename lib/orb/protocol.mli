@@ -30,6 +30,9 @@ type reply_status =
 
 type reply = { rep_id : int; status : reply_status; payload : string }
 
+val status_to_string : reply_status -> string
+(** Human-readable status for logs and interceptors. *)
+
 type message =
   | Request of request
   | Reply of reply

@@ -1,0 +1,56 @@
+(* Retry policies: configurable attempts, exponential backoff with
+   deterministic jitter, and the error taxonomy that decides what is
+   safe to try again. *)
+
+type error_class = Transient | Deadline | Permanent
+
+let classify = function
+  | Transport.Timeout _ -> Deadline
+  | Transport.Transport_error _ -> Transient
+  | _ -> Permanent
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    base_delay = 0.002;
+    multiplier = 2.0;
+    max_delay = 0.25;
+    jitter = 0.2;
+    seed = 0;
+  }
+
+let none = { default with max_attempts = 1 }
+
+let delay_for p ~attempt =
+  let attempt = max 1 attempt in
+  let exp = p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min exp p.max_delay in
+  if p.jitter <= 0. || capped <= 0. then capped
+  else
+    (* Jitter drawn from a state keyed by (seed, attempt): the schedule
+       is fully determined by the policy, so tests can assert it. *)
+    let st = Random.State.make [| p.seed; attempt |] in
+    let factor = 1. -. p.jitter +. (2. *. p.jitter *. Random.State.float st 1.0) in
+    Float.max 0. (capped *. factor)
+
+let retryable p ~attempt exn =
+  attempt < p.max_attempts && classify exn = Transient
+
+let run ?(sleep = Thread.delay) ?(on_retry = fun ~attempt:_ _ -> ()) p f =
+  let rec go attempt =
+    try f ~attempt
+    with e when retryable p ~attempt e ->
+      on_retry ~attempt e;
+      sleep (delay_for p ~attempt);
+      go (attempt + 1)
+  in
+  go 1

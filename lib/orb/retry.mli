@@ -1,0 +1,59 @@
+(** Retry policies for remote invocation.
+
+    Distribution policy — including failure handling — belongs in a
+    configurable layer, not hardcoded at call sites (cf. RAFDA). A
+    {!policy} bundles how many times to try, how long to back off, and
+    how much deterministic jitter to apply; {!classify} is the error
+    taxonomy that decides {e whether} trying again can help at all.
+
+    Which failures are safe to retry is the caller's judgment: the ORB
+    only retries connection setup and sends that failed before any
+    reply bytes were read, so a dispatched request is never duplicated
+    (see the "Failure model" section of DESIGN.md). *)
+
+(** Where an exception falls in the taxonomy:
+    - [Transient] — connection-level failures ({!Transport.Transport_error}:
+      connect refused, stale/closed connection). Another attempt may
+      succeed.
+    - [Deadline] — {!Transport.Timeout}. Never retried by the ORB: the
+      request may be executing on the peer right now.
+    - [Permanent] — everything else (decoded system errors, protocol
+      errors, user exceptions). Retrying cannot help. *)
+type error_class = Transient | Deadline | Permanent
+
+val classify : exn -> error_class
+
+type policy = {
+  max_attempts : int;  (** Total attempts, including the first (>= 1). *)
+  base_delay : float;  (** Backoff before attempt 2, in seconds. *)
+  multiplier : float;  (** Exponential growth factor per attempt. *)
+  max_delay : float;  (** Backoff cap, in seconds. *)
+  jitter : float;
+      (** Fractional jitter in [0..1]: the delay is scaled by a factor
+          drawn uniformly from [1-jitter .. 1+jitter]. *)
+  seed : int;  (** Seeds the jitter draw — the schedule is deterministic. *)
+}
+
+val default : policy
+(** 3 attempts, 2ms base, x2 growth, 250ms cap, 20% jitter. *)
+
+val none : policy
+(** A single attempt — retries disabled. *)
+
+val delay_for : policy -> attempt:int -> float
+(** Backoff to sleep after failed attempt [attempt] (1-based). Pure:
+    the same policy and attempt always give the same delay. *)
+
+val retryable : policy -> attempt:int -> exn -> bool
+(** [true] iff the exception is {!Transient} and attempts remain. *)
+
+val run :
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> exn -> unit) ->
+  policy ->
+  (attempt:int -> 'a) ->
+  'a
+(** Generic retry driver: calls [f ~attempt:1], retrying with backoff
+    while {!retryable}. [on_retry] observes each failed attempt. The
+    ORB's invocation path uses its own loop (it must also reason about
+    whether any reply bytes were read); [run] is for simpler cases. *)

@@ -1,19 +1,29 @@
 exception Transport_error of string
+exception Timeout of string
 
 let () =
   Printexc.register_printer (function
     | Transport_error m -> Some (Printf.sprintf "Orb.Transport_error: %s" m)
+    | Timeout m -> Some (Printf.sprintf "Orb.Transport.Timeout: %s" m)
     | _ -> None)
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Transport_error m)) fmt
+let timeout_fail fmt = Printf.ksprintf (fun m -> raise (Timeout m)) fmt
 
 type channel = {
   write : string -> unit;
   read_line : unit -> string;
   read_exact : int -> string;
   close : unit -> unit;
+  set_deadline : float option -> unit;
   peer : string;
 }
+
+(* Granularity of the timed waits used where the OS gives us no native
+   timed primitive (in-memory pipes, injected read stalls). Coarse
+   enough to stay cheap, fine enough that deadlines are honoured well
+   within the +-100ms the tests assert. *)
+let poll_interval = 0.005
 
 type listener = {
   accept : unit -> channel;
@@ -32,6 +42,7 @@ let tcp_channel fd ~peer =
   let buf = Buffer.create 4096 in
   let pos = ref 0 in
   let closed = ref false in
+  let deadline = ref None in
   let available () = Buffer.length buf - !pos in
   let compact () =
     if !pos > 65536 && !pos > Buffer.length buf / 2 then begin
@@ -41,7 +52,29 @@ let tcp_channel fd ~peer =
       pos := 0
     end
   in
+  (* Wait (select) until the socket is readable or the channel deadline
+     passes. A deadline is an absolute [Unix.gettimeofday] instant, so
+     it naturally spans the several reads one framed message needs. *)
+  let await_readable () =
+    match !deadline with
+    | None -> ()
+    | Some d ->
+        let rec wait () =
+          let remaining = d -. Unix.gettimeofday () in
+          if remaining <= 0. then
+            timeout_fail "read from %s timed out" peer
+          else
+            match Unix.select [ fd ] [] [] remaining with
+            | [], _, _ -> timeout_fail "read from %s timed out" peer
+            | _ -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+            | exception Unix.Unix_error (e, _, _) ->
+                fail "read from %s failed: %s" peer (Unix.error_message e)
+        in
+        wait ()
+  in
   let refill () =
+    await_readable ();
     let chunk = Bytes.create 65536 in
     let n =
       try Unix.read fd chunk 0 (Bytes.length chunk)
@@ -100,7 +133,8 @@ let tcp_channel fd ~peer =
       closed := true;
       try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
   in
-  { write; read_line; read_exact; close; peer }
+  let set_deadline d = deadline := d in
+  { write; read_line; read_exact; close; set_deadline; peer }
 
 let resolve_host host =
   if host = "localhost" || host = "" then Unix.inet_addr_loopback
@@ -195,8 +229,11 @@ module Pipe = struct
     end
 
   (* Blocks until [check buf pos len] returns (consume, result), where
-     [consume] counts from [pos]. *)
-  let read_with t check ~what =
+     [consume] counts from [pos]. [deadline] is re-read on every wakeup
+     so a deadline installed mid-wait still takes effect. Without a
+     deadline we park on the condition variable; with one we poll, since
+     OCaml's [Condition] has no timed wait. *)
+  let read_with t ?(deadline = fun () -> None) check ~what =
     Mutex.lock t.mutex;
     let rec wait () =
       match check t.buf t.pos (Buffer.length t.buf) with
@@ -210,8 +247,20 @@ module Pipe = struct
             Mutex.unlock t.mutex;
             fail "in-memory channel closed while reading %s" what)
           else (
-            Condition.wait t.cond t.mutex;
-            wait ())
+            match deadline () with
+            | None ->
+                Condition.wait t.cond t.mutex;
+                wait ()
+            | Some d ->
+                let remaining = d -. Unix.gettimeofday () in
+                if remaining <= 0. then (
+                  Mutex.unlock t.mutex;
+                  timeout_fail "in-memory read of %s timed out" what)
+                else (
+                  Mutex.unlock t.mutex;
+                  Thread.delay (Float.min poll_interval remaining);
+                  Mutex.lock t.mutex;
+                  wait ()))
     in
     wait ()
 end
@@ -219,11 +268,14 @@ end
 let mem_channel_pair ~peer_a ~peer_b =
   let a_to_b = Pipe.create () and b_to_a = Pipe.create () in
   let mk ~incoming ~outgoing ~peer =
+    let deadline = ref None in
+    let get_deadline () = !deadline in
     {
       write = (fun s -> Pipe.write outgoing s);
       read_line =
         (fun () ->
-          Pipe.read_with incoming ~what:"line" (fun buf pos len ->
+          Pipe.read_with incoming ~deadline:get_deadline ~what:"line"
+            (fun buf pos len ->
               let rec scan i =
                 if i >= len then None
                 else if Buffer.nth buf i = '\n' then
@@ -233,12 +285,14 @@ let mem_channel_pair ~peer_a ~peer_b =
               scan pos));
       read_exact =
         (fun n ->
-          Pipe.read_with incoming ~what:"bytes" (fun buf pos len ->
+          Pipe.read_with incoming ~deadline:get_deadline ~what:"bytes"
+            (fun buf pos len ->
               if len - pos >= n then Some (n, Buffer.sub buf pos n) else None));
       close =
         (fun () ->
           Pipe.close outgoing;
           Pipe.close incoming);
+      set_deadline = (fun d -> deadline := d);
       peer;
     }
   in
@@ -338,16 +392,206 @@ let mem_connect ~port =
       Mutex.unlock st.ml_mutex;
       client_end
 
+(* ---------------- fault injection ---------------- *)
+
+(* A ["faulty:<inner>"] transport wraps ["tcp"] or ["mem"] and injects
+   failures according to a process-global, deterministically seeded
+   plan, so every robustness behaviour of the runtime (timeouts,
+   retries, circuit breakers) is testable without a flaky network. *)
+module Fault = struct
+  type fault =
+    | Refuse_connect  (** The connect attempt fails outright. *)
+    | Stall_read  (** The read hangs like a dead peer (until deadline). *)
+    | Drop_read  (** The connection dies instead of delivering data. *)
+    | Truncate_write of int  (** Only the first [n] bytes go out, then death. *)
+    | Corrupt_write of int  (** Byte at offset [n mod len] is flipped. *)
+    | Delay_write of float  (** The write is delayed by [seconds]. *)
+
+  type point = { op : [ `Connect | `Read | `Write ]; nth : int; peer : string }
+  type plan = point -> fault option
+
+  let none : plan = fun _ -> None
+
+  let fault_name = function
+    | Refuse_connect -> "refuse_connect"
+    | Stall_read -> "stall_read"
+    | Drop_read -> "drop_read"
+    | Truncate_write _ -> "truncate_write"
+    | Corrupt_write _ -> "corrupt_write"
+    | Delay_write _ -> "delay_write"
+
+  (* Global plan + deterministic per-op counters. One mutex guards all
+     of it; fault decisions are cheap. *)
+  let mutex = Mutex.create ()
+  let active : plan ref = ref none
+  let n_connect = ref 0
+  let n_read = ref 0
+  let n_write = ref 0
+  let injected_counts : (string, int) Hashtbl.t = Hashtbl.create 8
+
+  let with_mutex f =
+    Mutex.lock mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+  let set_plan p =
+    with_mutex (fun () ->
+        active := p;
+        n_connect := 0;
+        n_read := 0;
+        n_write := 0;
+        Hashtbl.reset injected_counts)
+
+  let clear () = set_plan none
+
+  let injected () =
+    with_mutex (fun () ->
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) injected_counts []))
+
+  let injected_total () =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (injected ())
+
+  (* Consult the plan at one operation point; counts the injection. *)
+  let draw op ~peer =
+    with_mutex (fun () ->
+        let counter =
+          match op with `Connect -> n_connect | `Read -> n_read | `Write -> n_write
+        in
+        let nth = !counter in
+        incr counter;
+        match !active { op; nth; peer } with
+        | None -> None
+        | Some f ->
+            let name = fault_name f in
+            Hashtbl.replace injected_counts name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt injected_counts name));
+            Some f)
+
+  (* A derived, deterministic random plan: the decision at each point is
+     a pure function of [seed] and the point's (op, nth), so the same
+     seed always produces the same fault schedule. [side] restricts
+     injection to channels whose peer description matches. *)
+  let seeded ~seed ?(refuse_connect = 0.) ?(stall_read = 0.) ?(drop_read = 0.)
+      ?(truncate_write = 0.) ?(corrupt_write = 0.) ?(delay_write = 0.)
+      ?(side = fun (_ : string) -> true) () : plan =
+   fun { op; nth; peer } ->
+    if not (side peer) then None
+    else
+      let tag = match op with `Connect -> 1 | `Read -> 2 | `Write -> 3 in
+      let st = Random.State.make [| seed; tag; nth |] in
+      let d = Random.State.float st 1.0 in
+      match op with
+      | `Connect -> if d < refuse_connect then Some Refuse_connect else None
+      | `Read ->
+          if d < stall_read then Some Stall_read
+          else if d < stall_read +. drop_read then Some Drop_read
+          else None
+      | `Write ->
+          if d < truncate_write then Some (Truncate_write (Random.State.int st 8))
+          else if d < truncate_write +. corrupt_write then
+            Some (Corrupt_write (Random.State.int st 64))
+          else if d < truncate_write +. corrupt_write +. delay_write then
+            Some (Delay_write (0.001 +. Random.State.float st 0.004))
+          else None
+end
+
+let faulty_channel inner =
+  (* [broken] marks a connection killed by an injected fault; every
+     later operation fails like a dead socket would. *)
+  let broken = ref false in
+  let deadline = ref None in
+  let guard () =
+    if !broken then fail "connection to %s broken by injected fault" inner.peer
+  in
+  let kill () =
+    broken := true;
+    inner.close ()
+  in
+  let on_read read =
+    guard ();
+    match Fault.draw `Read ~peer:inner.peer with
+    | Some Fault.Stall_read ->
+        (* Hang exactly like a peer that stopped responding: wake only
+           when the channel deadline passes or the channel dies. *)
+        let rec stall () =
+          (match !deadline with
+          | Some d when Unix.gettimeofday () >= d ->
+              timeout_fail "read from %s timed out (injected stall)" inner.peer
+          | _ -> ());
+          guard ();
+          Thread.delay poll_interval;
+          stall ()
+        in
+        stall ()
+    | Some Fault.Drop_read ->
+        kill ();
+        fail "connection to %s dropped by injected fault" inner.peer
+    | _ -> read ()
+  in
+  let write s =
+    guard ();
+    match Fault.draw `Write ~peer:inner.peer with
+    | Some (Fault.Truncate_write n) ->
+        inner.write (String.sub s 0 (min n (String.length s)));
+        kill ();
+        fail "write to %s truncated by injected fault" inner.peer
+    | Some (Fault.Corrupt_write n) ->
+        if String.length s = 0 then inner.write s
+        else begin
+          let b = Bytes.of_string s in
+          let i = n mod Bytes.length b in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+          inner.write (Bytes.to_string b)
+        end
+    | Some (Fault.Delay_write d) ->
+        Thread.delay d;
+        inner.write s
+    | _ -> inner.write s
+  in
+  {
+    write;
+    read_line = (fun () -> on_read inner.read_line);
+    read_exact = (fun n -> on_read (fun () -> inner.read_exact n));
+    close = (fun () -> inner.close ());
+    set_deadline =
+      (fun d ->
+        deadline := d;
+        inner.set_deadline d);
+    peer = inner.peer;
+  }
+
+let faulty_prefix = "faulty:"
+
+let faulty_inner proto =
+  let n = String.length faulty_prefix in
+  if
+    String.length proto > n && String.sub proto 0 n = faulty_prefix
+  then Some (String.sub proto n (String.length proto - n))
+  else None
+
 (* ---------------- dispatch by protocol name ---------------- *)
 
-let listen ~proto ~host ~port =
+let rec listen ~proto ~host ~port =
   match proto with
   | "tcp" -> tcp_listen ~host ~port
   | "mem" -> mem_listen ~port
-  | p -> fail "unknown transport protocol %S" p
+  | p -> (
+      match faulty_inner p with
+      | Some inner ->
+          let l = listen ~proto:inner ~host ~port in
+          { l with accept = (fun () -> faulty_channel (l.accept ())) }
+      | None -> fail "unknown transport protocol %S" p)
 
-let connect ~proto ~host ~port =
+let rec connect ~proto ~host ~port =
   match proto with
   | "tcp" -> tcp_connect ~host ~port
   | "mem" -> mem_connect ~port
-  | p -> fail "unknown transport protocol %S" p
+  | p -> (
+      match faulty_inner p with
+      | Some inner -> (
+          let peer = Printf.sprintf "%s:%s:%d" inner host port in
+          match Fault.draw `Connect ~peer with
+          | Some Fault.Refuse_connect ->
+              fail "connect to %s refused by injected fault" peer
+          | _ -> faulty_channel (connect ~proto:inner ~host ~port))
+      | None -> fail "unknown transport protocol %S" p)

@@ -1,12 +1,15 @@
 (** Byte transports.
 
-    Two transports ship with the runtime:
+    Three transports ship with the runtime:
     - ["tcp"] — real TCP sockets (Unix), one thread per accepted
       connection on the server side;
     - ["mem"] — an in-process loopback with the same interface, used by
       the tests and single-process examples. "Ports" are slots in a
       process-global registry, so several in-memory ORBs (address spaces)
-      can coexist and call each other deterministically.
+      can coexist and call each other deterministically;
+    - ["faulty:<inner>"] (e.g. ["faulty:mem"]) — a wrapper around either
+      of the above that injects failures according to the process-global
+      {!Fault} plan, for deterministic robustness testing.
 
     Channels carry raw bytes; message demarcation is the communicator's
     job (paper: the [ObjectCommunicator] "provides the abstraction of a
@@ -14,16 +17,29 @@
     demarcated"). *)
 
 exception Transport_error of string
+(** Connection-level failure: refused connect, peer closed, I/O error.
+    Distinct from {!Timeout} — callers that retry treat the two very
+    differently (see [Orb.Retry]). *)
+
+exception Timeout of string
+(** A read exceeded the channel deadline set via [set_deadline]. Never
+    raised when no deadline is installed. *)
 
 type channel = {
   write : string -> unit;  (** Write all bytes. *)
   read_line : unit -> string;
       (** Read up to (and excluding) the next ['\n'].
-          @raise Transport_error on EOF. *)
+          @raise Transport_error on EOF.
+          @raise Timeout past the channel deadline. *)
   read_exact : int -> string;
       (** Read exactly [n] bytes.
-          @raise Transport_error on EOF. *)
+          @raise Transport_error on EOF.
+          @raise Timeout past the channel deadline. *)
   close : unit -> unit;
+  set_deadline : float option -> unit;
+      (** Install ([Some abs_time], a [Unix.gettimeofday] instant) or
+          clear ([None]) the read deadline. Absolute so that one
+          deadline spans the multiple reads of a framed message. *)
   peer : string;  (** Peer description for logs. *)
 }
 
@@ -45,3 +61,67 @@ val connect : proto:string -> host:string -> port:int -> channel
 
 val mem_reset : unit -> unit
 (** Drop all in-memory listeners (test isolation). *)
+
+(** Deterministic fault injection for the ["faulty:<inner>"] transport.
+
+    A {e plan} is a pure function from an operation point (connect /
+    read / write, its global sequence number, and the channel's peer
+    description) to an optional fault. The plan is process-global:
+    {!set_plan} installs it and resets the sequence counters, so a test
+    that sets a plan, runs a scenario and {!clear}s gets a reproducible
+    fault schedule every time. *)
+module Fault : sig
+  type fault =
+    | Refuse_connect  (** The connect attempt fails outright. *)
+    | Stall_read
+        (** The read hangs like a dead peer; it returns only by raising
+            {!Timeout} when the channel deadline passes, or
+            {!Transport_error} if the connection dies. *)
+    | Drop_read  (** The connection dies instead of delivering data. *)
+    | Truncate_write of int
+        (** Only the first [n] bytes are written; then the connection
+            dies, so the peer sees a mid-message EOF. *)
+    | Corrupt_write of int  (** Byte at offset [n mod length] is flipped. *)
+    | Delay_write of float  (** The write is delayed by [seconds]. *)
+
+  type point = {
+    op : [ `Connect | `Read | `Write ];
+    nth : int;  (** Global per-[op] sequence number since {!set_plan}. *)
+    peer : string;
+        (** The channel's peer description — lets a plan target one side
+            of a connection (e.g. only channels talking {e to} the
+            server). *)
+  }
+
+  type plan = point -> fault option
+
+  val none : plan
+
+  val seeded :
+    seed:int ->
+    ?refuse_connect:float ->
+    ?stall_read:float ->
+    ?drop_read:float ->
+    ?truncate_write:float ->
+    ?corrupt_write:float ->
+    ?delay_write:float ->
+    ?side:(string -> bool) ->
+    unit ->
+    plan
+  (** A random plan with the given per-operation fault rates (each in
+      [0..1]), fully determined by [seed]: the decision at each point is
+      a pure function of the seed and the point, so replaying the same
+      scenario reproduces the same faults. [side] filters by peer
+      description (default: inject everywhere). *)
+
+  val set_plan : plan -> unit
+  (** Install a plan and reset the sequence counters and statistics. *)
+
+  val clear : unit -> unit
+  (** Back to {!none} (also resets counters). *)
+
+  val injected : unit -> (string * int) list
+  (** Injected-fault counts by fault name, since the last {!set_plan}. *)
+
+  val injected_total : unit -> int
+end

@@ -301,6 +301,77 @@ let test_connection_retry_after_drop () =
   Orb.shutdown client;
   Orb.shutdown server2
 
+let test_crash_restart_under_retry () =
+  (* Crash-restart: the server ORB dies mid-session and a replacement
+     comes up on the same port. A client with an explicit retry policy
+     keeps working across the gap, and its stats record what happened. *)
+  let port = 47117 in
+  let fresh_server () =
+    let s = Orb.create ~transport:"mem" ~host:"local" ~port () in
+    Orb.start s;
+    let r = Orb.export s (echo_skeleton ()) in
+    (s, r)
+  in
+  let server, target = fresh_server () in
+  let retry =
+    { Orb.Retry.default with max_attempts = 4; base_delay = 0.005; jitter = 0. }
+  in
+  let client = Orb.create ~transport:"mem" ~host:"local" ~retry () in
+  Alcotest.(check string) "before crash" "echo:a"
+    (invoke_string client target ~op:"echo" "a");
+  (* Crash and immediately restart: the client's cached connection is
+     stale. The send fails before any reply bytes, so the policy safely
+     drops the connection, reconnects to the new process and retries. *)
+  Orb.shutdown server;
+  let server2, _ = fresh_server () in
+  Alcotest.(check string) "survives restart" "echo:b"
+    (invoke_string client target ~op:"echo" "b");
+  let st = Orb.stats client in
+  Alcotest.(check int) "one reconnect retry" 1 st.Orb.retries;
+  Alcotest.(check int) "reopened once" 2 st.Orb.opened;
+  Alcotest.(check int) "served by the new process" 1 (Orb.requests_served server2);
+  (* Now a real outage: the port goes dark. The policy burns its
+     attempts and reports the failure instead of hanging. *)
+  Orb.shutdown server2;
+  (match invoke_string client target ~op:"echo" "lost" with
+  | exception Orb.Transport.Transport_error _ -> ()
+  | r -> Alcotest.failf "call into the outage returned %S" r);
+  Alcotest.(check int) "attempts burned during outage" 4 (Orb.stats client).Orb.retries;
+  (* And a second restart heals without intervention. *)
+  let server3, _ = fresh_server () in
+  Alcotest.(check string) "heals again" "echo:c"
+    (invoke_string client target ~op:"echo" "c");
+  Orb.shutdown client;
+  Orb.shutdown server3
+
+let test_server_connection_bound () =
+  (* Regression (server-side leak): serve_connection must remove each
+     closed connection from the accepted list, so churning clients leave
+     the server near zero live connections, not a monotonic list. *)
+  with_pair (List.hd configs) (fun ~name:_ ~server ~client:_ ->
+      let target = Orb.export server (echo_skeleton ()) in
+      for i = 1 to 8 do
+        let c = Orb.create ~transport:"mem" ~host:"local" () in
+        Alcotest.(check string) "call" ("echo:" ^ string_of_int i)
+          (invoke_string c target ~op:"echo" (string_of_int i));
+        Orb.shutdown c
+      done;
+      (* Closes propagate through the server's per-connection threads
+         asynchronously; poll instead of a fixed sleep. *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      let rec settle () =
+        let live = (Orb.stats server).Orb.server_connections in
+        if live <= 1 then live
+        else if Unix.gettimeofday () > deadline then live
+        else (
+          Thread.delay 0.02;
+          settle ())
+      in
+      let live = settle () in
+      Alcotest.(check bool)
+        (Printf.sprintf "connections reaped (%d live)" live)
+        true (live <= 1))
+
 let () =
   Alcotest.run "orb"
     [
@@ -318,6 +389,13 @@ let () =
           Alcotest.test_case "named export" `Quick test_named_export;
           Alcotest.test_case "locate (GIOP LocateRequest)" `Quick test_locate;
           Alcotest.test_case "reconnect after drop" `Quick test_connection_retry_after_drop;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "crash-restart under retry policy" `Quick
+            test_crash_restart_under_retry;
+          Alcotest.test_case "server connections bounded" `Quick
+            test_server_connection_bound;
         ] );
       ( "concurrency",
         [

@@ -124,6 +124,81 @@ let test_listener_shutdown_wakes_accept () =
   Thread.join t;
   Alcotest.(check bool) "woken with error" true (!result = `Stopped)
 
+let test_deadline_timeout () =
+  (* With a deadline installed and no data coming, reads raise Timeout
+     close to the deadline — on both transports. *)
+  List.iter
+    (fun proto ->
+      with_pair ~proto (fun ~client ~server:_ ->
+          client.Orb.Transport.set_deadline
+            (Some (Unix.gettimeofday () +. 0.15));
+          let t0 = Unix.gettimeofday () in
+          (match client.Orb.Transport.read_line () with
+          | exception Orb.Transport.Timeout _ -> ()
+          | exception e ->
+              Alcotest.failf "%s: expected Timeout, got %s" proto
+                (Printexc.to_string e)
+          | line -> Alcotest.failf "%s: unexpected line %S" proto line);
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: timed out near deadline (%.3fs)" proto elapsed)
+            true
+            (elapsed >= 0.1 && elapsed <= 0.5)))
+    protos
+
+let test_deadline_cleared () =
+  (* Clearing the deadline restores plain blocking reads, and a
+     deadline does not disturb data that arrives in time. *)
+  List.iter
+    (fun proto ->
+      with_pair ~proto (fun ~client ~server ->
+          server.Orb.Transport.set_deadline
+            (Some (Unix.gettimeofday () +. 5.0));
+          client.Orb.Transport.write "prompt\n";
+          Alcotest.(check string) "read under deadline" "prompt"
+            (server.Orb.Transport.read_line ());
+          server.Orb.Transport.set_deadline None;
+          client.Orb.Transport.write "after\n";
+          Alcotest.(check string) "read after clearing" "after"
+            (server.Orb.Transport.read_line ())))
+    protos
+
+let test_expired_deadline_fails_fast () =
+  with_pair ~proto:"mem" (fun ~client ~server:_ ->
+      client.Orb.Transport.set_deadline (Some (Unix.gettimeofday () -. 1.0));
+      let t0 = Unix.gettimeofday () in
+      (match client.Orb.Transport.read_exact 1 with
+      | exception Orb.Transport.Timeout _ -> ()
+      | _ -> Alcotest.fail "expected Timeout");
+      Alcotest.(check bool) "no wait on expired deadline" true
+        (Unix.gettimeofday () -. t0 < 0.05))
+
+let test_faulty_passthrough () =
+  (* With no plan installed, "faulty:mem" behaves exactly like "mem". *)
+  Orb.Transport.Fault.clear ();
+  with_pair ~proto:"faulty:mem" (fun ~client ~server ->
+      client.Orb.Transport.write "ping\n";
+      Alcotest.(check string) "ping" "ping" (server.Orb.Transport.read_line ());
+      server.Orb.Transport.write "pong\n";
+      Alcotest.(check string) "pong" "pong" (client.Orb.Transport.read_line ());
+      Alcotest.(check int) "nothing injected" 0
+        (Orb.Transport.Fault.injected_total ()))
+
+let test_faulty_scripted_drop () =
+  (* A scripted plan kills the very first server-side read. *)
+  Orb.Transport.Fault.set_plan (fun { Orb.Transport.Fault.op; nth; _ } ->
+      match op with
+      | `Read when nth = 0 -> Some Orb.Transport.Fault.Drop_read
+      | _ -> None);
+  Fun.protect ~finally:Orb.Transport.Fault.clear (fun () ->
+      with_pair ~proto:"faulty:mem" (fun ~client ~server:_ ->
+          (match client.Orb.Transport.read_line () with
+          | exception Orb.Transport.Transport_error _ -> ()
+          | _ -> Alcotest.fail "expected dropped connection");
+          Alcotest.(check (list (pair string int))) "ledger"
+            [ ("drop_read", 1) ]
+            (Orb.Transport.Fault.injected ())))
+
 let test_multiple_connections () =
   let listener = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
   let port = listener.Orb.Transport.bound_port in
@@ -162,6 +237,17 @@ let () =
           Alcotest.test_case "bidirectional" `Quick test_bidirectional;
           Alcotest.test_case "binary safety" `Quick test_binary_safety;
           Alcotest.test_case "EOF on close" `Quick test_eof_on_close;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "reads time out" `Quick test_deadline_timeout;
+          Alcotest.test_case "deadline cleared" `Quick test_deadline_cleared;
+          Alcotest.test_case "expired deadline" `Quick test_expired_deadline_fails_fast;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "passthrough" `Quick test_faulty_passthrough;
+          Alcotest.test_case "scripted drop" `Quick test_faulty_scripted_drop;
         ] );
       ( "lifecycle",
         [
