@@ -1,7 +1,8 @@
 (* idlc: the template-driven IDL compiler CLI (paper Fig. 6).
 
-   Subcommand-free: one invocation compiles one IDL file through one
-   mapping (or a custom template), or dumps intermediate representations:
+   The default (subcommand-free) invocation compiles one IDL file through
+   one mapping (or a custom template), or dumps intermediate
+   representations:
 
      idlc A.idl --mapping heidi-cpp -o out/
      idlc A.idl --template my.tmpl -o out/
@@ -15,9 +16,38 @@
      idlc A.idl --ir /tmp/ir                   # parse and store the EST
      idlc --ir /tmp/ir --ir-list               # what is stored
      idlc --ir /tmp/ir --from-ir A -m tcl      # generate without reparsing
-*)
+
+   Static analysis (the `lint` subcommand) checks .idl and .tmpl files
+   without generating code, with error recovery so one run reports every
+   independent problem:
+
+     idlc lint A.idl B.tmpl
+     idlc lint A.idl --against /tmp/ir         # interface-evolution diff
+     idlc lint --explain E010
+
+   Exit codes (all commands): 0 success, 1 diagnostics were produced
+   (compile error, or lint errors / --werror'd warnings), 2 command-line
+   usage error. *)
 
 open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_warning d = Printf.eprintf "%s\n" (Idl.Diag.to_string d)
+
+(* The union of every built-in mapping's map functions, for custom
+   templates that may reference any of them. *)
+let all_maps () =
+  List.fold_left
+    (fun acc (m : Mappings.Mapping.t) ->
+      Template.Maps.union acc m.Mappings.Mapping.maps)
+    (Template.Maps.create ()) Mappings.Registry.all
+
+(* ---------------- compile (the default command) ---------------- *)
 
 let list_mappings () =
   List.iter
@@ -47,7 +77,18 @@ let ir_list dir =
     (Core.Repository.units repo)
 
 let run input mapping_name template_file out_dir dump list_flag ir_dir ir_list_flag
-    from_ir =
+    from_ir werror =
+  (* Resolver warnings go to stderr in every compile mode; --werror makes
+     any warning fatal (after the run completes). *)
+  let warned = ref 0 in
+  let warn d =
+    incr warned;
+    print_warning
+      (if werror then { d with Idl.Diag.severity = Idl.Diag.Error } else d)
+  in
+  let finish code =
+    if werror && !warned > 0 && code = 0 then `Ok 1 else `Ok code
+  in
   try
     if list_flag then (
       list_mappings ();
@@ -71,7 +112,7 @@ let run input mapping_name template_file out_dir dump list_flag ir_dir ir_list_f
                 failwith (Printf.sprintf "unit %S is not in the repository" unit_name))
         | Some _, None, _ -> failwith "--from-ir requires --ir DIR"
         | None, _, Some path ->
-            let est = Core.Compiler.est_of_file path in
+            let est = Core.Compiler.est_of_file ~warn path in
             (match ir_dir with
             | Some dir ->
                 let repo = Core.Repository.open_ ~dir in
@@ -90,34 +131,21 @@ let run input mapping_name template_file out_dir dump list_flag ir_dir ir_list_f
               | Some path ->
                   print_string (Idl.Pretty.to_string (Idl.Parser.parse_file path))
               | None -> failwith "--reformat requires an input file");
-              `Ok 0
+              finish 0
           | Dump_perl ->
               print_string (Est.Dump.to_perl (est_source ()));
-              `Ok 0
+              finish 0
           | Dump_text ->
               print_string (Est.Dump.to_text (est_source ()));
-              `Ok 0
+              finish 0
           | Dump_none -> (
               let result =
                 match template_file with
                 | Some tf ->
-                    (* A custom template: run with the union of every
-                       built-in mapping's map functions so templates can
-                       reference any of them. *)
-                    let maps =
-                      List.fold_left
-                        (fun acc (m : Mappings.Mapping.t) ->
-                          Template.Maps.union acc m.Mappings.Mapping.maps)
-                        (Template.Maps.create ()) Mappings.Registry.all
-                    in
                     let root = est_source () in
-                    let src =
-                      let ic = open_in_bin tf in
-                      Fun.protect
-                        ~finally:(fun () -> close_in_noerr ic)
-                        (fun () -> really_input_string ic (in_channel_length ic))
-                    in
-                    Core.Compiler.generate ~maps ~templates:[ (tf, src) ] root
+                    Core.Compiler.generate ~maps:(all_maps ())
+                      ~templates:[ (tf, read_file tf) ]
+                      root
                 | None -> (
                     match Mappings.Registry.find mapping_name with
                     | None ->
@@ -137,16 +165,16 @@ let run input mapping_name template_file out_dir dump list_flag ir_dir ir_list_f
               | Some dir ->
                   let written = Core.Compiler.write_result ~dir result in
                   List.iter (Printf.printf "wrote %s\n") written;
-                  `Ok 0
+                  finish 0
               | None ->
                   List.iter
                     (fun (name, content) ->
                       Printf.printf "===== %s =====\n%s" name content)
                     result.Core.Compiler.files;
-                  `Ok 0))
+                  finish 0))
   with
   | Idl.Diag.Idl_error d ->
-      Printf.eprintf "%s\n" (Idl.Diag.to_string d);
+      Format.eprintf "%a@." Idl.Diag.pp d;
       `Ok 1
   | Template.Parse.Template_error _ as e ->
       Printf.eprintf "%s\n" (Printexc.to_string e);
@@ -220,17 +248,236 @@ let from_ir_arg =
     & info [ "from-ir" ] ~docv:"UNIT"
         ~doc:"Generate from a unit stored in the IR instead of parsing IDL.")
 
-let cmd =
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "werror" ]
+        ~doc:"Treat warnings as errors: any warning makes the exit status 1.")
+
+(* ---------------- lint ---------------- *)
+
+let lint_run files against_dir mapping_names json werror enables disables
+    explain =
+  match explain with
+  | Some "" ->
+      print_string (Analysis.Codes.table ());
+      print_newline ();
+      `Ok 0
+  | Some code -> (
+      match Analysis.Codes.explain code with
+      | Some text ->
+          print_string text;
+          `Ok 0
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown diagnostic code %S (try --explain with \
+                              no argument for the list)"
+                code ))
+  | None -> (
+      match
+        List.find_opt
+          (fun c -> not (Analysis.Codes.is_known c))
+          (enables @ disables)
+      with
+      | Some c ->
+          `Error (false, Printf.sprintf "unknown diagnostic code %S" c)
+      | None -> (
+          let mappings =
+            match mapping_names with
+            | [] -> Ok Mappings.Registry.all
+            | names -> (
+                match
+                  List.find_opt
+                    (fun n -> Mappings.Registry.find n = None)
+                    names
+                with
+                | Some n ->
+                    Error
+                      (Printf.sprintf "unknown mapping %S (try --list-mappings)"
+                         n)
+                | None ->
+                    Ok (List.filter_map Mappings.Registry.find names))
+          in
+          match mappings with
+          | Error m -> `Error (false, m)
+          | Ok _ when files = [] ->
+              `Error (true, "no input files (expected .idl and/or .tmpl)")
+          | Ok mappings -> (
+              let reporter = Idl.Diag.reporter ~werror () in
+              List.iter
+                (fun c -> Idl.Diag.set_enabled reporter c false)
+                disables;
+              List.iter (fun c -> Idl.Diag.set_enabled reporter c true) enables;
+              let lint_one path =
+                if Filename.check_suffix path ".tmpl" then
+                  ignore (Analysis.Tmpl_check.check_file reporter path)
+                else
+                  match Analysis.Lint.run_file ~mappings reporter path with
+                  | None -> () (* syntax error: already reported *)
+                  | Some spec -> (
+                      match against_dir with
+                      | None -> ()
+                      | Some ir_dir ->
+                          let root = Est.Build.of_spec spec in
+                          Est.Node.add_prop root "fileBase"
+                            (Filename.remove_extension (Filename.basename path));
+                          Est.Node.add_prop root "fileName" path;
+                          if
+                            not
+                              (Analysis.Evolve.against reporter ~ir_dir
+                                 ~file:path root)
+                          then
+                            Printf.eprintf
+                              "idlc lint: note: no snapshot for %S in %s \
+                               (nothing to compare)\n"
+                              path ir_dir)
+              in
+              try
+                List.iter lint_one files;
+                if json then print_string (Idl.Diag.render_json reporter)
+                else (
+                  let text = Idl.Diag.render_text reporter in
+                  if text <> "" then prerr_string text;
+                  let e = Idl.Diag.error_count reporter
+                  and w = Idl.Diag.warning_count reporter in
+                  if e > 0 || w > 0 then
+                    Printf.eprintf "%d error%s, %d warning%s\n" e
+                      (if e = 1 then "" else "s")
+                      w
+                      (if w = 1 then "" else "s"));
+                `Ok (if Idl.Diag.has_errors reporter then 1 else 0)
+              with Sys_error m ->
+                Printf.eprintf "idlc: %s\n" m;
+                `Ok 1)))
+
+let lint_files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Files to check: $(b,.tmpl) files go through the template \
+           checker, everything else through the IDL front end and lint \
+           passes.")
+
+let against_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "against" ] ~docv:"IR-DIR"
+        ~doc:
+          "Diff each IDL file's interfaces against the snapshot stored in \
+           this Interface Repository directory; wire-breaking changes are \
+           errors (V301-V304), additions are W310 warnings.")
+
+let lint_mapping_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "m"; "mapping" ] ~docv:"NAME"
+        ~doc:
+          "Check identifiers against this mapping's reserved words (W105); \
+           repeatable. Default: every built-in mapping.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "lint-json" ]
+        ~doc:"Print diagnostics as a JSON array on stdout instead of text.")
+
+let enable_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "enable" ] ~docv:"CODE"
+        ~doc:"Re-enable a warning code disabled by $(b,--disable).")
+
+let disable_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "disable" ] ~docv:"CODE"
+        ~doc:"Suppress a warning code (errors cannot be disabled).")
+
+let explain_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "explain" ] ~docv:"CODE"
+        ~doc:
+          "Explain a diagnostic code and exit; with no $(docv), list every \
+           code.")
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:
+        "on diagnostics: a compile-time error, lint errors, or warnings \
+         under $(b,--werror).";
+    Cmd.Exit.info 2 ~doc:"on command-line usage errors.";
+  ]
+
+let lint_cmd =
+  let doc = "statically check IDL files, templates, and interface evolution" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the IDL front end with error recovery (reporting every \
+         independent problem in one pass) plus lint passes over the \
+         resolved spec; checks templates against the EST schema without \
+         evaluating them; and, with $(b,--against), diffs interfaces \
+         against an Interface Repository snapshot, classifying changes as \
+         wire-breaking or benign.";
+      `P
+        "Diagnostic codes are stable: E0xx front-end errors, W1xx lint \
+         warnings, T2xx template findings, V3xx evolution findings. Use \
+         $(b,--explain) $(i,CODE) for the rationale behind any code.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man ~exits)
+    Term.(
+      ret
+        (const lint_run $ lint_files_arg $ against_arg $ lint_mapping_arg
+       $ json_arg $ werror_arg $ enable_arg $ disable_arg $ explain_arg))
+
+(* ---------------- entry point ---------------- *)
+
+let compile_cmd =
   let doc = "template-driven IDL compiler (Welling & Ott, Middleware 2000)" in
-  let info = Cmd.info "idlc" ~version:"1.0.0" ~doc in
-  Cmd.v info
+  let man =
+    [
+      `S Manpage.s_commands;
+      `P
+        "$(b,lint) $(i,FILE)... — statically check IDL files, templates, \
+         and interface evolution (see $(b,idlc lint --help)).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "idlc" ~version:"1.0.0" ~doc ~man ~exits)
     Term.(
       ret
         (const run $ input_arg $ mapping_arg $ template_arg $ out_arg $ dump_arg
-       $ list_arg $ ir_arg $ ir_list_arg $ from_ir_arg))
+       $ list_arg $ ir_arg $ ir_list_arg $ from_ir_arg $ werror_arg))
 
+(* [idlc FILE.idl] predates the [lint] subcommand, so dispatch on argv
+   rather than Cmd.group (which would eat the positional file argument as
+   an unknown command name). *)
 let () =
-  match Cmd.eval_value cmd with
+  let eval =
+    match Array.to_list Sys.argv with
+    | argv0 :: "lint" :: rest ->
+        fun () ->
+          Cmd.eval_value
+            ~argv:(Array.of_list ((argv0 ^ " lint") :: rest))
+            lint_cmd
+    | _ -> fun () -> Cmd.eval_value compile_cmd
+  in
+  match eval () with
   | Ok (`Ok code) -> exit code
   | Ok _ -> exit 0
-  | Error _ -> exit 124
+  | Error _ -> exit 2
+  | exception Idl.Diag.Idl_error d ->
+      (* Safety net: any diagnostic escaping a command is rendered, not
+         dumped as a backtrace. *)
+      Format.eprintf "%a@." Idl.Diag.pp d;
+      exit 1

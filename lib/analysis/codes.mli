@@ -1,0 +1,24 @@
+(** The table of stable diagnostic codes.
+
+    Families: [E0xx] front-end errors, [W1xx] lint findings, [T2xx]
+    template-checker findings, [V3xx] evolution findings ([W310] = benign
+    evolution). [idlc lint --explain CODE] prints the long-form entry. *)
+
+type info = {
+  code : string;
+  severity : Idl.Diag.severity;  (** Default severity. *)
+  summary : string;  (** One line. *)
+  explain : string;  (** Long-form rationale for [--explain]. *)
+}
+
+val all : info list
+(** Every code [idlc] can emit, in family order. *)
+
+val find : string -> info option
+val is_known : string -> bool
+
+val explain : string -> string option
+(** The formatted [--explain] text for a code, or [None] if unknown. *)
+
+val table : unit -> string
+(** A one-line-per-code listing of all codes. *)

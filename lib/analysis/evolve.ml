@@ -1,0 +1,141 @@
+(** Interface-evolution checker: diffs the current EST against an IR
+    snapshot ({!Core.Repository}) and classifies each difference as
+    wire-breaking or benign.
+
+    "Wire-breaking" is judged against the protocols in this repo (and the
+    paper's Section 5 ESIOP variants): peers built from the snapshot
+    marshal requests using operation signatures, dispatch by repository ID,
+    and — for the compact encodings — address operations by index. So a
+    removed or re-typed operation (V301/V302), a changed repository ID
+    (V303), and a reordering of surviving operations (V304) all break
+    deployed peers, while additions (W310) are invisible to them. *)
+
+module Node = Est.Node
+module Diag = Idl.Diag
+
+let file_loc file = Idl.Loc.make ~file ~line:0 ~col:0
+
+let prop n key = Node.prop_or n key ~default:""
+
+(* Index a group's nodes by a key property, preserving order. *)
+let index_by key nodes =
+  List.map (fun n -> (prop n key, n)) nodes
+
+(* The wire-relevant signature of a parameter / operation / attribute,
+   rendered as a comparable string. Parameter names are excluded: they are
+   not marshaled, so renaming one is benign. *)
+let param_sig p = prop p "paramMode" ^ " " ^ prop p "type"
+
+let op_sig op =
+  let raises =
+    List.map (fun r -> prop r "repoId") (Node.group op "raisesList")
+  in
+  (if prop op "isOneway" = "true" then "oneway " else "")
+  ^ prop op "returnType"
+  ^ " ("
+  ^ String.concat ", " (List.map param_sig (Node.group op "paramList"))
+  ^ ")"
+  ^ match raises with [] -> "" | rs -> " raises " ^ String.concat ", " rs
+
+let attr_sig at = prop at "attributeQualifier" ^ " " ^ prop at "attributeType"
+
+let breaking reporter ~loc ~code fmt =
+  Printf.ksprintf
+    (fun message ->
+      Diag.report reporter (Diag.make ~code ~severity:Diag.Error ~loc message))
+    fmt
+
+let benign reporter ~loc fmt =
+  Printf.ksprintf
+    (fun message ->
+      Diag.report reporter
+        (Diag.make ~code:"W310" ~severity:Diag.Warning ~loc message))
+    fmt
+
+(* Diff one interface's members of one kind (operations or attributes). *)
+let diff_members reporter ~loc ~iface ~what ~key ~signature old_members new_members =
+  let old_idx = index_by key old_members in
+  let new_idx = index_by key new_members in
+  List.iter
+    (fun (name, old_m) ->
+      match List.assoc_opt name new_idx with
+      | None ->
+          breaking reporter ~loc ~code:"V301"
+            "interface %S: %s %S was removed (present in the snapshot)"
+            iface what name
+      | Some new_m ->
+          if signature old_m <> signature new_m then
+            breaking reporter ~loc ~code:"V302"
+              "interface %S: %s %S changed its signature (snapshot: %s; now: %s)"
+              iface what name (signature old_m) (signature new_m))
+    old_idx;
+  List.iter
+    (fun (name, _) ->
+      if List.assoc_opt name old_idx = None then
+        benign reporter ~loc "interface %S: new %s %S (not in the snapshot)"
+          iface what name)
+    new_idx;
+  (* Surviving operations must keep their relative order: the compact
+     protocol encodings address operations by index. *)
+  let survivors members other_idx =
+    List.filter_map
+      (fun (name, _) ->
+        if List.assoc_opt name other_idx <> None then Some name else None)
+      members
+  in
+  let old_order = survivors old_idx new_idx in
+  let new_order = survivors new_idx old_idx in
+  if what = "operation" && old_order <> new_order then
+    breaking reporter ~loc ~code:"V304"
+      "interface %S: surviving operations were reordered (snapshot: %s; now: %s)"
+      iface
+      (String.concat ", " old_order)
+      (String.concat ", " new_order)
+
+let diff_interface reporter ~loc old_i new_i =
+  let iface = prop old_i "scopedName" in
+  let old_id = prop old_i "repoId" and new_id = prop new_i "repoId" in
+  if old_id <> new_id then
+    breaking reporter ~loc ~code:"V303"
+      "interface %S: repository ID changed from %S to %S" iface old_id new_id;
+  diff_members reporter ~loc ~iface ~what:"operation" ~key:"methodName"
+    ~signature:op_sig
+    (Node.group old_i "methodList")
+    (Node.group new_i "methodList");
+  diff_members reporter ~loc ~iface ~what:"attribute" ~key:"attributeName"
+    ~signature:attr_sig
+    (Node.group old_i "attributeList")
+    (Node.group new_i "attributeList")
+
+(* Diff two EST roots. Interfaces are matched by scoped name across the
+   flattened interfaceList (document order, recursing into modules). *)
+let diff_roots reporter ~file ~old_root new_root =
+  let loc = file_loc file in
+  let old_ifaces = index_by "scopedName" (Node.group old_root "interfaceList") in
+  let new_ifaces = index_by "scopedName" (Node.group new_root "interfaceList") in
+  List.iter
+    (fun (name, old_i) ->
+      match List.assoc_opt name new_ifaces with
+      | None ->
+          breaking reporter ~loc ~code:"V301"
+            "interface %S was removed (present in the snapshot)" name
+      | Some new_i -> diff_interface reporter ~loc old_i new_i)
+    old_ifaces;
+  List.iter
+    (fun (name, _) ->
+      if List.assoc_opt name old_ifaces = None then
+        benign reporter ~loc "new interface %S (not in the snapshot)" name)
+    new_ifaces
+
+(* Diff the current EST against the snapshot stored for its compilation
+   unit in [ir_dir]. Returns [false] when the repository has no snapshot
+   for the unit (nothing to compare — the caller decides whether that is
+   worth mentioning). *)
+let against reporter ~ir_dir ~file root =
+  let unit_name = Node.prop_or root "fileBase" ~default:"out" in
+  let repo = Core.Repository.open_ ~dir:ir_dir in
+  match Core.Repository.load repo unit_name with
+  | None -> false
+  | Some old_root ->
+      diff_roots reporter ~file ~old_root root;
+      true

@@ -1,0 +1,21 @@
+(** Interface-evolution checker: diffs the current EST against an IR
+    snapshot ({!Core.Repository}) and classifies differences.
+
+    Wire-breaking (errors): [V301] removed interface/operation/attribute,
+    [V302] changed signature (parameter modes/types/count, return type,
+    oneway-ness, raises clause, attribute type/qualifier), [V303] changed
+    repository ID, [V304] reordered surviving operations (the compact
+    protocol encodings address operations by index). Benign additions are
+    reported as [W310] warnings. Parameter renames are benign: names are
+    not marshaled. *)
+
+val diff_roots :
+  Idl.Diag.reporter -> file:string -> old_root:Est.Node.t -> Est.Node.t -> unit
+(** Diff two EST roots, matching interfaces by scoped name. [file] anchors
+    the diagnostics. *)
+
+val against :
+  Idl.Diag.reporter -> ir_dir:string -> file:string -> Est.Node.t -> bool
+(** Diff an EST against the snapshot stored for its [fileBase] unit in
+    [ir_dir]. Returns [false] when the repository holds no snapshot for
+    the unit (nothing was compared). *)

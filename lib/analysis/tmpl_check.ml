@@ -1,0 +1,267 @@
+(** Static checker for code-generation templates.
+
+    Validates a template against the EST property environment — the node
+    kinds {!Est.Build} produces and the properties/groups each kind
+    defines (the paper's Fig. 8 schema) — without evaluating it against
+    any IDL. The evaluator ({!Template.Eval}) only discovers an unbound
+    [${var}] or unknown map function when it reaches that line for some
+    input, possibly after writing half an output file; the checker finds
+    every such defect up front, which is what makes user-supplied
+    templates (the paper's whole point) safe to install.
+
+    Checks: T201 parse errors, T202 unbound variables, T203 unknown map
+    functions, T204 unknown [@foreach] groups, T205 unbound variables in
+    [@openfile] names. *)
+
+module Diag = Idl.Diag
+
+(* ---------------- The EST schema ----------------
+
+   One row per node kind: the properties the kind defines and its child
+   groups (group name -> child kind). Derived from Est.Build — if Build
+   grows a property, add it here (test_lint locks the two in step for the
+   shipped templates). *)
+
+type kind_info = {
+  props : string list;
+  groups : (string * string) list;
+}
+
+(* Properties shared by every named entity node. *)
+let named = [ "scopedName"; "flatName"; "repoId" ]
+
+(* add_type_props with the given prefix ("" / "return" / "attribute"). *)
+let typed prefix =
+  let key base =
+    if prefix = "" then base else prefix ^ String.capitalize_ascii base
+  in
+  [
+    (if prefix = "" then "type" else prefix ^ "Type");
+    key "typeName"; key "typeKind"; key "isVariable"; key "seqElemType";
+  ]
+
+(* Groups attach_members can create on a container node. *)
+let entity_groups =
+  [
+    ("moduleList", "Module");
+    ("interfaceList", "Interface");
+    ("structList", "Struct");
+    ("unionList", "Union");
+    ("enumList", "Enum");
+    ("aliasList", "Alias");
+    ("constList", "Const");
+    ("exceptionList", "Exception");
+  ]
+
+let schema : (string * kind_info) list =
+  [
+    ( "Root",
+      {
+        props = [ "fileBase"; "fileName" ];
+        groups =
+          entity_groups
+          @ List.map
+              (fun (g, k) -> ("top" ^ String.capitalize_ascii g, k))
+              entity_groups;
+      } );
+    ( "Module",
+      { props = ("moduleName" :: named); groups = entity_groups } );
+    ( "Interface",
+      {
+        props = [ "interfaceName"; "Parent" ] @ named;
+        groups =
+          [
+            ("inheritedList", "Inherit");
+            ("allInheritedList", "Inherit");
+            ("methodList", "Operation");
+            ("allMethodList", "Operation");
+            ("attributeList", "Attribute");
+            ("allAttributeList", "Attribute");
+          ]
+          @ entity_groups;
+      } );
+    ("Inherit", { props = ("inheritedName" :: named); groups = [] });
+    ( "Operation",
+      {
+        props = [ "methodName"; "isOneway" ] @ typed "return";
+        groups = [ ("paramList", "Param"); ("raisesList", "Raise") ];
+      } );
+    ( "Param",
+      { props = [ "paramName"; "paramMode"; "defaultParam" ] @ typed ""; groups = [] } );
+    ("Raise", { props = ("exceptionName" :: named); groups = [] });
+    ( "Attribute",
+      {
+        props = [ "attributeName"; "attributeQualifier" ] @ typed "attribute";
+        groups = [];
+      } );
+    ( "Struct",
+      {
+        props = ("structName" :: named);
+        groups = [ ("memberList", "Member") ];
+      } );
+    ("Member", { props = ("memberName" :: typed ""); groups = [] });
+    ( "Union",
+      {
+        props = [ "unionName"; "discType"; "discTypeName" ] @ named;
+        groups = [ ("caseList", "Case") ];
+      } );
+    ( "Case",
+      {
+        props = ("caseName" :: typed "");
+        groups = [ ("labelList", "Label") ];
+      } );
+    ("Label", { props = [ "labelValue"; "isDefault" ]; groups = [] });
+    ( "Enum",
+      {
+        props = ("enumName" :: named);
+        groups = [ ("memberList", "EnumMember") ];
+      } );
+    ("EnumMember", { props = [ "memberName"; "memberIndex" ]; groups = [] });
+    ("Alias", { props = (("aliasName" :: named) @ typed ""); groups = [] });
+    ( "Const",
+      { props = (("constName" :: named) @ [ "value" ]) @ typed ""; groups = [] } );
+    ( "Exception",
+      {
+        props = ("exceptionName" :: named);
+        groups = [ ("memberList", "Member") ];
+      } );
+  ]
+
+(* The loop bindings Eval pushes with every @foreach frame. *)
+let loop_bindings = [ "ifMore"; "index"; "count"; "isFirst"; "isLast" ]
+
+(* The wildcard kind: pushed below an unknown group so one bad @foreach
+   yields a single T204 rather than a cascade of T202/T204 in its body. *)
+let wildcard = "?"
+
+let kind_info kind = List.assoc_opt kind schema
+
+let kind_defines kind var =
+  kind = wildcard
+  ||
+  match kind_info kind with
+  | None -> false
+  | Some i -> List.mem var i.props
+
+(* A frame: the node kind plus whether Eval's loop bindings exist there
+   (true for every frame a @foreach pushed, false for the root frame). *)
+type frame = { kind : string; in_loop : bool }
+
+let var_bound stack var =
+  List.exists
+    (fun f -> (f.in_loop && List.mem var loop_bindings) || kind_defines f.kind var)
+    stack
+
+let stack_str stack =
+  String.concat " > " (List.rev_map (fun f -> f.kind) stack)
+
+(* ---------------- The checker ---------------- *)
+
+let default_maps =
+  lazy
+    (List.fold_left
+       (fun acc (m : Mappings.Mapping.t) ->
+         Template.Maps.union acc m.Mappings.Mapping.maps)
+       (Template.Maps.create ())
+       Mappings.Registry.all)
+
+let check_ast ?maps reporter ~filename (tmpl : Template.Ast.t) =
+  let maps = match maps with Some m -> m | None -> Lazy.force default_maps in
+  let loc line = Idl.Loc.make ~file:filename ~line ~col:0 in
+  let err ~code ~line fmt =
+    Printf.ksprintf
+      (fun message ->
+        Diag.report reporter
+          (Diag.make ~code ~severity:Diag.Error ~loc:(loc line) message))
+      fmt
+  in
+  let check_map_fn ~line ~var fn =
+    if Template.Maps.find maps fn = None then
+      err ~code:"T203" ~line "unknown map function %S for ${%s}" fn var
+  in
+  let check_var ?(code = "T202") stack ~line v =
+    if not (var_bound stack v) then
+      err ~code ~line "unbound variable ${%s} (node stack: %s)" v
+        (stack_str stack)
+  in
+  let check_segments ?code stack ~line segments =
+    List.iter
+      (function
+        | Template.Ast.Lit _ -> ()
+        | Template.Ast.Var v -> check_var ?code stack ~line v
+        | Template.Ast.Mapped (v, fn) ->
+            check_var ?code stack ~line v;
+            check_map_fn ~line ~var:v fn)
+      segments
+  in
+  let check_cond stack ~line = function
+    | Template.Ast.Nonempty v -> check_var stack ~line v
+    | Template.Ast.Eq (v, rhs) | Template.Ast.Neq (v, rhs) -> (
+        check_var stack ~line v;
+        match rhs with
+        | Template.Ast.O_var v2 -> check_var stack ~line v2
+        | Template.Ast.O_lit _ -> ())
+  in
+  let rec walk stack items =
+    List.iter
+      (fun item ->
+        match item with
+        | Template.Ast.Text { segments; line; _ } ->
+            check_segments stack ~line segments
+        | Template.Ast.Openfile { segments; line } ->
+            check_segments ~code:"T205" stack ~line segments
+        | Template.Ast.If { cond; then_; else_; line } ->
+            check_cond stack ~line cond;
+            walk stack then_;
+            walk stack else_
+        | Template.Ast.Foreach { group; maps = decls; body; line; _ } ->
+            List.iter (fun (var, fn) -> check_map_fn ~line ~var fn) decls;
+            let top = List.hd stack in
+            (* @foreach searches the current node only (no outward walk). *)
+            let child_kind =
+              if top.kind = wildcard then Some wildcard
+              else
+                match kind_info top.kind with
+                | None -> Some wildcard
+                | Some i -> List.assoc_opt group i.groups
+            in
+            let child_kind =
+              match child_kind with
+              | Some k -> k
+              | None ->
+                  err ~code:"T204" ~line
+                    "unknown group %S in @foreach (node kind %S defines: %s)"
+                    group top.kind
+                    (match kind_info top.kind with
+                    | Some { groups = _ :: _ as gs; _ } ->
+                        String.concat ", " (List.map fst gs)
+                    | _ -> "no groups");
+                  wildcard
+            in
+            walk ({ kind = child_kind; in_loop = true } :: stack) body)
+      items
+  in
+  walk [ { kind = "Root"; in_loop = false } ] tmpl.Template.Ast.items
+
+(* Parse (T201 on failure) then check. Returns [true] when the template
+   at least parsed. *)
+let check_source ?maps reporter ~filename src =
+  match Template.Parse.parse ~name:filename src with
+  | tmpl ->
+      check_ast ?maps reporter ~filename tmpl;
+      true
+  | exception Template.Parse.Template_error { line; message; _ } ->
+      Diag.report reporter
+        (Diag.make ~code:"T201" ~severity:Diag.Error
+           ~loc:(Idl.Loc.make ~file:filename ~line ~col:0)
+           (Printf.sprintf "template syntax error: %s" message));
+      false
+
+let check_file ?maps reporter path =
+  let src =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_source ?maps reporter ~filename:path src

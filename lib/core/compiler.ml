@@ -6,9 +6,13 @@ let base_of_filename filename =
   | Some b -> b
   | None -> ( match base with "<string>" | "" -> "out" | b -> b)
 
-let est_of_string ?(filename = "<string>") ?file_base src =
+let est_of_string ?(warn = fun (_ : Idl.Diag.t) -> ()) ?(filename = "<string>")
+    ?file_base src =
   let ast = Idl.Parser.parse_string ~filename src in
   let sem = Est.Resolve.spec ast in
+  (* Resolver warnings (W107 ...) accumulate newest-first; surface them in
+     source order. *)
+  List.iter warn (List.rev sem.Est.Sem.warnings);
   let root = Est.Build.of_spec sem in
   let file_base =
     match file_base with Some b -> b | None -> base_of_filename filename
@@ -17,14 +21,14 @@ let est_of_string ?(filename = "<string>") ?file_base src =
   Est.Node.add_prop root "fileName" filename;
   root
 
-let est_of_file path =
+let est_of_file ?warn path =
   let ic = open_in_bin path in
   let src =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  est_of_string ~filename:path src
+  est_of_string ?warn ~filename:path src
 
 let generate ?(maps = Template.Maps.empty) ~templates root =
   let outputs =
@@ -54,13 +58,13 @@ let generate ?(maps = Template.Maps.empty) ~templates root =
     stdout;
   }
 
-let compile_string ?filename ?file_base ~mapping src =
-  let root = est_of_string ?filename ?file_base src in
+let compile_string ?warn ?filename ?file_base ~mapping src =
+  let root = est_of_string ?warn ?filename ?file_base src in
   generate ~maps:mapping.Mappings.Mapping.maps
     ~templates:mapping.Mappings.Mapping.templates root
 
-let compile_file ~mapping path =
-  let root = est_of_file path in
+let compile_file ?warn ~mapping path =
+  let root = est_of_file ?warn path in
   generate ~maps:mapping.Mappings.Mapping.maps
     ~templates:mapping.Mappings.Mapping.templates root
 

@@ -13,13 +13,19 @@ type result = {
   stdout : string;  (** Output produced outside any [@openfile]. *)
 }
 
-val est_of_string : ?filename:string -> ?file_base:string -> string -> Est.Node.t
+val est_of_string :
+  ?warn:(Idl.Diag.t -> unit) ->
+  ?filename:string ->
+  ?file_base:string ->
+  string ->
+  Est.Node.t
 (** Stage 1 alone: parse + resolve + build the EST. The root node carries
     a [fileBase] property (derived from [filename] unless [file_base] is
-    given) that templates use to name output files.
+    given) that templates use to name output files. [warn] receives each
+    resolver warning (e.g. W107) in source order; default: dropped.
     @raise Idl.Diag.Idl_error on parse or semantic errors. *)
 
-val est_of_file : string -> Est.Node.t
+val est_of_file : ?warn:(Idl.Diag.t -> unit) -> string -> Est.Node.t
 
 val generate :
   ?maps:Template.Maps.t -> templates:(string * string) list -> Est.Node.t -> result
@@ -28,6 +34,7 @@ val generate :
     @raise Template.Parse.Template_error / Template.Eval.Eval_error. *)
 
 val compile_string :
+  ?warn:(Idl.Diag.t -> unit) ->
   ?filename:string ->
   ?file_base:string ->
   mapping:Mappings.Mapping.t ->
@@ -37,7 +44,8 @@ val compile_string :
     @raise Idl.Diag.Idl_error on IDL errors, template exceptions on
     template errors. *)
 
-val compile_file : mapping:Mappings.Mapping.t -> string -> result
+val compile_file :
+  ?warn:(Idl.Diag.t -> unit) -> mapping:Mappings.Mapping.t -> string -> result
 
 val write_result : dir:string -> result -> string list
 (** Write every generated file under [dir] (created if missing); returns

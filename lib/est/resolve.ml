@@ -12,6 +12,11 @@ type kind =
   | K_const
   | K_except
 
+let with_article k =
+  match k.[0] with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> "an " ^ k
+  | _ -> "a " ^ k
+
 let kind_to_string = function
   | K_module -> "module"
   | K_interface -> "interface"
@@ -85,8 +90,10 @@ let new_scope ?parent qname =
 let scope_add ?(member = true) scope ~name ~kind ~loc =
   (match Hashtbl.find_opt scope.s_table name with
   | Some prev when not (prev.e_kind = K_interface && not prev.e_defined) ->
-      Diag.error ~loc "redefinition of %S (previously declared as a %s at %s)"
-        name (kind_to_string prev.e_kind) (Loc.to_string prev.e_loc)
+      Diag.error ~code:"E002"
+        ~notes:[ (prev.e_loc, "previous declaration is here") ]
+        ~loc "redefinition of %S (previously declared as %s)" name
+        (with_article (kind_to_string prev.e_kind))
   | _ -> ());
   let qname = scope.s_qname @ [ name ] in
   let entry = { e_qname = qname; e_kind = kind; e_loc = loc; e_defined = true } in
@@ -113,8 +120,9 @@ let rec collect_definition env scope prefix (def : A.definition) : string =
             (* Module re-opening: reuse the existing scope. *)
             find_module_scope e_qname
         | Some prev ->
-            Diag.error ~loc "redefinition of %S as a module (previously a %s)"
-              name (kind_to_string prev.e_kind)
+            Diag.error ~code:"E002" ~loc
+              "redefinition of %S as a module (previously %s)" name
+              (with_article (kind_to_string prev.e_kind))
         | None ->
             let _ = scope_add scope ~name ~kind:K_module ~loc in
             let sub = new_scope ~parent:scope (scope.s_qname @ [ name ]) in
@@ -124,13 +132,19 @@ let rec collect_definition env scope prefix (def : A.definition) : string =
       (match Hashtbl.find_opt scope.s_table name with
       | Some entry when prefix <> "" -> Hashtbl.replace env.prefixes entry.e_qname prefix
       | _ -> ());
-      ignore (List.fold_left (collect_definition env sub) prefix defs);
+      ignore
+        (List.fold_left
+           (fun pfx d ->
+             Diag.recover ~default:pfx (fun () ->
+                 collect_definition env sub pfx d))
+           prefix defs);
       prefix
   | A.D_forward (name, loc) -> (
       match Hashtbl.find_opt scope.s_table name with
       | Some { e_kind = K_interface; _ } -> () (* repeat forward decl: ok *)
       | Some prev ->
-          Diag.error ~loc "forward declaration of %S conflicts with a %s" name
+          Diag.error ~code:"E002" ~loc
+            "forward declaration of %S conflicts with a %s" name
             (kind_to_string prev.e_kind)
       | None ->
           let entry = scope_add scope ~name ~kind:K_interface ~loc in
@@ -147,8 +161,9 @@ let rec collect_definition env scope prefix (def : A.definition) : string =
               e.e_qname :: List.filter (fun q -> q <> e.e_qname) scope.s_members;
             e
         | Some prev ->
-            Diag.error ~loc:i.A.if_loc "redefinition of interface %S (previously a %s)"
-              i.A.if_name (kind_to_string prev.e_kind)
+            Diag.error ~code:"E002" ~loc:i.A.if_loc
+              "redefinition of interface %S (previously %s)" i.A.if_name
+              (with_article (kind_to_string prev.e_kind))
         | None -> scope_add scope ~name:i.A.if_name ~kind:K_interface ~loc:i.A.if_loc
       in
       record entry;
@@ -237,7 +252,8 @@ let scope_of_entry entry =
 let resolve_name env scope (sn : A.scoped_name) =
   ignore env;
   let fail () =
-    Diag.error ~loc:sn.A.sn_loc "unresolved name %S" (A.scoped_name_to_string sn)
+    Diag.error ~code:"E003" ~loc:sn.A.sn_loc "unresolved name %S"
+      (A.scoped_name_to_string sn)
   in
   let first, rest =
     match sn.A.parts with [] -> fail () | p :: ps -> (p, ps)
@@ -253,7 +269,7 @@ let resolve_name env scope (sn : A.scoped_name) =
     | part :: parts -> (
         match scope_of_entry entry with
         | None ->
-            Diag.error ~loc:sn.A.sn_loc "%S is not a scope"
+            Diag.error ~code:"E011" ~loc:sn.A.sn_loc "%S is not a scope"
               (Sem.scoped_of_qname entry.e_qname)
         | Some s -> (
             match lookup_in_scope s part with
@@ -268,23 +284,40 @@ let rec resolve_entity env qn : Sem.entity =
   match Hashtbl.find_opt env.entities qn with
   | Some e -> e
   | None ->
-      if Hashtbl.mem env.in_progress qn then
-        Diag.error ~loc:Loc.dummy "definition cycle involving %S"
-          (Sem.scoped_of_qname qn);
+      if Hashtbl.mem env.in_progress qn then (
+        (* Anchor the cycle report at the entity's own declaration. *)
+        let loc =
+          match Hashtbl.find_opt env.sources qn with
+          | Some (S_interface (i, _)) -> i.A.if_loc
+          | Some (S_struct (st, _)) -> st.A.st_loc
+          | Some (S_union (u, _)) -> u.A.un_loc
+          | Some (S_enum (e, _)) -> e.A.en_loc
+          | Some (S_alias (_, _, loc, _)) -> loc
+          | Some (S_const (c, _)) -> c.A.cn_loc
+          | Some (S_except (x, _)) -> x.A.ex_loc
+          | None -> Loc.dummy
+        in
+        Diag.error ~code:"E004" ~loc "definition cycle involving %S"
+          (Sem.scoped_of_qname qn));
       Hashtbl.replace env.in_progress qn ();
+      (* [Fun.protect] so that an error escaping mid-resolution (recovered
+         one level up in lint mode) does not leave [qn] marked in-progress
+         and turn every later reference into a spurious cycle report. *)
       let e =
-        match Hashtbl.find_opt env.sources qn with
-        | Some src -> resolve_source env qn src
-        | None -> (
-            (* A module, or a forward interface that was never defined. *)
-            match Hashtbl.find_opt module_scopes qn with
-            | Some s -> Sem.E_module (qn, List.rev s.s_members)
-            | None ->
-                Diag.error ~loc:Loc.dummy
-                  "interface %S was forward-declared but never defined"
-                  (Sem.scoped_of_qname qn))
+        Fun.protect
+          ~finally:(fun () -> Hashtbl.remove env.in_progress qn)
+          (fun () ->
+            match Hashtbl.find_opt env.sources qn with
+            | Some src -> resolve_source env qn src
+            | None -> (
+                (* A module, or a forward interface that was never defined. *)
+                match Hashtbl.find_opt module_scopes qn with
+                | Some s -> Sem.E_module (qn, List.rev s.s_members)
+                | None ->
+                    Diag.error ~code:"E003" ~loc:Loc.dummy
+                      "interface %S was forward-declared but never defined"
+                      (Sem.scoped_of_qname qn)))
       in
-      Hashtbl.remove env.in_progress qn;
       Hashtbl.replace env.entities qn e;
       e
 
@@ -304,7 +337,7 @@ and resolve_source env qn = function
       let target = resolve_type env scope ~loc ty in
       (match target with
       | Ctype.Void ->
-          Diag.error ~loc "cannot typedef 'void'"
+          Diag.error ~code:"E008" ~loc "cannot typedef 'void'"
       | _ -> ());
       Sem.E_alias
         { a_qname = qn; a_repo_id = repo_id env qn; a_target = target }
@@ -325,17 +358,20 @@ and check_distinct ~loc ~what names =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun n ->
-      if Hashtbl.mem seen n then Diag.error ~loc "duplicate %s %S" what n
+      if Hashtbl.mem seen n then
+        Diag.error ~code:"E009" ~loc "duplicate %s %S" what n
       else Hashtbl.add seen n ())
     names
 
 and resolve_fields env scope members =
   List.concat_map
     (fun (m : A.struct_member) ->
-      let ty = resolve_type env scope ~loc:m.A.sm_loc m.A.sm_type in
-      if ty = Ctype.Void then
-        Diag.error ~loc:m.A.sm_loc "struct members cannot have type 'void'";
-      List.map (fun name -> { Sem.f_type = ty; f_name = name }) m.A.sm_names)
+      Diag.recover ~default:[] (fun () ->
+          let ty = resolve_type env scope ~loc:m.A.sm_loc m.A.sm_type in
+          if ty = Ctype.Void then
+            Diag.error ~code:"E008" ~loc:m.A.sm_loc
+              "struct members cannot have type 'void'";
+          List.map (fun name -> { Sem.f_type = ty; f_name = name }) m.A.sm_names))
     members
 
 and resolve_interface env qn (i : A.interface_decl) own_scope =
@@ -348,11 +384,12 @@ and resolve_interface env qn (i : A.interface_decl) own_scope =
         (match entry.e_kind with
         | K_interface -> ()
         | k ->
-            Diag.error ~loc:sn.A.sn_loc "interface %S cannot inherit from %s %S"
-              i.A.if_name (kind_to_string k)
+            Diag.error ~code:"E004" ~loc:sn.A.sn_loc
+              "interface %S cannot inherit from %s %S" i.A.if_name
+              (kind_to_string k)
               (Sem.scoped_of_qname entry.e_qname));
         if not entry.e_defined then
-          Diag.error ~loc:sn.A.sn_loc
+          Diag.error ~code:"E004" ~loc:sn.A.sn_loc
             "interface %S inherits from forward-declared (undefined) interface %S"
             i.A.if_name
             (Sem.scoped_of_qname entry.e_qname);
@@ -368,28 +405,37 @@ and resolve_interface env qn (i : A.interface_decl) own_scope =
         match resolve_entity env bqn with
         | Sem.E_interface bi -> bi
         | _ ->
-            Diag.error ~loc:i.A.if_loc "%S is not an interface"
+            Diag.error ~code:"E004" ~loc:i.A.if_loc "%S is not an interface"
               (Sem.scoped_of_qname bqn))
       bases
   in
   own_scope.s_bases <-
     List.filter_map (fun b -> Hashtbl.find_opt interface_scopes b) bases;
+  (* Per-operation/per-attribute recovery: in lint mode a broken signature
+     is reported and skipped, so the remaining exports are still checked. *)
   let ops =
     List.filter_map
-      (function A.Ex_op op -> Some (resolve_operation env own_scope op) | _ -> None)
+      (function
+        | A.Ex_op op ->
+            Diag.recover ~default:None (fun () ->
+                Some (resolve_operation env own_scope op))
+        | _ -> None)
       i.A.if_exports
   in
   let attrs =
     List.concat_map
       (function
         | A.Ex_attr at ->
-            let ty = resolve_type env own_scope ~loc:at.A.at_loc at.A.at_type in
-            if ty = Ctype.Void then
-              Diag.error ~loc:at.A.at_loc "attributes cannot have type 'void'";
-            List.map
-              (fun name ->
-                { Sem.at_readonly = at.A.at_readonly; at_type = ty; at_name = name })
-              at.A.at_names
+            Diag.recover ~default:[] (fun () ->
+                let ty = resolve_type env own_scope ~loc:at.A.at_loc at.A.at_type in
+                if ty = Ctype.Void then
+                  Diag.error ~code:"E008" ~loc:at.A.at_loc
+                    "attributes cannot have type 'void'";
+                List.map
+                  (fun name ->
+                    { Sem.at_readonly = at.A.at_readonly; at_type = ty;
+                      at_name = name })
+                  at.A.at_names)
         | _ -> [])
       i.A.if_exports
   in
@@ -423,7 +469,7 @@ and resolve_interface env qn (i : A.interface_decl) own_scope =
   List.iter
     (fun n ->
       if List.mem n inherited_names then
-        Diag.error ~loc:i.A.if_loc
+        Diag.error ~code:"E009" ~loc:i.A.if_loc
           "interface %S redefines inherited operation or attribute %S"
           i.A.if_name n)
     local_names;
@@ -442,9 +488,10 @@ and resolve_operation env scope (op : A.operation) : Sem.operation =
       (fun (p : A.param) ->
         let ty = resolve_type env scope ~loc:p.A.p_loc p.A.p_type in
         if ty = Ctype.Void then
-          Diag.error ~loc:p.A.p_loc "parameter %S cannot have type 'void'" p.A.p_name;
+          Diag.error ~code:"E008" ~loc:p.A.p_loc
+            "parameter %S cannot have type 'void'" p.A.p_name;
         if op.A.op_oneway && p.A.p_mode <> A.In && p.A.p_mode <> A.Incopy then
-          Diag.error ~loc:p.A.p_loc
+          Diag.error ~code:"E005" ~loc:p.A.p_loc
             "oneway operation %S cannot have 'out' or 'inout' parameters"
             op.A.op_name;
         let default =
@@ -461,8 +508,8 @@ and resolve_operation env scope (op : A.operation) : Sem.operation =
   check_distinct ~loc:op.A.op_loc ~what:"parameter"
     (List.map (fun (p : Sem.param) -> p.p_name) params);
   if op.A.op_oneway && op.A.op_raises <> [] then
-    Diag.error ~loc:op.A.op_loc "oneway operation %S cannot have a raises clause"
-      op.A.op_name;
+    Diag.error ~code:"E005" ~loc:op.A.op_loc
+      "oneway operation %S cannot have a raises clause" op.A.op_name;
   let raises =
     List.map
       (fun sn ->
@@ -470,7 +517,7 @@ and resolve_operation env scope (op : A.operation) : Sem.operation =
         match entry.e_kind with
         | K_except -> entry.e_qname
         | k ->
-            Diag.error ~loc:sn.A.sn_loc
+            Diag.error ~code:"E011" ~loc:sn.A.sn_loc
               "raises clause of %S names %S which is a %s, not an exception"
               op.A.op_name
               (Sem.scoped_of_qname entry.e_qname)
@@ -494,7 +541,7 @@ and resolve_union env qn (u : A.union_decl) scope =
   | Ctype.Enum _ ->
       ()
   | _ ->
-      Diag.error ~loc:u.A.un_loc
+      Diag.error ~code:"E007" ~loc:u.A.un_loc
         "union %S has an invalid discriminator type %s (must be an integer, \
          char, boolean or enum type)"
         u.A.un_name (Ctype.to_string disc));
@@ -505,14 +552,14 @@ and resolve_union env qn (u : A.union_decl) scope =
       (fun (c : A.union_case) ->
         let ty = resolve_type env scope ~loc:c.A.uc_loc c.A.uc_type in
         if ty = Ctype.Void then
-          Diag.error ~loc:c.A.uc_loc "union case %S cannot have type 'void'"
-            c.A.uc_name;
+          Diag.error ~code:"E008" ~loc:c.A.uc_loc
+            "union case %S cannot have type 'void'" c.A.uc_name;
         let labels =
           List.map
             (function
               | A.Case_default ->
                   if !seen_default then
-                    Diag.error ~loc:c.A.uc_loc
+                    Diag.error ~code:"E007" ~loc:c.A.uc_loc
                       "union %S has more than one default case" u.A.un_name;
                   seen_default := true;
                   None
@@ -521,7 +568,7 @@ and resolve_union env qn (u : A.union_decl) scope =
                   let v = coerce_value env ~loc:c.A.uc_loc disc v in
                   let key = Value.to_string v in
                   if Hashtbl.mem seen_labels key then
-                    Diag.error ~loc:c.A.uc_loc
+                    Diag.error ~code:"E007" ~loc:c.A.uc_loc
                       "duplicate case label %s in union %S" key u.A.un_name;
                   Hashtbl.add seen_labels key ();
                   Some v)
@@ -555,7 +602,8 @@ and resolve_type env scope ~loc (ty : A.type_spec) : Ctype.t =
   | A.String b -> Ctype.String b
   | A.Sequence (elem, b) ->
       let e = resolve_type env scope ~loc elem in
-      if e = Ctype.Void then Diag.error ~loc "sequences of 'void' are not allowed";
+      if e = Ctype.Void then
+        Diag.error ~code:"E008" ~loc "sequences of 'void' are not allowed";
       Ctype.Sequence (e, b)
   | A.Named sn -> (
       let entry = resolve_name env scope sn in
@@ -570,7 +618,7 @@ and resolve_type env scope ~loc (ty : A.type_spec) : Ctype.t =
           | Sem.E_alias a -> Ctype.Alias (flat, a.a_target)
           | _ -> assert false)
       | k ->
-          Diag.error ~loc:sn.A.sn_loc "%S is a %s, not a type"
+          Diag.error ~code:"E011" ~loc:sn.A.sn_loc "%S is a %s, not a type"
             (A.scoped_name_to_string sn) (kind_to_string k))
 
 (* ---------------- constant expressions ---------------- *)
@@ -595,7 +643,7 @@ and eval_const env scope (e : A.const_expr) ~loc : Value.t =
             | Sem.E_const c -> c.c_value
             | _ -> assert false)
         | k ->
-            Diag.error ~loc:sn.A.sn_loc
+            Diag.error ~code:"E011" ~loc:sn.A.sn_loc
               "%S is a %s and cannot appear in a constant expression"
               (A.scoped_name_to_string sn) (kind_to_string k))
     | A.Unary (op, x) -> (
@@ -606,16 +654,19 @@ and eval_const env scope (e : A.const_expr) ~loc : Value.t =
         | A.Neg, V.V_float f -> V.V_float (-.f)
         | A.Bit_not, V.V_int i -> V.V_int (Int64.lognot i)
         | _ ->
-            Diag.error ~loc "invalid operand %s for unary operator" (V.to_string v))
+            Diag.error ~code:"E006" ~loc "invalid operand %s for unary operator"
+              (V.to_string v))
     | A.Binary (op, a, b) -> (
         let va = go a and vb = go b in
         match (op, va, vb) with
         | A.Add, V.V_int x, V.V_int y -> V.V_int (Int64.add x y)
         | A.Sub, V.V_int x, V.V_int y -> V.V_int (Int64.sub x y)
         | A.Mul, V.V_int x, V.V_int y -> V.V_int (Int64.mul x y)
-        | A.Div, V.V_int _, V.V_int 0L -> Diag.error ~loc "division by zero"
+        | A.Div, V.V_int _, V.V_int 0L ->
+            Diag.error ~code:"E006" ~loc "division by zero"
         | A.Div, V.V_int x, V.V_int y -> V.V_int (Int64.div x y)
-        | A.Mod, V.V_int _, V.V_int 0L -> Diag.error ~loc "modulo by zero"
+        | A.Mod, V.V_int _, V.V_int 0L ->
+            Diag.error ~code:"E006" ~loc "modulo by zero"
         | A.Mod, V.V_int x, V.V_int y -> V.V_int (Int64.rem x y)
         | A.Or, V.V_int x, V.V_int y -> V.V_int (Int64.logor x y)
         | A.Xor, V.V_int x, V.V_int y -> V.V_int (Int64.logxor x y)
@@ -625,15 +676,15 @@ and eval_const env scope (e : A.const_expr) ~loc : Value.t =
         | A.Shift_right, V.V_int x, V.V_int y when y >= 0L && y < 64L ->
             V.V_int (Int64.shift_right_logical x (Int64.to_int y))
         | (A.Shift_left | A.Shift_right), V.V_int _, V.V_int y ->
-            Diag.error ~loc "shift amount %Ld out of range [0, 63]" y
+            Diag.error ~code:"E006" ~loc "shift amount %Ld out of range [0, 63]" y
         | (A.Add | A.Sub | A.Mul | A.Div), _, _ -> (
             (* Promote mixed int/float arithmetic to float. *)
             let fl = function
               | V.V_float f -> f
               | V.V_int i -> Int64.to_float i
               | v ->
-                  Diag.error ~loc "invalid operand %s in arithmetic expression"
-                    (V.to_string v)
+                  Diag.error ~code:"E006" ~loc
+                    "invalid operand %s in arithmetic expression" (V.to_string v)
             in
             let x = fl va and y = fl vb in
             match op with
@@ -641,12 +692,13 @@ and eval_const env scope (e : A.const_expr) ~loc : Value.t =
             | A.Sub -> V.V_float (x -. y)
             | A.Mul -> V.V_float (x *. y)
             | A.Div ->
-                if y = 0. then Diag.error ~loc "division by zero"
+                if y = 0. then Diag.error ~code:"E006" ~loc "division by zero"
                 else V.V_float (x /. y)
             | _ -> assert false)
         | _ ->
-            Diag.error ~loc "invalid operands %s and %s for binary operator"
-              (V.to_string va) (V.to_string vb))
+            Diag.error ~code:"E006" ~loc
+              "invalid operands %s and %s for binary operator" (V.to_string va)
+              (V.to_string vb))
   in
   go e
 
@@ -656,8 +708,8 @@ and coerce_value env ~loc ty v =
   ignore env;
   let module V = Value in
   let fail () =
-    Diag.error ~loc "value %s is not compatible with type %s" (V.to_string v)
-      (Ctype.to_string ty)
+    Diag.error ~code:"E006" ~loc "value %s is not compatible with type %s"
+      (V.to_string v) (Ctype.to_string ty)
   in
   let check_range lo hi i = if i < lo || i > hi then fail () else V.V_int i in
   match (Ctype.resolve_alias ty, v) with
@@ -698,28 +750,38 @@ let spec (ast : A.spec) : Sem.spec =
       warnings = [];
     }
   in
-  ignore (List.fold_left (collect_definition env root) "" ast);
+  (* Each top-of-scope definition and each entity resolution is a recovery
+     point: in lint mode (an installed Diag reporter) a failure there is
+     accumulated and the remaining declarations still get checked; without
+     a reporter [Diag.recover] is transparent and the first error aborts,
+     exactly as before. *)
+  ignore
+    (List.fold_left
+       (fun pfx d ->
+         Diag.recover ~default:pfx (fun () -> collect_definition env root pfx d))
+       "" ast);
   let toplevel = List.rev root.s_members in
   (* Resolve every declared entity (depth-first through modules). Forward
      declarations that were never completed have no source and are only
      warned about, never forced. *)
+  let resolve qn = Diag.recover ~default:() (fun () -> ignore (resolve_entity env qn)) in
   let rec force qn =
-    if Hashtbl.mem env.sources qn then ignore (resolve_entity env qn);
+    if Hashtbl.mem env.sources qn then resolve qn;
     match Hashtbl.find_opt module_scopes qn with
     | Some s ->
-        ignore (resolve_entity env qn);
+        resolve qn;
         List.iter force (List.rev s.s_members)
     | None -> ()
   in
   List.iter force toplevel;
-  Hashtbl.iter (fun qn _ -> ignore (resolve_entity env qn)) env.sources;
+  Hashtbl.iter (fun qn _ -> resolve qn) env.sources;
   (* Flag forward declarations that were never completed. *)
   let warn_undefined scope =
     Hashtbl.iter
       (fun name entry ->
         if (not entry.e_defined) && entry.e_kind = K_interface then
           env.warnings <-
-            Diag.warning ~loc:entry.e_loc
+            Diag.warning ~code:"W107" ~loc:entry.e_loc
               "interface %S was forward-declared but never defined" name
             :: env.warnings)
       scope.s_table

@@ -9,12 +9,7 @@ let loc_of_lexbuf lexbuf =
     ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol + 1)
 
 let lex_error lexbuf fmt =
-  Format.kasprintf
-    (fun message ->
-      raise
-        (Diag.Idl_error
-           { Diag.severity = Diag.Error; loc = loc_of_lexbuf lexbuf; message }))
-    fmt
+  Diag.error ~code:"E001" ~loc:(loc_of_lexbuf lexbuf) fmt
 
 let char_of_escape lexbuf = function
   | 'n' -> '\n'

@@ -26,7 +26,7 @@ module Stream_ = struct
     t.tok <- Lexer.token t.lexbuf;
     t.loc <- current_loc t.lexbuf
 
-  let error t fmt = Diag.error ~loc:t.loc fmt
+  let error t fmt = Diag.error ~code:"E001" ~loc:t.loc fmt
 
   let expect t want =
     if t.tok = want then advance t
@@ -429,7 +429,8 @@ let parse_param st =
   in
   (match (mode, default) with
   | (Out | Inout), Some _ ->
-      Diag.error ~loc "default values are only allowed on 'in' and 'incopy' parameters"
+      Diag.emit ~code:"E012" ~loc
+        "default values are only allowed on 'in' and 'incopy' parameters"
   | _ -> ());
   { p_mode = mode; p_type = ty; p_name = name; p_default = default; p_loc = loc }
 
@@ -482,12 +483,13 @@ let parse_operation st =
       | Some _ -> seen_default := true
       | None ->
           if !seen_default then
-            Diag.error ~loc:p.p_loc
+            Diag.emit ~code:"E012" ~loc:p.p_loc
               "parameter %S without a default value follows a parameter with one"
               p.p_name)
     params;
   if oneway && ret <> Void then
-    Diag.error ~loc "oneway operation %S must have a 'void' return type" name;
+    Diag.emit ~code:"E005" ~loc
+      "oneway operation %S must have a 'void' return type" name;
   {
     op_oneway = oneway;
     op_return = ret;

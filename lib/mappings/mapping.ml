@@ -15,7 +15,12 @@ type t = {
   templates : (string * string) list;
       (** Logical template name (["header"], ["stubs"], ["skeletons"], ...)
           to template source. Run in list order. *)
+  reserved : string list;
+      (** Target-language keywords and predefined names an IDL identifier
+          must not collide with: a mapping cannot emit them verbatim, so
+          [idlc lint] flags such identifiers per mapping (W105). *)
 }
 
 let template t name = List.assoc_opt name t.templates
 let template_names t = List.map fst t.templates
+let is_reserved t ident = List.mem ident t.reserved

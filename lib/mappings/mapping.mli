@@ -15,9 +15,16 @@ type t = {
   templates : (string * string) list;
       (** Logical template name (["header"], ["stubs"], ["skeletons"], ...)
           to template source. Run in list order. *)
+  reserved : string list;
+      (** Target-language keywords an IDL identifier must not collide
+          with; consumed by the [idlc lint] W105 check. *)
 }
 
 val template : t -> string -> string option
 (** Look up a template source by logical name. *)
 
 val template_names : t -> string list
+
+val is_reserved : t -> string -> bool
+(** Whether an identifier collides with a reserved word of the mapping's
+    target language (the lint W105 check). *)

@@ -85,7 +85,7 @@ let test_error_exit_codes () =
   Alcotest.(check int) "semantic error -> exit 1" 1 code;
   Tutil.check_contains ~what:"diagnostic on stderr" err "unresolved name";
   let code, _, err = run "--mapping nosuch this-file-does-not-exist.idl" in
-  Alcotest.(check bool) "missing file fails" true (code <> 0);
+  Alcotest.(check int) "usage error -> exit 2" 2 code;
   ignore err
 
 let test_ir_workflow () =
@@ -105,6 +105,55 @@ let test_ir_workflow () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 
+let write_temp suffix content =
+  let path = Filename.temp_file "idlc_cli" suffix in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let test_compile_warnings_on_stderr () =
+  (* Resolver warnings surface in every compile mode (not just lint). *)
+  let idl = write_temp ".idl" "interface Fwd;\ninterface I { void f(in Fwd x); };" in
+  let code, _, err = run (idl ^ " -m tcl") in
+  Alcotest.(check int) "warnings do not fail the build" 0 code;
+  Tutil.check_contains ~what:"W107 on stderr" err "warning[W107]";
+  (* ... and --werror makes them fatal. *)
+  let code, _, err = run (idl ^ " -m tcl --werror") in
+  Alcotest.(check int) "--werror -> exit 1" 1 code;
+  Tutil.check_contains ~what:"promoted to error" err "error[W107]";
+  Sys.remove idl
+
+let test_lint_exit_codes () =
+  let bad = write_temp ".idl" "interface A {\n  void f(in Nope1 x);\n  void g(in Nope2 y);\n};" in
+  let code, _, err = run ("lint " ^ bad) in
+  Alcotest.(check int) "lint errors -> exit 1" 1 code;
+  (* Error recovery: both independent errors in one run. *)
+  Tutil.check_contains ~what:"first error" err "Nope1";
+  Tutil.check_contains ~what:"second error" err "Nope2";
+  Sys.remove bad;
+  let clean = write_temp ".idl" "interface I { void f(); };" in
+  let code, _, _ = run ("lint " ^ clean) in
+  Alcotest.(check int) "clean -> exit 0" 0 code;
+  Sys.remove clean;
+  let code, _, _ = run "lint" in
+  Alcotest.(check int) "no files -> usage error 2" 2 code
+
+let test_lint_json_and_explain () =
+  let warn = write_temp ".idl" "struct Unused { long x; };\ninterface I { void f(); };" in
+  let code, out, _ = run ("lint --lint-json " ^ warn) in
+  Alcotest.(check int) "warnings only -> exit 0" 0 code;
+  Tutil.check_contains ~what:"json code" out "\"code\":\"W104\"";
+  Sys.remove warn;
+  let code, out, _ = run "lint --explain E010" in
+  Alcotest.(check int) "explain -> 0" 0 code;
+  Tutil.check_contains ~what:"explains the pragma" out "pragma";
+  let code, out, _ = run "lint --explain" in
+  Alcotest.(check int) "bare explain lists table" 0 code;
+  Tutil.check_contains ~what:"table has T202" out "T202";
+  let code, _, _ = run "lint --explain NOPE" in
+  Alcotest.(check int) "unknown code -> usage error 2" 2 code
+
 let () =
   Alcotest.run "cli"
     [
@@ -118,5 +167,10 @@ let () =
           Alcotest.test_case "--template" `Quick test_custom_template;
           Alcotest.test_case "error exit codes" `Quick test_error_exit_codes;
           Alcotest.test_case "interface repository workflow" `Quick test_ir_workflow;
+          Alcotest.test_case "compile warnings on stderr" `Quick
+            test_compile_warnings_on_stderr;
+          Alcotest.test_case "lint exit codes" `Quick test_lint_exit_codes;
+          Alcotest.test_case "lint json and explain" `Quick
+            test_lint_json_and_explain;
         ] );
     ]

@@ -203,6 +203,31 @@ class ${interfaceName} :
     "class HdA :\n        virtual public HdS ,\n        virtual public HdT \n"
     (render ~maps tmpl root)
 
+(* ---------------- the static checker on seeded-bad templates ----------
+
+   The full checker test matrix lives in test_lint.ml; here we seed the
+   exact defect classes the evaluator tests above exercise dynamically and
+   assert the checker finds them without an EST. *)
+
+let checker_codes src =
+  let reporter = Idl.Diag.reporter () in
+  ignore (Analysis.Tmpl_check.check_source reporter ~filename:"t.tmpl" src);
+  List.map (fun d -> d.Idl.Diag.code) (Idl.Diag.diagnostics reporter)
+
+let test_checker_seeded () =
+  Alcotest.(check (list string)) "unbound var" [ "T202" ]
+    (checker_codes "@foreach interfaceList\n${interfaceNam}\n@end interfaceList\n");
+  Alcotest.(check (list string)) "unbalanced @if" [ "T201" ]
+    (checker_codes "@if ${fileBase}\nx\n");
+  Alcotest.(check (list string)) "mismatched @end" [ "T201" ]
+    (checker_codes "@foreach interfaceList\nx\n@end methodList\n");
+  Alcotest.(check (list string)) "several in one pass" [ "T203"; "T202"; "T205" ]
+    (checker_codes
+       "@foreach interfaceList -map interfaceName No::Fn\n\
+        ${wrong}\n\
+        @end interfaceList\n\
+        @openfile ${alsoWrong}.hh\n")
+
 let () =
   Alcotest.run "template"
     [
@@ -241,5 +266,7 @@ let () =
         ] );
       ( "errors",
         [ Alcotest.test_case "parse errors" `Quick test_parse_errors ] );
+      ( "checker",
+        [ Alcotest.test_case "seeded defects" `Quick test_checker_seeded ] );
       ("fig9", [ Alcotest.test_case "Fig. 9 flavour" `Quick test_fig9_flavour ]);
     ]
