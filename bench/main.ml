@@ -567,6 +567,104 @@ let e8 () =
     \  the 50ms deadline and are never retried.)\n"
     calls
 
+(* ================= E9: observability overhead ====================== *)
+
+(* Trace-off vs trace-on, same workload (mem transport, text protocol):
+   what does a fully traced call — client span with four phase timings,
+   context propagated on the wire, server span, byte counters, two
+   histogram observations, ring-buffer export — cost over the disabled
+   baseline (one boolean load per probe point)? Writes BENCH_obs.json
+   for the schema-checked smoke test. *)
+let e9 ?(out = "BENCH_obs.json") ?(calls = 2000) () =
+  section "E9" "observability overhead: trace-off vs trace-on (mem, text)";
+  let mk_pair ?server_obs ?client_obs () =
+    let server = Orb.create ?obs:server_obs () in
+    Orb.start server;
+    let target =
+      Orb.export server
+        (Orb.Skeleton.create ~type_id:"IDL:Bench/Echo:1.0"
+           [
+             ("echo", fun args results ->
+                 results.Wire.Codec.put_string (args.Wire.Codec.get_string ()));
+           ])
+    in
+    let client = Orb.create ?obs:client_obs () in
+    (server, client, target)
+  in
+  let batch client target n =
+    let call () =
+      ignore
+        (Orb.invoke client target ~op:"echo" (fun e ->
+             e.Wire.Codec.put_string "ping"))
+    in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do call () done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  (* Baseline pair: no obs supplied = the stock disabled instance.
+     Traced pair: both sides enabled, spans exported to stock (bounded)
+     ring buffers. *)
+  let s0, c0, t0 = mk_pair () in
+  let server_obs = Obs.create () and client_obs = Obs.create () in
+  let client_ring, client_spans = Obs.Sink.ring () in
+  Obs.add_sink client_obs client_ring;
+  let server_ring, server_spans = Obs.Sink.ring () in
+  Obs.add_sink server_obs server_ring;
+  let s1, c1, t1 = mk_pair ~server_obs ~client_obs () in
+  ignore (batch c0 t0 50);  (* warm connections, caches, code *)
+  ignore (batch c1 t1 50);
+  (* Interleave off/on batches so clock drift, CPU frequency and GC
+     state bias neither side; per side, take the median batch. *)
+  let n_batches = 5 in
+  let per_batch = max 1 (calls / n_batches) in
+  let offs = ref [] and ons = ref [] in
+  for _ = 1 to n_batches do
+    offs := batch c0 t0 per_batch :: !offs;
+    ons := batch c1 t1 per_batch :: !ons
+  done;
+  let median l =
+    let a = List.sort compare l in
+    List.nth a (List.length a / 2)
+  in
+  let off_ns = median !offs and on_ns = median !ons in
+  let spans_of obs = (Obs.snapshot obs).Obs.spans_emitted in
+  Orb.shutdown c0;
+  Orb.shutdown s0;
+  Orb.shutdown c1;
+  Orb.shutdown s1;
+  let overhead_pct = (on_ns -. off_ns) /. off_ns *. 100. in
+  (* Cross-check the traces themselves: the last client/server span pair
+     must belong to one trace. *)
+  let last l = List.nth l (List.length l - 1) in
+  let cs = last (client_spans ()) and ss = last (server_spans ()) in
+  let shared = cs.Obs.Trace.trace_id = ss.Obs.Trace.trace_id in
+  Printf.printf "  %-46s %10.1f ns/call\n" "trace off (disabled obs)" off_ns;
+  Printf.printf "  %-46s %10.1f ns/call\n" "trace on (spans + metrics + ring)" on_ns;
+  Printf.printf "  overhead: %.1f%%  (client spans %d, server spans %d, shared trace id: %b)\n"
+    overhead_pct (spans_of client_obs) (spans_of server_obs) shared;
+  let json =
+    Obs.Jout.obj
+      [
+        ("experiment", Obs.Jout.str "E9");
+        ("transport", Obs.Jout.str "mem");
+        ("protocol", Obs.Jout.str "heidi-text");
+        ("calls", Obs.Jout.int calls);
+        ("trace_off_ns_per_call", Obs.Jout.num off_ns);
+        ("trace_on_ns_per_call", Obs.Jout.num on_ns);
+        ("overhead_pct", Obs.Jout.num overhead_pct);
+        ("client_spans", Obs.Jout.int (spans_of client_obs));
+        ("server_spans", Obs.Jout.int (spans_of server_obs));
+        ("shared_trace_id", Obs.Jout.bool shared);
+        ("sample_client_span", Obs.Trace.to_json cs);
+        ("client_snapshot", Obs.snapshot_to_json (Obs.snapshot client_obs));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
 (* ================= F-series: figure regeneration pointers ========== *)
 
 let figures () =
@@ -583,18 +681,25 @@ let figures () =
     "  Figs. 4-5 flow    : test/test_orb.ml interaction trace; examples/heidi_media.exe"
 
 let () =
-  print_endline "Reproduction benches: Customizing IDL Mappings and ORB Protocols";
-  print_endline "(Welling & Ott, Middleware 2000) -- see EXPERIMENTS.md for analysis";
-  t1 ();
-  t2 ();
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e3b ();
-  figures ();
-  print_endline "\nAll benches complete."
+  match Sys.argv with
+  | [| _; "--e9-smoke"; out |] ->
+      (* CI smoke mode (`dune build @bench-smoke`): run only E9 with a
+         tiny call quota, writing [out] for the schema check. *)
+      e9 ~out ~calls:40 ()
+  | _ ->
+      print_endline "Reproduction benches: Customizing IDL Mappings and ORB Protocols";
+      print_endline "(Welling & Ott, Middleware 2000) -- see EXPERIMENTS.md for analysis";
+      t1 ();
+      t2 ();
+      e1 ();
+      e2 ();
+      e3 ();
+      e4 ();
+      e5 ();
+      e6 ();
+      e7 ();
+      e8 ();
+      e3b ();
+      e9 ();
+      figures ();
+      print_endline "\nAll benches complete."

@@ -54,6 +54,7 @@ let demo protocol label =
         target = camera;
         operation = "zoom";
         oneway = false;
+        trace_ctx = "";
         payload =
           (let e = protocol.Orb.Protocol.codec.Wire.Codec.encoder () in
            e.Wire.Codec.put_long 3;

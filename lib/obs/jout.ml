@@ -1,0 +1,39 @@
+(* Minimal JSON output combinators: every value is already-rendered
+   JSON text, so composition is plain string concatenation. Output only
+   — the observability layer emits JSON (JSONL sinks, BENCH artifacts)
+   but never parses it. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+let int i = string_of_int i
+let bool b = if b then "true" else "false"
+let null = "null"
+
+(* %.17g keeps doubles round-trippable; NaN and infinities have no JSON
+   spelling, so they render as null (a phase that never ran). *)
+let num f =
+  if Float.is_nan f || Float.abs f = Float.infinity then null
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let obj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"

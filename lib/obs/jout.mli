@@ -1,0 +1,21 @@
+(** Minimal JSON output combinators. Every function returns rendered
+    JSON text; nest by concatenating through {!obj} and {!arr}. The
+    observability layer only ever {e writes} JSON (JSONL span sinks,
+    [BENCH_obs.json]); parsing lives with the consumers. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val str : string -> string
+val int : int -> string
+val bool : bool -> string
+val null : string
+
+val num : float -> string
+(** Doubles via [%.17g]; NaN/infinities render as [null] — the encoding
+    of "this phase was never timed". *)
+
+val obj : (string * string) list -> string
+(** [obj fields] where each value is already-rendered JSON. *)
+
+val arr : string list -> string

@@ -1,0 +1,223 @@
+(* Wire-level and call-level metrics: fixed-bucket latency histograms,
+   per-endpoint byte counters, and named event counters. One mutex per
+   registry — every operation is a few array/hashtable touches, so
+   contention is not a concern at the call rates the mem/tcp transports
+   reach. *)
+
+(* Log-spaced 1-2-5 bucket upper bounds, in seconds: 1µs .. 5s, then an
+   overflow bucket. Fixed buckets keep observation O(#buckets) with no
+   allocation, and make snapshots directly comparable across runs. *)
+let default_bounds =
+  [|
+    1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
+    1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
+  |]
+
+type hist = {
+  bounds : float array;
+  counts : int array;  (* length bounds + 1; last = overflow *)
+  mutable total : int;
+  mutable sum_s : float;
+  mutable max_s : float;
+}
+
+type bytes_counter = {
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  hists : (string, hist) Hashtbl.t;
+  bytes : (string, bytes_counter) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    hists = Hashtbl.create 16;
+    bytes = Hashtbl.create 8;
+    counters = Hashtbl.create 16;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* The recording paths below lock/unlock directly instead of going
+   through {!with_lock}: they are on the traced-call hot path (several
+   calls per invocation) and their bodies cannot raise, so the closure
+   allocation and Fun.protect frame would be pure overhead. *)
+
+let new_hist () =
+  {
+    bounds = default_bounds;
+    counts = Array.make (Array.length default_bounds + 1) 0;
+    total = 0;
+    sum_s = 0.;
+    max_s = 0.;
+  }
+
+let bucket_index bounds v =
+  (* First bound >= v; linear scan — 22 comparisons max, cache-friendly. *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe t ~name seconds =
+  if not (Float.is_nan seconds) then begin
+    Mutex.lock t.mutex;
+    let h =
+      match Hashtbl.find_opt t.hists name with
+      | Some h -> h
+      | None ->
+          let h = new_hist () in
+          Hashtbl.replace t.hists name h;
+          h
+    in
+    let i = bucket_index h.bounds seconds in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.total <- h.total + 1;
+    h.sum_s <- h.sum_s +. seconds;
+    if seconds > h.max_s then h.max_s <- seconds;
+    Mutex.unlock t.mutex
+  end
+
+let add_bytes t ~endpoint ~dir n =
+  Mutex.lock t.mutex;
+  let c =
+    match Hashtbl.find_opt t.bytes endpoint with
+    | Some c -> c
+    | None ->
+        let c = { bytes_in = 0; bytes_out = 0; reads = 0; writes = 0 } in
+        Hashtbl.replace t.bytes endpoint c;
+        c
+  in
+  (match dir with
+  | `In ->
+      c.bytes_in <- c.bytes_in + n;
+      c.reads <- c.reads + 1
+  | `Out ->
+      c.bytes_out <- c.bytes_out + n;
+      c.writes <- c.writes + 1);
+  Mutex.unlock t.mutex
+
+let incr t ~name =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.counters name with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counters name (ref 1));
+  Mutex.unlock t.mutex
+
+(* ---------------- snapshots ---------------- *)
+
+type hist_view = {
+  name : string;
+  total : int;
+  sum_s : float;
+  max_s : float;
+  mean_s : float;
+  buckets : (float * int) list;  (* (upper bound, count); last bound = inf *)
+}
+
+type bytes_view = {
+  endpoint : string;
+  bytes_in : int;
+  bytes_out : int;
+  reads : int;
+  writes : int;
+}
+
+type snapshot = {
+  latencies : hist_view list;
+  endpoints : bytes_view list;
+  counters : (string * int) list;
+}
+
+let snapshot t =
+  with_lock t (fun () ->
+      let latencies =
+        Hashtbl.fold
+          (fun name h acc ->
+            let buckets =
+              List.init (Array.length h.counts) (fun i ->
+                  ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
+                    h.counts.(i) ))
+            in
+            {
+              name;
+              total = h.total;
+              sum_s = h.sum_s;
+              max_s = h.max_s;
+              mean_s = (if h.total = 0 then nan else h.sum_s /. float_of_int h.total);
+              buckets;
+            }
+            :: acc)
+          t.hists []
+        |> List.sort (fun a b -> compare a.name b.name)
+      in
+      let endpoints =
+        Hashtbl.fold
+          (fun endpoint (c : bytes_counter) acc ->
+            {
+              endpoint;
+              bytes_in = c.bytes_in;
+              bytes_out = c.bytes_out;
+              reads = c.reads;
+              writes = c.writes;
+            }
+            :: acc)
+          t.bytes []
+        |> List.sort (fun a b -> compare a.endpoint b.endpoint)
+      in
+      let counters =
+        Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+        |> List.sort compare
+      in
+      { latencies; endpoints; counters })
+
+let hist_view_to_json (h : hist_view) =
+  Jout.obj
+    [
+      ("name", Jout.str h.name);
+      ("total", Jout.int h.total);
+      ("sum_s", Jout.num h.sum_s);
+      ("max_s", Jout.num h.max_s);
+      ("mean_s", Jout.num h.mean_s);
+      ( "buckets",
+        Jout.arr
+          (List.filter_map
+             (fun (le, count) ->
+               if count = 0 then None
+               else
+                 Some
+                   (Jout.obj
+                      [
+                        ( "le_s",
+                          if le = infinity then Jout.str "inf" else Jout.num le );
+                        ("count", Jout.int count);
+                      ]))
+             h.buckets) );
+    ]
+
+let bytes_view_to_json (b : bytes_view) =
+  Jout.obj
+    [
+      ("endpoint", Jout.str b.endpoint);
+      ("bytes_in", Jout.int b.bytes_in);
+      ("bytes_out", Jout.int b.bytes_out);
+      ("reads", Jout.int b.reads);
+      ("writes", Jout.int b.writes);
+    ]
+
+let snapshot_to_json (s : snapshot) =
+  Jout.obj
+    [
+      ("latencies", Jout.arr (List.map hist_view_to_json s.latencies));
+      ("endpoints", Jout.arr (List.map bytes_view_to_json s.endpoints));
+      ( "counters",
+        Jout.obj (List.map (fun (k, v) -> (k, Jout.int v)) s.counters) );
+    ]

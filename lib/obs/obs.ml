@@ -1,0 +1,82 @@
+(* The observability facade: one [Obs.t] per ORB bundles an on/off
+   switch, a metrics registry and the registered span sinks. The ORB's
+   invocation and dispatch paths consult [enabled] before doing any
+   tracing work, so a disabled instance costs one boolean load per
+   probe point (the "trace-off" side of bench E9). *)
+
+module Jout = Jout
+module Trace = Trace
+module Metrics = Metrics
+module Sink = Sink
+
+type t = {
+  mutable on : bool;
+  mutex : Mutex.t;  (* guards [sinks] and the emit counter *)
+  mutable sinks : Sink.t list;  (* registration order; emit iterates as-is *)
+  mutable spans_emitted : int;
+  metrics : Metrics.t;
+}
+
+let create ?(enabled = true) () =
+  {
+    on = enabled;
+    mutex = Mutex.create ();
+    sinks = [];
+    spans_emitted = 0;
+    metrics = Metrics.create ();
+  }
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+let metrics t = t.metrics
+
+let add_sink t sink =
+  Mutex.lock t.mutex;
+  (* Append: registration is rare, emit is per-span — keeping the list
+     in registration order saves a List.rev on every emit. *)
+  t.sinks <- t.sinks @ [ sink ];
+  Mutex.unlock t.mutex
+
+let sink_names t =
+  Mutex.lock t.mutex;
+  let names = List.map (fun (s : Sink.t) -> s.Sink.name) t.sinks in
+  Mutex.unlock t.mutex;
+  names
+
+let emit t span =
+  if t.on then begin
+    Mutex.lock t.mutex;
+    let sinks = t.sinks in
+    t.spans_emitted <- t.spans_emitted + 1;
+    Mutex.unlock t.mutex;
+    (* Sinks run outside the lock (a slow sink must not serialize the
+       ORB) and never propagate: losing a span beats failing a call. *)
+    List.iter (fun (s : Sink.t) -> try s.Sink.emit span with _ -> ()) sinks
+  end
+
+let observe t ~name seconds = if t.on then Metrics.observe t.metrics ~name seconds
+
+let add_bytes t ~endpoint ~dir n =
+  if t.on then Metrics.add_bytes t.metrics ~endpoint ~dir n
+
+let incr t ~name = if t.on then Metrics.incr t.metrics ~name
+
+(* ---------------- snapshots ---------------- *)
+
+type snapshot = { spans_emitted : int; metrics : Metrics.snapshot }
+
+let snapshot t =
+  let spans_emitted =
+    Mutex.lock t.mutex;
+    let n = t.spans_emitted in
+    Mutex.unlock t.mutex;
+    n
+  in
+  { spans_emitted; metrics = Metrics.snapshot t.metrics }
+
+let snapshot_to_json s =
+  Jout.obj
+    [
+      ("spans_emitted", Jout.int s.spans_emitted);
+      ("metrics", Metrics.snapshot_to_json s.metrics);
+    ]

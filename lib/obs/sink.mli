@@ -1,0 +1,19 @@
+(** Span sinks: pluggable consumers of finished spans. The ORB emits
+    every finished span to all registered sinks; a sink must be fast
+    and must not raise (exceptions are swallowed by the emitter). *)
+
+type t = {
+  name : string;
+  emit : Trace.span -> unit;  (** Called once per finished span. *)
+}
+
+val make : name:string -> (Trace.span -> unit) -> t
+
+val ring : ?capacity:int -> unit -> t * (unit -> Trace.span list)
+(** A bounded in-memory ring buffer (default 1024 spans; oldest are
+    dropped when full) plus its reader, oldest-first. The stock sink
+    for tests and benches. *)
+
+val stderr_jsonl : unit -> t
+(** One JSON line per span on stderr ({!Trace.to_json}), atomically per
+    line across threads. *)

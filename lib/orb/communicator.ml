@@ -1,6 +1,6 @@
-type t = { proto : Protocol.t; chan : Transport.channel }
+type t = { proto : Protocol.t; chan : Transport.channel; mutable closed : bool }
 
-let wrap proto chan = { proto; chan }
+let wrap proto chan = { proto; chan; closed = false }
 
 (* Length-prefixed framing: magic header, 8 hex digits of body length,
    newline (for telnet-friendliness of the header even in binary
@@ -43,7 +43,13 @@ let recv t =
       let body = t.chan.Transport.read_exact len in
       t.proto.Protocol.decode_message body
 
-let close t = t.chan.Transport.close ()
+let close t =
+  (* Mark first: even if the underlying close raises, the communicator
+     must never again count as live (the server_connections gauge). *)
+  t.closed <- true;
+  t.chan.Transport.close ()
+
+let is_closed t = t.closed
 let peer t = t.chan.Transport.peer
 let protocol t = t.proto
 let set_deadline t d = t.chan.Transport.set_deadline d

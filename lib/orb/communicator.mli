@@ -18,6 +18,14 @@ val recv : t -> Protocol.message
     @raise Protocol.Protocol_error on malformed messages. *)
 
 val close : t -> unit
+(** Close the underlying channel; marks the communicator closed first,
+    so it never again counts as live even if the close itself fails. *)
+
+val is_closed : t -> bool
+(** Whether {!close} has been called on this communicator. Used by the
+    ORB's [server_connections] gauge to exclude connections that are
+    closed but not yet reaped by their serving thread. *)
+
 val peer : t -> string
 val protocol : t -> Protocol.t
 

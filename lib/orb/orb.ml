@@ -40,6 +40,7 @@ type t = {
   call_timeout : float option;  (* default per-call deadline, seconds *)
   retry : Retry.policy;
   breaker : Breaker.t option;
+  obs : Obs.t;  (* tracing + metrics; disabled unless supplied *)
   oa : Object_adapter.t;
   mutex : Mutex.t;  (* guards the mutable fields below *)
   mutable listener : Transport.listener option;
@@ -61,7 +62,7 @@ and conn = { comm : Communicator.t; conn_mutex : Mutex.t }
 
 let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     ?(transport = "mem") ?(host = "local") ?(port = 0) ?call_timeout
-    ?(retry = Retry.default) ?breaker () =
+    ?(retry = Retry.default) ?breaker ?obs () =
   {
     proto = protocol;
     strat = strategy;
@@ -71,6 +72,7 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     call_timeout;
     retry;
     breaker = Option.map (fun config -> Breaker.create ~config ()) breaker;
+    obs = (match obs with Some o -> o | None -> Obs.create ~enabled:false ());
     oa = Object_adapter.create ();
     mutex = Mutex.create ();
     listener = None;
@@ -91,8 +93,22 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
 let protocol t = t.proto
 let strategy t = t.strat
 let adapter t = t.oa
+let obs t = t.obs
 let client_interceptors t = t.client_chain
 let server_interceptors t = t.server_chain
+
+(* Hot path (span per traced call): plain concatenation, not sprintf. *)
+let endpoint_key (proto, host, port) =
+  proto ^ ":" ^ host ^ ":" ^ string_of_int port
+
+(* Channels report their wire bytes (framing included) to the ORB's
+   metrics under an endpoint label; [Obs.add_bytes] is a boolean load
+   when observability is disabled. *)
+let meter_channel t label chan =
+  let obs = t.obs in
+  Transport.metered chan
+    ~on_read:(fun n -> Obs.add_bytes obs ~endpoint:label ~dir:`In n)
+    ~on_write:(fun n -> Obs.add_bytes obs ~endpoint:label ~dir:`Out n)
 
 let port t =
   Mutex.lock t.mutex;
@@ -151,22 +167,58 @@ let handle_request_inner t (req : Protocol.request) : Protocol.reply option =
                 ""))
 
 (* Dispatch with the server-side interceptor chain around it (Section 5:
-   Orbix-style filters "triggered in the dispatch path"). *)
+   Orbix-style filters "triggered in the dispatch path"), and a server
+   span around the whole thing. The span joins the caller's trace via
+   the request's service-context slot; requests from peers that predate
+   the slot (or carry a malformed context) start a fresh root trace. *)
 let handle_request t (req : Protocol.request) : Protocol.reply option =
-  match Interceptor.apply_request t.server_chain req with
-  | req -> (
-      match handle_request_inner t req with
-      | None -> None
-      | Some rep -> Some (Interceptor.apply_reply t.server_chain req rep))
-  | exception Interceptor.Reject reason ->
-      if req.Protocol.oneway then None
-      else
-        Some
-          {
-            Protocol.rep_id = req.Protocol.req_id;
-            status = Protocol.Status_system_error ("rejected: " ^ reason);
-            payload = "";
-          }
+  let span =
+    if Obs.enabled t.obs then begin
+      let context = Obs.Trace.decode_context req.Protocol.trace_ctx in
+      let s =
+        Obs.Trace.start_server ?context ~operation:req.Protocol.operation
+          ~endpoint:(endpoint_key (Objref.endpoint req.Protocol.target))
+          ()
+      in
+      s.Obs.Trace.req_id <- req.Protocol.req_id;
+      Some s
+    end
+    else None
+  in
+  let result =
+    match Interceptor.apply_request t.server_chain req with
+    | req -> (
+        match handle_request_inner t req with
+        | None -> None
+        | Some rep -> Some (Interceptor.apply_reply t.server_chain req rep))
+    | exception Interceptor.Reject reason ->
+        if req.Protocol.oneway then None
+        else
+          Some
+            {
+              Protocol.rep_id = req.Protocol.req_id;
+              status = Protocol.Status_system_error ("rejected: " ^ reason);
+              payload = "";
+            }
+  in
+  (match span with
+  | None -> ()
+  | Some s ->
+      let outcome =
+        match result with
+        | None -> Obs.Trace.Ok (* oneway: dispatched, nothing to report *)
+        | Some rep -> (
+            match rep.Protocol.status with
+            | Protocol.Status_ok -> Obs.Trace.Ok
+            | Protocol.Status_user_exception id -> Obs.Trace.User_exception id
+            | Protocol.Status_system_error m -> Obs.Trace.System_error m)
+      in
+      Obs.Trace.finish s outcome;
+      Obs.observe t.obs
+        ~name:("dispatch:" ^ req.Protocol.operation)
+        (Obs.Trace.duration s);
+      Obs.emit t.obs s);
+  result
 
 let serve_connection t comm =
   let rec loop () =
@@ -190,9 +242,13 @@ let serve_connection t comm =
   (* Whatever ends the connection — EOF or I/O failure on either recv or
      send, a malformed message, even a servant-thread bug — close it and
      drop it from the accepted list, so a long-lived server does not
-     accumulate dead communicators. *)
+     accumulate dead communicators. The close lives in the [finally] so
+     that exit paths outside the explicit handlers below (e.g. a raising
+     interceptor hook) also mark the communicator dead for the
+     [server_connections] gauge. *)
   Fun.protect
     ~finally:(fun () ->
+      (try Communicator.close comm with _ -> ());
       with_lock t (fun () ->
           t.accepted <- List.filter (fun c -> c != comm) t.accepted))
     (fun () ->
@@ -220,10 +276,15 @@ let start t =
   | None -> ()
   | Some l ->
       let accept_loop () =
+        (* Inbound bytes are accounted to the listening endpoint (one
+           bounded label per server), not per remote peer. *)
+        let label =
+          Printf.sprintf "%s:%s:%d" t.transport t.host l.Transport.bound_port
+        in
         let rec loop () =
           match l.Transport.accept () with
           | chan ->
-              let comm = Communicator.wrap t.proto chan in
+              let comm = Communicator.wrap t.proto (meter_channel t label chan) in
               with_lock t (fun () -> t.accepted <- comm :: t.accepted);
               ignore (Thread.create (fun () -> serve_connection t comm) ());
               loop ()
@@ -290,6 +351,7 @@ let get_connection t endpoint =
   | None -> (
       let proto_name, host, port = endpoint in
       let chan = Transport.connect ~proto:proto_name ~host ~port in
+      let chan = meter_channel t (endpoint_key endpoint) chan in
       let c =
         { comm = Communicator.wrap t.proto chan; conn_mutex = Mutex.create () }
       in
@@ -327,7 +389,10 @@ let next_req_id t =
    [`Recv] means the request went out and anything may have happened. *)
 exception Exchange_failed of [ `Send | `Recv ] * exn
 
-let exchange conn msg ~oneway ~deadline =
+(* [span], when tracing, receives the send and wait phase timings; on a
+   retried call each attempt overwrites them, so the surviving numbers
+   describe the attempt that produced the outcome. *)
+let exchange conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =
   Mutex.lock conn.conn_mutex;
   Fun.protect
     ~finally:(fun () ->
@@ -335,14 +400,26 @@ let exchange conn msg ~oneway ~deadline =
       Mutex.unlock conn.conn_mutex)
     (fun () ->
       Communicator.set_deadline conn.comm deadline;
+      let t0 = match span with Some _ -> Obs.Trace.now () | None -> 0. in
       (try Communicator.send conn.comm msg
        with e -> raise (Exchange_failed (`Send, e)));
+      let t1 =
+        match span with
+        | Some s ->
+            let t1 = Obs.Trace.now () in
+            s.Obs.Trace.send_s <- t1 -. t0;
+            t1
+        | None -> 0.
+      in
       if oneway then None
       else
-        try Some (Communicator.recv conn.comm)
-        with e -> raise (Exchange_failed (`Recv, e)))
-
-let endpoint_key (proto, host, port) = Printf.sprintf "%s:%s:%d" proto host port
+        match Communicator.recv conn.comm with
+        | reply ->
+            (match span with
+            | Some s -> s.Obs.Trace.wait_s <- Obs.Trace.now () -. t1
+            | None -> ());
+            Some reply
+        | exception e -> raise (Exchange_failed (`Recv, e)))
 
 let count_failure t e =
   with_lock t (fun () ->
@@ -366,7 +443,7 @@ let call_deadline t timeout =
 (* The fault-tolerant request/reply engine shared by [invoke_raw] and
    [locate]: circuit-breaker gate, then attempts under the retry policy.
    [notify] feeds each failure to the client interceptor chain. *)
-let rec request_reply t target msg ~oneway ~timeout ~notify =
+let rec request_reply t target msg ~oneway ~timeout ~notify ~span =
   let endpoint = Objref.endpoint target in
   let key = endpoint_key endpoint in
   (match t.breaker with
@@ -395,6 +472,9 @@ let rec request_reply t target msg ~oneway ~timeout ~notify =
   let rec attempt n =
     let retry_after e =
       with_lock t (fun () -> t.retries <- t.retries + 1);
+      (match span with
+      | Some s -> s.Obs.Trace.retries <- s.Obs.Trace.retries + 1
+      | None -> ());
       notify e;
       Thread.delay (Retry.delay_for t.retry ~attempt:n);
       attempt (n + 1)
@@ -410,7 +490,7 @@ let rec request_reply t target msg ~oneway ~timeout ~notify =
           raise e
         end
     | conn, fresh -> (
-        match exchange conn msg ~oneway ~deadline with
+        match exchange conn msg ~oneway ~deadline ~span with
         | resp ->
             breaker_success t key;
             resp
@@ -449,7 +529,7 @@ and probe t target ~timeout =
   let endpoint = Objref.endpoint target in
   let deadline = call_deadline t timeout in
   let conn, _ = get_connection t endpoint in
-  match exchange conn msg ~oneway:false ~deadline with
+  match exchange conn msg ~oneway:false ~deadline ~span:None with
   | Some (Protocol.Locate_reply _) -> ()
   | Some _ | None ->
       drop_connection t endpoint;
@@ -458,26 +538,82 @@ and probe t target ~timeout =
       drop_connection t endpoint;
       raise e
 
-let invoke_raw t target ~op ?(oneway = false) ?timeout payload =
+(* ---------------- client spans ---------------- *)
+
+let start_client_span t target ~op =
+  if Obs.enabled t.obs then begin
+    let s =
+      Obs.Trace.start_client ~operation:op
+        ~endpoint:(endpoint_key (Objref.endpoint target))
+        ()
+    in
+    (match t.breaker with
+    | Some br ->
+        s.Obs.Trace.breaker <-
+          Some
+            (Breaker.state_to_string
+               (Breaker.state br (endpoint_key (Objref.endpoint target))))
+    | None -> ());
+    Some s
+  end
+  else None
+
+let outcome_of_exn = function
+  | Remote_exception { repo_id; _ } -> Obs.Trace.User_exception repo_id
+  | System_exception m -> Obs.Trace.System_error m
+  | e -> Obs.Trace.Failed (Printexc.to_string e)
+
+let finish_client_span t span outcome =
+  match span with
+  | None -> ()
+  | Some s ->
+      Obs.Trace.finish s outcome;
+      Obs.observe t.obs
+        ~name:("invoke:" ^ s.Obs.Trace.operation)
+        (Obs.Trace.duration s);
+      Obs.emit t.obs s
+
+(* The invocation core, shared by [invoke_raw] (which owns a bare span)
+   and [invoke] (which also times the marshal/unmarshal phases around
+   it). The caller's trace context rides in the request's
+   service-context slot; disabled tracing sends the empty context,
+   which encodes to bytes identical to the pre-slot protocol. *)
+let invoke_raw_spanned t target ~op ~oneway ~timeout ~span payload =
   let req_id = next_req_id t in
+  (match span with Some s -> s.Obs.Trace.req_id <- req_id | None -> ());
+  let trace_ctx =
+    match span with Some s -> Obs.Trace.encode_context s | None -> ""
+  in
   let req =
     Interceptor.apply_request t.client_chain
-      { Protocol.req_id; target; operation = op; oneway; payload }
+      { Protocol.req_id; target; operation = op; oneway; payload; trace_ctx }
   in
+  (* Honour interceptor rewrites of the oneway flag: the wire message
+     carries [req.oneway], so the reply-wait decision must follow it —
+     waiting for a reply the server will never send would hang until
+     the deadline. *)
+  let oneway = req.Protocol.oneway in
+  let endpoint = Objref.endpoint req.Protocol.target in
   let msg = Protocol.Request req in
   let notify e = Interceptor.apply_error t.client_chain req e in
-  match
-    request_reply t req.Protocol.target msg ~oneway ~timeout ~notify
-  with
+  match request_reply t req.Protocol.target msg ~oneway ~timeout ~notify ~span with
   | None -> None
   | Some (Protocol.Reply reply) -> (
       let { Protocol.rep_id; status; payload } =
         Interceptor.apply_reply t.client_chain req reply
       in
-      if rep_id <> req_id then
+      if rep_id <> req_id then begin
+        (* The stream is desynchronized: whatever reply belongs to this
+           request is still in flight, and a later caller reusing the
+           cached connection would be handed it. Never reuse the
+           connection. *)
+        drop_connection t endpoint;
         raise
           (System_exception
-             (Printf.sprintf "reply id %d does not match request id %d" rep_id req_id));
+             (Printf.sprintf
+                "reply id %d does not match request id %d (connection dropped)"
+                rep_id req_id))
+      end;
       match status with
       | Protocol.Status_ok -> Some payload
       | Protocol.Status_user_exception repo_id ->
@@ -486,29 +622,70 @@ let invoke_raw t target ~op ?(oneway = false) ?timeout payload =
       | Protocol.Status_system_error m -> raise (System_exception m))
   | Some (Protocol.Request _ | Protocol.Locate_request _ | Protocol.Locate_reply _)
     ->
+      (* Equally desynchronized: a non-reply where a reply belongs. *)
+      drop_connection t endpoint;
       raise (System_exception "peer sent a non-reply where a reply was expected")
 
-(* GIOP-style LocateRequest: does the peer's adapter know this oid? *)
+let invoke_raw t target ~op ?(oneway = false) ?timeout payload =
+  let span = start_client_span t target ~op in
+  match invoke_raw_spanned t target ~op ~oneway ~timeout ~span payload with
+  | result ->
+      finish_client_span t span Obs.Trace.Ok;
+      result
+  | exception e ->
+      finish_client_span t span (outcome_of_exn e);
+      raise e
+
+(* GIOP-style LocateRequest: does the peer's adapter know this oid?
+   Locate (like the breaker's half-open probe) is control-plane traffic:
+   it carries no trace context and opens no span. *)
 let locate t ?timeout target =
   let req_id = next_req_id t in
   let msg = Protocol.Locate_request { req_id; target } in
   match
     request_reply t target msg ~oneway:false ~timeout ~notify:(fun _ -> ())
+      ~span:None
   with
   | Some (Protocol.Locate_reply { rep_id; found }) ->
-      if rep_id <> req_id then
-        raise (System_exception "locate reply id mismatch")
+      if rep_id <> req_id then begin
+        drop_connection t (Objref.endpoint target);
+        raise (System_exception "locate reply id mismatch (connection dropped)")
+      end
       else found
-  | Some _ -> raise (System_exception "unexpected message in reply to locate")
+  | Some _ ->
+      drop_connection t (Objref.endpoint target);
+      raise (System_exception "unexpected message in reply to locate")
   | None -> raise (System_exception "no reply to locate")
 
-let invoke t target ~op ?oneway ?timeout marshal =
+let invoke t target ~op ?(oneway = false) ?timeout marshal =
   let codec = t.proto.Protocol.codec in
-  let e = codec.Wire.Codec.encoder () in
-  marshal e;
-  match invoke_raw t target ~op ?oneway ?timeout (e.Wire.Codec.finish ()) with
-  | Some payload -> Some (codec.Wire.Codec.decoder payload)
-  | None -> None
+  let span = start_client_span t target ~op in
+  match
+    let e = codec.Wire.Codec.encoder () in
+    marshal e;
+    let payload = e.Wire.Codec.finish () in
+    (* Marshalling starts right at span creation, so the span's own
+       start timestamp doubles as the phase origin — one clock read
+       saved per traced call. *)
+    (match span with
+    | Some s -> s.Obs.Trace.marshal_s <- Obs.Trace.now () -. s.Obs.Trace.started_at
+    | None -> ());
+    match invoke_raw_spanned t target ~op ~oneway ~timeout ~span payload with
+    | Some payload ->
+        let t1 = match span with Some _ -> Obs.Trace.now () | None -> 0. in
+        let d = codec.Wire.Codec.decoder payload in
+        (match span with
+        | Some s -> s.Obs.Trace.unmarshal_s <- Obs.Trace.now () -. t1
+        | None -> ());
+        Some d
+    | None -> None
+  with
+  | result ->
+      finish_client_span t span Obs.Trace.Ok;
+      result
+  | exception e ->
+      finish_client_span t span (outcome_of_exn e);
+      raise e
 
 (* A smart proxy (Section 5: Orbix smart proxies / Visibroker smart
    stubs) bound to this ORB's protocol codec. *)
@@ -516,7 +693,15 @@ let smart_proxy t ?capacity ?invalidate_on target =
   let raw target ~op payload =
     match invoke_raw t target ~op payload with
     | Some reply -> reply
-    | None -> assert false (* oneway never used by Smart *)
+    | None ->
+        (* Reachable when an interceptor rewrites the call to oneway:
+           there is no reply payload to cache or decode. Diagnosable
+           failure, not a dead proxy thread. *)
+        raise
+          (System_exception
+             (Printf.sprintf
+                "smart proxy: operation %S completed as oneway, no reply to cache"
+                op))
   in
   Smart.create ?capacity ?invalidate_on ~codec:t.proto.Protocol.codec raw target
 
@@ -536,7 +721,15 @@ type stats = {
 let stats t =
   let opened, served, retries, timeouts, server_connections =
     with_lock t (fun () ->
-        (t.opened, t.served, t.retries, t.timeouts, List.length t.accepted))
+        (* Count only live connections: a closed communicator may linger
+           in [t.accepted] until its serving thread finishes unwinding,
+           and must not inflate the gauge. *)
+        ( t.opened,
+          t.served,
+          t.retries,
+          t.timeouts,
+          List.length
+            (List.filter (fun c -> not (Communicator.is_closed c)) t.accepted) ))
   in
   let breaker_trips, breaker_fast_fails =
     match t.breaker with
@@ -632,4 +825,31 @@ module Bootstrap = struct
         let n = d.Wire.Codec.get_len () in
         List.init n (fun _ -> d.Wire.Codec.get_string ())
     | None -> assert false
+end
+
+(* ------------------------------------------------------------------ *)
+(* Observability facade                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-export the obs library under the ORB's namespace and add the one
+   piece that needs ORB types: a stock interceptor feeding the event
+   counters, composable with user chains on either side. *)
+module Obs = struct
+  include Obs
+
+  let interceptor obs =
+    Interceptor.make "obs-metrics"
+      ~on_request:(fun req ->
+        incr obs ~name:("req:" ^ req.Protocol.operation);
+        req)
+      ~on_reply:(fun req rep ->
+        (match rep.Protocol.status with
+        | Protocol.Status_ok -> incr obs ~name:("ok:" ^ req.Protocol.operation)
+        | Protocol.Status_user_exception _ ->
+            incr obs ~name:("uexn:" ^ req.Protocol.operation)
+        | Protocol.Status_system_error _ ->
+            incr obs ~name:("serr:" ^ req.Protocol.operation));
+        rep)
+      ~on_error:(fun req _e ->
+        incr obs ~name:("err:" ^ req.Protocol.operation))
 end

@@ -26,6 +26,22 @@ module Smart : module type of Smart
 module Retry : module type of Retry
 module Breaker : module type of Breaker
 
+(** The observability layer (library [Obs]) plus the one piece that
+    needs ORB types: a stock metrics-feeding interceptor. See
+    DESIGN.md "Observability". *)
+module Obs : sig
+  include module type of struct
+    include Obs
+  end
+
+  val interceptor : t -> Interceptor.t
+  (** A stock interceptor feeding the event counters of [t]: per
+      operation, [req:<op>] on every request, one of [ok:]/[uexn:]/
+      [serr:] per reply status, and [err:<op>] on invocation failures
+      that produced no reply. Add it to either side's chain; it
+      composes with user interceptors. *)
+end
+
 
 type t
 
@@ -49,11 +65,20 @@ val create :
   ?call_timeout:float ->
   ?retry:Retry.policy ->
   ?breaker:Breaker.config ->
+  ?obs:Obs.t ->
   unit ->
   t
 (** Defaults: the text protocol, [Linear] dispatch, the ["mem"] transport
     on a fresh port. For TCP use [~transport:"tcp" ~host:"127.0.0.1"]
     (with [port = 0] picking a free port at {!start}).
+
+    [obs] — attach an observability context (see {!Obs}): every
+    {!invoke} then opens a client span with per-phase timings, every
+    dispatch opens a server span joined to the caller's trace via the
+    wire protocol's service-context slot, and the transport feeds
+    per-endpoint byte counters. Omitted: a disabled context — no spans,
+    no measurable overhead, and the empty trace context keeps wire
+    messages byte-identical to pre-slot peers.
 
     Fault-tolerance knobs (see DESIGN.md "Failure model"):
     - [call_timeout] — default per-call deadline in seconds; a call whose
@@ -86,6 +111,11 @@ val port : t -> int
 (** Bound port (after {!start}). *)
 
 val adapter : t -> Object_adapter.t
+
+val obs : t -> Obs.t
+(** The ORB's observability context (a disabled one when [create] was
+    not given [~obs]). [Obs.snapshot] on it reads the metrics;
+    [Obs.add_sink] attaches span consumers. *)
 
 val client_interceptors : t -> Interceptor.chain
 (** The chain applied around every outgoing {!invoke}. Client-side
@@ -168,7 +198,9 @@ type stats = {
   breaker_fast_fails : int;
       (** Calls rejected without touching the network (0 if disabled). *)
   server_connections : int;
-      (** Currently live accepted server-side connections. *)
+      (** Currently live accepted server-side connections. Closed
+          communicators still awaiting reaping by their serving thread
+          are excluded. *)
 }
 
 val stats : t -> stats

@@ -6,6 +6,7 @@ type request = {
   operation : string;
   oneway : bool;
   payload : string;
+  trace_ctx : string;  (* service context; "" = absent *)
 }
 
 type reply_status =
@@ -61,7 +62,13 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
         e.put_bool r.oneway;
         e.put_string (Objref.to_string r.target);
         e.put_string r.operation;
-        e.put_string r.payload
+        e.put_string r.payload;
+        (* Service context (the trace context), appended AFTER the
+           payload so pre-slot peers — which stop decoding at the
+           payload — skip it as trailing bytes. Omitted entirely when
+           empty, which keeps no-context messages byte-identical to the
+           pre-slot encoding in every codec. *)
+        if r.trace_ctx <> "" then e.put_string r.trace_ctx
     | Reply r ->
         e.put_octet tag_reply;
         e.put_ulong r.rep_id;
@@ -95,13 +102,16 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
         let target_s = d.get_string () in
         let operation = d.get_string () in
         let payload = d.get_string () in
+        (* Old peers never send the service-context slot; its absence is
+           the empty context. *)
+        let trace_ctx = if d.at_end () then "" else d.get_string () in
         let target =
           match Objref.of_string_opt target_s with
           | Some r -> r
           | None ->
               raise (Protocol_error (Printf.sprintf "malformed target reference %S" target_s))
         in
-        Request { req_id; target; operation; oneway; payload })
+        Request { req_id; target; operation; oneway; payload; trace_ctx })
       else if tag = tag_reply then (
         let rep_id = d.get_ulong () in
         let status_code = d.get_octet () in

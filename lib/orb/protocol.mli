@@ -21,6 +21,12 @@ type request = {
   operation : string;
   oneway : bool;
   payload : string;  (** Codec-encoded arguments. *)
+  trace_ctx : string;
+      (** Service-context slot, carrying the trace context of the
+          observability layer (see [Obs.Trace]). Encoded after the
+          payload and omitted when empty, so peers that predate the slot
+          interoperate in both directions: they ignore it as trailing
+          bytes on receive, and its absence decodes as [""]. *)
 }
 
 type reply_status =
@@ -54,7 +60,9 @@ val generic : name:string -> framing:framing -> Wire.Codec.t -> t
     are encoded as [octet tag, ulong request-id, ...header fields...,
     string payload]. The payload is embedded as a counted string — the
     CDR-encapsulation trick — so its internal alignment is relative to its
-    own start regardless of header size. *)
+    own start regardless of header size. Requests append the
+    service-context slot (the trace context) after the payload when
+    non-empty; decoding tolerates its absence. *)
 
 val text : t
 (** The HeidiRMI protocol: {!Wire.Text_codec} over {!Line} framing.

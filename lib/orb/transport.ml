@@ -569,6 +569,32 @@ let faulty_inner proto =
   then Some (String.sub proto n (String.length proto - n))
   else None
 
+(* ---------------- byte metering ---------------- *)
+
+(* Wrap a channel so every wire byte is reported to the callbacks — the
+   feed for the observability layer's per-endpoint byte counters. The
+   callbacks run on the I/O thread after the operation succeeds; they
+   must be cheap and must not raise. read_line counts the consumed
+   newline terminator, so in+out totals match across a loopback pair. *)
+let metered ~on_read ~on_write chan =
+  {
+    chan with
+    write =
+      (fun s ->
+        chan.write s;
+        on_write (String.length s));
+    read_line =
+      (fun () ->
+        let line = chan.read_line () in
+        on_read (String.length line + 1);
+        line);
+    read_exact =
+      (fun n ->
+        let s = chan.read_exact n in
+        on_read (String.length s);
+        s);
+  }
+
 (* ---------------- dispatch by protocol name ---------------- *)
 
 let rec listen ~proto ~host ~port =

@@ -62,6 +62,15 @@ val connect : proto:string -> host:string -> port:int -> channel
 val mem_reset : unit -> unit
 (** Drop all in-memory listeners (test isolation). *)
 
+val metered :
+  on_read:(int -> unit) -> on_write:(int -> unit) -> channel -> channel
+(** Wrap a channel so every wire byte (framing included) is reported to
+    the callbacks after the underlying operation succeeds — the feed
+    for the observability layer's per-endpoint byte counters.
+    [read_line] counts the consumed newline terminator, so a loopback
+    pair's in/out totals match. Callbacks run on the I/O path: they
+    must be cheap and must not raise. *)
+
 (** Deterministic fault injection for the ["faulty:<inner>"] transport.
 
     A {e plan} is a pure function from an operation point (connect /

@@ -1,0 +1,275 @@
+(* Schema check for the E9 bench artifact (BENCH_obs.json), run from the
+   [bench-smoke] alias. Validates structure and invariants — NOT the
+   overhead figure itself, which is hardware- and load-dependent: the
+   point of the smoke test is that the bench runs end-to-end and emits a
+   well-formed, internally consistent artifact on every CI run.
+
+   Hand-rolled recursive-descent JSON parser: the repo deliberately has
+   no JSON dependency (lib/obs emits JSON via string combinators and
+   never parses it), and this checker must not add one. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              go ()
+          | Some 'r' ->
+              Buffer.add_char buf '\r';
+              advance ();
+              go ()
+          | Some 'u' ->
+              (* \uXXXX: decode to a raw byte for ASCII range; enough for
+                 artifacts this repo emits (control chars only). *)
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail "bad \\u escape");
+              go ()
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | None -> fail "unterminated escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "expected a JSON value"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            go ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !fields)
+    end
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        let v = parse_value () in
+        items := v :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            go ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected ',' or ']'"
+      in
+      go ();
+      Arr (List.rev !items)
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---------------- schema assertions ---------------- *)
+
+let field obj name =
+  match obj with
+  | Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Bad (Printf.sprintf "expected an object around %S" name))
+
+let want_str obj name =
+  match field obj name with
+  | Str s -> s
+  | _ -> raise (Bad (Printf.sprintf "field %S must be a string" name))
+
+let want_num obj name =
+  match field obj name with
+  | Num f -> f
+  | _ -> raise (Bad (Printf.sprintf "field %S must be a number" name))
+
+let want_bool obj name =
+  match field obj name with
+  | Bool b -> b
+  | _ -> raise (Bad (Printf.sprintf "field %S must be a bool" name))
+
+let want_arr obj name =
+  match field obj name with
+  | Arr l -> l
+  | _ -> raise (Bad (Printf.sprintf "field %S must be an array" name))
+
+let check cond msg = if not cond then raise (Bad msg)
+
+let is_hex s =
+  s <> ""
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  try
+    let root = parse text in
+    check (want_str root "experiment" = "E9") "experiment must be \"E9\"";
+    ignore (want_str root "transport");
+    ignore (want_str root "protocol");
+    check (want_num root "calls" > 0.) "calls must be > 0";
+    let off = want_num root "trace_off_ns_per_call" in
+    let on = want_num root "trace_on_ns_per_call" in
+    check (off > 0.) "trace_off_ns_per_call must be > 0";
+    check (on > 0.) "trace_on_ns_per_call must be > 0";
+    ignore (want_num root "overhead_pct");
+    check (want_num root "client_spans" > 0.) "client_spans must be > 0";
+    check (want_num root "server_spans" > 0.) "server_spans must be > 0";
+    check (want_bool root "shared_trace_id")
+      "client and server spans must share a trace id";
+    (* The sample span is a real client span from the traced run: ids
+       well-formed, all four phase timings populated (Jout renders an
+       unset phase as null, which [want_num] rejects). *)
+    let span = field root "sample_client_span" in
+    check
+      (is_hex (want_str span "trace_id")
+      && String.length (want_str span "trace_id") = 16)
+      "sample span trace_id must be 16 hex digits";
+    check
+      (is_hex (want_str span "span_id")
+      && String.length (want_str span "span_id") = 8)
+      "sample span span_id must be 8 hex digits";
+    check (want_str span "kind" = "client") "sample span kind must be client";
+    check (want_str span "operation" = "echo") "sample span operation must be echo";
+    List.iter
+      (fun phase ->
+        check (want_num span phase >= 0.)
+          (Printf.sprintf "sample span %s must be a non-negative number" phase))
+      [ "marshal_s"; "send_s"; "wait_s"; "unmarshal_s" ];
+    (* The embedded metrics snapshot must carry the traced run's data:
+       at least the invoke histogram and one metered endpoint. *)
+    let snap = field root "client_snapshot" in
+    check
+      (want_num snap "spans_emitted" > 0.)
+      "client_snapshot.spans_emitted must be > 0";
+    let metrics = field snap "metrics" in
+    let latencies = want_arr metrics "latencies" in
+    check (latencies <> []) "client_snapshot must include latency histograms";
+    check
+      (List.exists (fun h -> want_str h "name" = "invoke:echo") latencies)
+      "client_snapshot must include the invoke:echo histogram";
+    let endpoints = want_arr metrics "endpoints" in
+    check (endpoints <> []) "client_snapshot must include endpoint byte counters";
+    List.iter
+      (fun e ->
+        check
+          (want_num e "bytes_out" > 0. && want_num e "bytes_in" > 0.)
+          "metered endpoints must have traffic both ways")
+      endpoints;
+    Printf.printf "%s: schema OK (off %.0f ns, on %.0f ns, %d spans)\n" path off
+      on
+      (int_of_float (want_num root "client_spans"))
+  with Bad msg ->
+    Printf.eprintf "%s: schema check FAILED: %s\n" path msg;
+    exit 1

@@ -13,6 +13,7 @@ let sample_req =
     operation = "op";
     oneway = false;
     payload = "";
+    trace_ctx = "";
   }
 
 let test_chain_ordering () =

@@ -372,6 +372,91 @@ let test_server_connection_bound () =
         (Printf.sprintf "connections reaped (%d live)" live)
         true (live <= 1))
 
+let test_reply_id_mismatch_drops_connection () =
+  (* Regression: a reply whose id does not match the request means the
+     stream is desynchronized — whatever reply belongs to this request
+     may still be in flight. The client must drop the cached connection
+     before raising, or the next call on it would be handed the stale
+     reply. *)
+  with_pair (List.hd configs) (fun ~name:_ ~server ~client ->
+      let target = Orb.export server (echo_skeleton ()) in
+      Alcotest.(check string) "first call" "echo:a"
+        (invoke_string client target ~op:"echo" "a");
+      (* A server-side interceptor corrupts exactly one reply id — a
+         scripted faulty peer. *)
+      let corrupted = ref false in
+      Orb.Interceptor.add
+        (Orb.server_interceptors server)
+        (Orb.Interceptor.make "corrupt-one-rep-id" ~on_reply:(fun _req rep ->
+             if !corrupted then rep
+             else begin
+               corrupted := true;
+               { rep with Orb.Protocol.rep_id = rep.Orb.Protocol.rep_id + 1000 }
+             end));
+      (match invoke_string client target ~op:"echo" "b" with
+      | exception Orb.System_exception m ->
+          Tutil.check_contains ~what:"mismatch reported" m "does not match"
+      | r -> Alcotest.failf "corrupted reply returned %S" r);
+      (* The poisoned connection was dropped: the next call transparently
+         reconnects and sees a clean stream. *)
+      Alcotest.(check string) "after drop" "echo:c"
+        (invoke_string client target ~op:"echo" "c");
+      Alcotest.(check int) "reconnected" 2 (Orb.stats client).Orb.opened)
+
+let test_smart_proxy_oneway_rewrite () =
+  (* Regression: an interceptor rewriting a call to oneway starves the
+     smart proxy of the reply it wants to cache. That must surface as a
+     System_exception naming the operation — it used to be an assertion
+     failure. (Also exercises the invoke path honouring the
+     post-interceptor oneway flag: were it ignored, this test would hang
+     waiting for a reply the server never sends.) *)
+  with_pair (List.hd configs) (fun ~name:_ ~server ~client ->
+      let target = Orb.export server (echo_skeleton ()) in
+      Orb.Interceptor.add
+        (Orb.client_interceptors client)
+        (Orb.Interceptor.make "force-oneway" ~on_request:(fun req ->
+             if req.Orb.Protocol.operation = "noreply" then
+               { req with Orb.Protocol.oneway = true }
+             else req));
+      let proxy = Orb.smart_proxy client target in
+      (match
+         Orb.Smart.call proxy ~op:"noreply" (fun e -> e.Wire.Codec.put_string "x")
+       with
+      | exception Orb.System_exception m ->
+          Tutil.check_contains ~what:"oneway reported" m "oneway";
+          Tutil.check_contains ~what:"operation named" m "noreply"
+      | _ -> Alcotest.fail "expected System_exception");
+      (* Untouched operations still work through the proxy. *)
+      let d = Orb.Smart.call proxy ~op:"echo" (fun e -> e.Wire.Codec.put_string "y") in
+      Alcotest.(check string) "proxy still works" "echo:y" (d.Wire.Codec.get_string ()))
+
+let test_server_connections_gauge () =
+  (* Regression: [stats.server_connections] must track LIVE connections —
+     an entry that is closed but not yet reaped by its serving thread
+     must not count. *)
+  with_pair (List.hd configs) (fun ~name:_ ~server ~client:_ ->
+      let target = Orb.export server (echo_skeleton ()) in
+      Alcotest.(check int) "idle" 0 (Orb.stats server).Orb.server_connections;
+      let c = Orb.create ~transport:"mem" ~host:"local" () in
+      Alcotest.(check string) "call" "echo:x" (invoke_string c target ~op:"echo" "x");
+      (* The accept loop registers the connection before serving it, so
+         after a completed call the gauge reads exactly one. *)
+      Alcotest.(check int) "one live" 1 (Orb.stats server).Orb.server_connections;
+      Orb.shutdown c;
+      (* The disconnect propagates asynchronously; poll until the gauge
+         drops. With the is_closed filter this happens as soon as the
+         serving thread closes the communicator, reaped or not. *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      let rec settle () =
+        let live = (Orb.stats server).Orb.server_connections in
+        if live = 0 then 0
+        else if Unix.gettimeofday () > deadline then live
+        else (
+          Thread.delay 0.02;
+          settle ())
+      in
+      Alcotest.(check int) "gauge returns to zero" 0 (settle ()))
+
 let () =
   Alcotest.run "orb"
     [
@@ -396,6 +481,12 @@ let () =
             test_crash_restart_under_retry;
           Alcotest.test_case "server connections bounded" `Quick
             test_server_connection_bound;
+          Alcotest.test_case "reply-id mismatch drops connection" `Quick
+            test_reply_id_mismatch_drops_connection;
+          Alcotest.test_case "smart proxy vs oneway rewrite" `Quick
+            test_smart_proxy_oneway_rewrite;
+          Alcotest.test_case "server connections gauge" `Quick
+            test_server_connections_gauge;
         ] );
       ( "concurrency",
         [

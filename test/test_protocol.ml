@@ -16,16 +16,17 @@ let sample_target =
 
 let sample_request payload =
   P.Request
-    { P.req_id = 42; target = sample_target; operation = "f"; oneway = false; payload }
+    { P.req_id = 42; target = sample_target; operation = "f"; oneway = false;
+      payload; trace_ctx = "" }
 
 let check_message proto msg =
   let bytes = proto.P.encode_message msg in
   let back = proto.P.decode_message bytes in
   let render = function
     | P.Request r ->
-        Printf.sprintf "req %d %s %s %b %S" r.P.req_id
+        Printf.sprintf "req %d %s %s %b %S ctx=%S" r.P.req_id
           (Orb.Objref.to_string r.P.target)
-          r.P.operation r.P.oneway r.P.payload
+          r.P.operation r.P.oneway r.P.payload r.P.trace_ctx
     | P.Reply r ->
         Printf.sprintf "rep %d %s %S" r.P.rep_id
           (match r.P.status with
@@ -53,7 +54,7 @@ let test_request_roundtrip () =
       check_message proto
         (P.Request
            { P.req_id = 0; target = sample_target; operation = "_get_state";
-             oneway = true; payload }))
+             oneway = true; payload; trace_ctx = "" }))
     protocols
 
 let test_locate_roundtrip () =
@@ -114,6 +115,94 @@ let test_bad_target_rejected () =
   match proto.P.decode_message (e.Wire.Codec.finish ()) with
   | exception P.Protocol_error _ -> ()
   | _ -> Alcotest.fail "malformed target accepted"
+
+(* ---------------- service-context slot interop ---------------- *)
+
+(* The trace context rides in a service-context slot appended after the
+   payload and omitted when empty. These tests pin down both interop
+   directions with peers that predate the slot. *)
+
+let ctx_request ~trace_ctx =
+  { P.req_id = 42; target = sample_target; operation = "f"; oneway = false;
+    payload = "pay\008load"; trace_ctx }
+
+(* The request envelope exactly as pre-slot peers encoded it: every
+   field up to and including the payload, nothing after. *)
+let legacy_encode proto (r : P.request) =
+  let e = proto.P.codec.Wire.Codec.encoder () in
+  e.Wire.Codec.put_octet 0;
+  e.Wire.Codec.put_ulong r.P.req_id;
+  e.Wire.Codec.put_bool r.P.oneway;
+  e.Wire.Codec.put_string (Orb.Objref.to_string r.P.target);
+  e.Wire.Codec.put_string r.P.operation;
+  e.Wire.Codec.put_string r.P.payload;
+  e.Wire.Codec.finish ()
+
+(* ... and the matching pre-slot decoder, which stops at the payload
+   and never looks at trailing bytes. *)
+let legacy_decode proto bytes =
+  let d = proto.P.codec.Wire.Codec.decoder bytes in
+  let tag = d.Wire.Codec.get_octet () in
+  let req_id = d.Wire.Codec.get_ulong () in
+  let oneway = d.Wire.Codec.get_bool () in
+  let target = d.Wire.Codec.get_string () in
+  let operation = d.Wire.Codec.get_string () in
+  let payload = d.Wire.Codec.get_string () in
+  (tag, req_id, oneway, target, operation, payload)
+
+let test_trace_ctx_roundtrip () =
+  List.iter
+    (fun proto ->
+      check_message proto
+        (P.Request (ctx_request ~trace_ctx:"00112233445566778899aabbccddeeff-0123456789abcdef")))
+    protocols
+
+let test_old_peer_to_new_decoder () =
+  (* Bytes from a pre-slot peer: the new decoder reads them as the
+     empty context instead of failing at end-of-message. *)
+  List.iter
+    (fun proto ->
+      let bytes = legacy_encode proto (ctx_request ~trace_ctx:"") in
+      match proto.P.decode_message bytes with
+      | P.Request r ->
+          Alcotest.(check string) (proto.P.name ^ " ctx") "" r.P.trace_ctx;
+          Alcotest.(check string) (proto.P.name ^ " payload") "pay\008load" r.P.payload;
+          Alcotest.(check string) (proto.P.name ^ " op") "f" r.P.operation
+      | _ -> Alcotest.fail "wrong message kind")
+    protocols
+
+let test_new_peer_to_old_decoder () =
+  (* Bytes WITH a context, read by the pre-slot decoder: every field it
+     knows about decodes unchanged; the context is trailing bytes it
+     never touches. *)
+  List.iter
+    (fun proto ->
+      let bytes =
+        proto.P.encode_message
+          (P.Request (ctx_request ~trace_ctx:"deadbeefdeadbeefdeadbeefdeadbeef-cafebabecafebabe"))
+      in
+      let tag, req_id, oneway, target, operation, payload =
+        legacy_decode proto bytes
+      in
+      Alcotest.(check int) (proto.P.name ^ " tag") 0 tag;
+      Alcotest.(check int) (proto.P.name ^ " req_id") 42 req_id;
+      Alcotest.(check bool) (proto.P.name ^ " oneway") false oneway;
+      Alcotest.(check string) (proto.P.name ^ " target")
+        (Orb.Objref.to_string sample_target) target;
+      Alcotest.(check string) (proto.P.name ^ " op") "f" operation;
+      Alcotest.(check string) (proto.P.name ^ " payload") "pay\008load" payload)
+    protocols
+
+let test_empty_ctx_is_byte_identical_to_legacy () =
+  (* The compatibility invariant the whole scheme rests on: with no
+     context, the new encoder's output is the old encoding, byte for
+     byte — not merely decodable. *)
+  List.iter
+    (fun proto ->
+      let r = ctx_request ~trace_ctx:"" in
+      Alcotest.(check string) proto.P.name (legacy_encode proto r)
+        (proto.P.encode_message (P.Request r)))
+    protocols
 
 let test_text_message_is_a_line () =
   let bytes = P.text.P.encode_message (sample_request "l1 s\"x\"") in
@@ -198,6 +287,14 @@ let () =
           Alcotest.test_case "malformed messages" `Quick test_malformed_messages;
           Alcotest.test_case "bad target rejected" `Quick test_bad_target_rejected;
           Alcotest.test_case "text message is one line" `Quick test_text_message_is_a_line;
+        ] );
+      ( "service context",
+        [
+          Alcotest.test_case "trace-context round-trip" `Quick test_trace_ctx_roundtrip;
+          Alcotest.test_case "old peer -> new decoder" `Quick test_old_peer_to_new_decoder;
+          Alcotest.test_case "new peer -> old decoder" `Quick test_new_peer_to_old_decoder;
+          Alcotest.test_case "empty context is the legacy encoding" `Quick
+            test_empty_ctx_is_byte_identical_to_legacy;
         ] );
       ( "framing",
         [
