@@ -665,6 +665,185 @@ let e9 ?(out = "BENCH_obs.json") ?(calls = 2000) () =
   close_out oc;
   Printf.printf "  wrote %s\n" out
 
+(* ================= E10: overload policy ============================ *)
+
+(* The server-hardening ablation: the same CPU-bound workload thrown at
+   a bounded worker pool (reject admission) and at the paper's
+   thread-per-connection model, at increasing client counts. Closed-loop
+   clients (next call only after the previous outcome) on the mem
+   transport; every outcome is counted, so goodput + rejections +
+   failures accounts for every call. Writes BENCH_overload.json for the
+   schema-checked smoke test.
+
+   Honesty note: OCaml systhreads share one runtime lock, so total
+   CPU throughput is bounded by one core in BOTH configurations — the
+   difference under overload is where the queueing happens. The pool
+   keeps a bounded queue and sheds the excess (goodput holds, ok-call
+   latency stays near workers x service time); thread-per-connection
+   accepts everything, so every in-flight call queues inside the
+   scheduler and the latency tail grows with the client count. *)
+let e10 ?(out = "BENCH_overload.json") ?(duration = 1.5)
+    ?(client_counts = [ 4; 8; 32; 64 ]) () =
+  section "E10" "overload: bounded worker pool vs thread-per-connection";
+  let spin_iters = 1_000_000 in
+  let spin () =
+    (* Pure OCaml work, no syscalls: deterministic service demand per
+       call regardless of clock resolution. *)
+    let x = ref 0 in
+    for i = 1 to spin_iters do
+      x := (!x + (i * i)) land 0xffffff
+    done;
+    !x
+  in
+  let service_ms =
+    let reps = 20 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (spin ())
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+  in
+  let work_skeleton () =
+    Orb.Skeleton.create ~type_id:"IDL:Bench/Work:1.0"
+      [ ("work", fun _ results -> results.Wire.Codec.put_long (spin ())) ]
+  in
+  let servers =
+    [
+      ( "pool-4x16-reject",
+        {
+          Orb.default_server_policy with
+          pool =
+            Some
+              {
+                Orb.Pool.workers = 4;
+                queue_capacity = 16;
+                admission = Orb.Pool.Reject;
+              };
+        } );
+      ("thread-per-conn", { Orb.default_server_policy with pool = None });
+    ]
+  in
+  let run_cell (server_name, policy) n_clients =
+    Orb.Transport.mem_reset ();
+    let server =
+      Orb.create ~transport:"mem" ~host:"local" ~server_policy:policy ()
+    in
+    Orb.start server;
+    let target = Orb.export server (work_skeleton ()) in
+    let ok = Atomic.make 0
+    and rejected = Atomic.make 0
+    and failed = Atomic.make 0 in
+    let lat_mutex = Mutex.create () in
+    let latencies = ref [] in
+    let deadline = Unix.gettimeofday () +. duration in
+    let threads =
+      List.init n_clients (fun _ ->
+          Thread.create
+            (fun () ->
+              let client =
+                Orb.create ~transport:"mem" ~host:"local"
+                  ~retry:Orb.Retry.none ()
+              in
+              let mine = ref [] in
+              while Unix.gettimeofday () < deadline do
+                let t0 = Unix.gettimeofday () in
+                match Orb.invoke client target ~op:"work" (fun _ -> ()) with
+                | Some _ ->
+                    mine := (Unix.gettimeofday () -. t0) :: !mine;
+                    Atomic.incr ok
+                | None -> Atomic.incr failed
+                | exception Orb.System_exception _ ->
+                    Atomic.incr rejected;
+                    (* Well-behaved client: back off briefly after a
+                       rejection instead of hammering the admission
+                       check in a tight loop (which would burn the very
+                       CPU the workers need and turn the measurement
+                       into a self-inflicted DoS). *)
+                    Thread.delay 0.002
+                | exception _ -> Atomic.incr failed
+              done;
+              Mutex.lock lat_mutex;
+              latencies := List.rev_append !mine !latencies;
+              Mutex.unlock lat_mutex;
+              Orb.shutdown client)
+            ())
+    in
+    List.iter Thread.join threads;
+    Orb.shutdown server;
+    let lats = Array.of_list (List.sort compare !latencies) in
+    let n_ok = Array.length lats in
+    let pct p =
+      if n_ok = 0 then 0.
+      else lats.(min (n_ok - 1) (int_of_float (float_of_int n_ok *. p))) *. 1000.
+    in
+    ( server_name,
+      n_clients,
+      Atomic.get ok,
+      Atomic.get rejected,
+      Atomic.get failed,
+      float_of_int (Atomic.get ok) /. duration,
+      pct 0.5,
+      pct 0.95,
+      (if n_ok = 0 then 0. else lats.(n_ok - 1) *. 1000.) )
+  in
+  let cells =
+    List.concat_map
+      (fun server -> List.map (run_cell server) client_counts)
+      servers
+  in
+  table
+    [ "server"; "clients"; "ok"; "rejected"; "failed"; "ok/s"; "p50 ms"; "p95 ms"; "max ms" ]
+    (List.map
+       (fun (srv, n, ok, rej, fail_, ops, p50, p95, mx) ->
+         [
+           srv;
+           string_of_int n;
+           string_of_int ok;
+           string_of_int rej;
+           string_of_int fail_;
+           Printf.sprintf "%.0f" ops;
+           Printf.sprintf "%.1f" p50;
+           Printf.sprintf "%.1f" p95;
+           Printf.sprintf "%.1f" mx;
+         ])
+       cells);
+  Printf.printf
+    "  (service demand per call: %.2f ms of pure-OCaml CPU; closed-loop\n\
+    \  clients, %.2gs per cell. Rejections are answered calls, not drops.)\n"
+    service_ms duration;
+  let json =
+    Obs.Jout.obj
+      [
+        ("experiment", Obs.Jout.str "E10");
+        ("transport", Obs.Jout.str "mem");
+        ("protocol", Obs.Jout.str "heidi-text");
+        ("duration_s", Obs.Jout.num duration);
+        ("service_ms", Obs.Jout.num service_ms);
+        ( "cells",
+          Obs.Jout.arr
+            (List.map
+               (fun (srv, n, ok, rej, fail_, ops, p50, p95, mx) ->
+                 Obs.Jout.obj
+                   [
+                     ("server", Obs.Jout.str srv);
+                     ("clients", Obs.Jout.int n);
+                     ("ok", Obs.Jout.int ok);
+                     ("rejected", Obs.Jout.int rej);
+                     ("failed", Obs.Jout.int fail_);
+                     ("ok_per_s", Obs.Jout.num ops);
+                     ("p50_ms", Obs.Jout.num p50);
+                     ("p95_ms", Obs.Jout.num p95);
+                     ("max_ms", Obs.Jout.num mx);
+                   ])
+               cells) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
 (* ================= F-series: figure regeneration pointers ========== *)
 
 let figures () =
@@ -686,6 +865,14 @@ let () =
       (* CI smoke mode (`dune build @bench-smoke`): run only E9 with a
          tiny call quota, writing [out] for the schema check. *)
       e9 ~out ~calls:40 ()
+  | [| _; "--e10"; out |] ->
+      (* Full E10 only: the overload ablation at real duration and
+         client counts, without the rest of the bench suite. *)
+      e10 ~out ()
+  | [| _; "--e10-smoke"; out |] ->
+      (* E10 with tiny cells: exercises both serving models end to end
+         and writes a schema-checkable artifact in about a second. *)
+      e10 ~out ~duration:0.25 ~client_counts:[ 2; 6 ] ()
   | _ ->
       print_endline "Reproduction benches: Customizing IDL Mappings and ORB Protocols";
       print_endline "(Welling & Ott, Middleware 2000) -- see EXPERIMENTS.md for analysis";
@@ -701,5 +888,6 @@ let () =
       e8 ();
       e3b ();
       e9 ();
+      e10 ();
       figures ();
       print_endline "\nAll benches complete."

@@ -33,6 +33,7 @@ type t = {
   hists : (string, hist) Hashtbl.t;
   bytes : (string, bytes_counter) Hashtbl.t;
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;  (* last-written-wins level values *)
 }
 
 let create () =
@@ -41,6 +42,7 @@ let create () =
     hists = Hashtbl.create 16;
     bytes = Hashtbl.create 8;
     counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
   }
 
 let with_lock t f =
@@ -112,6 +114,11 @@ let incr t ~name =
   | None -> Hashtbl.replace t.counters name (ref 1));
   Mutex.unlock t.mutex
 
+let set_gauge t ~name v =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.gauges name v;
+  Mutex.unlock t.mutex
+
 (* ---------------- snapshots ---------------- *)
 
 type hist_view = {
@@ -135,6 +142,7 @@ type snapshot = {
   latencies : hist_view list;
   endpoints : bytes_view list;
   counters : (string * int) list;
+  gauges : (string * float) list;
 }
 
 let snapshot t =
@@ -177,7 +185,11 @@ let snapshot t =
         Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
         |> List.sort compare
       in
-      { latencies; endpoints; counters })
+      let gauges =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges []
+        |> List.sort compare
+      in
+      { latencies; endpoints; counters; gauges })
 
 let hist_view_to_json (h : hist_view) =
   Jout.obj
@@ -220,4 +232,5 @@ let snapshot_to_json (s : snapshot) =
       ("endpoints", Jout.arr (List.map bytes_view_to_json s.endpoints));
       ( "counters",
         Jout.obj (List.map (fun (k, v) -> (k, Jout.int v)) s.counters) );
+      ("gauges", Jout.obj (List.map (fun (k, v) -> (k, Jout.num v)) s.gauges));
     ]

@@ -18,6 +18,10 @@ val add_bytes : t -> endpoint:string -> dir:[ `In | `Out ] -> int -> unit
 val incr : t -> name:string -> unit
 (** Bump a named event counter. *)
 
+val set_gauge : t -> name:string -> float -> unit
+(** Set a named level gauge (last write wins) — e.g. the server worker
+    pool's queue depth. *)
+
 (** {2 Snapshots} *)
 
 type hist_view = {
@@ -43,6 +47,7 @@ type snapshot = {
   latencies : hist_view list;  (** Sorted by name. *)
   endpoints : bytes_view list;  (** Sorted by endpoint. *)
   counters : (string * int) list;  (** Sorted by name. *)
+  gauges : (string * float) list;  (** Sorted by name. *)
 }
 
 val snapshot : t -> snapshot

@@ -60,6 +60,7 @@ let add_bytes t ~endpoint ~dir n =
   if t.on then Metrics.add_bytes t.metrics ~endpoint ~dir n
 
 let incr t ~name = if t.on then Metrics.incr t.metrics ~name
+let set_gauge t ~name v = if t.on then Metrics.set_gauge t.metrics ~name v
 
 (* ---------------- snapshots ---------------- *)
 

@@ -42,6 +42,9 @@ val add_bytes : t -> endpoint:string -> dir:[ `In | `Out ] -> int -> unit
 val incr : t -> name:string -> unit
 (** {!Metrics.incr}, gated on {!enabled}. *)
 
+val set_gauge : t -> name:string -> float -> unit
+(** {!Metrics.set_gauge}, gated on {!enabled}. *)
+
 (** {2 Snapshot} *)
 
 type snapshot = { spans_emitted : int; metrics : Metrics.snapshot }

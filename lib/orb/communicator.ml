@@ -1,6 +1,22 @@
-type t = { proto : Protocol.t; chan : Transport.channel; mutable closed : bool }
+type t = {
+  proto : Protocol.t;
+  chan : Transport.channel;
+  limits : Wire.Codec.limits;
+  mutable closed : bool;
+}
 
-let wrap proto chan = { proto; chan; closed = false }
+let wrap ?(limits = Wire.Codec.default_limits) proto chan =
+  (* Bound memory while a frame is still in flight: for line framing the
+     line IS the frame, so the channel receive limit is the frame
+     limit; for length-prefixed framing only the short fixed-size
+     header travels on a line. *)
+  let line_limit =
+    match proto.Protocol.framing with
+    | Protocol.Line -> limits.Wire.Codec.max_frame_bytes
+    | Protocol.Length_prefixed { header } -> String.length header + 64
+  in
+  chan.Transport.set_recv_limit (Some line_limit);
+  { proto; chan; limits; closed = false }
 
 (* Length-prefixed framing: magic header, 8 hex digits of body length,
    newline (for telnet-friendliness of the header even in binary
@@ -19,13 +35,36 @@ let send t msg =
       t.chan.Transport.write
         (Printf.sprintf "%s%08x\n%s" header (String.length body) body)
 
-let recv t =
+type recv_error = { reason : string; req_id_hint : int option }
+
+(* The recoverable/fatal split a hardened server needs: [Error] means
+   the frame was malformed or over-limit but fully consumed — the byte
+   stream is still synchronized, so the caller can answer with an error
+   reply and keep serving the connection. Exceptions mean the stream
+   state is unknown (bad header, I/O failure): close the connection. *)
+let recv_opt t =
+  let decode body =
+    match t.proto.Protocol.decode_limited t.limits body with
+    | msg -> Ok msg
+    | exception Protocol.Protocol_error reason ->
+        Error { reason; req_id_hint = Protocol.request_id_hint t.proto body }
+  in
   match t.proto.Protocol.framing with
-  | Protocol.Line ->
-      let line = t.chan.Transport.read_line () in
-      t.proto.Protocol.decode_message line
+  | Protocol.Line -> (
+      match t.chan.Transport.read_line () with
+      | line -> decode line
+      | exception Transport.Frame_limit reason ->
+          (* The transport discarded the oversized line through its
+             newline: synchronized, recoverable. *)
+          Error { reason; req_id_hint = None })
   | Protocol.Length_prefixed { header } ->
-      let hline = t.chan.Transport.read_line () in
+      let hline =
+        try t.chan.Transport.read_line ()
+        with Transport.Frame_limit m ->
+          (* Binary stream: resynchronizing on a newline is meaningless
+             when the header itself is damaged. Fatal. *)
+          raise (Protocol.Protocol_error m)
+      in
       let hlen = String.length header in
       if String.length hline <> hlen + 8 || String.sub hline 0 hlen <> header then
         raise
@@ -40,8 +79,30 @@ let recv t =
               (Protocol.Protocol_error
                  (Printf.sprintf "bad frame length %S" len_hex))
       in
-      let body = t.chan.Transport.read_exact len in
-      t.proto.Protocol.decode_message body
+      if len > t.limits.Wire.Codec.max_frame_bytes then begin
+        (* Consume the advertised body in bounded chunks — the peer
+           declared it honestly, so after the discard the stream is
+           synchronized and an error reply can be delivered. *)
+        let remaining = ref len in
+        while !remaining > 0 do
+          let n = min !remaining 65536 in
+          ignore (t.chan.Transport.read_exact n);
+          remaining := !remaining - n
+        done;
+        Error
+          {
+            reason =
+              Printf.sprintf "frame of %d bytes exceeds limit %d" len
+                t.limits.Wire.Codec.max_frame_bytes;
+            req_id_hint = None;
+          }
+      end
+      else decode (t.chan.Transport.read_exact len)
+
+let recv t =
+  match recv_opt t with
+  | Ok msg -> msg
+  | Error { reason; _ } -> raise (Protocol.Protocol_error reason)
 
 let close t =
   (* Mark first: even if the underlying close raises, the communicator

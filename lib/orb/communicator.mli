@@ -4,8 +4,12 @@
 
 type t
 
-val wrap : Protocol.t -> Transport.channel -> t
-(** Wrap an accepted or connected channel. *)
+val wrap : ?limits:Wire.Codec.limits -> Protocol.t -> Transport.channel -> t
+(** Wrap an accepted or connected channel. [limits] (default
+    {!Wire.Codec.default_limits}) bounds what {!recv}/{!recv_opt} will
+    decode: the frame limit is installed on the channel as its line
+    receive limit, and payload decoding runs through the protocol's
+    [decode_limited]. *)
 
 val send : t -> Protocol.message -> unit
 (** Encode, frame and write one message.
@@ -16,6 +20,23 @@ val recv : t -> Protocol.message
     @raise Transport.Transport_error on EOF / I/O failure.
     @raise Transport.Timeout past the channel deadline.
     @raise Protocol.Protocol_error on malformed messages. *)
+
+type recv_error = {
+  reason : string;
+  req_id_hint : int option;
+      (** Best-effort id of the damaged request ({!Protocol.request_id_hint}),
+          so the error reply can carry the id the client waits on. *)
+}
+
+val recv_opt : t -> (Protocol.message, recv_error) result
+(** Like {!recv}, but separates recoverable malformation from fatal
+    stream damage: [Error] means the offending frame was fully consumed
+    and the byte stream is still synchronized — the server can answer
+    with a protocol-level error reply and keep serving the connection
+    (oversized frames are discarded in bounded chunks). Exceptions
+    ({!Transport.Transport_error}, {!Transport.Timeout},
+    {!Protocol.Protocol_error} on a damaged frame {e header}) mean the
+    stream state is unknown and the connection should be closed. *)
 
 val close : t -> unit
 (** Close the underlying channel; marks the communicator closed first,

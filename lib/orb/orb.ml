@@ -11,6 +11,7 @@ module Interceptor = Interceptor
 module Smart = Smart
 module Retry = Retry
 module Breaker = Breaker
+module Pool = Pool
 
 let src = Logs.Src.create "orb" ~doc:"HeidiRMI ORB runtime"
 
@@ -31,6 +32,31 @@ let () =
     | System_exception m -> Some (Printf.sprintf "Orb.System_exception: %s" m)
     | _ -> None)
 
+(* The server's overload policy — how much concurrent work, queued
+   work, and connection state one address space will hold, and what to
+   do at each bound. A policy value, not code, in the spirit of the
+   paper's configurable ORB (and RAFDA's distribution-policy
+   separation). *)
+type server_policy = {
+  pool : Pool.config option;
+      (* Some: bounded worker pool (the default). None: the unbounded
+         thread-per-connection model the paper describes, kept for the
+         overload comparison (bench E10). *)
+  max_connections : int;  (* 0 = unlimited; beyond it, idle-LRU evict *)
+  max_pipelined : int;  (* per-connection in-flight cap; 0 = unlimited *)
+  limits : Wire.Codec.limits;  (* decode budget for inbound frames *)
+  accept_backoff : float;  (* initial transient accept-failure sleep *)
+}
+
+let default_server_policy =
+  {
+    pool = Some Pool.default_config;
+    max_connections = 0;
+    max_pipelined = 64;
+    limits = Wire.Codec.default_limits;
+    accept_backoff = 0.01;
+  }
+
 type t = {
   proto : Protocol.t;
   strat : Dispatch.strategy;
@@ -41,28 +67,46 @@ type t = {
   retry : Retry.policy;
   breaker : Breaker.t option;
   obs : Obs.t;  (* tracing + metrics; disabled unless supplied *)
+  policy : server_policy;
   oa : Object_adapter.t;
   mutex : Mutex.t;  (* guards the mutable fields below *)
   mutable listener : Transport.listener option;
   mutable bound_port : int;
   mutable running : bool;
+  mutable draining : bool;  (* shutdown in its grace window *)
+  mutable pool : Pool.t option;  (* workers; created at [start] *)
   conns : (string * string * int, conn) Hashtbl.t;  (* endpoint -> cached conn *)
   client_chain : Interceptor.chain;
   server_chain : Interceptor.chain;
-  mutable accepted : Communicator.t list;  (* server-side connections *)
+  mutable accepted : sconn list;  (* server-side connections *)
   mutable next_req_id : int;
   mutable opened : int;  (* outbound connections ever opened *)
   mutable served : int;  (* requests dispatched *)
   mutable retries : int;  (* attempts beyond the first, across all calls *)
   mutable timeouts : int;  (* calls that hit their deadline *)
+  mutable rejected : int;  (* requests refused by admission control *)
+  mutable evicted : int;  (* connections evicted by the LRU limit *)
+  mutable drains_clean : int;  (* graceful drains that finished in time *)
+  mutable drain_aborted_jobs : int;  (* dispatches abandoned at force-close *)
   mutable bootstrap_registry : (string, Objref.t) Hashtbl.t option;
 }
 
 and conn = { comm : Communicator.t; conn_mutex : Mutex.t }
 
+(* One accepted server-side connection: its reader thread decodes
+   requests; replies (possibly from several pool workers at once) are
+   serialized by [s_write]. *)
+and sconn = {
+  scomm : Communicator.t;
+  s_write : Mutex.t;
+  mutable s_last_active : float;  (* for idle-LRU eviction *)
+  mutable s_inflight : int;  (* requests read but not yet answered *)
+}
+
 let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     ?(transport = "mem") ?(host = "local") ?(port = 0) ?call_timeout
-    ?(retry = Retry.default) ?breaker ?obs () =
+    ?(retry = Retry.default) ?breaker ?obs
+    ?(server_policy = default_server_policy) () =
   {
     proto = protocol;
     strat = strategy;
@@ -73,11 +117,14 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     retry;
     breaker = Option.map (fun config -> Breaker.create ~config ()) breaker;
     obs = (match obs with Some o -> o | None -> Obs.create ~enabled:false ());
+    policy = server_policy;
     oa = Object_adapter.create ();
     mutex = Mutex.create ();
     listener = None;
     bound_port = 0;
     running = false;
+    draining = false;
+    pool = None;
     conns = Hashtbl.create 16;
     client_chain = Interceptor.empty_chain ();
     server_chain = Interceptor.empty_chain ();
@@ -87,6 +134,10 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     served = 0;
     retries = 0;
     timeouts = 0;
+    rejected = 0;
+    evicted = 0;
+    drains_clean = 0;
+    drain_aborted_jobs = 0;
     bootstrap_registry = None;
   }
 
@@ -145,7 +196,12 @@ let handle_request_inner t (req : Protocol.request) : Protocol.reply option =
                   (Skeleton.type_id skel) req.Protocol.operation))
             ""
       | Some handler -> (
-          let args = codec.Wire.Codec.decoder req.Protocol.payload in
+          (* The argument payload is untrusted wire data: decode it
+             under the server policy's limits, like the envelope. *)
+          let args =
+            codec.Wire.Codec.decoder_limited t.policy.limits
+              req.Protocol.payload
+          in
           let results = codec.Wire.Codec.encoder () in
           match handler args results with
           | () -> reply Protocol.Status_ok (results.Wire.Codec.finish ())
@@ -220,28 +276,103 @@ let handle_request t (req : Protocol.request) : Protocol.reply option =
       Obs.emit t.obs s);
   result
 
-let serve_connection t comm =
+let serve_connection t sc =
+  let comm = sc.scomm in
+  (* Replies can come from several pool workers and the reader thread
+     interleaved; the write mutex keeps each framed message whole. *)
+  let send_msg msg =
+    Mutex.lock sc.s_write;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sc.s_write)
+      (fun () -> Communicator.send comm msg)
+  in
+  let error_reply rep_id reason =
+    send_msg
+      (Protocol.Reply
+         { Protocol.rep_id; status = Protocol.Status_system_error reason;
+           payload = "" })
+  in
+  (* Admission refusal: a diagnosable System_exception reply, never a
+     dropped connection. *)
+  let reject_request (req : Protocol.request) reason =
+    with_lock t (fun () -> t.rejected <- t.rejected + 1);
+    Obs.incr t.obs ~name:"server:rejected";
+    if not req.Protocol.oneway then error_reply req.Protocol.req_id reason
+  in
+  let finish_dispatch req =
+    match handle_request t req with
+    | Some rep -> send_msg (Protocol.Reply rep)
+    | None -> ()
+  in
+  let dec_inflight () =
+    with_lock t (fun () -> sc.s_inflight <- sc.s_inflight - 1)
+  in
+  let dispatch (req : Protocol.request) =
+    sc.s_last_active <- Unix.gettimeofday ();
+    if with_lock t (fun () -> t.draining) then
+      reject_request req "draining: not accepting new requests"
+    else if
+      t.policy.max_pipelined > 0 && sc.s_inflight >= t.policy.max_pipelined
+    then
+      reject_request req
+        (Printf.sprintf "too many pipelined requests (limit %d)"
+           t.policy.max_pipelined)
+    else begin
+      with_lock t (fun () -> sc.s_inflight <- sc.s_inflight + 1);
+      match with_lock t (fun () -> t.pool) with
+      | None ->
+          (* Thread-per-connection mode: dispatch inline on the reader
+             thread, exactly the paper's Fig. 5 loop. *)
+          Fun.protect ~finally:dec_inflight (fun () -> finish_dispatch req)
+      | Some pool -> (
+          let job () =
+            Fun.protect ~finally:dec_inflight (fun () ->
+                try finish_dispatch req
+                with _ ->
+                  (* The connection died under the reply: close it so the
+                     reader thread unwinds and reaps it. *)
+                  (try Communicator.close comm with _ -> ()))
+          in
+          match Pool.submit pool job with
+          | `Accepted ->
+              Obs.set_gauge t.obs ~name:"server:pool_depth"
+                (float_of_int (Pool.depth pool))
+          | `Rejected reason ->
+              dec_inflight ();
+              reject_request req reason)
+    end
+  in
   let rec loop () =
-    match Communicator.recv comm with
-    | Protocol.Request req ->
-        (match handle_request t req with
-        | Some rep -> Communicator.send comm (Protocol.Reply rep)
-        | None -> ());
+    match Communicator.recv_opt comm with
+    | Ok (Protocol.Request req) ->
+        dispatch req;
         loop ()
-    | Protocol.Locate_request { req_id; target } ->
-        (* GIOP-style locate: answered by the adapter, never dispatched. *)
+    | Ok (Protocol.Locate_request { req_id; target }) ->
+        (* GIOP-style locate: answered by the adapter, never dispatched
+           (and never queued — it is the liveness probe). *)
+        sc.s_last_active <- Unix.gettimeofday ();
         let found = Object_adapter.lookup t.oa target.Objref.oid <> None in
-        Communicator.send comm
-          (Protocol.Locate_reply { rep_id = req_id; found });
+        send_msg (Protocol.Locate_reply { rep_id = req_id; found });
         loop ()
-    | Protocol.Reply _ | Protocol.Locate_reply _ ->
+    | Ok (Protocol.Reply _ | Protocol.Locate_reply _) ->
         Log.warn (fun m -> m "unexpected reply on server connection from %s"
                      (Communicator.peer comm));
         loop ()
+    | Error { Communicator.reason; req_id_hint } ->
+        (* Decodable-but-invalid frame, fully consumed: the stream is
+           still synchronized, so answer with a diagnosable error
+           instead of silently dropping the connection. *)
+        Obs.incr t.obs ~name:"server:malformed";
+        Log.warn (fun m ->
+            m "malformed frame from %s: %s" (Communicator.peer comm) reason);
+        error_reply
+          (Option.value req_id_hint ~default:0)
+          ("malformed request: " ^ reason);
+        loop ()
   in
   (* Whatever ends the connection — EOF or I/O failure on either recv or
-     send, a malformed message, even a servant-thread bug — close it and
-     drop it from the accepted list, so a long-lived server does not
+     send, a damaged frame header, even a servant-thread bug — close it
+     and drop it from the accepted list, so a long-lived server does not
      accumulate dead communicators. The close lives in the [finally] so
      that exit paths outside the explicit handlers below (e.g. a raising
      interceptor hook) also mark the communicator dead for the
@@ -250,7 +381,7 @@ let serve_connection t comm =
     ~finally:(fun () ->
       (try Communicator.close comm with _ -> ());
       with_lock t (fun () ->
-          t.accepted <- List.filter (fun c -> c != comm) t.accepted))
+          t.accepted <- List.filter (fun c -> c != sc) t.accepted))
     (fun () ->
       try loop () with
       | Transport.Transport_error _ | Transport.Timeout _ ->
@@ -259,6 +390,42 @@ let serve_connection t comm =
           Log.warn (fun m' ->
               m' "protocol error from %s: %s" (Communicator.peer comm) m);
           Communicator.close comm)
+
+(* Admit a freshly accepted connection under [max_connections]. Past
+   the bound the idle-longest connection is evicted (idle-LRU): prefer
+   one with nothing in flight, fall back to the stalest overall. The
+   evicted peer sees a clean close; a well-behaved client's connection
+   cache transparently reopens on its next call. *)
+let admit_connection t sc =
+  let victim =
+    with_lock t (fun () ->
+        t.accepted <- sc :: t.accepted;
+        let limit = t.policy.max_connections in
+        if limit > 0 && List.length t.accepted > limit then begin
+          let candidates = List.filter (fun c -> c != sc) t.accepted in
+          let idle = List.filter (fun c -> c.s_inflight = 0) candidates in
+          let stalest l =
+            List.fold_left
+              (fun best c ->
+                match best with
+                | Some b when b.s_last_active <= c.s_last_active -> best
+                | _ -> Some c)
+              None l
+          in
+          match stalest (if idle <> [] then idle else candidates) with
+          | None -> None
+          | Some v ->
+              t.accepted <- List.filter (fun c -> c != v) t.accepted;
+              t.evicted <- t.evicted + 1;
+              Some v
+        end
+        else None)
+  in
+  match victim with
+  | None -> ()
+  | Some v ->
+      Obs.incr t.obs ~name:"server:evicted";
+      (try Communicator.close v.scomm with _ -> ())
 
 let start t =
   let listener =
@@ -269,6 +436,10 @@ let start t =
           t.listener <- Some l;
           t.bound_port <- l.Transport.bound_port;
           t.running <- true;
+          t.draining <- false;
+          (match (t.policy.pool, t.pool) with
+          | Some cfg, None -> t.pool <- Some (Pool.create cfg)
+          | _ -> ());
           Some l
         end)
   in
@@ -281,36 +452,135 @@ let start t =
         let label =
           Printf.sprintf "%s:%s:%d" t.transport t.host l.Transport.bound_port
         in
-        let rec loop () =
+        let rec loop backoff =
           match l.Transport.accept () with
           | chan ->
-              let comm = Communicator.wrap t.proto (meter_channel t label chan) in
-              with_lock t (fun () -> t.accepted <- comm :: t.accepted);
-              ignore (Thread.create (fun () -> serve_connection t comm) ());
-              loop ()
-          | exception Transport.Transport_error _ -> () (* shut down *)
+              let comm =
+                Communicator.wrap ~limits:t.policy.limits t.proto
+                  (meter_channel t label chan)
+              in
+              let sc =
+                {
+                  scomm = comm;
+                  s_write = Mutex.create ();
+                  s_last_active = Unix.gettimeofday ();
+                  s_inflight = 0;
+                }
+              in
+              admit_connection t sc;
+              ignore (Thread.create (fun () -> serve_connection t sc) ());
+              loop t.policy.accept_backoff
+          | exception Transport.Transport_error msg ->
+              (* Two very different failures share this exception: the
+                 listener closing under us (shutdown — exit quietly) and
+                 a transient resource failure such as fd exhaustion
+                 under a connection flood (EMFILE). The latter must not
+                 kill the accept loop: sleep — which also gives the
+                 connection reaper time to return fds — and retry with
+                 the backoff doubling up to a bound. *)
+              if with_lock t (fun () -> t.running) then begin
+                Log.warn (fun m ->
+                    m "transient accept failure: %s (retrying in %.0f ms)" msg
+                      (backoff *. 1000.));
+                Thread.delay backoff;
+                loop (Float.min 1.0 (backoff *. 2.))
+              end
         in
-        loop ()
+        loop t.policy.accept_backoff
       in
       ignore (Thread.create accept_loop ())
 
-let shutdown t =
-  let listener, conns, accepted =
+(* Shutdown in three phases. Phase 1 stops intake: the listener closes
+   and [draining] makes every connection reject new requests with a
+   diagnosable error. Phase 2 — only with [?drain_deadline] — is the
+   grace window: wait up to that many seconds for requests already
+   admitted to finish dispatching. Phase 3 force-closes whatever
+   remains. Without [drain_deadline] phase 2 is skipped entirely
+   (immediate shutdown, the historical behavior). *)
+let shutdown ?drain_deadline t =
+  let listener, pool, was_running =
     with_lock t (fun () ->
         let l = t.listener in
         t.listener <- None;
+        let was = t.running in
         t.running <- false;
+        t.draining <- true;
+        (l, t.pool, was))
+  in
+  (match listener with Some l -> l.Transport.shutdown () | None -> ());
+  (match (drain_deadline, was_running) with
+  | None, _ | _, false -> ()
+  | Some grace, true ->
+      let deadline = Some (Unix.gettimeofday () +. grace) in
+      let span =
+        if Obs.enabled t.obs then
+          Some
+            (Obs.Trace.start_server ~operation:"orb.drain"
+               ~endpoint:(endpoint_key (t.transport, t.host, t.bound_port))
+               ())
+        else None
+      in
+      let result =
+        match pool with
+        | Some pool -> Pool.drain pool ~deadline
+        | None ->
+            (* Thread-per-connection mode: no queue to drain, only the
+               per-connection in-flight counts to poll. *)
+            let inflight () =
+              with_lock t (fun () ->
+                  List.fold_left (fun acc c -> acc + c.s_inflight) 0 t.accepted)
+            in
+            let d = Unix.gettimeofday () +. grace in
+            let rec wait () =
+              let n = inflight () in
+              if n = 0 then `Drained
+              else if Unix.gettimeofday () >= d then `Aborted n
+              else begin
+                Thread.delay 0.005;
+                wait ()
+              end
+            in
+            wait ()
+      in
+      (match result with
+      | `Drained ->
+          with_lock t (fun () -> t.drains_clean <- t.drains_clean + 1);
+          Obs.incr t.obs ~name:"server:drained"
+      | `Aborted n ->
+          with_lock t (fun () ->
+              t.drain_aborted_jobs <- t.drain_aborted_jobs + n);
+          Obs.incr t.obs ~name:"server:drain_aborted");
+      (match span with
+      | None -> ()
+      | Some s ->
+          let outcome =
+            match result with
+            | `Drained -> Obs.Trace.Ok
+            | `Aborted n ->
+                Obs.Trace.System_error
+                  (Printf.sprintf "drain aborted: %d dispatches abandoned" n)
+          in
+          Obs.Trace.finish s outcome;
+          Obs.emit t.obs s));
+  let conns, accepted, pool =
+    with_lock t (fun () ->
         let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
         Hashtbl.reset t.conns;
         let acc = t.accepted in
         t.accepted <- [];
-        (l, cs, acc))
+        let p = t.pool in
+        t.pool <- None;
+        (cs, acc, p))
   in
-  (match listener with Some l -> l.Transport.shutdown () | None -> ());
+  (* Stop the pool before closing connections: abandoned jobs counted by
+     the aborted drain must not start executing against half-closed
+     channels. Workers stuck inside a job blocked on I/O are unblocked
+     by the closes below (Pool.stop does not join them). *)
+  (match pool with Some p -> ignore (Pool.stop p) | None -> ());
   List.iter (fun c -> try Communicator.close c.comm with _ -> ()) conns;
   (* Also close server-side connections so peers observe the shutdown and
      their connection caches reopen against a replacement. *)
-  List.iter (fun comm -> try Communicator.close comm with _ -> ()) accepted
+  List.iter (fun sc -> try Communicator.close sc.scomm with _ -> ()) accepted
 
 (* ---------------- exporting ---------------- *)
 
@@ -716,10 +986,25 @@ type stats = {
   breaker_trips : int;
   breaker_fast_fails : int;
   server_connections : int;
+  rejected : int;
+  evicted : int;
+  drains_clean : int;
+  drain_aborted_jobs : int;
+  pool_depth : int;
+  pool_active : int;
 }
 
 let stats t =
-  let opened, served, retries, timeouts, server_connections =
+  let ( opened,
+        served,
+        retries,
+        timeouts,
+        rejected,
+        evicted,
+        drains_clean,
+        drain_aborted_jobs,
+        server_connections,
+        pool ) =
     with_lock t (fun () ->
         (* Count only live connections: a closed communicator may linger
            in [t.accepted] until its serving thread finishes unwinding,
@@ -728,16 +1013,28 @@ let stats t =
           t.served,
           t.retries,
           t.timeouts,
+          t.rejected,
+          t.evicted,
+          t.drains_clean,
+          t.drain_aborted_jobs,
           List.length
-            (List.filter (fun c -> not (Communicator.is_closed c)) t.accepted) ))
+            (List.filter
+               (fun c -> not (Communicator.is_closed c.scomm))
+               t.accepted),
+          t.pool ))
   in
   let breaker_trips, breaker_fast_fails =
     match t.breaker with
     | Some br -> (Breaker.trips br, Breaker.fast_fails br)
     | None -> (0, 0)
   in
+  (* Pool introspection outside the ORB lock: the pool has its own. *)
+  let pool_depth, pool_active =
+    match pool with Some p -> (Pool.depth p, Pool.active p) | None -> (0, 0)
+  in
   { opened; served; retries; timeouts; breaker_trips; breaker_fast_fails;
-    server_connections }
+    server_connections; rejected; evicted; drains_clean; drain_aborted_jobs;
+    pool_depth; pool_active }
 
 let breaker_state t target =
   match t.breaker with

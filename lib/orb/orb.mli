@@ -25,6 +25,7 @@ module Interceptor : module type of Interceptor
 module Smart : module type of Smart
 module Retry : module type of Retry
 module Breaker : module type of Breaker
+module Pool : module type of Pool
 
 (** The observability layer (library [Obs]) plus the one piece that
     needs ORB types: a stock metrics-feeding interceptor. See
@@ -56,6 +57,40 @@ exception System_exception of string
 (** Infrastructure failure reported by the peer (unknown object, unknown
     operation, marshal error in the skeleton, ...). *)
 
+(** The server's overload policy: how much concurrent work, queued work
+    and connection state one address space will hold, and what happens
+    at each bound. A policy {e value}, not code — swap it at {!create}
+    without touching dispatch (DESIGN.md "Server model and overload
+    policy"). *)
+type server_policy = {
+  pool : Pool.config option;
+      (** [Some cfg]: requests decoded by connection reader threads are
+          executed by a bounded worker pool under [cfg]'s admission
+          policy (the default). [None]: unbounded thread-per-connection
+          inline dispatch — the paper's Fig. 5 model, kept for the
+          overload comparison (bench §E10). *)
+  max_connections : int;
+      (** Accepted-connection bound; past it the idle-longest connection
+          is evicted (idle-LRU). [0] = unlimited (default). *)
+  max_pipelined : int;
+      (** Per-connection in-flight request cap; further pipelined
+          requests are rejected with a system exception until replies
+          drain. [0] = unlimited. *)
+  limits : Wire.Codec.limits;
+      (** Decode budget for inbound frames: frame size, string size,
+          sequence length, nesting depth (see {!Wire.Codec.limits}).
+          Violations are answered with a system-exception reply when the
+          stream can be resynchronized, else the connection closes. *)
+  accept_backoff : float;
+      (** Initial sleep (seconds) after a transient accept failure, e.g.
+          fd exhaustion; doubles per consecutive failure, capped at 1s. *)
+}
+
+val default_server_policy : server_policy
+(** [Pool.default_config] workers, unlimited connections, 64 pipelined
+    requests per connection, {!Wire.Codec.default_limits}, 10 ms initial
+    accept backoff. *)
+
 val create :
   ?protocol:Protocol.t ->
   ?strategy:Dispatch.strategy ->
@@ -66,6 +101,7 @@ val create :
   ?retry:Retry.policy ->
   ?breaker:Breaker.config ->
   ?obs:Obs.t ->
+  ?server_policy:server_policy ->
   unit ->
   t
 (** Defaults: the text protocol, [Linear] dispatch, the ["mem"] transport
@@ -92,13 +128,26 @@ val create :
     - [breaker] — enable a per-endpoint circuit {!Breaker} with this
       config; repeated connection failures then fast-fail with
       {!Breaker.Circuit_open} until a half-open [Locate_request] probe
-      succeeds. Disabled by default. *)
+      succeeds. Disabled by default.
+
+    [server_policy] — the overload policy (see {!server_policy});
+    defaults to {!default_server_policy}: a bounded worker pool with
+    reject admission and default decode limits. *)
 
 val start : t -> unit
-(** Bind the bootstrap port and start accepting connections. Idempotent. *)
+(** Bind the bootstrap port and start accepting connections (creating
+    the worker pool when the policy asks for one). Idempotent. *)
 
-val shutdown : t -> unit
-(** Stop accepting, close cached client connections. Idempotent. *)
+val shutdown : ?drain_deadline:float -> t -> unit
+(** Stop the server. Phase 1 always: close the listener and flip the
+    ORB into draining, so connections still open answer new requests
+    with ["draining: ..."] system exceptions. With [drain_deadline]
+    (seconds), phase 2 waits up to that long for requests already
+    admitted — queued or executing — to finish dispatching before
+    phase 3 force-closes every connection and stops the pool; the
+    outcome lands in {!stats} ([drains_clean] / [drain_aborted_jobs])
+    and, when tracing, in an ["orb.drain"] server span. Without it,
+    shutdown is immediate. Idempotent. *)
 
 val protocol : t -> Protocol.t
 val strategy : t -> Dispatch.strategy
@@ -201,6 +250,17 @@ type stats = {
       (** Currently live accepted server-side connections. Closed
           communicators still awaiting reaping by their serving thread
           are excluded. *)
+  rejected : int;
+      (** Requests refused by admission control (overload, draining, or
+          the pipelining cap) — each one answered with a system
+          exception, none silently dropped. *)
+  evicted : int;  (** Connections evicted by the idle-LRU limit. *)
+  drains_clean : int;  (** Graceful drains that finished in time. *)
+  drain_aborted_jobs : int;
+      (** Admitted dispatches abandoned because a drain deadline passed
+          before they completed. *)
+  pool_depth : int;  (** Requests queued in the pool right now (0 without a pool). *)
+  pool_active : int;  (** Pool workers currently executing (0 without a pool). *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,212 @@
+(* A bounded worker pool with explicit admission control — the server's
+   overload policy, separated from dispatch logic in the spirit of the
+   paper's "policy is configuration, not code". Connection reader
+   threads decode requests and [submit] them here; a fixed set of
+   workers executes them. The queue is bounded, and what happens at the
+   bound is the admission policy: reject immediately (shed load, keep
+   latency) or block the submitting reader (backpressure through the
+   transport) up to a deadline.
+
+   OCaml's [Condition] has no timed wait, so deadline-bounded waits poll
+   at the transport layer's granularity — the same compromise
+   [Transport.Pipe.read_with] makes. *)
+
+type admission = Reject | Block of float option
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  admission : admission;
+}
+
+let default_config = { workers = 8; queue_capacity = 64; admission = Reject }
+
+type t = {
+  config : config;
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* workers park here waiting for jobs *)
+  change : Condition.t;  (* space freed / job finished / state flipped *)
+  queue : (unit -> unit) Queue.t;
+  mutable accepting : bool;
+  mutable stopping : bool;
+  mutable active : int;  (* jobs currently executing *)
+  mutable submitted : int;
+  mutable completed : int;
+  mutable rejected : int;
+}
+
+let poll_interval = 0.005
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let job =
+    let rec next () =
+      if not (Queue.is_empty t.queue) then begin
+        let job = Queue.pop t.queue in
+        t.active <- t.active + 1;
+        (* Queue space freed: wake blocked submitters. *)
+        Condition.broadcast t.change;
+        Some job
+      end
+      else if t.stopping then None
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        next ()
+      end
+    in
+    next ()
+  in
+  Mutex.unlock t.mutex;
+  match job with
+  | None -> ()  (* stopped and drained: the worker thread exits *)
+  | Some job ->
+      (* A job failing must never kill its worker: the job itself is
+         responsible for error replies; residual exceptions here mean
+         the connection died under it. *)
+      (try job () with _ -> ());
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      t.completed <- t.completed + 1;
+      Condition.broadcast t.change;
+      Mutex.unlock t.mutex;
+      worker_loop t
+
+let create config =
+  let config =
+    {
+      config with
+      workers = max 1 config.workers;
+      queue_capacity = max 1 config.queue_capacity;
+    }
+  in
+  let t =
+    {
+      config;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      change = Condition.create ();
+      queue = Queue.create ();
+      accepting = true;
+      stopping = false;
+      active = 0;
+      submitted = 0;
+      completed = 0;
+      rejected = 0;
+    }
+  in
+  for _ = 1 to config.workers do
+    ignore (Thread.create worker_loop t)
+  done;
+  t
+
+let submit t job =
+  Mutex.lock t.mutex;
+  let accept () =
+    Queue.push job t.queue;
+    t.submitted <- t.submitted + 1;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    `Accepted
+  in
+  let reject reason =
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.mutex;
+    `Rejected reason
+  in
+  let has_space () = Queue.length t.queue < t.config.queue_capacity in
+  if not t.accepting then reject "draining: not accepting new requests"
+  else if has_space () then accept ()
+  else
+    match t.config.admission with
+    | Reject -> reject "overloaded: request queue is full"
+    | Block rel_deadline ->
+        let deadline =
+          Option.map (fun s -> Unix.gettimeofday () +. s) rel_deadline
+        in
+        let rec wait () =
+          if not t.accepting then reject "draining: not accepting new requests"
+          else if has_space () then accept ()
+          else
+            match deadline with
+            | None ->
+                Condition.wait t.change t.mutex;
+                wait ()
+            | Some d ->
+                let remaining = d -. Unix.gettimeofday () in
+                if remaining <= 0. then
+                  reject "overloaded: queue full past admission deadline"
+                else begin
+                  Mutex.unlock t.mutex;
+                  Thread.delay (Float.min poll_interval remaining);
+                  Mutex.lock t.mutex;
+                  wait ()
+                end
+        in
+        wait ()
+
+let depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let active t =
+  Mutex.lock t.mutex;
+  let n = t.active in
+  Mutex.unlock t.mutex;
+  n
+
+type stats = { submitted : int; completed : int; rejected : int }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { submitted = t.submitted; completed = t.completed; rejected = t.rejected } in
+  Mutex.unlock t.mutex;
+  s
+
+let drain t ~deadline =
+  Mutex.lock t.mutex;
+  t.accepting <- false;
+  (* Wake submitters blocked on admission so they observe the drain and
+     reject instead of waiting on space that may never free. *)
+  Condition.broadcast t.change;
+  let rec wait () =
+    if Queue.is_empty t.queue && t.active = 0 then begin
+      Mutex.unlock t.mutex;
+      `Drained
+    end
+    else
+      match deadline with
+      | None ->
+          Condition.wait t.change t.mutex;
+          wait ()
+      | Some d ->
+          let remaining = d -. Unix.gettimeofday () in
+          if remaining <= 0. then begin
+            let abandoned = Queue.length t.queue + t.active in
+            Mutex.unlock t.mutex;
+            `Aborted abandoned
+          end
+          else begin
+            Mutex.unlock t.mutex;
+            Thread.delay (Float.min poll_interval remaining);
+            Mutex.lock t.mutex;
+            wait ()
+          end
+  in
+  wait ()
+
+let stop t =
+  Mutex.lock t.mutex;
+  t.accepting <- false;
+  t.stopping <- true;
+  let dropped = Queue.length t.queue in
+  Queue.clear t.queue;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.change;
+  Mutex.unlock t.mutex;
+  (* Workers are not joined: one may be executing a job blocked on I/O
+     that only the caller's next step (closing the connections)
+     unblocks. Idle workers exit immediately; busy ones exit after
+     their current job. *)
+  dropped

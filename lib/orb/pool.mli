@@ -1,0 +1,59 @@
+(** A bounded worker pool with explicit admission control — the server's
+    overload policy (see DESIGN.md "Server model and overload policy").
+
+    Connection reader threads decode requests and {!submit} them; a
+    fixed set of worker threads executes them. The pending queue is
+    bounded; the {!admission} policy decides what happens at the bound. *)
+
+type admission =
+  | Reject
+      (** Shed load: a submit against a full queue fails immediately —
+          the server answers ["overloaded"] and stays responsive. *)
+  | Block of float option
+      (** Backpressure: the submitting reader blocks until queue space
+          frees, at most the given seconds ([None] = indefinitely).
+          Blocking the reader stops that connection's intake, pushing
+          the overload back through the transport to the client. *)
+
+type config = {
+  workers : int;  (** Worker thread count (min 1). *)
+  queue_capacity : int;  (** Pending-request bound (min 1). *)
+  admission : admission;
+}
+
+val default_config : config
+(** 8 workers, 64 queued requests, [Reject] admission. *)
+
+type t
+
+val create : config -> t
+(** Create the pool and start its worker threads. *)
+
+val submit : t -> (unit -> unit) -> [ `Accepted | `Rejected of string ]
+(** Enqueue a job, subject to admission control. [`Rejected reason]
+    when the queue is full (under [Reject], or past the [Block]
+    deadline) or the pool is draining/stopped. The job must not raise;
+    residual exceptions are swallowed to protect the worker. *)
+
+val depth : t -> int
+(** Currently queued (not yet started) jobs. *)
+
+val active : t -> int
+(** Jobs currently executing. *)
+
+type stats = { submitted : int; completed : int; rejected : int }
+
+val stats : t -> stats
+
+val drain : t -> deadline:float option -> [ `Drained | `Aborted of int ]
+(** Stop admitting (subsequent submits are rejected) and wait until the
+    queue and all in-flight jobs are finished. [deadline] is an
+    absolute [Unix.gettimeofday] instant; past it, [`Aborted n] reports
+    the queued + running jobs abandoned. [~deadline:None] waits
+    indefinitely. *)
+
+val stop : t -> int
+(** Stop immediately: discard queued jobs (returning how many), let
+    running jobs finish, and shut the workers down. Does not join the
+    worker threads — a running job may be blocked on I/O the caller is
+    about to unblock (e.g. by closing connections). Idempotent. *)

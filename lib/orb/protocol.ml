@@ -28,6 +28,7 @@ type t = {
   framing : framing;
   encode_message : message -> string;
   decode_message : string -> message;
+  decode_limited : Wire.Codec.limits -> string -> message;
 }
 
 exception Protocol_error of string
@@ -89,9 +90,9 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
         e.put_bool found);
     e.finish ()
   in
-  let decode_message bytes =
+  let decode_limited limits bytes =
     let d =
-      try codec.Wire.Codec.decoder bytes
+      try codec.Wire.Codec.decoder_limited limits bytes
       with Wire.Codec.Type_error m -> raise (Protocol_error m)
     in
     try
@@ -143,6 +144,22 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
       else raise (Protocol_error (Printf.sprintf "unknown message tag %d" tag))
     with Wire.Codec.Type_error m -> raise (Protocol_error m)
   in
-  { name; codec; framing; encode_message; decode_message }
+  let decode_message bytes = decode_limited Wire.Codec.default_limits bytes in
+  { name; codec; framing; encode_message; decode_message; decode_limited }
+
+(* Best-effort request id of a frame that failed to decode: the tag and
+   request id are the first two fields of every envelope, so they often
+   survive a mutation further in. Lets the server's error reply carry
+   the id the client is waiting on instead of 0. *)
+let request_id_hint t bytes =
+  match
+    let d = t.codec.Wire.Codec.decoder bytes in
+    let tag = d.Wire.Codec.get_octet () in
+    if tag = tag_request || tag = tag_locate_request then
+      Some (d.Wire.Codec.get_ulong ())
+    else None
+  with
+  | v -> v
+  | exception _ -> None
 
 let text = generic ~name:"heidi-text" ~framing:Line Wire.Text_codec.codec

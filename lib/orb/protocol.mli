@@ -53,6 +53,11 @@ type t = {
   framing : framing;
   encode_message : message -> string;
   decode_message : string -> message;
+      (** Equivalent to [decode_limited Wire.Codec.default_limits]. *)
+  decode_limited : Wire.Codec.limits -> string -> message;
+      (** Decode under explicit resource limits (see
+          {!Wire.Codec.limits}) — the server side decodes untrusted
+          frames through this. *)
 }
 
 val generic : name:string -> framing:framing -> Wire.Codec.t -> t
@@ -71,3 +76,10 @@ val text : t
 
 exception Protocol_error of string
 (** Raised by [decode_message] on malformed messages. *)
+
+val request_id_hint : t -> string -> int option
+(** Best-effort request id of a frame that failed to decode: the tag
+    and request id lead every envelope, so they often survive damage
+    further into the frame. [Some id] when the frame starts like a
+    request or locate-request; [None] otherwise. Never raises — used to
+    address error replies for malformed frames. *)

@@ -1,14 +1,22 @@
 exception Transport_error of string
 exception Timeout of string
 
+exception Frame_limit of string
+(* An incoming line exceeded the channel's receive limit. The oversized
+   line has been discarded through its terminating newline with bounded
+   memory, so the byte stream is still synchronized: the caller may
+   answer with an error and keep reading. *)
+
 let () =
   Printexc.register_printer (function
     | Transport_error m -> Some (Printf.sprintf "Orb.Transport_error: %s" m)
     | Timeout m -> Some (Printf.sprintf "Orb.Transport.Timeout: %s" m)
+    | Frame_limit m -> Some (Printf.sprintf "Orb.Transport.Frame_limit: %s" m)
     | _ -> None)
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Transport_error m)) fmt
 let timeout_fail fmt = Printf.ksprintf (fun m -> raise (Timeout m)) fmt
+let frame_fail fmt = Printf.ksprintf (fun m -> raise (Frame_limit m)) fmt
 
 type channel = {
   write : string -> unit;
@@ -16,6 +24,7 @@ type channel = {
   read_exact : int -> string;
   close : unit -> unit;
   set_deadline : float option -> unit;
+  set_recv_limit : int option -> unit;
   peer : string;
 }
 
@@ -99,14 +108,41 @@ let tcp_channel fd ~peer =
     in
     scan !pos
   in
-  let rec read_line () =
+  let recv_limit = ref None in
+  let over lim = frame_fail "line from %s exceeds %d-byte receive limit" peer lim in
+  (* Discard an oversized line through its terminating newline with
+     bounded memory: whole buffered chunks are dropped until the newline
+     arrives, so the stream ends up synchronized at the next line. *)
+  let rec discard_line lim =
     match find_newline () with
     | Some i ->
-        let line = take (i - !pos + 1) in
-        String.sub line 0 (String.length line - 1)
+        pos := i + 1;
+        compact ();
+        over lim
     | None ->
+        Buffer.clear buf;
+        pos := 0;
         refill ();
-        read_line ()
+        discard_line lim
+  in
+  let rec read_line () =
+    match find_newline () with
+    | Some i -> (
+        let linelen = i - !pos in
+        match !recv_limit with
+        | Some lim when linelen > lim ->
+            pos := i + 1;
+            compact ();
+            over lim
+        | _ ->
+            let line = take (linelen + 1) in
+            String.sub line 0 (String.length line - 1))
+    | None -> (
+        match !recv_limit with
+        | Some lim when available () > lim -> discard_line lim
+        | _ ->
+            refill ();
+            read_line ())
   in
   let rec read_exact n =
     if available () >= n then take n
@@ -134,7 +170,8 @@ let tcp_channel fd ~peer =
       try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
   in
   let set_deadline d = deadline := d in
-  { write; read_line; read_exact; close; set_deadline; peer }
+  let set_recv_limit l = recv_limit := l in
+  { write; read_line; read_exact; close; set_deadline; set_recv_limit; peer }
 
 let resolve_host host =
   if host = "localhost" || host = "" then Unix.inet_addr_loopback
@@ -270,19 +307,48 @@ let mem_channel_pair ~peer_a ~peer_b =
   let mk ~incoming ~outgoing ~peer =
     let deadline = ref None in
     let get_deadline () = !deadline in
+    let recv_limit = ref None in
     {
       write = (fun s -> Pipe.write outgoing s);
       read_line =
         (fun () ->
-          Pipe.read_with incoming ~deadline:get_deadline ~what:"line"
-            (fun buf pos len ->
-              let rec scan i =
-                if i >= len then None
-                else if Buffer.nth buf i = '\n' then
-                  Some (i - pos + 1, Buffer.sub buf pos (i - pos))
-                else scan (i + 1)
-              in
-              scan pos));
+          (* Mirror of the TCP discard-resync: once a line is known to
+             exceed the limit, consume-and-drop chunks until its newline
+             arrives, then fail with the stream synchronized. *)
+          let discarding = ref false in
+          let rec go () =
+            match
+              Pipe.read_with incoming ~deadline:get_deadline ~what:"line"
+                (fun buf pos len ->
+                  let rec scan i =
+                    if i >= len then None
+                    else if Buffer.nth buf i = '\n' then Some i
+                    else scan (i + 1)
+                  in
+                  match scan pos with
+                  | Some i -> (
+                      let n = i - pos in
+                      if !discarding then Some (n + 1, `Overflow)
+                      else
+                        match !recv_limit with
+                        | Some lim when n > lim -> Some (n + 1, `Overflow)
+                        | _ -> Some (n + 1, `Line (Buffer.sub buf pos n)))
+                  | None -> (
+                      if !discarding && len > pos then Some (len - pos, `More)
+                      else
+                        match !recv_limit with
+                        | Some lim when len - pos > lim ->
+                            discarding := true;
+                            Some (len - pos, `More)
+                        | _ -> None))
+            with
+            | `Line s -> s
+            | `More -> go ()
+            | `Overflow ->
+                frame_fail "line from %s exceeds %d-byte receive limit" peer
+                  (Option.value ~default:0 !recv_limit)
+          in
+          go ());
       read_exact =
         (fun n ->
           Pipe.read_with incoming ~deadline:get_deadline ~what:"bytes"
@@ -293,6 +359,7 @@ let mem_channel_pair ~peer_a ~peer_b =
           Pipe.close outgoing;
           Pipe.close incoming);
       set_deadline = (fun d -> deadline := d);
+      set_recv_limit = (fun l -> recv_limit := l);
       peer;
     }
   in
@@ -557,6 +624,7 @@ let faulty_channel inner =
       (fun d ->
         deadline := d;
         inner.set_deadline d);
+    set_recv_limit = inner.set_recv_limit;
     peer = inner.peer;
   }
 

@@ -25,12 +25,22 @@ exception Timeout of string
 (** A read exceeded the channel deadline set via [set_deadline]. Never
     raised when no deadline is installed. *)
 
+exception Frame_limit of string
+(** An incoming line exceeded the receive limit set via
+    [set_recv_limit]. The oversized line has already been discarded
+    through its terminating newline with bounded memory, so the byte
+    stream is still synchronized: the caller may answer with a
+    protocol-level error and keep using the channel. Never raised when
+    no limit is installed. *)
+
 type channel = {
   write : string -> unit;  (** Write all bytes. *)
   read_line : unit -> string;
       (** Read up to (and excluding) the next ['\n'].
           @raise Transport_error on EOF.
-          @raise Timeout past the channel deadline. *)
+          @raise Timeout past the channel deadline.
+          @raise Frame_limit past the receive limit (stream stays
+          synchronized). *)
   read_exact : int -> string;
       (** Read exactly [n] bytes.
           @raise Transport_error on EOF.
@@ -40,6 +50,11 @@ type channel = {
       (** Install ([Some abs_time], a [Unix.gettimeofday] instant) or
           clear ([None]) the read deadline. Absolute so that one
           deadline spans the multiple reads of a framed message. *)
+  set_recv_limit : int option -> unit;
+      (** Install or clear the maximum accepted [read_line] length in
+          bytes (the decode-hardening frame limit). Oversized lines are
+          discarded with bounded memory and raise {!Frame_limit} with
+          the stream left synchronized at the next line. *)
   peer : string;  (** Peer description for logs. *)
 }
 

@@ -84,7 +84,7 @@ let make_encoder order () : Codec.encoder =
 
 (* ---------------- decoding ---------------- *)
 
-let make_decoder order payload : Codec.decoder =
+let make_decoder_limited order (limits : Codec.limits) payload : Codec.decoder =
   let pos = ref 0 in
   let len = String.length payload in
   let need n what =
@@ -145,6 +145,11 @@ let make_decoder order payload : Codec.decoder =
     let n = get_ulong () in
     if n = 0 then
       raise (Codec.Type_error "malformed CDR string: zero length (must include NUL)");
+    if n - 1 > limits.Codec.max_string_bytes then
+      raise
+        (Codec.Type_error
+           (Printf.sprintf "string of %d bytes exceeds limit %d" (n - 1)
+              limits.Codec.max_string_bytes));
     need n "string body";
     let s = String.sub payload !pos (n - 1) in
     if payload.[!pos + n - 1] <> '\000' then
@@ -178,13 +183,28 @@ let make_decoder order payload : Codec.decoder =
     get_string;
     get_begin = (fun () -> ());
     get_end = (fun () -> ());
-    get_len = get_ulong;
+    get_len =
+      (* CDR has no structural tokens, so a hostile length claim is the
+         sole unbounded-allocation vector: cap it before any consumer
+         sizes storage off it. *)
+      (fun () ->
+        let n = get_ulong () in
+        if n > limits.Codec.max_sequence_length then
+          raise
+            (Codec.Type_error
+               (Printf.sprintf "sequence length %d exceeds limit %d" n
+                  limits.Codec.max_sequence_length));
+        n);
     at_end = (fun () -> !pos >= len);
   }
+
+let make_decoder order payload =
+  make_decoder_limited order Codec.default_limits payload
 
 let codec order : Codec.t =
   {
     Codec.name = (match order with Big_endian -> "cdr-be" | Little_endian -> "cdr-le");
     encoder = make_encoder order;
     decoder = make_decoder order;
+    decoder_limited = make_decoder_limited order;
   }

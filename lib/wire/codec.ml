@@ -43,10 +43,42 @@ type decoder = {
   at_end : unit -> bool;
 }
 
+(* Decode-side resource limits. Decoders must not trust any count that
+   arrives on the wire: a hostile [#4294967295] length prefix would
+   otherwise make the first [List.init]-style consumer allocate
+   unbounded memory before a single element fails to parse. Limits are
+   checked where the count is *decoded*, so the failure is a clean
+   [Type_error] with the payload position still defined. *)
+type limits = {
+  max_frame_bytes : int;
+      (* enforced by the framing layer (communicator), recorded here so
+         one record travels with the codec *)
+  max_string_bytes : int;
+  max_sequence_length : int;
+  max_nesting_depth : int;
+}
+
+let default_limits =
+  {
+    max_frame_bytes = 16 * 1024 * 1024;
+    max_string_bytes = 4 * 1024 * 1024;
+    max_sequence_length = 1_000_000;
+    max_nesting_depth = 128;
+  }
+
+let unlimited =
+  {
+    max_frame_bytes = max_int;
+    max_string_bytes = max_int;
+    max_sequence_length = max_int;
+    max_nesting_depth = max_int;
+  }
+
 type t = {
   name : string;
   encoder : unit -> encoder;
-  decoder : string -> decoder;
+  decoder : string -> decoder;  (* decoder_limited default_limits *)
+  decoder_limited : limits -> string -> decoder;
 }
 
 let range_check what ~min ~max v =

@@ -55,10 +55,37 @@ type decoder = {
   at_end : unit -> bool;  (** True when the payload is exhausted. *)
 }
 
+(** {2 Decode-side resource limits}
+
+    Decoders must not trust wire-supplied counts: a hostile
+    [#4294967295] length prefix must fail with {!Type_error} at the
+    point it is decoded, before any consumer allocates storage for the
+    claimed elements. *)
+type limits = {
+  max_frame_bytes : int;
+      (** Enforced by the framing layer ([Orb.Communicator]); carried
+          here so one record describes the whole decode budget. *)
+  max_string_bytes : int;  (** Longest decodable string, in bytes. *)
+  max_sequence_length : int;  (** Largest [get_len] count. *)
+  max_nesting_depth : int;  (** Deepest [get_begin] nesting. *)
+}
+
+val default_limits : limits
+(** Generous but finite: 16 MiB frames, 4 MiB strings, 1M-element
+    sequences, depth 128 — far beyond anything the runtime's own
+    protocols produce, small enough that a hostile peer cannot cause
+    unbounded allocation. *)
+
+val unlimited : limits
+(** Every field [max_int] — the pre-hardening behaviour, for tools that
+    parse trusted local data. *)
+
 type t = {
   name : string;  (** e.g. ["text"] or ["cdr-be"]. *)
   encoder : unit -> encoder;
   decoder : string -> decoder;
+      (** Equivalent to [decoder_limited default_limits]. *)
+  decoder_limited : limits -> string -> decoder;
 }
 
 val range_check : string -> min:int -> max:int -> int -> int

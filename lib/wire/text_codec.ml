@@ -100,8 +100,9 @@ let tokenize payload =
   done;
   List.rev !toks
 
-let make_decoder payload : Codec.decoder =
+let make_decoder_limited (limits : Codec.limits) payload : Codec.decoder =
   let toks = ref (tokenize payload) in
+  let depth = ref 0 in
   let next what =
     match !toks with
     | [] -> raise (Codec.Type_error (Printf.sprintf "expected %s, found end of payload" what))
@@ -163,20 +164,44 @@ let make_decoder payload : Codec.decoder =
         let len = String.length t in
         if len < 3 || t.[0] <> 's' || t.[1] <> '"' || t.[len - 1] <> '"' then
           raise (Codec.Type_error (Printf.sprintf "expected string, found %S" t));
-        unescape (String.sub t 2 (len - 3)));
+        (* The escaped token is already in memory (bounded by the frame
+           limit), so unescape first and limit-check the real length. *)
+        let s = unescape (String.sub t 2 (len - 3)) in
+        if String.length s > limits.Codec.max_string_bytes then
+          raise
+            (Codec.Type_error
+               (Printf.sprintf "string of %d bytes exceeds limit %d"
+                  (String.length s) limits.Codec.max_string_bytes));
+        s);
     get_begin =
       (fun () ->
         match next "'{'" with
-        | "{" -> ()
+        | "{" ->
+            incr depth;
+            if !depth > limits.Codec.max_nesting_depth then
+              raise
+                (Codec.Type_error
+                   (Printf.sprintf "nesting depth %d exceeds limit %d" !depth
+                      limits.Codec.max_nesting_depth))
         | t -> raise (Codec.Type_error (Printf.sprintf "expected '{', found %S" t)));
     get_end =
       (fun () ->
         match next "'}'" with
-        | "}" -> ()
+        | "}" -> if !depth > 0 then decr depth
         | t -> raise (Codec.Type_error (Printf.sprintf "expected '}', found %S" t)));
-    get_len = get_int "length" '#' ~min:0 ~max:max_int;
+    get_len =
+      (* An untrusted length prefix: a hostile [#4294967295] must fail
+         here, before any consumer allocates storage for the claim. *)
+      get_int "length" '#' ~min:0 ~max:limits.Codec.max_sequence_length;
     at_end = (fun () -> !toks = []);
   }
 
+let make_decoder payload = make_decoder_limited Codec.default_limits payload
+
 let codec : Codec.t =
-  { Codec.name = "text"; encoder = make_encoder; decoder = make_decoder }
+  {
+    Codec.name = "text";
+    encoder = make_encoder;
+    decoder = make_decoder;
+    decoder_limited = make_decoder_limited;
+  }

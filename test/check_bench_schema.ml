@@ -1,8 +1,9 @@
-(* Schema check for the E9 bench artifact (BENCH_obs.json), run from the
-   [bench-smoke] alias. Validates structure and invariants — NOT the
-   overhead figure itself, which is hardware- and load-dependent: the
-   point of the smoke test is that the bench runs end-to-end and emits a
-   well-formed, internally consistent artifact on every CI run.
+(* Schema check for bench artifacts (BENCH_obs.json / BENCH_overload.json),
+   run from the [bench-smoke] alias. Dispatches on the "experiment" field.
+   Validates structure and invariants — NOT the measured figures
+   themselves, which are hardware- and load-dependent: the point of the
+   smoke test is that the bench runs end-to-end and emits a well-formed,
+   internally consistent artifact on every CI run.
 
    Hand-rolled recursive-descent JSON parser: the repo deliberately has
    no JSON dependency (lib/obs emits JSON via string combinators and
@@ -207,16 +208,10 @@ let is_hex s =
   s <> ""
   && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
 
-let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  try
-    let root = parse text in
-    check (want_str root "experiment" = "E9") "experiment must be \"E9\"";
-    ignore (want_str root "transport");
+(* ---------------- E9: observability overhead ---------------- *)
+
+let check_e9 path root =
+  ignore (want_str root "transport");
     ignore (want_str root "protocol");
     check (want_num root "calls" > 0.) "calls must be > 0";
     let off = want_num root "trace_off_ns_per_call" in
@@ -270,6 +265,61 @@ let () =
     Printf.printf "%s: schema OK (off %.0f ns, on %.0f ns, %d spans)\n" path off
       on
       (int_of_float (want_num root "client_spans"))
+
+(* ---------------- E10: overload policy ---------------- *)
+
+let check_e10 path root =
+  ignore (want_str root "transport");
+  ignore (want_str root "protocol");
+  check (want_num root "duration_s" > 0.) "duration_s must be > 0";
+  check (want_num root "service_ms" > 0.) "service_ms must be > 0";
+  let cells = want_arr root "cells" in
+  check (cells <> []) "cells must be non-empty";
+  List.iter
+    (fun cell ->
+      ignore (want_str cell "server");
+      check (want_num cell "clients" > 0.) "cell clients must be > 0";
+      check (want_num cell "ok" >= 0.) "cell ok must be >= 0";
+      check (want_num cell "rejected" >= 0.) "cell rejected must be >= 0";
+      check (want_num cell "failed" = 0.)
+        "cells must account for every call: failed must be 0";
+      check (want_num cell "ok_per_s" >= 0.) "cell ok_per_s must be >= 0";
+      List.iter
+        (fun f ->
+          check (want_num cell f >= 0.)
+            (Printf.sprintf "cell %s must be >= 0" f))
+        [ "p50_ms"; "p95_ms"; "max_ms" ])
+    cells;
+  (* Both serving models must appear, and the run must have completed
+     real work under at least one configuration. *)
+  let servers = List.map (fun c -> want_str c "server") cells in
+  check
+    (List.exists
+       (fun s -> String.length s >= 4 && String.sub s 0 4 = "pool")
+       servers)
+    "cells must include a bounded-pool configuration";
+  check
+    (List.mem "thread-per-conn" servers)
+    "cells must include the thread-per-connection configuration";
+  check
+    (List.exists (fun c -> want_num c "ok" > 0.) cells)
+    "at least one cell must complete calls";
+  Printf.printf "%s: schema OK (%d cells, %d ok calls total)\n" path
+    (List.length cells)
+    (int_of_float (List.fold_left (fun a c -> a +. want_num c "ok") 0. cells))
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  try
+    let root = parse text in
+    match want_str root "experiment" with
+    | "E9" -> check_e9 path root
+    | "E10" -> check_e10 path root
+    | other -> raise (Bad (Printf.sprintf "unknown experiment %S" other))
   with Bad msg ->
     Printf.eprintf "%s: schema check FAILED: %s\n" path msg;
     exit 1

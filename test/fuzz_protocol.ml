@@ -1,0 +1,358 @@
+(* Deterministic wire-protocol fuzzer, run against a LIVE server.
+   [test_fuzz.ml] already feeds random bytes to the decoders offline;
+   this driver attacks the whole serving stack — framing, decode
+   limits, admission, error replies — the way a hostile peer would:
+
+     take a valid frame, mutate its body (truncate / bit-flip /
+     length-inflate / token-swap / oversize), frame it honestly, write
+     it to a real connection, then prove the server is still alive by
+     completing a Locate_request on the same connection under a
+     deadline (a hang is a failure, not a timeout to shrug off).
+
+   Every mutation is derived from [Random.State.make [| seed; proto;
+   i |]], so a failing iteration replays exactly with
+   [--seed S --count N]. Low-probability frame-HEADER damage is also
+   thrown at the binary protocol; there the connection is allowed (and
+   expected) to close, and the prover reconnects — what must never
+   happen is the server dying or wedging.
+
+   Exit status 0 = server survived everything; 1 = a probe failed. *)
+
+let usage = "fuzz_protocol [--count N] [--seed N] [--verbose]"
+
+let count = ref 500 (* mutations per protocol *)
+let seed = ref 42
+let verbose = ref false
+
+let () =
+  Arg.parse
+    [
+      ("--count", Arg.Set_int count, "mutations per protocol (default 500)");
+      ("--seed", Arg.Set_int seed, "PRNG seed (default 42)");
+      ("--verbose", Arg.Set verbose, "log each mutation");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage
+
+let echo_skeleton () =
+  Orb.Skeleton.create ~type_id:"IDL:Fuzz/Echo:1.0"
+    [
+      ( "echo",
+        fun args results ->
+          results.Wire.Codec.put_string ("echo:" ^ args.Wire.Codec.get_string ())
+      );
+    ]
+
+(* Tight decode budget so the mutations actually cross the limits:
+   hostile lengths, deep nesting and oversized frames must all be
+   answerable without the server allocating what the frame claims. *)
+let fuzz_limits =
+  {
+    Wire.Codec.max_frame_bytes = 8 * 1024;
+    max_string_bytes = 1024;
+    max_sequence_length = 256;
+    max_nesting_depth = 8;
+  }
+
+let fuzz_policy =
+  { Orb.default_server_policy with limits = fuzz_limits }
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type mutation =
+  | Truncate
+  | Bit_flip
+  | Length_inflate
+  | Token_swap
+  | Oversize
+  | Header_damage  (* binary framing only: damage the frame header *)
+
+let mutation_name = function
+  | Truncate -> "truncate"
+  | Bit_flip -> "bit-flip"
+  | Length_inflate -> "length-inflate"
+  | Token_swap -> "token-swap"
+  | Oversize -> "oversize"
+  | Header_damage -> "header-damage"
+
+(* The attacker's claim of a 4-billion-element payload: the decode
+   limits must refuse it without allocating it. Text protocol: splice
+   the digits into a [#len] token; binary: stomp 4 bytes with 0xff
+   (reads back as ulong 4294967295 wherever a length lands). *)
+let inflate_length ~binary rng body =
+  let n = String.length body in
+  if n = 0 then body
+  else if binary then begin
+    let b = Bytes.of_string body in
+    let pos = Random.State.int rng n in
+    for i = pos to min (n - 1) (pos + 3) do
+      Bytes.set b i '\xff'
+    done;
+    Bytes.to_string b
+  end
+  else
+    match String.index_opt body '#' with
+    | Some _ ->
+        (* Replace the digit run after some '#' with the hostile count. *)
+        let hashes =
+          List.filter (fun j -> body.[j] = '#') (List.init n Fun.id)
+        in
+        let i = List.nth hashes (Random.State.int rng (List.length hashes)) in
+        let j = ref (i + 1) in
+        while
+          !j < n && (match body.[!j] with '0' .. '9' -> true | _ -> false)
+        do
+          incr j
+        done;
+        String.sub body 0 (i + 1)
+        ^ "4294967295"
+        ^ String.sub body !j (n - !j)
+    | None -> body ^ "#4294967295"
+
+let mutate ~binary rng m body =
+  let n = String.length body in
+  match m with
+  | Truncate -> if n = 0 then body else String.sub body 0 (Random.State.int rng n)
+  | Bit_flip ->
+      if n = 0 then body
+      else begin
+        let b = Bytes.of_string body in
+        for _ = 1 to 1 + Random.State.int rng 8 do
+          let pos = Random.State.int rng n in
+          let bit = Random.State.int rng 8 in
+          Bytes.set b pos
+            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)))
+        done;
+        Bytes.to_string b
+      end
+  | Length_inflate -> inflate_length ~binary rng body
+  | Token_swap ->
+      if n < 4 then body
+      else begin
+        (* Swap two equal-length slices: structurally plausible bytes in
+           structurally wrong places. *)
+        let len = 1 + Random.State.int rng (max 1 (n / 4)) in
+        let a = Random.State.int rng (n - len + 1) in
+        let b = Random.State.int rng (n - len + 1) in
+        let lo, hi = (min a b, max a b) in
+        if lo + len > hi then body
+        else
+          String.sub body 0 lo
+          ^ String.sub body hi len
+          ^ String.sub body (lo + len) (hi - lo - len)
+          ^ String.sub body lo len
+          ^ String.sub body (hi + len) (n - hi - len)
+      end
+  | Oversize ->
+      (* Honest framing of a body past [max_frame_bytes]: the server
+         must discard it in bounded chunks and answer, not buffer it. *)
+      body ^ String.make (2 * fuzz_limits.Wire.Codec.max_frame_bytes) 'A'
+  | Header_damage -> body (* handled at the framing layer *)
+
+(* ------------------------------------------------------------------ *)
+(* Framing (mirrors Communicator.send, which refuses hostile bodies)   *)
+(* ------------------------------------------------------------------ *)
+
+let frame proto ~damage_header rng body =
+  match proto.Orb.Protocol.framing with
+  | Orb.Protocol.Line ->
+      (* The terminating newline keeps the stream line-synchronized no
+         matter what the mutation did (inner newlines just split the
+         body into several hostile frames). *)
+      body ^ "\n"
+  | Orb.Protocol.Length_prefixed { header } ->
+      if damage_header then begin
+        let h = Bytes.of_string (Printf.sprintf "%s%08x" header (String.length body)) in
+        let pos = Random.State.int rng (Bytes.length h) in
+        Bytes.set h pos (Char.chr (Random.State.int rng 256));
+        Bytes.to_string h ^ "\n" ^ body
+      end
+      else
+        (* Honest header for the (mutated) body, so the stream stays
+           synchronized and the server can keep the connection. *)
+        Printf.sprintf "%s%08x\n%s" header (String.length body) body
+
+(* ------------------------------------------------------------------ *)
+(* The liveness prover                                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Probe_failed of string
+
+(* One attacker connection: a raw channel for writing hostile frames
+   plus a communicator over the same channel for well-formed traffic. *)
+type attacker = { chan : Orb.Transport.channel; comm : Orb.Communicator.t }
+
+let connect_proto proto ~port () =
+  let chan = Orb.Transport.connect ~proto:"mem" ~host:"local" ~port in
+  { chan; comm = Orb.Communicator.wrap proto chan }
+
+(* Complete a Locate_request on [a] under [deadline] seconds: skip any
+   error replies the server owed us for earlier hostile frames, accept
+   only our locate reply. *)
+let probe a target ~req_id ~deadline =
+  Orb.Communicator.set_deadline a.comm (Some (Unix.gettimeofday () +. deadline));
+  Fun.protect
+    ~finally:(fun () ->
+      try Orb.Communicator.set_deadline a.comm None with _ -> ())
+    (fun () ->
+      Orb.Communicator.send a.comm (Orb.Protocol.Locate_request { req_id; target });
+      let rec await budget =
+        if budget = 0 then failwith "probe: reply flood without locate reply";
+        match Orb.Communicator.recv a.comm with
+        | Orb.Protocol.Locate_reply { rep_id; found } when rep_id = req_id ->
+            if not found then failwith "probe: object vanished";
+            ()
+        | _ -> await (budget - 1)
+      in
+      await 64)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  mutable sent : int;
+  mutable reconnects : int;
+  mutable error_replies : int;
+}
+
+let run_proto ~ptag (pname, proto) =
+  let server =
+    Orb.create ~protocol:proto ~transport:"mem" ~host:"local"
+      ~server_policy:fuzz_policy ()
+  in
+  Orb.start server;
+  let target = Orb.export server (echo_skeleton ()) in
+  let client = Orb.create ~protocol:proto ~transport:"mem" ~host:"local" () in
+  let port = Orb.port server in
+  (* The well-formed end-to-end check: the server must not only answer
+     probes but still dispatch real calls correctly. *)
+  let check_echo tag =
+    match
+      Orb.invoke client target ~op:"echo" (fun e ->
+          e.Wire.Codec.put_string tag)
+    with
+    | Some d ->
+        let got = d.Wire.Codec.get_string () in
+        if got <> "echo:" ^ tag then
+          raise (Probe_failed (Printf.sprintf "echo corrupted: %S" got))
+    | None -> raise (Probe_failed "echo returned no reply")
+    | exception e ->
+        raise
+          (Probe_failed
+             (Printf.sprintf "echo failed after fuzzing: %s"
+                (Printexc.to_string e)))
+  in
+  check_echo "before";
+  (* Baseline bodies the mutations start from: a request with a string
+     + sequence payload (lengths for the inflater to find) and a locate
+     request (minimal envelope). *)
+  let payload =
+    let e = proto.Orb.Protocol.codec.Wire.Codec.encoder () in
+    e.Wire.Codec.put_string "hello fuzz";
+    e.Wire.Codec.put_len 3;
+    e.Wire.Codec.put_long 1;
+    e.Wire.Codec.put_long 2;
+    e.Wire.Codec.put_long 3;
+    e.Wire.Codec.finish ()
+  in
+  let bases =
+    [|
+      proto.Orb.Protocol.encode_message
+        (Orb.Protocol.Request
+           {
+             req_id = 7;
+             target;
+             operation = "echo";
+             oneway = false;
+             payload;
+             trace_ctx = "";
+           });
+      proto.Orb.Protocol.encode_message
+        (Orb.Protocol.Locate_request { req_id = 9; target });
+    |]
+  in
+  let binary =
+    match proto.Orb.Protocol.framing with
+    | Orb.Protocol.Line -> false
+    | Orb.Protocol.Length_prefixed _ -> true
+  in
+  let mutations =
+    if binary then
+      [| Truncate; Bit_flip; Length_inflate; Token_swap; Oversize; Header_damage |]
+    else [| Truncate; Bit_flip; Length_inflate; Token_swap; Oversize |]
+  in
+  let tally = { sent = 0; reconnects = 0; error_replies = 0 } in
+  let a = ref (connect_proto proto ~port ()) in
+  let reconnect () =
+    (try Orb.Communicator.close (!a).comm with _ -> ());
+    tally.reconnects <- tally.reconnects + 1;
+    a := connect_proto proto ~port ()
+  in
+  let before = Orb.stats server in
+  for i = 0 to !count - 1 do
+    let rng = Random.State.make [| !seed; ptag; i |] in
+    let m = mutations.(Random.State.int rng (Array.length mutations)) in
+    let body = bases.(Random.State.int rng (Array.length bases)) in
+    let hostile =
+      frame proto
+        ~damage_header:(m = Header_damage)
+        rng
+        (mutate ~binary rng m body)
+    in
+    if !verbose then
+      Printf.printf "[%s %4d] %-14s %d bytes\n%!" pname i (mutation_name m)
+        (String.length hostile);
+    (match (!a).chan.Orb.Transport.write hostile with
+    | () -> ()
+    | exception _ ->
+        (* The server closed this connection after earlier damage and
+           the write noticed; start a fresh one and resend. *)
+        reconnect ();
+        (try (!a).chan.Orb.Transport.write hostile with _ -> reconnect ()));
+    (* Liveness: the same connection must still answer (the server
+       either replied with an error or consumed the frame), or — when
+       the damage was fatal for the connection — a fresh connection
+       must. A deadline expiry on the fresh connection is a wedged
+       server: FAIL. The dirty-connection deadline is short: a damaged
+       header can legitimately leave the server waiting for body bytes
+       that never come (our probe gets eaten as body), and that costs
+       this full deadline before the reconnect proves liveness. *)
+    (match probe !a target ~req_id:(100_000 + i) ~deadline:0.4 with
+    | () -> ()
+    | exception _ ->
+        reconnect ();
+        (match probe !a target ~req_id:(200_000 + i) ~deadline:2.0 with
+        | () -> ()
+        | exception e ->
+            raise
+              (Probe_failed
+                 (Printf.sprintf
+                    "%s iteration %d (%s, seed %d): server unreachable on a \
+                     fresh connection: %s"
+                    pname i (mutation_name m) !seed (Printexc.to_string e)))));
+    tally.sent <- tally.sent + 1;
+    if i mod 50 = 49 then check_echo (Printf.sprintf "mid-%d" i)
+  done;
+  check_echo "after";
+  let after = Orb.stats server in
+  tally.error_replies <- after.Orb.served - before.Orb.served;
+  Printf.printf
+    "%-6s %5d hostile frames: survived (reconnects %d, rejected %d, served %d)\n%!"
+    pname tally.sent tally.reconnects
+    (after.Orb.rejected - before.Orb.rejected)
+    (after.Orb.served - before.Orb.served);
+  Orb.shutdown client;
+  Orb.shutdown server
+
+let () =
+  let protos = [ ("text", Orb.Protocol.text); ("giop", Giop.protocol ()) ] in
+  match
+    List.iteri (fun ptag p -> run_proto ~ptag:(ptag + 1) p) protos
+  with
+  | () -> ()
+  | exception Probe_failed msg ->
+      prerr_endline ("FUZZ FAILURE: " ^ msg);
+      exit 1
