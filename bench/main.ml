@@ -844,6 +844,147 @@ let e10 ?(out = "BENCH_overload.json") ?(duration = 1.5)
   close_out oc;
   Printf.printf "  wrote %s\n" out
 
+(* Client connection multiplexing (DESIGN.md "Client connection model"):
+   N closed-loop threads share ONE client ORB — and therefore one cached
+   connection — against a servant that sleeps for a fixed service time.
+   Sleeping releases the OCaml runtime lock, so throughput depends only
+   on how many calls the connection lets in flight: the serialized
+   client (max_in_flight = 1) is pinned near 1/service_time no matter
+   how many threads pile on, while the demultiplexed client scales until
+   it hits the in-flight cap or the thread count. *)
+let e11 ?(out = "BENCH_mux.json") ?(duration = 0.4)
+    ?(thread_counts = [ 1; 2; 4; 8; 16; 32 ]) () =
+  section "E11" "client mux: pipelined calls over one shared connection";
+  let nap_ms = 2.0 in
+  let nap_skeleton () =
+    Orb.Skeleton.create ~type_id:"IDL:Bench/Nap:1.0"
+      [
+        ( "nap",
+          fun _ results ->
+            Thread.delay (nap_ms /. 1000.);
+            results.Wire.Codec.put_bool true );
+      ]
+  in
+  (* Enough workers that the server is never the bottleneck: the cell
+     with 32 threads and the default 32-deep mux needs 32 concurrent
+     naps in service. *)
+  let wide_pool =
+    {
+      Orb.default_server_policy with
+      pool =
+        Some
+          { Orb.Pool.workers = 48; queue_capacity = 64; admission = Orb.Pool.Reject };
+    }
+  in
+  let protocols =
+    [ ("heidi-text", fun () -> Orb.Protocol.text); ("giop", fun () -> Giop.protocol ()) ]
+  in
+  let modes =
+    [ ("mux-32", Orb.default_mux); ("serialized", { Orb.max_in_flight = 1 }) ]
+  in
+  let run_cell (proto_name, mk_protocol) (mode_name, mux) threads =
+    Orb.Transport.mem_reset ();
+    let protocol = mk_protocol () in
+    let server =
+      Orb.create ~protocol ~transport:"mem" ~host:"local"
+        ~server_policy:wide_pool ()
+    in
+    Orb.start server;
+    let target = Orb.export server (nap_skeleton ()) in
+    let client =
+      Orb.create ~protocol ~transport:"mem" ~host:"local" ~mux
+        ~retry:Orb.Retry.none ()
+    in
+    (* Warm the connection cache so every thread shares one stream. *)
+    ignore (Orb.invoke client target ~op:"nap" (fun _ -> ()));
+    let ok = Atomic.make 0 and failed = Atomic.make 0 in
+    let deadline = Unix.gettimeofday () +. duration in
+    let workers =
+      List.init threads (fun _ ->
+          Thread.create
+            (fun () ->
+              while Unix.gettimeofday () < deadline do
+                match Orb.invoke client target ~op:"nap" (fun _ -> ()) with
+                | Some _ -> Atomic.incr ok
+                | None -> Atomic.incr failed
+                | exception _ -> Atomic.incr failed
+              done)
+            ())
+    in
+    List.iter Thread.join workers;
+    let st = Orb.stats client in
+    Orb.shutdown client;
+    Orb.shutdown server;
+    ( proto_name,
+      mode_name,
+      mux.Orb.max_in_flight,
+      threads,
+      Atomic.get ok,
+      Atomic.get failed,
+      float_of_int (Atomic.get ok) /. duration,
+      st.Orb.mux_peak_in_flight,
+      st.Orb.opened )
+  in
+  let cells =
+    List.concat_map
+      (fun proto ->
+        List.concat_map
+          (fun mode -> List.map (run_cell proto mode) thread_counts)
+          modes)
+      protocols
+  in
+  table
+    [ "protocol"; "mode"; "threads"; "ok"; "failed"; "ok/s"; "peak in-flight"; "conns" ]
+    (List.map
+       (fun (proto, mode, _cap, n, ok, fail_, ops, peak, conns) ->
+         [
+           proto;
+           mode;
+           string_of_int n;
+           string_of_int ok;
+           string_of_int fail_;
+           Printf.sprintf "%.0f" ops;
+           string_of_int peak;
+           string_of_int conns;
+         ])
+       cells);
+  Printf.printf
+    "  (service time per call: %.1f ms of server-side sleep; closed-loop\n\
+    \  threads sharing ONE client connection, %.2gs per cell. The\n\
+    \  serialized row is the pre-mux client: one call per roundtrip.)\n"
+    nap_ms duration;
+  let json =
+    Obs.Jout.obj
+      [
+        ("experiment", Obs.Jout.str "E11");
+        ("transport", Obs.Jout.str "mem");
+        ("duration_s", Obs.Jout.num duration);
+        ("service_ms", Obs.Jout.num nap_ms);
+        ( "cells",
+          Obs.Jout.arr
+            (List.map
+               (fun (proto, mode, cap, n, ok, fail_, ops, peak, conns) ->
+                 Obs.Jout.obj
+                   [
+                     ("protocol", Obs.Jout.str proto);
+                     ("mode", Obs.Jout.str mode);
+                     ("max_in_flight", Obs.Jout.int cap);
+                     ("threads", Obs.Jout.int n);
+                     ("ok", Obs.Jout.int ok);
+                     ("failed", Obs.Jout.int fail_);
+                     ("ok_per_s", Obs.Jout.num ops);
+                     ("peak_in_flight", Obs.Jout.int peak);
+                     ("connections", Obs.Jout.int conns);
+                   ])
+               cells) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
 (* ================= F-series: figure regeneration pointers ========== *)
 
 let figures () =
@@ -873,6 +1014,14 @@ let () =
       (* E10 with tiny cells: exercises both serving models end to end
          and writes a schema-checkable artifact in about a second. *)
       e10 ~out ~duration:0.25 ~client_counts:[ 2; 6 ] ()
+  | [| _; "--e11"; out |] ->
+      (* Full E11 only: the client-mux concurrency sweep. *)
+      e11 ~out ()
+  | [| _; "--e11-smoke"; out |] ->
+      (* E11 with tiny cells: both codecs x both client modes at 1 and 8
+         threads — enough to exercise the demux end to end and let the
+         schema check assert the >= 2x scaling invariant. *)
+      e11 ~out ~duration:0.2 ~thread_counts:[ 1; 8 ] ()
   | _ ->
       print_endline "Reproduction benches: Customizing IDL Mappings and ORB Protocols";
       print_endline "(Welling & Ott, Middleware 2000) -- see EXPERIMENTS.md for analysis";
@@ -889,5 +1038,6 @@ let () =
       e3b ();
       e9 ();
       e10 ();
+      e11 ();
       figures ();
       print_endline "\nAll benches complete."

@@ -22,6 +22,25 @@ let wrap ?(limits = Wire.Codec.default_limits) proto chan =
    newline (for telnet-friendliness of the header even in binary
    protocols), then the body bytes. *)
 
+(* Fixed-width lowercase hex, written without Printf: the length prefix
+   is on the per-message send path. *)
+let add_hex8 buf n =
+  for shift = 28 downto 0 do
+    if shift mod 4 = 0 then begin
+      let d = (n lsr shift) land 0xf in
+      Buffer.add_char buf
+        (if d < 10 then Char.chr (Char.code '0' + d)
+         else Char.chr (Char.code 'a' + d - 10))
+    end
+  done
+
+(* Bodies up to this size are concatenated with their frame header and
+   written in one syscall; larger bodies are written in two parts to
+   avoid copying the payload. The threshold keeps the common small-frame
+   case a single packet under TCP_NODELAY (a tiny header-only segment
+   would otherwise go out on its own). *)
+let coalesce_limit = 4096
+
 let send t msg =
   let body = t.proto.Protocol.encode_message msg in
   match t.proto.Protocol.framing with
@@ -32,8 +51,23 @@ let send t msg =
              "line-framed message bodies must not contain newlines");
       t.chan.Transport.write (body ^ "\n")
   | Protocol.Length_prefixed { header } ->
-      t.chan.Transport.write
-        (Printf.sprintf "%s%08x\n%s" header (String.length body) body)
+      let buf =
+        Buffer.create
+          (String.length header + 9 + min (String.length body) coalesce_limit)
+      in
+      Buffer.add_string buf header;
+      add_hex8 buf (String.length body);
+      Buffer.add_char buf '\n';
+      if String.length body <= coalesce_limit then begin
+        Buffer.add_string buf body;
+        t.chan.Transport.write (Buffer.contents buf)
+      end
+      else begin
+        (* Two-part write: the caller already serializes sends per
+           connection, so the header and body stay adjacent on the wire. *)
+        t.chan.Transport.write (Buffer.contents buf);
+        t.chan.Transport.write body
+      end
 
 type recv_error = { reason : string; req_id_hint : int option }
 

@@ -8,8 +8,33 @@ type t = {
 
 let make ~proto ~host ~port ~oid ~type_id = { proto; host; port; oid; type_id }
 
+(* Memoized stringification: the client stringifies the target reference
+   into every request it encodes, and an application typically holds a
+   handful of distinct references. Keyed structurally (references are
+   immutable records, and derived refs built with [{ r with ... }] are
+   distinct keys), guarded by a mutex because encoding happens on
+   concurrent client threads, and bounded so a workload that synthesizes
+   references (one per call) cannot grow the table without limit. *)
+let to_string_cache : (t, string) Hashtbl.t = Hashtbl.create 64
+let to_string_mutex = Mutex.create ()
+let to_string_cache_max = 1024
+
 let to_string r =
-  Printf.sprintf "@%s:%s:%d#%s#%s" r.proto r.host r.port r.oid r.type_id
+  Mutex.lock to_string_mutex;
+  let s =
+    match Hashtbl.find_opt to_string_cache r with
+    | Some s -> s
+    | None ->
+        let s =
+          Printf.sprintf "@%s:%s:%d#%s#%s" r.proto r.host r.port r.oid r.type_id
+        in
+        if Hashtbl.length to_string_cache >= to_string_cache_max then
+          Hashtbl.reset to_string_cache;
+        Hashtbl.replace to_string_cache r s;
+        s
+  in
+  Mutex.unlock to_string_mutex;
+  s
 
 let of_string_opt s =
   (* @proto:host:port#oid#type_id — host may not contain ':' or '#';

@@ -57,6 +57,20 @@ let default_server_policy =
     accept_backoff = 0.01;
   }
 
+(* The client's connection-sharing policy. With [max_in_flight > 1] each
+   cached outbound connection runs a reply demultiplexer: a reader
+   thread correlates replies to waiting callers by request id, so many
+   calls from many threads pipeline over one connection (the server has
+   decoded pipelined requests and replied out of order since the worker
+   pool landed — this unlocks the client half). [max_in_flight = 1]
+   reproduces the historical serialized behaviour: the connection mutex
+   is held across the whole roundtrip. *)
+type mux = { max_in_flight : int }
+
+let default_mux = { max_in_flight = 32 }
+(* Below the default server policy's [max_pipelined] (64), so a default
+   client never trips a default server's pipelining cap. *)
+
 type t = {
   proto : Protocol.t;
   strat : Dispatch.strategy;
@@ -68,6 +82,7 @@ type t = {
   breaker : Breaker.t option;
   obs : Obs.t;  (* tracing + metrics; disabled unless supplied *)
   policy : server_policy;
+  mux_cfg : mux;  (* client connection-sharing policy *)
   oa : Object_adapter.t;
   mutex : Mutex.t;  (* guards the mutable fields below *)
   mutable listener : Transport.listener option;
@@ -88,10 +103,36 @@ type t = {
   mutable evicted : int;  (* connections evicted by the LRU limit *)
   mutable drains_clean : int;  (* graceful drains that finished in time *)
   mutable drain_aborted_jobs : int;  (* dispatches abandoned at force-close *)
+  mutable mux_peak : int;  (* highest in-flight count any connection saw *)
   mutable bootstrap_registry : (string, Objref.t) Hashtbl.t option;
 }
 
-and conn = { comm : Communicator.t; conn_mutex : Mutex.t }
+(* One cached outbound connection. [conn_mutex] serializes sends (each
+   framed message must hit the wire whole). [mux = None]: the serialized
+   model — the same mutex is then held across the entire roundtrip, so
+   receives are serialized too. [mux = Some]: the reply demultiplexer
+   below owns all receives and the mutex covers only the send. *)
+and conn = {
+  comm : Communicator.t;
+  conn_mutex : Mutex.t;
+  mux : mux_state option;
+}
+
+(* Demultiplexer state, guarded by [mx_mutex]. Waiters register a cell
+   in [mx_pending] keyed by request id before sending; the connection's
+   reader thread fills the cell and signals [mx_cond]. [mx_dead] is the
+   terminal state: set once by whoever observes the connection die
+   (reader I/O failure, send failure, a waiter's deadline expiring),
+   after which every current and future waiter fails with that error. *)
+and mux_state = {
+  mx_mutex : Mutex.t;
+  mx_cond : Condition.t;  (* broadcast on: delivery, death, slot free *)
+  mx_pending : (int, Protocol.message option ref) Hashtbl.t;
+  mutable mx_dead : exn option;
+  mutable mx_inflight : int;  (* registered waiters = replies owed *)
+  mx_limit : int;  (* admission bound: mux.max_in_flight *)
+  mx_gauge : string;  (* obs gauge name, precomputed off the hot path *)
+}
 
 (* One accepted server-side connection: its reader thread decodes
    requests; replies (possibly from several pool workers at once) are
@@ -106,7 +147,7 @@ and sconn = {
 let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     ?(transport = "mem") ?(host = "local") ?(port = 0) ?call_timeout
     ?(retry = Retry.default) ?breaker ?obs
-    ?(server_policy = default_server_policy) () =
+    ?(server_policy = default_server_policy) ?(mux = default_mux) () =
   {
     proto = protocol;
     strat = strategy;
@@ -118,6 +159,7 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     breaker = Option.map (fun config -> Breaker.create ~config ()) breaker;
     obs = (match obs with Some o -> o | None -> Obs.create ~enabled:false ());
     policy = server_policy;
+    mux_cfg = mux;
     oa = Object_adapter.create ();
     mutex = Mutex.create ();
     listener = None;
@@ -138,6 +180,7 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     evicted = 0;
     drains_clean = 0;
     drain_aborted_jobs = 0;
+    mux_peak = 0;
     bootstrap_registry = None;
   }
 
@@ -490,6 +533,34 @@ let start t =
       in
       ignore (Thread.create accept_loop ())
 
+(* ---------------- client connection teardown ---------------- *)
+
+let mux_gauge t mx n = Obs.set_gauge t.obs ~name:mx.mx_gauge (float_of_int n)
+
+(* Declare the connection dead and wake every waiter. First caller wins
+   (later deaths keep the original error); the close also unblocks a
+   reader parked inside a transport read. The connection is NOT removed
+   from the cache here: the next caller that picks it up fails fast in
+   send phase, burns one retry-classified attempt, and reconnects —
+   exactly the stale-cached-connection semantics the serialized path
+   always had. *)
+let mux_kill conn mx err =
+  Mutex.lock mx.mx_mutex;
+  let first = mx.mx_dead = None in
+  if first then mx.mx_dead <- Some err;
+  Condition.broadcast mx.mx_cond;
+  Mutex.unlock mx.mx_mutex;
+  if first then try Communicator.close conn.comm with _ -> ()
+
+(* Closing a muxed connection must go through [mux_kill]: besides
+   closing the channel it wakes the waiters AND the reader thread, which
+   may be parked on the demux condvar (idle, nothing in flight) where a
+   plain close would never reach it. *)
+let close_connection c err =
+  match c.mux with
+  | Some mx -> mux_kill c mx err
+  | None -> ( try Communicator.close c.comm with _ -> ())
+
 (* Shutdown in three phases. Phase 1 stops intake: the listener closes
    and [draining] makes every connection reject new requests with a
    diagnosable error. Phase 2 — only with [?drain_deadline] — is the
@@ -577,7 +648,10 @@ let shutdown ?drain_deadline t =
      channels. Workers stuck inside a job blocked on I/O are unblocked
      by the closes below (Pool.stop does not join them). *)
   (match pool with Some p -> ignore (Pool.stop p) | None -> ());
-  List.iter (fun c -> try Communicator.close c.comm with _ -> ()) conns;
+  List.iter
+    (fun c ->
+      close_connection c (Transport.Transport_error "ORB shut down"))
+    conns;
   (* Also close server-side connections so peers observe the shutdown and
      their connection caches reopen against a replacement. *)
   List.iter (fun sc -> try Communicator.close sc.scomm with _ -> ()) accepted
@@ -598,6 +672,86 @@ let export_named t ~oid skel =
 let export_cached t ~key ~type_id build =
   let oid = Object_adapter.register_cached t.oa ~key build in
   objref_of t ~oid ~type_id
+
+(* ---------------- client side: reply demultiplexer ---------------- *)
+
+(* The per-connection reader thread: the only receiver this connection
+   ever has. It runs with NO channel deadline — a deadline firing
+   between the frame header and body would desynchronize the stream for
+   every in-flight call; per-call deadlines are enforced at the waiter's
+   condition variable instead, and an expired waiter kills the whole
+   connection (below). *)
+let mux_reader t conn mx =
+  (* Park until the connection owes us a reply. Issuing the blocking
+     transport read only while a call is registered keeps idle
+     connections read-free — exactly the serialized client's behavior,
+     which both the fault-injection plans (a [Stall_read] drawn at
+     read-call time must land on the read for the call under test, not
+     on a reader that has been parked inside the transport since the
+     previous call) and the thread accounting at shutdown depend on.
+     Returns [false] when the connection dies while idle. *)
+  let await_work () =
+    Mutex.lock mx.mx_mutex;
+    let rec wait () =
+      if mx.mx_dead <> None then begin
+        Mutex.unlock mx.mx_mutex;
+        false
+      end
+      else if Hashtbl.length mx.mx_pending > 0 then begin
+        Mutex.unlock mx.mx_mutex;
+        true
+      end
+      else begin
+        Condition.wait mx.mx_cond mx.mx_mutex;
+        wait ()
+      end
+    in
+    wait ()
+  in
+  let deliver rep_id reply =
+    Mutex.lock mx.mx_mutex;
+    match Hashtbl.find_opt mx.mx_pending rep_id with
+    | Some cell ->
+        cell := Some reply;
+        Hashtbl.remove mx.mx_pending rep_id;
+        mx.mx_inflight <- mx.mx_inflight - 1;
+        let n = mx.mx_inflight in
+        Condition.broadcast mx.mx_cond;
+        Mutex.unlock mx.mx_mutex;
+        mux_gauge t mx n;
+        true
+    | None ->
+        Mutex.unlock mx.mx_mutex;
+        false
+  in
+  let rec loop () =
+    if not (await_work ()) then ()
+    else
+    match Communicator.recv conn.comm with
+    | (Protocol.Reply { Protocol.rep_id; _ }
+      | Protocol.Locate_reply { rep_id; _ }) as reply ->
+        if deliver rep_id reply then loop ()
+        else begin
+          (* No waiter for this id. Deadline expiry kills the whole
+             connection, so a live demux owes a reply to every id it is
+             still reading — an unknown id means the stream no longer
+             corresponds to what we sent (a corrupted or rewritten id).
+             Poisoned: kill, so no later call can be handed the wrong
+             payload. *)
+          Obs.incr t.obs ~name:"client:orphan_replies";
+          mux_kill conn mx
+            (System_exception
+               (Printf.sprintf
+                  "reply id %d does not match any in-flight request \
+                   (connection dropped)"
+                  rep_id))
+        end
+    | Protocol.Request _ | Protocol.Locate_request _ ->
+        mux_kill conn mx
+          (System_exception "peer sent a non-reply where a reply was expected")
+    | exception e -> mux_kill conn mx e
+  in
+  loop ()
 
 (* ---------------- client side ---------------- *)
 
@@ -622,8 +776,23 @@ let get_connection t endpoint =
       let proto_name, host, port = endpoint in
       let chan = Transport.connect ~proto:proto_name ~host ~port in
       let chan = meter_channel t (endpoint_key endpoint) chan in
+      let mux =
+        if t.mux_cfg.max_in_flight <= 1 then None
+        else
+          Some
+            {
+              mx_mutex = Mutex.create ();
+              mx_cond = Condition.create ();
+              mx_pending = Hashtbl.create 16;
+              mx_dead = None;
+              mx_inflight = 0;
+              mx_limit = t.mux_cfg.max_in_flight;
+              mx_gauge = "client:in_flight:" ^ endpoint_key endpoint;
+            }
+      in
       let c =
-        { comm = Communicator.wrap t.proto chan; conn_mutex = Mutex.create () }
+        { comm = Communicator.wrap t.proto chan; conn_mutex = Mutex.create ();
+          mux }
       in
       let outcome =
         with_lock t (fun () ->
@@ -635,7 +804,14 @@ let get_connection t endpoint =
                 `Won)
       in
       match outcome with
-      | `Won -> (c, true)
+      | `Won ->
+          (* The reader starts only for the connection that actually
+             enters the cache — a race loser is closed before any
+             request can be sent on it. *)
+          (match c.mux with
+          | Some mx -> ignore (Thread.create (fun () -> mux_reader t c mx) ())
+          | None -> ());
+          (c, true)
       | `Lost winner ->
           (try Communicator.close c.comm with _ -> ());
           (winner, false))
@@ -645,8 +821,20 @@ let drop_connection t endpoint =
       match Hashtbl.find_opt t.conns endpoint with
       | Some c ->
           Hashtbl.remove t.conns endpoint;
-          (try Communicator.close c.comm with _ -> ())
+          close_connection c
+            (Transport.Transport_error "connection closed locally")
       | None -> ())
+
+(* Identity-aware drop for failure paths that hold the failed connection:
+   with many waiters waking from one connection death at once, the first
+   may drop-and-reconnect before the second reaches its handler — a
+   blind [drop_connection] would then tear down the healthy replacement. *)
+let drop_this_connection t endpoint c =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.conns endpoint with
+      | Some cur when cur == c -> Hashtbl.remove t.conns endpoint
+      | _ -> ());
+  close_connection c (Transport.Transport_error "connection closed locally")
 
 let next_req_id t =
   with_lock t (fun () ->
@@ -656,13 +844,18 @@ let next_req_id t =
 
 (* Tags a transport failure with the exchange phase it struck in.
    [`Send] means no reply bytes were read — retry-safe territory;
-   [`Recv] means the request went out and anything may have happened. *)
-exception Exchange_failed of [ `Send | `Recv ] * exn
+   [`Recv] means the request went out and anything may have happened.
+   [fatal] tells the caller whether the connection itself is tainted and
+   must leave the cache (every serialized failure is; a multiplexed call
+   that timed out before even sending is not). *)
+exception
+  Exchange_failed of { phase : [ `Send | `Recv ]; fatal : bool; err : exn }
 
-(* [span], when tracing, receives the send and wait phase timings; on a
-   retried call each attempt overwrites them, so the surviving numbers
-   describe the attempt that produced the outcome. *)
-let exchange conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =
+(* The historical exchange: the connection mutex held across the whole
+   roundtrip, the per-call deadline installed on the channel itself.
+   Still the entire story for [mux.max_in_flight <= 1] connections. *)
+let exchange_serialized conn msg ~oneway ~deadline
+    ~(span : Obs.Trace.span option) =
   Mutex.lock conn.conn_mutex;
   Fun.protect
     ~finally:(fun () ->
@@ -672,7 +865,7 @@ let exchange conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =
       Communicator.set_deadline conn.comm deadline;
       let t0 = match span with Some _ -> Obs.Trace.now () | None -> 0. in
       (try Communicator.send conn.comm msg
-       with e -> raise (Exchange_failed (`Send, e)));
+       with e -> raise (Exchange_failed { phase = `Send; fatal = true; err = e }));
       let t1 =
         match span with
         | Some s ->
@@ -689,7 +882,172 @@ let exchange conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =
             | Some s -> s.Obs.Trace.wait_s <- Obs.Trace.now () -. t1
             | None -> ());
             Some reply
-        | exception e -> raise (Exchange_failed (`Recv, e)))
+        | exception e ->
+            raise (Exchange_failed { phase = `Recv; fatal = true; err = e }))
+
+(* The multiplexed exchange: register a waiter cell under the demux
+   lock, send under the (short) connection write lock, then block on the
+   condition variable until the reader delivers the reply, the
+   connection dies, or the per-call deadline passes. OCaml's [Condition]
+   has no timed wait, so deadline waits poll at [Transport.poll_interval]
+   like the rest of the runtime; deadline-free waits park properly. *)
+let exchange_mux t conn mx msg ~oneway ~deadline
+    ~(span : Obs.Trace.span option) =
+  let fail_ phase ~fatal err = raise (Exchange_failed { phase; fatal; err }) in
+  let msg_id =
+    match msg with
+    | Protocol.Request r -> r.Protocol.req_id
+    | Protocol.Locate_request { req_id; _ } -> req_id
+    | Protocol.Reply _ | Protocol.Locate_reply _ -> 0
+  in
+  let cell = ref None in
+  (* Admission + registration, atomically with the death check: [mux_kill]
+     wakes exactly the waiters registered at that instant, so a waiter
+     that got in under the same lock section can never be missed.
+     Registration happens BEFORE the send — the reply can overtake the
+     sender's return. A dead connection fails fast as a send-phase error:
+     nothing was sent, the retry engine treats it exactly like the stale
+     cached connection it is. *)
+  Mutex.lock mx.mx_mutex;
+  let rec admit () =
+    match mx.mx_dead with
+    | Some err ->
+        Mutex.unlock mx.mx_mutex;
+        fail_ `Send ~fatal:true err
+    | None ->
+        if oneway || mx.mx_inflight < mx.mx_limit then ()
+        else (
+          match deadline with
+          | None ->
+              Condition.wait mx.mx_cond mx.mx_mutex;
+              admit ()
+          | Some d ->
+              let remaining = d -. Unix.gettimeofday () in
+              if remaining <= 0. then begin
+                Mutex.unlock mx.mx_mutex;
+                (* Never sent: the connection is healthy, just saturated.
+                   Not fatal — the cache entry stays. *)
+                fail_ `Send ~fatal:false
+                  (Transport.Timeout
+                     (Printf.sprintf
+                        "timed out waiting for an in-flight slot to %s"
+                        (Communicator.peer conn.comm)))
+              end
+              else begin
+                Mutex.unlock mx.mx_mutex;
+                Thread.delay (Float.min Transport.poll_interval remaining);
+                Mutex.lock mx.mx_mutex;
+                admit ()
+              end)
+  in
+  admit ();
+  let registered = not oneway in
+  if registered then begin
+    Hashtbl.replace mx.mx_pending msg_id cell;
+    mx.mx_inflight <- mx.mx_inflight + 1;
+    (* Wake the reader: it parks on this condvar while nothing is in
+       flight and only enters the transport read once it owes a reply. *)
+    Condition.broadcast mx.mx_cond
+  end;
+  let inflight_now = mx.mx_inflight in
+  Mutex.unlock mx.mx_mutex;
+  if registered then begin
+    mux_gauge t mx inflight_now;
+    (* The unlocked read is a monotone hint; the lock re-checks. *)
+    if inflight_now > t.mux_peak then
+      with_lock t (fun () ->
+          if inflight_now > t.mux_peak then t.mux_peak <- inflight_now)
+  end;
+  let unregister () =
+    Mutex.lock mx.mx_mutex;
+    if Hashtbl.mem mx.mx_pending msg_id then begin
+      Hashtbl.remove mx.mx_pending msg_id;
+      mx.mx_inflight <- mx.mx_inflight - 1;
+      Condition.broadcast mx.mx_cond
+    end;
+    let n = mx.mx_inflight in
+    Mutex.unlock mx.mx_mutex;
+    mux_gauge t mx n
+  in
+  let t0 = match span with Some _ -> Obs.Trace.now () | None -> 0. in
+  (try
+     Mutex.lock conn.conn_mutex;
+     Fun.protect
+       ~finally:(fun () -> Mutex.unlock conn.conn_mutex)
+       (fun () -> Communicator.send conn.comm msg)
+   with e ->
+     (* A failed send may have left a partial frame on the wire: the
+        stream is desynchronized for every in-flight call. Kill. *)
+     unregister ();
+     mux_kill conn mx e;
+     fail_ `Send ~fatal:true e);
+  let t1 =
+    match span with
+    | Some s ->
+        let t1 = Obs.Trace.now () in
+        s.Obs.Trace.send_s <- t1 -. t0;
+        t1
+    | None -> 0.
+  in
+  if oneway then None
+  else begin
+    Mutex.lock mx.mx_mutex;
+    let rec await () =
+      match !cell with
+      | Some reply ->
+          Mutex.unlock mx.mx_mutex;
+          (match span with
+          | Some s -> s.Obs.Trace.wait_s <- Obs.Trace.now () -. t1
+          | None -> ());
+          Some reply
+      | None -> (
+          match mx.mx_dead with
+          | Some err ->
+              Mutex.unlock mx.mx_mutex;
+              unregister ();
+              fail_ `Recv ~fatal:true err
+          | None -> (
+              match deadline with
+              | None ->
+                  Condition.wait mx.mx_cond mx.mx_mutex;
+                  await ()
+              | Some d ->
+                  let remaining = d -. Unix.gettimeofday () in
+                  if remaining <= 0. then begin
+                    Mutex.unlock mx.mx_mutex;
+                    unregister ();
+                    (* The stream still owes us a reply we will never
+                       consume; leaving the connection alive would hand
+                       that reply to some later call. Kill it — which is
+                       also what heals an endpoint whose reads stall:
+                       the cache entry goes, the next attempt dials
+                       fresh. Collateral waiters see a transport error
+                       (retry-classifiable), not our timeout. *)
+                    mux_kill conn mx
+                      (Transport.Transport_error
+                         (Printf.sprintf
+                            "connection to %s closed: a call deadline expired \
+                             mid-stream"
+                            (Communicator.peer conn.comm)));
+                    fail_ `Recv ~fatal:true
+                      (Transport.Timeout
+                         (Printf.sprintf "reply %d from %s timed out" msg_id
+                            (Communicator.peer conn.comm)))
+                  end
+                  else begin
+                    Mutex.unlock mx.mx_mutex;
+                    Thread.delay (Float.min Transport.poll_interval remaining);
+                    Mutex.lock mx.mx_mutex;
+                    await ()
+                  end))
+    in
+    await ()
+  end
+
+let exchange t conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =
+  match conn.mux with
+  | None -> exchange_serialized conn msg ~oneway ~deadline ~span
+  | Some mx -> exchange_mux t conn mx msg ~oneway ~deadline ~span
 
 let count_failure t e =
   with_lock t (fun () ->
@@ -760,13 +1118,15 @@ let rec request_reply t target msg ~oneway ~timeout ~notify ~span =
           raise e
         end
     | conn, fresh -> (
-        match exchange conn msg ~oneway ~deadline ~span with
+        match exchange t conn msg ~oneway ~deadline ~span with
         | resp ->
             breaker_success t key;
             resp
-        | exception Exchange_failed (phase, e) ->
-            (* Never leave a failed connection poisoning the cache. *)
-            drop_connection t endpoint;
+        | exception Exchange_failed { phase; fatal; err = e } ->
+            (* Never leave a failed connection poisoning the cache —
+               unless the failure says the connection itself is fine
+               (e.g. an admission timeout on a saturated demux). *)
+            if fatal then drop_this_connection t endpoint conn;
             breaker_failure t key e;
             count_failure t e;
             let retry_safe =
@@ -799,13 +1159,13 @@ and probe t target ~timeout =
   let endpoint = Objref.endpoint target in
   let deadline = call_deadline t timeout in
   let conn, _ = get_connection t endpoint in
-  match exchange conn msg ~oneway:false ~deadline ~span:None with
+  match exchange t conn msg ~oneway:false ~deadline ~span:None with
   | Some (Protocol.Locate_reply _) -> ()
   | Some _ | None ->
-      drop_connection t endpoint;
+      drop_this_connection t endpoint conn;
       raise (System_exception "unexpected message in reply to breaker probe")
-  | exception Exchange_failed (_, e) ->
-      drop_connection t endpoint;
+  | exception Exchange_failed { fatal; err = e; _ } ->
+      if fatal then drop_this_connection t endpoint conn;
       raise e
 
 (* ---------------- client spans ---------------- *)
@@ -992,6 +1352,8 @@ type stats = {
   drain_aborted_jobs : int;
   pool_depth : int;
   pool_active : int;
+  mux_in_flight : int;
+  mux_peak_in_flight : int;
 }
 
 let stats t =
@@ -1004,6 +1366,8 @@ let stats t =
         drains_clean,
         drain_aborted_jobs,
         server_connections,
+        mux_in_flight,
+        mux_peak_in_flight,
         pool ) =
     with_lock t (fun () ->
         (* Count only live connections: a closed communicator may linger
@@ -1021,6 +1385,14 @@ let stats t =
             (List.filter
                (fun c -> not (Communicator.is_closed c.scomm))
                t.accepted),
+          (* Racy-by-design snapshot of the per-connection counters:
+             each is written under its own demux lock; the sum is a
+             point-in-time gauge, not an invariant. *)
+          Hashtbl.fold
+            (fun _ c acc ->
+              match c.mux with Some mx -> acc + mx.mx_inflight | None -> acc)
+            t.conns 0,
+          t.mux_peak,
           t.pool ))
   in
   let breaker_trips, breaker_fast_fails =
@@ -1034,7 +1406,7 @@ let stats t =
   in
   { opened; served; retries; timeouts; breaker_trips; breaker_fast_fails;
     server_connections; rejected; evicted; drains_clean; drain_aborted_jobs;
-    pool_depth; pool_active }
+    pool_depth; pool_active; mux_in_flight; mux_peak_in_flight }
 
 let breaker_state t target =
   match t.breaker with

@@ -91,6 +91,21 @@ val default_server_policy : server_policy
     requests per connection, {!Wire.Codec.default_limits}, 10 ms initial
     accept backoff. *)
 
+(** The client's connection-sharing policy (DESIGN.md "Client connection
+    model"). With [max_in_flight > 1] (the default) each cached outbound
+    connection runs a reply demultiplexer: a dedicated reader thread
+    correlates replies to blocked callers by request id, so up to
+    [max_in_flight] calls from concurrent threads pipeline over one
+    shared connection. [max_in_flight = 1] reproduces the historical
+    serialized client — the connection is locked across the whole
+    roundtrip — kept for interop comparison (bench §E11). *)
+type mux = { max_in_flight : int }
+
+val default_mux : mux
+(** [{ max_in_flight = 32 }] — half the default server policy's
+    per-connection pipelining cap, so a default client never trips a
+    default server. *)
+
 val create :
   ?protocol:Protocol.t ->
   ?strategy:Dispatch.strategy ->
@@ -102,6 +117,7 @@ val create :
   ?breaker:Breaker.config ->
   ?obs:Obs.t ->
   ?server_policy:server_policy ->
+  ?mux:mux ->
   unit ->
   t
 (** Defaults: the text protocol, [Linear] dispatch, the ["mem"] transport
@@ -132,7 +148,10 @@ val create :
 
     [server_policy] — the overload policy (see {!server_policy});
     defaults to {!default_server_policy}: a bounded worker pool with
-    reject admission and default decode limits. *)
+    reject admission and default decode limits.
+
+    [mux] — the client connection-sharing policy (see {!mux}); defaults
+    to {!default_mux} (multiplexed, 32 calls in flight per connection). *)
 
 val start : t -> unit
 (** Bind the bootstrap port and start accepting connections (creating
@@ -261,6 +280,12 @@ type stats = {
           before they completed. *)
   pool_depth : int;  (** Requests queued in the pool right now (0 without a pool). *)
   pool_active : int;  (** Pool workers currently executing (0 without a pool). *)
+  mux_in_flight : int;
+      (** Client calls currently awaiting replies, summed over cached
+          multiplexed connections (0 with [max_in_flight = 1]). *)
+  mux_peak_in_flight : int;
+      (** Highest in-flight count any single client connection reached —
+          [> 1] is the proof that calls actually pipelined. *)
 }
 
 val stats : t -> stats

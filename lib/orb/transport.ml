@@ -50,8 +50,45 @@ let tcp_channel fd ~peer =
      amortized linear in the bytes transferred. *)
   let buf = Buffer.create 4096 in
   let pos = ref 0 in
-  let closed = ref false in
   let deadline = ref None in
+  (* Never [Unix.close] an fd another thread may still hand to a
+     syscall: the kernel recycles fd numbers immediately, so a stale
+     read/write would land on whatever connection got the number next —
+     a cross-connection hijack (observed as a text server answering a
+     GIOP client after a test torn one down). [close] therefore only
+     marks the channel closing and shuts the socket down (which wakes a
+     reader blocked in select/read with EOF); the real [Unix.close] is
+     done by the last thread to leave a syscall, or by [close] itself
+     when no syscall is in flight. *)
+  let guard = Mutex.create () in
+  let users = ref 0 in
+  let closing = ref false in
+  let fd_closed = ref false in
+  let really_close () =
+    if not !fd_closed then begin
+      fd_closed := true;
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+    end
+  in
+  let enter () =
+    Mutex.lock guard;
+    if !closing then begin
+      Mutex.unlock guard;
+      fail "connection to %s is closed" peer
+    end;
+    incr users;
+    Mutex.unlock guard
+  in
+  let leave () =
+    Mutex.lock guard;
+    decr users;
+    if !closing && !users = 0 then really_close ();
+    Mutex.unlock guard
+  in
+  let guarded f =
+    enter ();
+    Fun.protect ~finally:leave f
+  in
   let available () = Buffer.length buf - !pos in
   let compact () =
     if !pos > 65536 && !pos > Buffer.length buf / 2 then begin
@@ -83,15 +120,16 @@ let tcp_channel fd ~peer =
         wait ()
   in
   let refill () =
-    await_readable ();
-    let chunk = Bytes.create 65536 in
-    let n =
-      try Unix.read fd chunk 0 (Bytes.length chunk)
-      with Unix.Unix_error (e, _, _) ->
-        fail "read from %s failed: %s" peer (Unix.error_message e)
-    in
-    if n = 0 then fail "connection to %s closed by peer" peer;
-    Buffer.add_subbytes buf chunk 0 n
+    guarded (fun () ->
+        await_readable ();
+        let chunk = Bytes.create 65536 in
+        let n =
+          try Unix.read fd chunk 0 (Bytes.length chunk)
+          with Unix.Unix_error (e, _, _) ->
+            fail "read from %s failed: %s" peer (Unix.error_message e)
+        in
+        if n = 0 then fail "connection to %s closed by peer" peer;
+        Buffer.add_subbytes buf chunk 0 n)
   in
   let take n =
     let head = Buffer.sub buf !pos n in
@@ -151,23 +189,31 @@ let tcp_channel fd ~peer =
       read_exact n)
   in
   let write s =
-    let bytes = Bytes.of_string s in
-    let len = Bytes.length bytes in
-    let rec go off =
-      if off < len then
-        let n =
-          try Unix.write fd bytes off (len - off)
-          with Unix.Unix_error (e, _, _) ->
-            fail "write to %s failed: %s" peer (Unix.error_message e)
+    guarded (fun () ->
+        let bytes = Bytes.of_string s in
+        let len = Bytes.length bytes in
+        let rec go off =
+          if off < len then
+            let n =
+              try Unix.write fd bytes off (len - off)
+              with Unix.Unix_error (e, _, _) ->
+                fail "write to %s failed: %s" peer (Unix.error_message e)
+            in
+            go (off + n)
         in
-        go (off + n)
-    in
-    go 0
+        go 0)
   in
   let close () =
-    if not !closed then (
-      closed := true;
-      try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    Mutex.lock guard;
+    if not !closing then begin
+      closing := true;
+      (* Wake any thread blocked in select/read on this socket; their
+         next step observes [closing] and fails cleanly. *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error (_, _, _) -> ());
+      if !users = 0 then really_close ()
+    end;
+    Mutex.unlock guard
   in
   let set_deadline d = deadline := d in
   let set_recv_limit l = recv_limit := l in
@@ -197,21 +243,87 @@ let tcp_listen ~host ~port =
     | _ -> port
   in
   let stopped = ref false in
+  (* Same deferred-close discipline as [tcp_channel]: [Unix.close]-ing
+     the listening socket while another thread is (or is about to be)
+     inside [Unix.accept] on it lets the kernel recycle the fd number;
+     the stale accept would then serve connections meant for whoever
+     got the recycled fd. The accepting thread holds a use count; the
+     real close happens only when the last user leaves. *)
+  let guard = Mutex.create () in
+  let users = ref 0 in
+  let sock_closed = ref false in
+  let really_close () =
+    if not !sock_closed then begin
+      sock_closed := true;
+      try Unix.close sock with Unix.Unix_error (_, _, _) -> ()
+    end
+  in
   let accept () =
-    if !stopped then fail "listener on port %d is shut down" bound_port;
-    match Unix.accept sock with
-    | fd, Unix.ADDR_INET (peer_addr, peer_port) ->
-        tcp_channel fd
-          ~peer:(Printf.sprintf "%s:%d" (Unix.string_of_inet_addr peer_addr) peer_port)
-    | fd, _ -> tcp_channel fd ~peer:"<unknown>"
+    Mutex.lock guard;
+    if !stopped then begin
+      Mutex.unlock guard;
+      fail "listener on port %d is shut down" bound_port
+    end;
+    incr users;
+    Mutex.unlock guard;
+    let leave () =
+      Mutex.lock guard;
+      decr users;
+      if !stopped && !users = 0 then really_close ();
+      Mutex.unlock guard
+    in
+    match Fun.protect ~finally:leave (fun () -> Unix.accept sock) with
+    | fd, addr ->
+        if !stopped then begin
+          (* Shutdown raced the accept: the fd number of the closed
+             listener may already have been recycled for a NEW listener,
+             in which case this thread just stole a connection meant for
+             the new server. Hand it back by closing; the client sees a
+             reset and (if configured) retries against the real owner. *)
+          (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+          fail "listener on port %d is shut down" bound_port
+        end;
+        (* Request/reply frames are small; without TCP_NODELAY each reply
+           can sit in Nagle's buffer waiting for the previous segment's
+           ACK, adding up to an RTT of idle latency per call. *)
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error (_, _, _) -> ());
+        let peer =
+          match addr with
+          | Unix.ADDR_INET (peer_addr, peer_port) ->
+              Printf.sprintf "%s:%d" (Unix.string_of_inet_addr peer_addr) peer_port
+          | _ -> "<unknown>"
+        in
+        tcp_channel fd ~peer
     | exception Unix.Unix_error (e, _, _) ->
         fail "accept on port %d failed: %s" bound_port (Unix.error_message e)
   in
   let shutdown () =
-    if not !stopped then (
+    Mutex.lock guard;
+    if !stopped then Mutex.unlock guard
+    else begin
       stopped := true;
-      (* Closing the socket wakes any accept with an error. *)
-      try Unix.close sock with Unix.Unix_error (_, _, _) -> ())
+      let need_wake = !users > 0 in
+      if not need_wake then really_close ();
+      Mutex.unlock guard;
+      (* Wake any thread blocked in [accept]. Closing alone does not
+         interrupt a blocked accept on Linux (and [Unix.shutdown] on a
+         listening socket is ENOTCONN): the thread would sleep on until
+         the fd number is recycled — possibly for the NEXT listener,
+         whose connections the old accept loop (still speaking the OLD
+         protocol) would then steal. A throwaway self-connection pops
+         the blocked accept out of the kernel; the post-accept
+         [stopped] re-check makes it discard the dummy and bail out,
+         and its [leave] performs the deferred close. *)
+      if need_wake then
+        try
+          let wake = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try
+             Unix.connect wake (Unix.ADDR_INET (resolve_host host, bound_port))
+           with Unix.Unix_error (_, _, _) -> ());
+          try Unix.close wake with Unix.Unix_error (_, _, _) -> ()
+        with Unix.Unix_error (_, _, _) -> ()
+    end
   in
   { accept; shutdown; bound_host = host; bound_port }
 
@@ -221,6 +333,9 @@ let tcp_connect ~host ~port =
    with Unix.Unix_error (e, _, _) ->
      (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
      fail "connect to %s:%d failed: %s" host port (Unix.error_message e));
+  (* See the accept path: requests are small, so disable Nagle. *)
+  (try Unix.setsockopt sock Unix.TCP_NODELAY true
+   with Unix.Unix_error (_, _, _) -> ());
   tcp_channel sock ~peer:(Printf.sprintf "%s:%d" host port)
 
 (* ---------------- in-memory loopback ---------------- *)
@@ -619,7 +734,11 @@ let faulty_channel inner =
     write;
     read_line = (fun () -> on_read inner.read_line);
     read_exact = (fun n -> on_read (fun () -> inner.read_exact n));
-    close = (fun () -> inner.close ());
+    (* Closing marks the channel broken so a concurrently stalled read
+       (Stall_read) wakes with a transport error instead of spinning on a
+       channel nobody will use again — the client demux relies on this
+       when it kills a timed-out connection under a reader thread. *)
+    close = (fun () -> kill ());
     set_deadline =
       (fun d ->
         deadline := d;

@@ -33,34 +33,68 @@ let unescape s =
 
 (* ---------------- encoding ---------------- *)
 
+(* The encoder writes tokens straight into the output buffer: a sigil
+   char plus [string_of_int]/[Int64.to_string] digits, with strings
+   escaped directly into the buffer. The per-token [Printf.sprintf] this
+   replaces dominated encode profiles — format-string interpretation and
+   an intermediate string allocation per primitive put. Floats keep the
+   lossless [%h] format, which has no cheap hand-rolled equivalent. *)
 let make_encoder () : Codec.encoder =
   let buf = Buffer.create 128 in
+  let sep () = if Buffer.length buf > 0 then Buffer.add_char buf ' ' in
   let token s =
-    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    sep ();
     Buffer.add_string buf s
   in
+  let sigil_int sigil v =
+    sep ();
+    Buffer.add_char buf sigil;
+    Buffer.add_string buf (string_of_int v)
+  in
   let int_token sigil what ~min ~max v =
-    token (Printf.sprintf "%c%d" sigil (Codec.range_check what ~min ~max v))
+    sigil_int sigil (Codec.range_check what ~min ~max v)
+  in
+  let sigil_int64 sigil v =
+    sep ();
+    Buffer.add_char buf sigil;
+    Buffer.add_string buf (Int64.to_string v)
+  in
+  let escape_into s =
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c -> Buffer.add_char buf c)
+      s
   in
   {
     put_bool = (fun b -> token (if b then "bT" else "bF"));
-    put_char = (fun c -> token (Printf.sprintf "c%d" (Char.code c)));
+    put_char = (fun c -> sigil_int 'c' (Char.code c));
     put_octet = (fun v -> int_token 'o' "octet" ~min:0 ~max:255 v);
     put_short = (fun v -> int_token 'h' "short" ~min:(-32768) ~max:32767 v);
     put_ushort = (fun v -> int_token 'H' "unsigned short" ~min:0 ~max:65535 v);
     put_long =
       (fun v -> int_token 'l' "long" ~min:(-2147483648) ~max:2147483647 v);
     put_ulong = (fun v -> int_token 'L' "unsigned long" ~min:0 ~max:4294967295 v);
-    put_longlong = (fun v -> token (Printf.sprintf "q%Ld" v));
+    put_longlong = (fun v -> sigil_int64 'q' v);
     (* Unsigned 64-bit values are transported as their signed bit pattern
        so the token re-parses with Int64.of_string. *)
-    put_ulonglong = (fun v -> token (Printf.sprintf "Q%Ld" v));
+    put_ulonglong = (fun v -> sigil_int64 'Q' v);
     put_float = (fun v -> token (Printf.sprintf "e%h" v));
     put_double = (fun v -> token (Printf.sprintf "d%h" v));
-    put_string = (fun s -> token (Printf.sprintf "s\"%s\"" (escape s)));
+    put_string =
+      (fun s ->
+        sep ();
+        Buffer.add_string buf "s\"";
+        escape_into s;
+        Buffer.add_char buf '"');
     put_begin = (fun () -> token "{");
     put_end = (fun () -> token "}");
-    put_len = (fun v -> token (Printf.sprintf "#%d" (Codec.range_check "length" ~min:0 ~max:max_int v)));
+    put_len =
+      (fun v -> sigil_int '#' (Codec.range_check "length" ~min:0 ~max:max_int v));
     finish = (fun () -> Buffer.contents buf);
   }
 

@@ -1,5 +1,6 @@
-(* Schema check for bench artifacts (BENCH_obs.json / BENCH_overload.json),
-   run from the [bench-smoke] alias. Dispatches on the "experiment" field.
+(* Schema check for bench artifacts (BENCH_obs.json / BENCH_overload.json
+   / BENCH_mux.json), run from the [bench-smoke] alias. Dispatches on the
+   "experiment" field.
    Validates structure and invariants — NOT the measured figures
    themselves, which are hardware- and load-dependent: the point of the
    smoke test is that the bench runs end-to-end and emits a well-formed,
@@ -308,6 +309,74 @@ let check_e10 path root =
     (List.length cells)
     (int_of_float (List.fold_left (fun a c -> a +. want_num c "ok") 0. cells))
 
+(* ---------------- E11: client connection multiplexing ---------------- *)
+
+let check_e11 path root =
+  ignore (want_str root "transport");
+  check (want_num root "duration_s" > 0.) "duration_s must be > 0";
+  check (want_num root "service_ms" > 0.) "service_ms must be > 0";
+  let cells = want_arr root "cells" in
+  check (cells <> []) "cells must be non-empty";
+  List.iter
+    (fun cell ->
+      ignore (want_str cell "protocol");
+      ignore (want_str cell "mode");
+      check (want_num cell "max_in_flight" >= 1.) "max_in_flight must be >= 1";
+      check (want_num cell "threads" > 0.) "cell threads must be > 0";
+      check (want_num cell "ok" > 0.) "every cell must complete calls";
+      check (want_num cell "failed" = 0.)
+        "mux cells must not drop or fail calls: failed must be 0";
+      check (want_num cell "ok_per_s" > 0.) "cell ok_per_s must be > 0";
+      check (want_num cell "peak_in_flight" >= 0.) "peak_in_flight must be >= 0";
+      (* The whole experiment is about sharing: every cell must have run
+         over exactly one outbound connection. *)
+      check (want_num cell "connections" = 1.)
+        "each cell must share exactly one connection";
+      (* The demux must actually pipeline when threads allow; the
+         serialized client must never report demux in-flight counts. *)
+      let mi = want_num cell "max_in_flight" and th = want_num cell "threads" in
+      if mi > 1. && th > 1. then
+        check (want_num cell "peak_in_flight" > 1.)
+          "multiplexed cells with >1 thread must observe >1 in flight"
+      else if mi = 1. then
+        check (want_num cell "peak_in_flight" <= 1.)
+          "serialized cells must not pipeline")
+    cells;
+  (* Both client modes over both codecs. *)
+  let protos = List.sort_uniq compare (List.map (fun c -> want_str c "protocol") cells) in
+  check (List.length protos >= 2) "cells must cover both codecs";
+  List.iter
+    (fun proto ->
+      let mine = List.filter (fun c -> want_str c "protocol" = proto) cells in
+      let modes = List.sort_uniq compare (List.map (fun c -> want_str c "mode") mine) in
+      check (List.length modes >= 2)
+        (Printf.sprintf "protocol %s must cover both client modes" proto);
+      (* The acceptance invariant: at the highest thread count measured
+         in both modes (>= 8), the multiplexed client must deliver at
+         least 2x the serialized throughput. The servant sleeps for its
+         service time, so the ratio is pipelining, not CPU luck. *)
+      let by_mode pred = List.filter (fun c -> pred (want_num c "max_in_flight")) mine in
+      let muxed = by_mode (fun m -> m > 1.) and serial = by_mode (fun m -> m = 1.) in
+      let threads_of cs = List.map (fun c -> want_num c "threads") cs in
+      let common =
+        List.filter (fun t -> List.mem t (threads_of serial)) (threads_of muxed)
+      in
+      let high = List.filter (fun t -> t >= 8.) common in
+      check (high <> [])
+        (Printf.sprintf "protocol %s must include a cell with >= 8 threads" proto);
+      let t = List.fold_left max 0. high in
+      let find cs = List.find (fun c -> want_num c "threads" = t) cs in
+      let m_ok = want_num (find muxed) "ok" and s_ok = want_num (find serial) "ok" in
+      check
+        (m_ok >= 2. *. s_ok)
+        (Printf.sprintf
+           "protocol %s: mux must be >= 2x serialized at %.0f threads (got %.0f vs %.0f)"
+           proto t m_ok s_ok))
+    protos;
+  Printf.printf "%s: schema OK (%d cells, %d ok calls total)\n" path
+    (List.length cells)
+    (int_of_float (List.fold_left (fun a c -> a +. want_num c "ok") 0. cells))
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
   let ic = open_in_bin path in
@@ -319,6 +388,7 @@ let () =
     match want_str root "experiment" with
     | "E9" -> check_e9 path root
     | "E10" -> check_e10 path root
+    | "E11" -> check_e11 path root
     | other -> raise (Bad (Printf.sprintf "unknown experiment %S" other))
   with Bad msg ->
     Printf.eprintf "%s: schema check FAILED: %s\n" path msg;

@@ -263,9 +263,23 @@ let test_tcp_trace_propagation () =
         | l -> Alcotest.failf "endpoints: %d" (List.length l)
       in
       let cin, cout = bytes_of client_obs in
-      let sin_, sout = bytes_of server_obs in
       Alcotest.(check bool) "client bytes counted" true (cin > 0 && cout > 0);
-      (* Loopback conservation: what one side wrote the other read. *)
+      (* Loopback conservation: what one side wrote the other read. The
+         server's counters are bumped on its dispatch thread after the
+         write syscall returns — the client can observe the reply a
+         moment earlier, so poll like [await_spans] does. *)
+      let sin_, sout =
+        let deadline = Unix.gettimeofday () +. 2.0 in
+        let rec go () =
+          let (sin_, sout) = bytes_of server_obs in
+          if (sin_ = cout && sout = cin) || Unix.gettimeofday () > deadline
+          then (sin_, sout)
+          else (
+            Thread.delay 0.01;
+            go ())
+        in
+        go ()
+      in
       Alcotest.(check int) "client out = server in" cout sin_;
       Alcotest.(check int) "server out = client in" sout cin;
       (* Latency histograms were fed on both sides. *)
