@@ -985,6 +985,208 @@ let e11 ?(out = "BENCH_mux.json") ?(duration = 0.4)
   close_out oc;
   Printf.printf "  wrote %s\n" out
 
+(* ================= E12: replica kill/restart sweep ================== *)
+
+(* Three replicas behind one multi-endpoint reference; closed-loop
+   clients hammer it while the timeline kills one replica at ~25% and
+   restarts it (same endpoint) at ~50%. Throughput and errors are
+   bucketed so the artifact shows the dip, the breaker fencing the dead
+   endpoint, and the half-open probe readmitting it — the §E12 numbers
+   for "Replication and naming" in DESIGN.md. *)
+let e12 ?(out = "BENCH_failover.json") ?(duration = 3.0) ?(clients = 8)
+    ?(reset_timeout = 0.5) () =
+  section "E12" "replicated endpoints: kill/restart under closed-loop load";
+  Orb.Transport.mem_reset ();
+  let bucket_s = duration /. 30. in
+  let kill_at = 0.25 *. duration and restart_at = 0.5 *. duration in
+  let n_replicas = 3 in
+  let service_s = 0.0005 in
+  let served = Array.init n_replicas (fun _ -> Atomic.make 0) in
+  let skeleton i =
+    Orb.Skeleton.create ~type_id:"IDL:Bench/Replica:1.0"
+      [
+        ( "work",
+          fun _ results ->
+            Atomic.incr served.(i);
+            Thread.delay service_s;
+            results.Wire.Codec.put_long i );
+      ]
+  in
+  let start_replica i ~port =
+    let orb = Orb.create ~transport:"mem" ~host:"local" ~port () in
+    Orb.start orb;
+    let r = Orb.export_named orb ~oid:"replica" (skeleton i) in
+    (orb, r)
+  in
+  let replicas =
+    Array.init n_replicas (fun i -> ref (start_replica i ~port:0))
+  in
+  let target =
+    Orb.Objref.make_multi
+      ~endpoints:
+        (Array.to_list
+           (Array.map (fun rep -> Orb.Objref.endpoint (snd !rep)) replicas))
+      ~oid:"replica" ~type_id:"IDL:Bench/Replica:1.0"
+  in
+  let client =
+    Orb.create ~transport:"mem" ~host:"local"
+      ~retry:{ Orb.Retry.default with max_attempts = 3; base_delay = 0.002 }
+      ~breaker:{ Orb.Breaker.failure_threshold = 1; reset_timeout }
+      ()
+  in
+  let n_buckets = int_of_float (ceil (duration /. bucket_s)) in
+  let ok_b = Array.init n_buckets (fun _ -> Atomic.make 0) in
+  let failed_b = Array.init n_buckets (fun _ -> Atomic.make 0) in
+  let t0 = Unix.gettimeofday () in
+  let bucket_of now =
+    min (n_buckets - 1) (int_of_float ((now -. t0) /. bucket_s))
+  in
+  let stop = Atomic.make false in
+  let lat_mutex = Mutex.create () in
+  let lats = ref [] in
+  let workers =
+    List.init clients (fun _ ->
+        Thread.create
+          (fun () ->
+            let mine = ref [] in
+            while not (Atomic.get stop) do
+              let t_start = Unix.gettimeofday () in
+              let b =
+                match Orb.invoke client target ~op:"work" (fun _ -> ()) with
+                | Some _ ->
+                    let now = Unix.gettimeofday () in
+                    mine := (t_start -. t0, now -. t_start) :: !mine;
+                    ok_b
+                | None | (exception _) -> failed_b
+              in
+              Atomic.incr b.(bucket_of (Unix.gettimeofday ()))
+            done;
+            Mutex.protect lat_mutex (fun () -> lats := !mine @ !lats))
+          ())
+  in
+  let sleep_until t =
+    let d = t0 +. t -. Unix.gettimeofday () in
+    if d > 0. then Thread.delay d
+  in
+  sleep_until kill_at;
+  let victim_orb, victim_ref = !(replicas.(0)) in
+  let _, _, victim_port = Orb.Objref.endpoint victim_ref in
+  Orb.shutdown ~drain_deadline:0.05 victim_orb;
+  sleep_until restart_at;
+  replicas.(0) := start_replica 0 ~port:victim_port;
+  sleep_until duration;
+  Atomic.set stop true;
+  List.iter Thread.join workers;
+  let st = Orb.stats client in
+  Orb.shutdown client;
+  Array.iter (fun rep -> Orb.shutdown (fst !rep)) replicas;
+  let rate a i = float_of_int (Atomic.get a.(i)) /. bucket_s in
+  let kill_bucket = int_of_float (kill_at /. bucket_s) in
+  (* Steady state: the pre-kill window, minus the warmup bucket. *)
+  let steady_buckets = List.init (max 1 (kill_bucket - 1)) (fun i -> i + 1) in
+  let steady =
+    List.fold_left (fun acc i -> acc +. rate ok_b i) 0. steady_buckets
+    /. float_of_int (List.length steady_buckets)
+  in
+  (* Recovery: the best bucket fully inside one breaker half-open
+     window after the kill. *)
+  let window_end =
+    min (n_buckets - 1)
+      (int_of_float ((kill_at +. reset_timeout) /. bucket_s))
+  in
+  let recovery_buckets =
+    List.filter (fun i -> i > kill_bucket && i <= window_end)
+      (List.init n_buckets Fun.id)
+  in
+  let recovery =
+    List.fold_left (fun acc i -> Float.max acc (rate ok_b i)) 0. recovery_buckets
+  in
+  let ratio = if steady > 0. then recovery /. steady else 0. in
+  let recovered = ratio >= 0.8 in
+  let failed_total =
+    Array.fold_left (fun acc a -> acc + Atomic.get a) 0 failed_b
+  in
+  let ok_total = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 ok_b in
+  (* p95 latency per phase: pre-kill steady state, the outage (kill to
+     restart), and after the restarted replica could rejoin. *)
+  let p95_ms phase =
+    let xs =
+      List.filter_map (fun (t, d) -> if phase t then Some d else None) !lats
+    in
+    let xs = List.sort compare xs in
+    match List.length xs with
+    | 0 -> 0.
+    | len -> 1000. *. List.nth xs (min (len - 1) (int_of_float (0.95 *. float_of_int len)))
+  in
+  let p95_steady = p95_ms (fun t -> t >= bucket_s && t < kill_at) in
+  let p95_outage = p95_ms (fun t -> t >= kill_at && t < restart_at) in
+  let p95_after =
+    p95_ms (fun t -> t >= restart_at +. reset_timeout && t < duration)
+  in
+  table
+    [ "phase"; "window"; "ok/s"; "p95 ms" ]
+    [
+      [ "steady"; Printf.sprintf "buckets 1-%d" (kill_bucket - 1);
+        Printf.sprintf "%.0f" steady; Printf.sprintf "%.2f" p95_steady ];
+      [ "outage"; "kill..restart"; "-"; Printf.sprintf "%.2f" p95_outage ];
+      [ "recovery (best)";
+        Printf.sprintf "kill..+%.2gs" reset_timeout;
+        Printf.sprintf "%.0f" recovery; "-" ];
+      [ "after restart"; "restart+reset.."; "-";
+        Printf.sprintf "%.2f" p95_after ];
+    ];
+  Printf.printf
+    "  kill at %.2fs, restart at %.2fs; recovery %.0f%% of steady %s\n\
+    \  ok %d, failed %d, failovers %d, forwards %d; served %s\n"
+    kill_at restart_at (100. *. ratio)
+    (if recovered then "(recovered)" else "(NOT recovered)")
+    ok_total failed_total st.Orb.failovers st.Orb.forwards
+    (String.concat "/"
+       (Array.to_list
+          (Array.map (fun a -> string_of_int (Atomic.get a)) served)));
+  let json =
+    Obs.Jout.obj
+      [
+        ("experiment", Obs.Jout.str "E12");
+        ("transport", Obs.Jout.str "mem");
+        ("duration_s", Obs.Jout.num duration);
+        ("bucket_s", Obs.Jout.num bucket_s);
+        ("replicas", Obs.Jout.int n_replicas);
+        ("clients", Obs.Jout.int clients);
+        ("kill_at_s", Obs.Jout.num kill_at);
+        ("restart_at_s", Obs.Jout.num restart_at);
+        ("reset_timeout_s", Obs.Jout.num reset_timeout);
+        ("steady_ok_per_s", Obs.Jout.num steady);
+        ("recovery_ok_per_s", Obs.Jout.num recovery);
+        ("recovery_ratio", Obs.Jout.num ratio);
+        ("recovered_within_window", Obs.Jout.bool recovered);
+        ("ok_total", Obs.Jout.int ok_total);
+        ("failed_total", Obs.Jout.int failed_total);
+        ("failovers", Obs.Jout.int st.Orb.failovers);
+        ("p95_steady_ms", Obs.Jout.num p95_steady);
+        ("p95_outage_ms", Obs.Jout.num p95_outage);
+        ("p95_after_restart_ms", Obs.Jout.num p95_after);
+        ( "replica_served",
+          Obs.Jout.arr
+            (Array.to_list
+               (Array.map (fun a -> Obs.Jout.int (Atomic.get a)) served)) );
+        ( "buckets",
+          Obs.Jout.arr
+            (List.init n_buckets (fun i ->
+                 Obs.Jout.obj
+                   [
+                     ("t_s", Obs.Jout.num (float_of_int i *. bucket_s));
+                     ("ok", Obs.Jout.int (Atomic.get ok_b.(i)));
+                     ("failed", Obs.Jout.int (Atomic.get failed_b.(i)));
+                   ])) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
 (* ================= F-series: figure regeneration pointers ========== *)
 
 let figures () =
@@ -1022,6 +1224,15 @@ let () =
          threads — enough to exercise the demux end to end and let the
          schema check assert the >= 2x scaling invariant. *)
       e11 ~out ~duration:0.2 ~thread_counts:[ 1; 8 ] ()
+  | [| _; "--e12"; out |] ->
+      (* Full E12 only: the replica kill/restart sweep. *)
+      e12 ~out ()
+  | [| _; "--e12-smoke"; out |] ->
+      (* E12 on a compressed timeline: one kill, one restart, a breaker
+         window short enough that recovery is measurable inside a
+         second — lets the schema check assert the >= 80% recovery
+         invariant on every test run. *)
+      e12 ~out ~duration:1.0 ~clients:4 ~reset_timeout:0.2 ()
   | _ ->
       print_endline "Reproduction benches: Customizing IDL Mappings and ORB Protocols";
       print_endline "(Welling & Ott, Middleware 2000) -- see EXPERIMENTS.md for analysis";
@@ -1039,5 +1250,6 @@ let () =
       e9 ();
       e10 ();
       e11 ();
+      e12 ();
       figures ();
       print_endline "\nAll benches complete."

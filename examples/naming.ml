@@ -1,80 +1,102 @@
-(* Advanced runtime features in one tour: bootstrap naming, dispatch-path
-   filters/interceptors, and smart proxies.
+(* Replicated endpoints, lease-based naming, failover, and
+   location-forward in one tour (DESIGN.md "Replication and naming").
 
-   These are the Section 5 "expose-a-hook" customizations (Orbix filters
-   and smart proxies, Visibroker interceptors) implemented on this
-   runtime, plus the bootstrap-port naming that makes the first
-   reference discoverable from an endpoint alone (Section 3.1).
+   Three replica servers export the same sensor object; each registers
+   itself at a naming servant under a TTL lease. The client resolves
+   once and receives a single multi-endpoint reference — the runtime
+   spreads calls over the replicas (power-of-two-choices), fails over
+   when one dies, and the breaker fences the dead endpoint off. When a
+   lease lapses, resolving again reflects the surviving set. Finally, a
+   server-side location forward redirects clients mid-flight.
 
    Run with: dune exec examples/naming.exe *)
 
 let sensor_type = "IDL:Plant/Sensor:1.0"
+let oid = "sensor"
 
 let sensor_skeleton ~name =
-  let reading = ref 20.0 in
   let reads = ref 0 in
   ( Orb.Skeleton.create ~type_id:sensor_type
       [
-        ("read", fun _ results ->
+        ( "read",
+          fun _ results ->
             incr reads;
-            results.Wire.Codec.put_double !reading);
-        ("calibrate", fun args results ->
-            reading := args.Wire.Codec.get_double ();
-            results.Wire.Codec.put_bool true);
+            results.Wire.Codec.put_double 20.0 );
         ("name", fun _ results -> results.Wire.Codec.put_string name);
       ],
     reads )
 
+let start_replica ~name =
+  let orb = Orb.create () in
+  Orb.start orb;
+  let skel, reads = sensor_skeleton ~name in
+  let r = Orb.export_named orb ~oid skel in
+  (orb, r, reads)
+
 let () =
-  (* The plant server: several sensors behind a bootstrap registry. *)
-  let server = Orb.create () in
-  Orb.start server;
-  let _boot_ref = Orb.Bootstrap.serve server in
-  let furnace, furnace_reads = sensor_skeleton ~name:"furnace" in
-  let turbine, _ = sensor_skeleton ~name:"turbine" in
-  Orb.Bootstrap.bind server ~name:"sensors/furnace" (Orb.export server furnace);
-  Orb.Bootstrap.bind server ~name:"sensors/turbine" (Orb.export server turbine);
+  (* The naming server, on its own ORB like a real deployment. *)
+  let ns = Orb.create () in
+  Orb.start ns;
+  let _registry, nref = Orb.Naming.serve ns in
+  Printf.printf "naming servant:    %s\n" (Orb.Objref.to_string nref);
 
-  (* A dispatch-path filter: block calibration except from... anyone, in
-     this demo — the point is that the servant never sees the request. *)
-  Orb.Interceptor.add (Orb.server_interceptors server)
-    (Orb.Interceptor.deny
-       (fun ~op ~type_id:_ -> op = "calibrate")
-       ~reason:"calibration is locked out");
-
-  (* The monitoring client knows only the server's endpoint. *)
-  let client = Orb.create () in
-  let boot =
-    Orb.Bootstrap.reference ~proto:"mem" ~host:"local" ~port:(Orb.port server)
+  (* Three replicas of the same logical sensor, each registering itself
+     under a short lease it would have to keep renewing. *)
+  let replicas = List.map (fun n -> start_replica ~name:n) [ "a"; "b"; "c" ] in
+  let client =
+    Orb.create ~retry:{ Orb.Retry.default with max_attempts = 4 }
+      ~breaker:{ Orb.Breaker.default_config with failure_threshold = 1 }
+      ()
   in
-  Printf.printf "bootstrap reference: %s\n" (Orb.Objref.to_string boot);
-  Printf.printf "names bound there:   %s\n\n"
-    (String.concat ", " (Orb.Bootstrap.list_names client boot));
+  List.iter
+    (fun (_, r, _) ->
+      ignore (Orb.Naming.register client nref ~name:"plant/sensor" r ~ttl:5.))
+    replicas;
 
-  (* A logging interceptor on the client side sees every call. *)
-  Orb.Interceptor.add (Orb.client_interceptors client)
-    (Orb.Interceptor.logger (fun line -> Printf.printf "  [client log] %s\n" line));
+  (* One resolve returns the merged endpoint set. *)
+  let resolver = Orb.Naming.resolver client nref ~name:"plant/sensor" in
+  let sensor = Orb.Naming.current resolver in
+  Printf.printf "resolved:          %s\n\n" (Orb.Objref.to_string sensor);
 
-  let furnace_ref = Orb.Bootstrap.resolve client boot ~name:"sensors/furnace" in
-
-  (* A smart proxy caches the reading; "calibrate" invalidates it. *)
-  let proxy = Orb.smart_proxy client ~invalidate_on:[ "calibrate" ] furnace_ref in
   let read () =
-    (Orb.Smart.call proxy ~op:"read" (fun _ -> ())).Wire.Codec.get_double ()
+    match Orb.Naming.call client resolver ~op:"read" (fun _ -> ()) with
+    | Some d -> d.Wire.Codec.get_double ()
+    | None -> assert false
   in
-  Printf.printf "\nreading 5 times through the smart proxy:\n";
-  for _ = 1 to 5 do
-    Printf.printf "  furnace = %.1f\n" (read ())
+  for _ = 1 to 30 do
+    ignore (read ())
   done;
-  Printf.printf "remote reads actually performed: %d (hits %d, misses %d)\n\n"
-    !furnace_reads (Orb.Smart.hits proxy) (Orb.Smart.misses proxy);
+  List.iter
+    (fun (_, r, reads) ->
+      Printf.printf "replica %s served %2d reads\n"
+        (Orb.Objref.to_string (Orb.Objref.at_endpoint r (Orb.Objref.endpoint r)))
+        !reads)
+    replicas;
 
-  (* The calibration filter rejects before dispatch. *)
-  (try
-     ignore
-       (Orb.Smart.call proxy ~op:"calibrate" (fun e -> e.Wire.Codec.put_double 99.0))
-   with Orb.System_exception m -> Printf.printf "calibrate blocked: %s\n" m);
-  Printf.printf "furnace reading unchanged: %.1f\n" (read ());
+  (* Kill one replica: calls keep succeeding on the survivors. *)
+  let dead_orb, dead_ref, _ = List.hd replicas in
+  Orb.shutdown dead_orb;
+  Orb.Naming.unregister client nref ~name:"plant/sensor" dead_ref;
+  for _ = 1 to 10 do
+    ignore (read ())
+  done;
+  let st = Orb.stats client in
+  Printf.printf "\nafter killing one replica: failovers=%d, breakers=[%s]\n"
+    st.Orb.failovers
+    (String.concat "; "
+       (List.map (fun (k, s) -> k ^ "=" ^ s) st.Orb.breaker_states));
 
-  Orb.shutdown client;
-  Orb.shutdown server
+  (* Location forward: replica b starts redirecting to replica c. *)
+  let orb_b, _, _ = List.nth replicas 1 in
+  let _, ref_c, reads_c = List.nth replicas 2 in
+  Orb.set_forward orb_b ~oid ref_c;
+  let before = !reads_c in
+  for _ = 1 to 10 do
+    ignore (read ())
+  done;
+  Printf.printf "after forwarding b->c: replica c served %d more reads, \
+                 client followed %d forwards\n"
+    (!reads_c - before)
+    (Orb.stats client).Orb.forwards;
+
+  Printf.printf "\nstats snapshot: %s\n" (Orb.stats_to_json (Orb.stats client))

@@ -107,6 +107,28 @@ let failure t key =
       end)
 
 let state t key = with_mutex t (fun () -> (entry t key).st)
+
+(* Read-only view of [before_call]: would a call to [key] be allowed to
+   touch the network right now (Proceed or Probe), or fast-failed? Used
+   by replica selection to skip tripped endpoints without consuming the
+   half-open probe slot. *)
+let available t key =
+  with_mutex t (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | None -> true
+      | Some e -> (
+          match e.st with
+          | Closed -> true
+          | Half_open -> not e.probing
+          | Open ->
+              (not e.probing)
+              && Unix.gettimeofday () -. e.opened_at >= t.cfg.reset_timeout))
+
+let states t =
+  with_mutex t (fun () ->
+      List.sort compare
+        (Hashtbl.fold (fun key e acc -> (key, e.st) :: acc) t.entries []))
+
 let trips t = with_mutex t (fun () -> t.trips)
 let fast_fails t = with_mutex t (fun () -> t.fast_fails)
 

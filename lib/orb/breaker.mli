@@ -56,6 +56,17 @@ val failure : t -> string -> unit
 (** A connection-level failure (transport error / timeout). *)
 
 val state : t -> string -> state
+
+val available : t -> string -> bool
+(** Read-only: would a call to this endpoint be allowed to touch the
+    network right now (i.e. {!before_call} would not return [Fast_fail])?
+    Never consumes the half-open probe slot — replica selection uses this
+    to skip tripped endpoints. *)
+
+val states : t -> (string * state) list
+(** Every endpoint the breaker has seen, with its current state, sorted
+    by endpoint key. *)
+
 val trips : t -> int  (** Times any circuit transitioned to [Open]. *)
 
 val fast_fails : t -> int

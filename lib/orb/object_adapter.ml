@@ -2,13 +2,15 @@ type t = {
   mutex : Mutex.t;
   skeletons : (string, Skeleton.t) Hashtbl.t;
   by_key : (int, string) Hashtbl.t;  (* servant identity -> oid *)
+  forwards : (string, Objref.t) Hashtbl.t;  (* oid -> redirect target *)
   mutable next_oid : int;
   mutable hits : int;
 }
 
 let create () =
   { mutex = Mutex.create (); skeletons = Hashtbl.create 64;
-    by_key = Hashtbl.create 64; next_oid = 1; hits = 0 }
+    by_key = Hashtbl.create 64; forwards = Hashtbl.create 8; next_oid = 1;
+    hits = 0 }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -46,6 +48,14 @@ let register_cached t ~key build =
 
 let cache_hits t = with_lock t (fun () -> t.hits)
 let lookup t oid = with_lock t (fun () -> Hashtbl.find_opt t.skeletons oid)
+
+let set_forward t ~oid target =
+  with_lock t (fun () -> Hashtbl.replace t.forwards oid target)
+
+let clear_forward t ~oid =
+  with_lock t (fun () -> Hashtbl.remove t.forwards oid)
+
+let forward t oid = with_lock t (fun () -> Hashtbl.find_opt t.forwards oid)
 
 let unregister t oid =
   with_lock t (fun () ->

@@ -30,3 +30,12 @@ val cache_hits : t -> int
 val lookup : t -> string -> Skeleton.t option
 val unregister : t -> string -> unit
 val count : t -> int
+
+val set_forward : t -> oid:string -> Objref.t -> unit
+(** Register a GIOP-style location forward: requests and locates naming
+    [oid] are answered with a redirect to [target] instead of being
+    dispatched (even while a local skeleton is still registered — a
+    migrated object keeps forwarding until unregistered). *)
+
+val clear_forward : t -> oid:string -> unit
+val forward : t -> string -> Objref.t option

@@ -2,22 +2,78 @@ type t = {
   proto : string;
   host : string;
   port : int;
+  extra : (string * string * int) list;  (* replica endpoints beyond the primary *)
   oid : string;
   type_id : string;
 }
 
-let make ~proto ~host ~port ~oid ~type_id = { proto; host; port; oid; type_id }
+let check_endpoint (proto, host, port) =
+  if proto = "" then invalid_arg "Objref: endpoint protocol must not be empty";
+  if host = "" then invalid_arg "Objref: endpoint host must not be empty";
+  if port < 0 || port >= 65536 then
+    invalid_arg (Printf.sprintf "Objref: endpoint port %d out of range" port);
+  if String.contains host ',' || String.contains host '#' then
+    invalid_arg
+      (Printf.sprintf "Objref: endpoint host %S contains a reserved character"
+         host);
+  if String.contains proto ',' || String.contains proto '#' then
+    invalid_arg
+      (Printf.sprintf "Objref: endpoint proto %S contains a reserved character"
+         proto)
+
+let make ~proto ~host ~port ~oid ~type_id =
+  { proto; host; port; extra = []; oid; type_id }
+
+let rec check_no_dup = function
+  | [] -> ()
+  | ep :: rest ->
+      if List.mem ep rest then
+        let p, h, n = ep in
+        invalid_arg
+          (Printf.sprintf "Objref: duplicate endpoint %s:%s:%d in endpoint set"
+             p h n)
+      else check_no_dup rest
+
+let make_multi ~endpoints ~oid ~type_id =
+  match endpoints with
+  | [] -> invalid_arg "Objref.make_multi: endpoint set must not be empty"
+  | (proto, host, port) :: rest ->
+      List.iter check_endpoint endpoints;
+      check_no_dup endpoints;
+      { proto; host; port; extra = rest; oid; type_id }
+
+let endpoints r = (r.proto, r.host, r.port) :: r.extra
+let endpoint r = (r.proto, r.host, r.port)
+let is_multi r = r.extra <> []
+
+let with_endpoints r endpoints =
+  make_multi ~endpoints ~oid:r.oid ~type_id:r.type_id
+
+(* The single-endpoint view of [r] at one of its endpoints: what goes on
+   the wire when the client has picked a replica — peers that predate the
+   multi-endpoint grammar must keep parsing every envelope target. *)
+let at_endpoint r (proto, host, port) =
+  if r.extra = [] && r.proto = proto && r.host = host && r.port = port then r
+  else { r with proto; host; port; extra = [] }
 
 (* Memoized stringification: the client stringifies the target reference
    into every request it encodes, and an application typically holds a
    handful of distinct references. Keyed structurally (references are
-   immutable records, and derived refs built with [{ r with ... }] are
-   distinct keys), guarded by a mutex because encoding happens on
-   concurrent client threads, and bounded so a workload that synthesizes
-   references (one per call) cannot grow the table without limit. *)
+   immutable records — the endpoint list included — and derived refs
+   built with [{ r with ... }] are distinct keys), guarded by a mutex
+   because encoding happens on concurrent client threads, and bounded so
+   a workload that synthesizes references (one per call) cannot grow the
+   table without limit. *)
 let to_string_cache : (t, string) Hashtbl.t = Hashtbl.create 64
 let to_string_mutex = Mutex.create ()
 let to_string_cache_max = 1024
+
+let add_endpoint buf (proto, host, port) =
+  Buffer.add_string buf proto;
+  Buffer.add_char buf ':';
+  Buffer.add_string buf host;
+  Buffer.add_char buf ':';
+  Buffer.add_string buf (string_of_int port)
 
 let to_string r =
   Mutex.lock to_string_mutex;
@@ -26,7 +82,24 @@ let to_string r =
     | Some s -> s
     | None ->
         let s =
-          Printf.sprintf "@%s:%s:%d#%s#%s" r.proto r.host r.port r.oid r.type_id
+          match r.extra with
+          | [] ->
+              Printf.sprintf "@%s:%s:%d#%s#%s" r.proto r.host r.port r.oid
+                r.type_id
+          | extra ->
+              let buf = Buffer.create 64 in
+              Buffer.add_char buf '@';
+              add_endpoint buf (r.proto, r.host, r.port);
+              List.iter
+                (fun ep ->
+                  Buffer.add_char buf ',';
+                  add_endpoint buf ep)
+                extra;
+              Buffer.add_char buf '#';
+              Buffer.add_string buf r.oid;
+              Buffer.add_char buf '#';
+              Buffer.add_string buf r.type_id;
+              Buffer.contents buf
         in
         if Hashtbl.length to_string_cache >= to_string_cache_max then
           Hashtbl.reset to_string_cache;
@@ -36,24 +109,42 @@ let to_string r =
   Mutex.unlock to_string_mutex;
   s
 
+(* One endpoint segment: proto:host:port — host may not contain ':',
+   ',' or '#'; the proto may itself contain ':' (e.g. "faulty:mem"), so
+   the segment is parsed from the right: last piece is the port, the one
+   before it the host, everything earlier the proto. *)
+let parse_endpoint seg =
+  match List.rev (String.split_on_char ':' seg) with
+  | port_s :: host :: proto_rev when proto_rev <> [] -> (
+      let proto = String.concat ":" (List.rev proto_rev) in
+      match int_of_string_opt port_s with
+      | Some port when port >= 0 && port < 65536 && proto <> "" && host <> ""
+        ->
+          Some (proto, host, port)
+      | _ -> None)
+  | _ -> None
+
 let of_string_opt s =
-  (* @proto:host:port#oid#type_id — host may not contain ':' or '#';
-     the type id may contain ':' (IDL:...:1.0) but not '#'. The proto
-     may itself contain ':' (e.g. "faulty:mem"), so the url is parsed
-     from the right: last segment is the port, the one before it the
-     host, everything earlier the proto. *)
+  (* @proto:host:port[,proto:host:port...]#oid#type_id — the url part is
+     a comma-separated endpoint set (one endpoint in the historical
+     grammar, which this parser accepts unchanged); the type id may
+     contain ':' (IDL:...:1.0) but not '#'. Empty or duplicate endpoint
+     segments make the whole reference malformed. *)
   if String.length s < 2 || s.[0] <> '@' then None
   else
     match String.split_on_char '#' (String.sub s 1 (String.length s - 1)) with
     | [ url; oid; type_id ] -> (
-        match List.rev (String.split_on_char ':' url) with
-        | port_s :: host :: proto_rev when proto_rev <> [] -> (
-            let proto = String.concat ":" (List.rev proto_rev) in
-            match int_of_string_opt port_s with
-            | Some port when port >= 0 && port < 65536 && proto <> "" && host <> ""
-              ->
-                Some { proto; host; port; oid; type_id }
-            | _ -> None)
+        let segs = String.split_on_char ',' url in
+        let rec parse_all acc = function
+          | [] -> Some (List.rev acc)
+          | seg :: rest -> (
+              match parse_endpoint seg with
+              | Some ep when not (List.mem ep acc) -> parse_all (ep :: acc) rest
+              | _ -> None (* malformed, empty, or duplicate endpoint *))
+        in
+        match parse_all [] segs with
+        | Some ((proto, host, port) :: extra) ->
+            Some { proto; host; port; extra; oid; type_id }
         | _ -> None)
     | _ -> None
 
@@ -62,6 +153,5 @@ let of_string s =
   | Some r -> r
   | None -> invalid_arg (Printf.sprintf "Objref.of_string: malformed reference %S" s)
 
-let endpoint r = (r.proto, r.host, r.port)
 let equal (a : t) b = a = b
 let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,4 +1,5 @@
-(** Stringified object references (paper Section 3.1).
+(** Stringified object references (paper Section 3.1), extended with
+    replicated endpoint sets.
 
     A HeidiRMI object reference has three parts: the bootstrap URL (a
     protocol–hostname–port tuple that tells the client how to open a
@@ -6,28 +7,66 @@
     address space), and the object type (the repository ID, which selects
     the stub and skeleton). The printed form is exactly the paper's:
 
-    {v @tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0 v} *)
+    {v @tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0 v}
+
+    A reference may name a {e set} of endpoints — replicas all serving
+    the same oid — as a comma-separated URL list (DESIGN.md
+    "Replication and naming"):
+
+    {v @tcp:h1:1234,tcp:h2:1234,tcp:h3:1234#9876#IDL:Heidi/A:1.0 v}
+
+    The single-endpoint grammar parses and prints unchanged, so
+    references written by older peers interoperate both ways. Hosts and
+    protocols therefore must not contain [','] or ['#']. *)
 
 type t = {
-  proto : string;  (** Transport protocol, e.g. ["tcp"] or ["mem"]. *)
+  proto : string;  (** Primary endpoint's transport, e.g. ["tcp"] or ["mem"]. *)
   host : string;
   port : int;
+  extra : (string * string * int) list;
+      (** Replica endpoints beyond the primary, in registration order.
+          [[]] for the historical single-endpoint reference. *)
   oid : string;  (** Object identifier within the address space. *)
   type_id : string;  (** Repository ID, e.g. ["IDL:Heidi/A:1.0"]. *)
 }
 
 val make : proto:string -> host:string -> port:int -> oid:string -> type_id:string -> t
+(** A single-endpoint reference (the historical constructor). *)
 
-val to_string : t -> string
-(** [@proto:host:port#oid#type_id] *)
+val make_multi :
+  endpoints:(string * string * int) list -> oid:string -> type_id:string -> t
+(** A reference over an endpoint set; the first endpoint is the primary.
+    @raise Invalid_argument on an empty set, an empty proto/host, an
+    out-of-range port, a host or proto containing [','] or ['#'], or
+    duplicate endpoints. *)
 
-val of_string : string -> t
-(** @raise Invalid_argument on a malformed reference. *)
-
-val of_string_opt : string -> t option
+val endpoints : t -> (string * string * int) list
+(** All [(proto, host, port)] endpoints, primary first. Never empty. *)
 
 val endpoint : t -> string * string * int
-(** The [(proto, host, port)] connection tuple. *)
+(** The primary [(proto, host, port)] connection tuple. *)
+
+val is_multi : t -> bool
+(** True when the reference carries more than one endpoint. *)
+
+val with_endpoints : t -> (string * string * int) list -> t
+(** Same object, different endpoint set (same validation as
+    {!make_multi}). *)
+
+val at_endpoint : t -> string * string * int -> t
+(** The single-endpoint view of a reference at one of its replicas —
+    what the client puts on the wire once it has picked an endpoint, so
+    peers that predate the multi-endpoint grammar keep parsing every
+    envelope target. *)
+
+val to_string : t -> string
+(** [@proto:host:port[,proto:host:port...]#oid#type_id] *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on a malformed reference (including empty or
+    duplicate endpoints in a set). *)
+
+val of_string_opt : string -> t option
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -105,6 +105,12 @@ type t = {
   mutable drain_aborted_jobs : int;  (* dispatches abandoned at force-close *)
   mutable mux_peak : int;  (* highest in-flight count any connection saw *)
   mutable bootstrap_registry : (string, Objref.t) Hashtbl.t option;
+  fwd_cache : (string, Objref.t) Hashtbl.t;
+      (* logical target (stringified) -> last Locate_forward redirect;
+         invalidated when the forwarded target fails *)
+  rng : Random.State.t;  (* replica selection; guarded by [mutex] *)
+  mutable failovers : int;  (* attempts rerouted away from a failed replica *)
+  mutable forwards_followed : int;  (* Locate_forward redirects honoured *)
 }
 
 (* One cached outbound connection. [conn_mutex] serializes sends (each
@@ -182,6 +188,12 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     drain_aborted_jobs = 0;
     mux_peak = 0;
     bootstrap_registry = None;
+    fwd_cache = Hashtbl.create 8;
+    (* Fixed seed: replica selection only needs spread, not entropy, and
+       determinism keeps test runs reproducible. *)
+    rng = Random.State.make [| 0x9e3779b9 |];
+    failovers = 0;
+    forwards_followed = 0;
   }
 
 let protocol t = t.proto
@@ -388,16 +400,32 @@ let serve_connection t sc =
   let rec loop () =
     match Communicator.recv_opt comm with
     | Ok (Protocol.Request req) ->
-        dispatch req;
+        (match Object_adapter.forward t.oa req.Protocol.target.Objref.oid with
+        | Some target ->
+            (* The object has moved: answer with a GIOP-style
+               LOCATION_FORWARD instead of dispatching. Answered inline
+               like locate — it is control-plane traffic, never queued. *)
+            sc.s_last_active <- Unix.gettimeofday ();
+            if not req.Protocol.oneway then
+              send_msg
+                (Protocol.Locate_forward
+                   { rep_id = req.Protocol.req_id; target })
+        | None -> dispatch req);
         loop ()
     | Ok (Protocol.Locate_request { req_id; target }) ->
         (* GIOP-style locate: answered by the adapter, never dispatched
-           (and never queued — it is the liveness probe). *)
+           (and never queued — it is the liveness probe). A registered
+           forward counts as found — the peer knows where the object
+           lives — and rides in the reply's version-safe forward slot. *)
         sc.s_last_active <- Unix.gettimeofday ();
-        let found = Object_adapter.lookup t.oa target.Objref.oid <> None in
-        send_msg (Protocol.Locate_reply { rep_id = req_id; found });
+        let forward = Object_adapter.forward t.oa target.Objref.oid in
+        let found =
+          forward <> None || Object_adapter.lookup t.oa target.Objref.oid <> None
+        in
+        send_msg (Protocol.Locate_reply { rep_id = req_id; found; forward });
         loop ()
-    | Ok (Protocol.Reply _ | Protocol.Locate_reply _) ->
+    | Ok (Protocol.Reply _ | Protocol.Locate_reply _ | Protocol.Locate_forward _)
+      ->
         Log.warn (fun m -> m "unexpected reply on server connection from %s"
                      (Communicator.peer comm));
         loop ()
@@ -729,7 +757,8 @@ let mux_reader t conn mx =
     else
     match Communicator.recv conn.comm with
     | (Protocol.Reply { Protocol.rep_id; _ }
-      | Protocol.Locate_reply { rep_id; _ }) as reply ->
+      | Protocol.Locate_reply { rep_id; _ }
+      | Protocol.Locate_forward { rep_id; _ }) as reply ->
         if deliver rep_id reply then loop ()
         else begin
           (* No waiter for this id. Deadline expiry kills the whole
@@ -898,7 +927,8 @@ let exchange_mux t conn mx msg ~oneway ~deadline
     match msg with
     | Protocol.Request r -> r.Protocol.req_id
     | Protocol.Locate_request { req_id; _ } -> req_id
-    | Protocol.Reply _ | Protocol.Locate_reply _ -> 0
+    | Protocol.Reply _ | Protocol.Locate_reply _ | Protocol.Locate_forward _ ->
+        0
   in
   let cell = ref None in
   (* Admission + registration, atomically with the death check: [mux_kill]
@@ -1068,99 +1098,199 @@ let call_deadline t timeout =
   | Some s, _ | None, Some s -> Some (Unix.gettimeofday () +. s)
   | None, None -> None
 
+(* ---------------- replica selection ---------------- *)
+
+(* In-flight hint for one endpoint: the cached connection's demux
+   counter. Caller holds the ORB mutex (for the connection table); the
+   counter itself is written under its demux lock, so this is a hint,
+   not an invariant — exactly what load balancing needs. No cached
+   connection, or a serialized one, counts as idle. *)
+let inflight_hint t ep =
+  match Hashtbl.find_opt t.conns ep with
+  | Some { mux = Some mx; _ } -> mx.mx_inflight
+  | Some _ | None -> 0
+
+(* Power-of-two-choices over per-endpoint in-flight counts: draw two
+   candidates, keep the less loaded — near-optimal load spread for a
+   fraction of least-loaded's bookkeeping (the classic balls-into-bins
+   result). Draws happen under the ORB mutex together with the
+   in-flight reads so the two hints are coherent. *)
+let pick_endpoint t = function
+  | [] -> None
+  | [ ep ] -> Some ep
+  | candidates ->
+      let arr = Array.of_list candidates in
+      let n = Array.length arr in
+      Some
+        (with_lock t (fun () ->
+             let a = arr.(Random.State.int t.rng n) in
+             let b = arr.(Random.State.int t.rng n) in
+             if inflight_hint t b < inflight_hint t a then b else a))
+
 (* The fault-tolerant request/reply engine shared by [invoke_raw] and
-   [locate]: circuit-breaker gate, then attempts under the retry policy.
-   [notify] feeds each failure to the client interceptor chain. *)
-let rec request_reply t target msg ~oneway ~timeout ~notify ~span =
-  let endpoint = Objref.endpoint target in
-  let key = endpoint_key endpoint in
-  (match t.breaker with
-  | None -> ()
-  | Some br -> (
-      match Breaker.before_call br key with
-      | Breaker.Proceed -> ()
-      | Breaker.Fast_fail ->
-          let e =
-            Breaker.Circuit_open
-              (Printf.sprintf "circuit open for endpoint %s" key)
-          in
-          notify e;
-          raise e
-      | Breaker.Probe -> (
-          (* Half-open: one lightweight Locate_request ping decides
-             whether the endpoint is back before real traffic flows. *)
-          match probe t target ~timeout with
-          | () -> Breaker.success br key
-          | exception e ->
-              Breaker.failure br key;
-              count_failure t e;
-              notify e;
-              raise e)));
+   [locate]: replica selection (power-of-two-choices, breaker-open
+   endpoints skipped), per-endpoint circuit-breaker gate, then attempts
+   under the retry policy — a failure on one replica fails over to the
+   next under the SAME retry budget, and the duplicate-safety taxonomy
+   still decides what may be re-sent at all. [make_msg] builds the wire
+   message for the chosen endpoint's single-endpoint view, so every
+   envelope target stays parseable by pre-replication peers. [notify]
+   feeds each failure to the client interceptor chain.
+   [maybe_dispatched] is called on any failure after which the request
+   may be executing on a server (fresh-connection receive failures) —
+   callers with a duplicate-safe fallback of their own (forward-cache
+   invalidation, naming re-resolve) must not re-send after it fires. *)
+let rec request_reply t target ~make_msg ~oneway ~timeout ~notify ~span
+    ?(maybe_dispatched = fun () -> ()) () =
+  let eps = Objref.endpoints target in
+  let multi = match eps with _ :: _ :: _ -> true | _ -> false in
   let deadline = call_deadline t timeout in
-  let rec attempt n =
-    let retry_after e =
+  let available ep =
+    match t.breaker with
+    | None -> true
+    | Some br -> Breaker.available br (endpoint_key ep)
+  in
+  (* Endpoints that already failed during THIS call. Once every
+     available endpoint has been tried the set clears: a long retry
+     budget may revisit (the per-endpoint breakers decide whether it
+     should). *)
+  let tried = ref [] in
+  let candidates () =
+    let avail = List.filter available eps in
+    match List.filter (fun ep -> not (List.mem ep !tried)) avail with
+    | [] ->
+        tried := [];
+        avail
+    | untried -> untried
+  in
+  let count_failover () =
+    if multi then begin
+      with_lock t (fun () -> t.failovers <- t.failovers + 1);
+      Obs.incr t.obs ~name:"client:failover"
+    end
+  in
+  (* [gate_spins] bounds the selection/gate race: an endpoint can trip
+     between the read-only availability check and [before_call]. *)
+  let rec attempt n gate_spins =
+    let retry_after ~failed_ep e =
       with_lock t (fun () -> t.retries <- t.retries + 1);
       (match span with
       | Some s -> s.Obs.Trace.retries <- s.Obs.Trace.retries + 1
       | None -> ());
+      if not (List.mem failed_ep !tried) then tried := failed_ep :: !tried;
+      count_failover ();
       notify e;
       Thread.delay (Retry.delay_for t.retry ~attempt:n);
-      attempt (n + 1)
+      attempt (n + 1) 0
     in
-    match get_connection t endpoint with
-    | exception e ->
-        (* Connect failure: nothing was sent, always safe to retry. *)
-        breaker_failure t key e;
-        count_failure t e;
-        if Retry.retryable t.retry ~attempt:n e then retry_after e
-        else begin
-          notify e;
-          raise e
-        end
-    | conn, fresh -> (
-        match exchange t conn msg ~oneway ~deadline ~span with
-        | resp ->
-            breaker_success t key;
-            resp
-        | exception Exchange_failed { phase; fatal; err = e } ->
-            (* Never leave a failed connection poisoning the cache —
-               unless the failure says the connection itself is fine
-               (e.g. an admission timeout on a saturated demux). *)
-            if fatal then drop_this_connection t endpoint conn;
-            breaker_failure t key e;
-            count_failure t e;
-            let retry_safe =
-              match phase with
-              | `Send -> true
-              | `Recv ->
-                  (* Only the stale-cached-connection case: the peer
-                     closed a connection we reused, before our request
-                     can have been dispatched against a live server. A
-                     fresh connection failing mid-receive, or a
-                     deadline timeout, may mean the call is executing —
-                     never retried. *)
-                  not fresh
+    let fail e =
+      notify e;
+      raise e
+    in
+    (* When every replica's breaker is open, gate on the primary anyway:
+       [before_call] then either fast-fails (advancing the breaker's
+       accounting exactly as in the single-endpoint case) or grants a
+       probe slot that opened this instant. *)
+    let ep =
+      match pick_endpoint t (candidates ()) with
+      | Some ep -> ep
+      | None -> Objref.endpoint target
+    in
+    let key = endpoint_key ep in
+    let go () =
+      match get_connection t ep with
+      | exception e ->
+          (* Connect failure: nothing was sent, always safe to retry —
+             on this replica or the next. *)
+          breaker_failure t key e;
+          count_failure t e;
+          if Retry.retryable t.retry ~attempt:n e then retry_after ~failed_ep:ep e
+          else fail e
+      | conn, fresh -> (
+          match
+            exchange t conn
+              (make_msg (Objref.at_endpoint target ep))
+              ~oneway ~deadline ~span
+          with
+          | resp ->
+              breaker_success t key;
+              resp
+          | exception Exchange_failed { phase; fatal; err = e } ->
+              (* Never leave a failed connection poisoning the cache —
+                 unless the failure says the connection itself is fine
+                 (e.g. an admission timeout on a saturated demux). *)
+              if fatal then drop_this_connection t ep conn;
+              breaker_failure t key e;
+              count_failure t e;
+              let retry_safe =
+                match phase with
+                | `Send -> true
+                | `Recv ->
+                    (* Only the stale-cached-connection case: the peer
+                       closed a connection we reused, before our request
+                       can have been dispatched against a live server. A
+                       fresh connection failing mid-receive, or a
+                       deadline timeout, may mean the call is executing —
+                       never re-sent, not even to another replica. *)
+                    not fresh
+              in
+              if not retry_safe then maybe_dispatched ();
+              if retry_safe && Retry.retryable t.retry ~attempt:n e then
+                retry_after ~failed_ep:ep e
+              else fail e)
+    in
+    match t.breaker with
+    | None -> go ()
+    | Some br -> (
+        match Breaker.before_call br key with
+        | Breaker.Proceed -> go ()
+        | Breaker.Fast_fail ->
+            (* Tripped (or tripped between selection and gate). Another
+               available replica: fail over without burning a retry
+               attempt. None left: fast-fail the call. *)
+            if not (List.mem ep !tried) then tried := ep :: !tried;
+            let alternatives =
+              List.filter (fun e' -> e' <> ep && available e') eps
             in
-            if retry_safe && Retry.retryable t.retry ~attempt:n e then
-              retry_after e
-            else begin
-              notify e;
-              raise e
-            end)
+            if alternatives <> [] && gate_spins < 2 * List.length eps then begin
+              count_failover ();
+              attempt n (gate_spins + 1)
+            end
+            else
+              fail
+                (Breaker.Circuit_open
+                   (Printf.sprintf "circuit open for endpoint %s" key))
+        | Breaker.Probe -> (
+            (* Half-open: one lightweight Locate_request ping decides
+               whether this replica is back before real traffic flows. *)
+            match probe t target ~endpoint:ep ~timeout with
+            | () ->
+                Breaker.success br key;
+                go ()
+            | exception e ->
+                Breaker.failure br key;
+                count_failure t e;
+                (* The probe never dispatches anything, so failing over
+                   is duplicate-safe — under the same retry budget. *)
+                if multi && Retry.retryable t.retry ~attempt:n e then
+                  retry_after ~failed_ep:ep e
+                else fail e))
   in
-  attempt 1
+  attempt 1 0
 
 (* The half-open probe: a single-attempt Locate_request on a fresh
-   connection. Any decoded locate reply (found or not) proves the
-   endpoint is serving again. *)
-and probe t target ~timeout =
+   connection to one specific replica. Any decoded locate answer (found
+   or not, forwarded or not) proves the endpoint is serving again. *)
+and probe t target ~endpoint ~timeout =
   let req_id = next_req_id t in
-  let msg = Protocol.Locate_request { req_id; target } in
-  let endpoint = Objref.endpoint target in
+  let msg =
+    Protocol.Locate_request
+      { req_id; target = Objref.at_endpoint target endpoint }
+  in
   let deadline = call_deadline t timeout in
   let conn, _ = get_connection t endpoint in
   match exchange t conn msg ~oneway:false ~deadline ~span:None with
-  | Some (Protocol.Locate_reply _) -> ()
+  | Some (Protocol.Locate_reply _ | Protocol.Locate_forward _) -> ()
   | Some _ | None ->
       drop_this_connection t endpoint conn;
       raise (System_exception "unexpected message in reply to breaker probe")
@@ -1203,12 +1333,44 @@ let finish_client_span t span outcome =
         (Obs.Trace.duration s);
       Obs.emit t.obs s
 
+(* Desynchronized-stream teardown when the call went through replica
+   selection: the failing envelope may have travelled over any of the
+   target's endpoints, so drop them all (rare, and correctness beats
+   keeping a possibly-poisoned connection warm). *)
+let drop_target_connections t target =
+  List.iter (drop_connection t) (Objref.endpoints target)
+
+(* The forward cache is keyed by the logical target's printed form —
+   the same identity the application holds. *)
+let forward_key target = Objref.to_string target
+
+let cached_forward t target =
+  with_lock t (fun () -> Hashtbl.find_opt t.fwd_cache (forward_key target))
+
+let note_forward t target fwd =
+  with_lock t (fun () ->
+      Hashtbl.replace t.fwd_cache (forward_key target) fwd;
+      t.forwards_followed <- t.forwards_followed + 1);
+  Obs.incr t.obs ~name:"client:forwards"
+
+let invalidate_forward t target =
+  with_lock t (fun () -> Hashtbl.remove t.fwd_cache (forward_key target))
+
+(* Redirect chains are honoured up to this depth per call; past it the
+   servers are pointing at each other and the call fails loudly. *)
+let max_forward_hops = 4
+
 (* The invocation core, shared by [invoke_raw] (which owns a bare span)
    and [invoke] (which also times the marshal/unmarshal phases around
    it). The caller's trace context rides in the request's
    service-context slot; disabled tracing sends the empty context,
-   which encodes to bytes identical to the pre-slot protocol. *)
-let invoke_raw_spanned t target ~op ~oneway ~timeout ~span payload =
+   which encodes to bytes identical to the pre-slot protocol.
+
+   [dispatched] is set as soon as any attempt may have reached a
+   servant; callers that re-resolve and re-send on failure (the naming
+   client) must check it to stay duplicate-safe. *)
+let invoke_raw_spanned t target ~op ~oneway ~timeout ~span ~dispatched payload
+    =
   let req_id = next_req_id t in
   (match span with Some s -> s.Obs.Trace.req_id <- req_id | None -> ());
   let trace_ctx =
@@ -1223,42 +1385,96 @@ let invoke_raw_spanned t target ~op ~oneway ~timeout ~span payload =
      waiting for a reply the server will never send would hang until
      the deadline. *)
   let oneway = req.Protocol.oneway in
-  let endpoint = Objref.endpoint req.Protocol.target in
-  let msg = Protocol.Request req in
+  let logical = req.Protocol.target in
   let notify e = Interceptor.apply_error t.client_chain req e in
-  match request_reply t req.Protocol.target msg ~oneway ~timeout ~notify ~span with
-  | None -> None
-  | Some (Protocol.Reply reply) -> (
-      let { Protocol.rep_id; status; payload } =
-        Interceptor.apply_reply t.client_chain req reply
-      in
-      if rep_id <> req_id then begin
-        (* The stream is desynchronized: whatever reply belongs to this
-           request is still in flight, and a later caller reusing the
-           cached connection would be handed it. Never reuse the
-           connection. *)
-        drop_connection t endpoint;
-        raise
-          (System_exception
-             (Printf.sprintf
-                "reply id %d does not match request id %d (connection dropped)"
-                rep_id req_id))
-      end;
-      match status with
-      | Protocol.Status_ok -> Some payload
-      | Protocol.Status_user_exception repo_id ->
+  let maybe_dispatched () = dispatched := true in
+  (* [actual] is where the call goes this hop: the logical target, a
+     cached redirect, or a Locate_forward received mid-call.
+     [via_forward] marks hops whose failure should invalidate the cache
+     and — when duplicate-safe — fall back to the logical target. *)
+  let rec call ~hops ~via_forward actual =
+    let make_msg tgt = Protocol.Request { req with Protocol.target = tgt } in
+    match
+      request_reply t actual ~make_msg ~oneway ~timeout ~notify ~span
+        ~maybe_dispatched ()
+    with
+    | exception e when via_forward ->
+        (* The forwarded placement failed. Whatever the failure, stop
+           trusting the cached redirect; re-send against the logical
+           target only when nothing can have dispatched (fast-fail or a
+           send-phase-class transient) — the duplicate-safety taxonomy
+           outranks the redirect. *)
+        invalidate_forward t logical;
+        let duplicate_safe =
+          (not !dispatched)
+          &&
+          match e with
+          | Breaker.Circuit_open _ -> true
+          | e -> Retry.classify e = Retry.Transient
+        in
+        if duplicate_safe then call ~hops ~via_forward:false logical
+        else raise e
+    | None -> None
+    | Some (Protocol.Reply reply) -> (
+        let { Protocol.rep_id; status; payload } =
+          Interceptor.apply_reply t.client_chain req reply
+        in
+        if rep_id <> req_id then begin
+          (* The stream is desynchronized: whatever reply belongs to
+             this request is still in flight, and a later caller reusing
+             the cached connection would be handed it. Never reuse the
+             connection. *)
+          drop_target_connections t actual;
           raise
-            (Remote_exception { repo_id; payload; codec = t.proto.Protocol.codec })
-      | Protocol.Status_system_error m -> raise (System_exception m))
-  | Some (Protocol.Request _ | Protocol.Locate_request _ | Protocol.Locate_reply _)
-    ->
-      (* Equally desynchronized: a non-reply where a reply belongs. *)
-      drop_connection t endpoint;
-      raise (System_exception "peer sent a non-reply where a reply was expected")
+            (System_exception
+               (Printf.sprintf
+                  "reply id %d does not match request id %d (connection \
+                   dropped)"
+                  rep_id req_id))
+        end;
+        match status with
+        | Protocol.Status_ok -> Some payload
+        | Protocol.Status_user_exception repo_id ->
+            raise
+              (Remote_exception
+                 { repo_id; payload; codec = t.proto.Protocol.codec })
+        | Protocol.Status_system_error m -> raise (System_exception m))
+    | Some (Protocol.Locate_forward { rep_id; target = fwd }) ->
+        if rep_id <> req_id then begin
+          drop_target_connections t actual;
+          raise
+            (System_exception
+               "forward reply id mismatch (connection dropped)")
+        end;
+        if hops >= max_forward_hops then
+          raise
+            (System_exception
+               (Printf.sprintf
+                  "location-forward chain exceeded %d hops for %s"
+                  max_forward_hops (Objref.to_string logical)));
+        (* A GIOP-style redirect: remember it for every later call on
+           this logical target, then re-issue this one transparently.
+           Nothing dispatched — re-sending is duplicate-safe. *)
+        note_forward t logical fwd;
+        call ~hops:(hops + 1) ~via_forward:true fwd
+    | Some
+        (Protocol.Request _ | Protocol.Locate_request _
+        | Protocol.Locate_reply _) ->
+        (* Equally desynchronized: a non-reply where a reply belongs. *)
+        drop_target_connections t actual;
+        raise
+          (System_exception "peer sent a non-reply where a reply was expected")
+  in
+  match cached_forward t logical with
+  | Some fwd -> call ~hops:1 ~via_forward:true fwd
+  | None -> call ~hops:0 ~via_forward:false logical
 
 let invoke_raw t target ~op ?(oneway = false) ?timeout payload =
   let span = start_client_span t target ~op in
-  match invoke_raw_spanned t target ~op ~oneway ~timeout ~span payload with
+  match
+    invoke_raw_spanned t target ~op ~oneway ~timeout ~span
+      ~dispatched:(ref false) payload
+  with
   | result ->
       finish_client_span t span Obs.Trace.Ok;
       result
@@ -1268,26 +1484,35 @@ let invoke_raw t target ~op ?(oneway = false) ?timeout payload =
 
 (* GIOP-style LocateRequest: does the peer's adapter know this oid?
    Locate (like the breaker's half-open probe) is control-plane traffic:
-   it carries no trace context and opens no span. *)
+   it carries no trace context and opens no span. A reply carrying a
+   forward — in either encoding — counts as found: the peer knows where
+   the object lives. *)
 let locate t ?timeout target =
   let req_id = next_req_id t in
-  let msg = Protocol.Locate_request { req_id; target } in
+  let make_msg tgt = Protocol.Locate_request { req_id; target = tgt } in
   match
-    request_reply t target msg ~oneway:false ~timeout ~notify:(fun _ -> ())
-      ~span:None
+    request_reply t target ~make_msg ~oneway:false ~timeout
+      ~notify:(fun _ -> ())
+      ~span:None ()
   with
-  | Some (Protocol.Locate_reply { rep_id; found }) ->
+  | Some (Protocol.Locate_reply { rep_id; found; forward = _ }) ->
       if rep_id <> req_id then begin
-        drop_connection t (Objref.endpoint target);
+        drop_target_connections t target;
         raise (System_exception "locate reply id mismatch (connection dropped)")
       end
       else found
+  | Some (Protocol.Locate_forward { rep_id; _ }) ->
+      if rep_id <> req_id then begin
+        drop_target_connections t target;
+        raise (System_exception "locate reply id mismatch (connection dropped)")
+      end
+      else true
   | Some _ ->
-      drop_connection t (Objref.endpoint target);
+      drop_target_connections t target;
       raise (System_exception "unexpected message in reply to locate")
   | None -> raise (System_exception "no reply to locate")
 
-let invoke t target ~op ?(oneway = false) ?timeout marshal =
+let invoke_with t target ~op ~oneway ~timeout ~dispatched marshal =
   let codec = t.proto.Protocol.codec in
   let span = start_client_span t target ~op in
   match
@@ -1300,7 +1525,10 @@ let invoke t target ~op ?(oneway = false) ?timeout marshal =
     (match span with
     | Some s -> s.Obs.Trace.marshal_s <- Obs.Trace.now () -. s.Obs.Trace.started_at
     | None -> ());
-    match invoke_raw_spanned t target ~op ~oneway ~timeout ~span payload with
+    match
+      invoke_raw_spanned t target ~op ~oneway ~timeout ~span ~dispatched
+        payload
+    with
     | Some payload ->
         let t1 = match span with Some _ -> Obs.Trace.now () | None -> 0. in
         let d = codec.Wire.Codec.decoder payload in
@@ -1316,6 +1544,9 @@ let invoke t target ~op ?(oneway = false) ?timeout marshal =
   | exception e ->
       finish_client_span t span (outcome_of_exn e);
       raise e
+
+let invoke t target ~op ?(oneway = false) ?timeout marshal =
+  invoke_with t target ~op ~oneway ~timeout ~dispatched:(ref false) marshal
 
 (* A smart proxy (Section 5: Orbix smart proxies / Visibroker smart
    stubs) bound to this ORB's protocol codec. *)
@@ -1343,8 +1574,11 @@ type stats = {
   served : int;
   retries : int;
   timeouts : int;
+  failovers : int;
+  forwards : int;
   breaker_trips : int;
   breaker_fast_fails : int;
+  breaker_states : (string * string) list;
   server_connections : int;
   rejected : int;
   evicted : int;
@@ -1361,6 +1595,8 @@ let stats t =
         served,
         retries,
         timeouts,
+        failovers,
+        forwards,
         rejected,
         evicted,
         drains_clean,
@@ -1377,6 +1613,8 @@ let stats t =
           t.served,
           t.retries,
           t.timeouts,
+          t.failovers,
+          t.forwards_followed,
           t.rejected,
           t.evicted,
           t.drains_clean,
@@ -1395,23 +1633,66 @@ let stats t =
           t.mux_peak,
           t.pool ))
   in
-  let breaker_trips, breaker_fast_fails =
+  let breaker_trips, breaker_fast_fails, breaker_states =
     match t.breaker with
-    | Some br -> (Breaker.trips br, Breaker.fast_fails br)
-    | None -> (0, 0)
+    | Some br ->
+        ( Breaker.trips br,
+          Breaker.fast_fails br,
+          List.map
+            (fun (key, st) -> (key, Breaker.state_to_string st))
+            (Breaker.states br) )
+    | None -> (0, 0, [])
   in
   (* Pool introspection outside the ORB lock: the pool has its own. *)
   let pool_depth, pool_active =
     match pool with Some p -> (Pool.depth p, Pool.active p) | None -> (0, 0)
   in
-  { opened; served; retries; timeouts; breaker_trips; breaker_fast_fails;
-    server_connections; rejected; evicted; drains_clean; drain_aborted_jobs;
-    pool_depth; pool_active; mux_in_flight; mux_peak_in_flight }
+  { opened; served; retries; timeouts; failovers; forwards; breaker_trips;
+    breaker_fast_fails; breaker_states; server_connections; rejected; evicted;
+    drains_clean; drain_aborted_jobs; pool_depth; pool_active; mux_in_flight;
+    mux_peak_in_flight }
+
+(* The stats snapshot as one JSON object — what an operator scrapes to
+   debug a failover decision after the fact. *)
+let stats_to_json (s : stats) =
+  Obs.Jout.(
+    obj
+      [
+        ("opened", int s.opened);
+        ("served", int s.served);
+        ("retries", int s.retries);
+        ("timeouts", int s.timeouts);
+        ("failovers", int s.failovers);
+        ("forwards", int s.forwards);
+        ("breaker_trips", int s.breaker_trips);
+        ("breaker_fast_fails", int s.breaker_fast_fails);
+        ( "breaker_states",
+          obj (List.map (fun (k, st) -> (k, str st)) s.breaker_states) );
+        ("server_connections", int s.server_connections);
+        ("rejected", int s.rejected);
+        ("evicted", int s.evicted);
+        ("drains_clean", int s.drains_clean);
+        ("drain_aborted_jobs", int s.drain_aborted_jobs);
+        ("pool_depth", int s.pool_depth);
+        ("pool_active", int s.pool_active);
+        ("mux_in_flight", int s.mux_in_flight);
+        ("mux_peak_in_flight", int s.mux_peak_in_flight);
+      ])
 
 let breaker_state t target =
   match t.breaker with
   | None -> None
   | Some br -> Some (Breaker.state br (endpoint_key (Objref.endpoint target)))
+
+(* Server-side location forwarding: after [set_forward], requests and
+   locates naming [oid] on this ORB are answered with a GIOP-style
+   redirect to [target] instead of being dispatched. *)
+let set_forward t ~oid target = Object_adapter.set_forward t.oa ~oid target
+let clear_forward t ~oid = Object_adapter.clear_forward t.oa ~oid
+
+(* Client-side introspection of the redirect cache (tests). *)
+let cached_forward_for t target = cached_forward t target
+let drop_cached_forward t target = invalidate_forward t target
 
 let key_counter = Atomic.make 1
 let servant_key () = Atomic.fetch_and_add key_counter 1
@@ -1494,6 +1775,73 @@ module Bootstrap = struct
         let n = d.Wire.Codec.get_len () in
         List.init n (fun _ -> d.Wire.Codec.get_string ())
     | None -> assert false
+end
+
+(* ------------------------------------------------------------------ *)
+(* Lease-based naming facade                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [Naming] (the compilation unit) is ORB-independent; this facade binds
+   its two halves to a live ORB: [serve] exports the servant, the client
+   calls go through [invoke], and [call] adds the refresh loop the lease
+   protocol implies — re-resolve on lease expiry (inside [current]) or
+   when every replica of the cached set is unreachable. *)
+module Naming = struct
+  include Naming
+
+  let serve ?config ?(oid = Naming.default_oid) t =
+    let registry = Naming.create ?config () in
+    let nref = export_named t ~oid (Naming.skeleton registry) in
+    (registry, nref)
+
+  let invoker ?timeout t : Naming.invoker =
+   fun target ~op marshal -> invoke t target ~op ?timeout marshal
+
+  let register ?timeout t nref ~name provider ~ttl =
+    Naming.register_via (invoker ?timeout t) nref ~name provider ~ttl
+
+  let unregister ?timeout t nref ~name provider =
+    Naming.unregister_via (invoker ?timeout t) nref ~name provider
+
+  let resolve ?timeout t nref ~name =
+    Naming.resolve_via (invoker ?timeout t) nref ~name
+
+  let list ?timeout t nref = Naming.list_via (invoker ?timeout t) nref
+
+  let resolver ?timeout t nref ~name =
+    Naming.resolver_via (invoker ?timeout t) nref ~name
+
+  (* One call through a resolver. On a failure that proves the cached
+     placement dead WITHOUT the request possibly executing (circuit
+     open, or a transient failure with no dispatch risk), the lease
+     cache is dropped and the call re-resolved and re-sent exactly once
+     — the duplicate-safety taxonomy outranks freshness, so an
+     ambiguous failure (deadline, fresh-connection receive error)
+     propagates instead of re-sending. *)
+  let call t rs ~op ?(oneway = false) ?timeout marshal =
+    let attempt () =
+      let dispatched = ref false in
+      let target = Naming.current rs in
+      match invoke_with t target ~op ~oneway ~timeout ~dispatched marshal with
+      | result -> Ok result
+      | exception e -> Error (e, !dispatched)
+    in
+    match attempt () with
+    | Ok r -> r
+    | Error (e, dispatched) ->
+        let refresh_safe =
+          (not dispatched)
+          &&
+          match e with
+          | Breaker.Circuit_open _ -> true
+          | Remote_exception _ | System_exception _ -> false
+          | e -> Retry.classify e = Retry.Transient
+        in
+        if not refresh_safe then raise e
+        else begin
+          Naming.invalidate rs;
+          match attempt () with Ok r -> r | Error (e, _) -> raise e
+        end
 end
 
 (* ------------------------------------------------------------------ *)

@@ -220,6 +220,16 @@ val invoke :
     [Some decoder] positioned at the reply payload, or [None] for oneway
     calls. [timeout] (seconds) overrides the ORB's [call_timeout] for
     this call.
+
+    A multi-endpoint [target] (see {!Objref.make_multi}) is one logical
+    object behind several replicas: each call picks a replica by
+    power-of-two-choices over the per-endpoint in-flight counts,
+    skipping breaker-open endpoints, and fails over to another replica
+    on duplicate-safe failures under the same retry budget. The wire
+    envelope always carries the chosen endpoint's single-endpoint view,
+    so pre-replication peers interoperate unchanged. A server may answer
+    with a GIOP-style location forward; the client follows it
+    transparently and caches the redirect per logical target.
     @raise Remote_exception for declared IDL exceptions.
     @raise System_exception for infrastructure failures.
     @raise Transport.Transport_error when the peer is unreachable (after
@@ -262,9 +272,17 @@ type stats = {
   served : int;  (** Requests dispatched by this address space. *)
   retries : int;  (** Invocation attempts beyond the first. *)
   timeouts : int;  (** Calls that hit their deadline. *)
+  failovers : int;
+      (** Attempts rerouted away from a failed or breaker-open replica
+          of a multi-endpoint target. *)
+  forwards : int;  (** [Locate_forward] redirects honoured. *)
   breaker_trips : int;  (** Circuit transitions to [Open] (0 if disabled). *)
   breaker_fast_fails : int;
       (** Calls rejected without touching the network (0 if disabled). *)
+  breaker_states : (string * string) list;
+      (** Per-endpoint circuit state, [(endpoint-key, "closed" | "open"
+          | "half-open")], sorted by endpoint — the post-hoc view of why
+          selection skipped a replica. Empty without a breaker. *)
   server_connections : int;
       (** Currently live accepted server-side connections. Closed
           communicators still awaiting reaping by their serving thread
@@ -290,9 +308,29 @@ type stats = {
 
 val stats : t -> stats
 
+val stats_to_json : stats -> string
+(** The snapshot as one JSON object (breaker states as a nested
+    object) — scrape-ready, like the bench outputs. *)
+
 val breaker_state : t -> Objref.t -> Breaker.state option
-(** Circuit state for the target's endpoint; [None] when no breaker is
-    configured. *)
+(** Circuit state for the target's primary endpoint; [None] when no
+    breaker is configured. *)
+
+(** {2 Location forwarding} *)
+
+val set_forward : t -> oid:string -> Objref.t -> unit
+(** Register a GIOP-style location forward on the {e server}: requests
+    and locates naming [oid] on this ORB are answered with a redirect to
+    the given reference instead of being dispatched. Clients follow the
+    redirect transparently (up to 4 hops), cache it per logical target,
+    and invalidate the cache when the forwarded placement fails. *)
+
+val clear_forward : t -> oid:string -> unit
+
+val cached_forward_for : t -> Objref.t -> Objref.t option
+(** This {e client's} cached redirect for a logical target, if any. *)
+
+val drop_cached_forward : t -> Objref.t -> unit
 
 val servant_key : unit -> int
 (** A process-unique servant identity, for {!export_cached} and stub
@@ -335,4 +373,54 @@ module Bootstrap : sig
 
   val unbind : t -> Objref.t -> name:string -> unit
   val list_names : t -> Objref.t -> string list
+end
+
+(** The ORB bindings of the lease-based naming service (see {!Naming}
+    for the protocol and the invoker-parameterized primitives). [serve]
+    exports the servant; the client calls go through this ORB's
+    {!invoke}, inheriting its retry, breaker, failover, and timeout
+    machinery. *)
+module Naming : sig
+  include module type of struct
+    include Naming
+  end
+
+  val serve : ?config:config -> ?oid:string -> t -> registry * Objref.t
+  (** Export a naming servant (default oid ["naming"]); returns the
+      registry (for in-process registration) and the servant's
+      reference. *)
+
+  val invoker : ?timeout:float -> t -> invoker
+
+  val register :
+    ?timeout:float -> t -> Objref.t -> name:string -> Objref.t ->
+    ttl:float -> float
+  (** Register (or renew) a provider of [name] at the naming servant;
+      returns the granted TTL in seconds. [ttl <= 0.] requests the
+      server's default lease. *)
+
+  val unregister :
+    ?timeout:float -> t -> Objref.t -> name:string -> Objref.t -> unit
+
+  val resolve :
+    ?timeout:float -> t -> Objref.t -> name:string -> (Objref.t * float) option
+  (** The merged multi-endpoint reference over the live replicas of
+      [name], with the remaining lease time in seconds. *)
+
+  val list : ?timeout:float -> t -> Objref.t -> string list
+
+  val resolver : ?timeout:float -> t -> Objref.t -> name:string -> resolver
+  (** A caching resolve handle bound to this ORB (see {!type-resolver}). *)
+
+  val call :
+    t -> resolver -> op:string -> ?oneway:bool -> ?timeout:float ->
+    (Wire.Codec.encoder -> unit) ->
+    Wire.Codec.decoder option
+  (** {!invoke} through a resolver: resolves (from cache while the lease
+      lasts), invokes, and on a failure that proves the cached placement
+      dead without any dispatch risk (circuit open, transient connection
+      failure) re-resolves and re-sends exactly once. Ambiguous failures
+      (deadline, fresh-connection receive errors) propagate without a
+      re-send — at-most-once is preserved.
+      @raise Unresolved when no provider is live. *)
 end

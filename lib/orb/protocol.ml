@@ -20,7 +20,8 @@ type message =
   | Request of request
   | Reply of reply
   | Locate_request of { req_id : int; target : Objref.t }
-  | Locate_reply of { rep_id : int; found : bool }
+  | Locate_reply of { rep_id : int; found : bool; forward : Objref.t option }
+  | Locate_forward of { rep_id : int; target : Objref.t }
 
 type t = {
   name : string;
@@ -42,6 +43,7 @@ let tag_request = 0
 let tag_reply = 1
 let tag_locate_request = 2
 let tag_locate_reply = 3
+let tag_locate_forward = 4
 
 let status_to_int = function
   | Status_ok -> 0
@@ -84,10 +86,22 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
         e.put_octet tag_locate_request;
         e.put_ulong req_id;
         e.put_string (Objref.to_string target)
-    | Locate_reply { rep_id; found } ->
+    | Locate_reply { rep_id; found; forward } -> (
         e.put_octet tag_locate_reply;
         e.put_ulong rep_id;
-        e.put_bool found);
+        e.put_bool found;
+        (* The forward slot (a GIOP OBJECT_FORWARD-style redirect) is
+           appended AFTER the historical fields and omitted when absent,
+           exactly like the request's service-context slot: a no-forward
+           locate reply stays byte-identical to the pre-slot encoding,
+           and pre-slot peers skip a present slot as trailing bytes. *)
+        match forward with
+        | None -> ()
+        | Some target -> e.put_string (Objref.to_string target))
+    | Locate_forward { rep_id; target } ->
+        e.put_octet tag_locate_forward;
+        e.put_ulong rep_id;
+        e.put_string (Objref.to_string target));
     e.finish ()
   in
   let decode_limited limits bytes =
@@ -140,7 +154,29 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
            is unspecified in OCaml). *)
         let rep_id = d.get_ulong () in
         let found = d.get_bool () in
-        Locate_reply { rep_id; found })
+        (* Old peers never send the forward slot; its absence decodes as
+           no-forward. *)
+        let forward =
+          if d.at_end () then None
+          else
+            let s = d.get_string () in
+            match Objref.of_string_opt s with
+            | Some r -> Some r
+            | None ->
+                raise
+                  (Protocol_error
+                     (Printf.sprintf "malformed forward reference %S" s))
+        in
+        Locate_reply { rep_id; found; forward })
+      else if tag = tag_locate_forward then (
+        let rep_id = d.get_ulong () in
+        let target_s = d.get_string () in
+        match Objref.of_string_opt target_s with
+        | Some target -> Locate_forward { rep_id; target }
+        | None ->
+            raise
+              (Protocol_error
+                 (Printf.sprintf "malformed forward target %S" target_s)))
       else raise (Protocol_error (Printf.sprintf "unknown message tag %d" tag))
     with Wire.Codec.Type_error m -> raise (Protocol_error m)
   in

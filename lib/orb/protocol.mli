@@ -45,7 +45,16 @@ type message =
   | Locate_request of { req_id : int; target : Objref.t }
       (** GIOP's LocateRequest: "is this object here?" — answered without
           dispatching anything. *)
-  | Locate_reply of { rep_id : int; found : bool }
+  | Locate_reply of { rep_id : int; found : bool; forward : Objref.t option }
+      (** [forward] is the GIOP OBJECT_FORWARD answer — "it lives there
+          now". Encoded after the historical fields and omitted when
+          [None], so peers that predate the slot interoperate in both
+          directions: they ignore a present slot as trailing bytes, and
+          its absence decodes as no-forward. *)
+  | Locate_forward of { rep_id : int; target : Objref.t }
+      (** GIOP's LOCATION_FORWARD reply status: sent instead of a
+          {!Reply} when the requested object has moved; the client
+          should re-issue the request against [target]. *)
 
 type t = {
   name : string;

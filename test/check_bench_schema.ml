@@ -377,6 +377,82 @@ let check_e11 path root =
     (List.length cells)
     (int_of_float (List.fold_left (fun a c -> a +. want_num c "ok") 0. cells))
 
+(* ---------------- E12: replica kill/restart failover ---------------- *)
+
+let check_e12 path root =
+  ignore (want_str root "transport");
+  let duration = want_num root "duration_s" in
+  check (duration > 0.) "duration_s must be > 0";
+  let bucket_s = want_num root "bucket_s" in
+  check (bucket_s > 0.) "bucket_s must be > 0";
+  check (want_num root "replicas" >= 3.) "replicas must be >= 3";
+  check (want_num root "clients" > 0.) "clients must be > 0";
+  let kill_at = want_num root "kill_at_s" in
+  let restart_at = want_num root "restart_at_s" in
+  check (kill_at > 0. && kill_at < restart_at && restart_at < duration)
+    "timeline must order 0 < kill < restart < duration";
+  check (want_num root "reset_timeout_s" > 0.) "reset_timeout_s must be > 0";
+  let steady = want_num root "steady_ok_per_s" in
+  check (steady > 0.) "steady_ok_per_s must be > 0";
+  check (want_num root "recovery_ok_per_s" >= 0.)
+    "recovery_ok_per_s must be >= 0";
+  let ratio = want_num root "recovery_ratio" in
+  (* The acceptance invariant: after a replica kill, throughput is back
+     to >= 80% of steady state within one breaker half-open window. *)
+  check (want_bool root "recovered_within_window")
+    (Printf.sprintf
+       "throughput must recover to >= 80%% of steady within one breaker \
+        window (got %.0f%%)"
+       (100. *. ratio));
+  check (ratio >= 0.8) "recovery_ratio must agree with recovered_within_window";
+  let ok_total = want_num root "ok_total" in
+  let failed_total = want_num root "failed_total" in
+  check (ok_total > 0.) "ok_total must be > 0";
+  (* Bounded error rate: a replica kill may fail the calls caught on
+     the dying connection, never a meaningful share of the run. *)
+  check (failed_total <= 0.05 *. ok_total)
+    (Printf.sprintf "failed_total must stay under 5%% of ok (got %.0f/%.0f)"
+       failed_total ok_total);
+  check (want_num root "failovers" >= 1.)
+    "the kill must force at least one failover";
+  List.iter
+    (fun f ->
+      check (want_num root f >= 0.) (Printf.sprintf "%s must be >= 0" f))
+    [ "p95_steady_ms"; "p95_outage_ms"; "p95_after_restart_ms" ];
+  check (want_num root "p95_steady_ms" > 0.) "p95_steady_ms must be > 0";
+  let served = want_arr root "replica_served" in
+  check
+    (List.length served = int_of_float (want_num root "replicas"))
+    "replica_served must have one entry per replica";
+  List.iter
+    (fun v ->
+      match v with
+      | Num f -> check (f > 0.) "every replica (incl. restarted) must serve"
+      | _ -> raise (Bad "replica_served entries must be numbers"))
+    served;
+  let buckets = want_arr root "buckets" in
+  check (List.length buckets >= 10) "buckets must cover the timeline";
+  List.iter
+    (fun b ->
+      check (want_num b "t_s" >= 0.) "bucket t_s must be >= 0";
+      check (want_num b "ok" >= 0.) "bucket ok must be >= 0";
+      check (want_num b "failed" >= 0.) "bucket failed must be >= 0")
+    buckets;
+  (* Failures, if any, must be confined to the kill/restart transitions
+     — no bucket outside those windows may fail calls. *)
+  List.iter
+    (fun b ->
+      let t = want_num b "t_s" in
+      let near at = t >= at -. bucket_s && t <= at +. (2. *. bucket_s) in
+      if want_num b "failed" > 0. then
+        check
+          (near kill_at || near restart_at)
+          (Printf.sprintf "failures outside the kill/restart windows (t=%.2fs)"
+             t))
+    buckets;
+  Printf.printf "%s: schema OK (recovery %.0f%%, %d ok, %d failed)\n" path
+    (100. *. ratio) (int_of_float ok_total) (int_of_float failed_total)
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
   let ic = open_in_bin path in
@@ -389,6 +465,7 @@ let () =
     | "E9" -> check_e9 path root
     | "E10" -> check_e10 path root
     | "E11" -> check_e11 path root
+    | "E12" -> check_e12 path root
     | other -> raise (Bad (Printf.sprintf "unknown experiment %S" other))
   with Bad msg ->
     Printf.eprintf "%s: schema check FAILED: %s\n" path msg;

@@ -201,7 +201,7 @@ let probe a target ~req_id ~deadline =
       let rec await budget =
         if budget = 0 then failwith "probe: reply flood without locate reply";
         match Orb.Communicator.recv a.comm with
-        | Orb.Protocol.Locate_reply { rep_id; found } when rep_id = req_id ->
+        | Orb.Protocol.Locate_reply { rep_id; found; _ } when rep_id = req_id ->
             if not found then failwith "probe: object vanished";
             ()
         | _ -> await (budget - 1)
@@ -347,10 +347,206 @@ let run_proto ~ptag (pname, proto) =
   Orb.shutdown client;
   Orb.shutdown server
 
+(* ------------------------------------------------------------------ *)
+(* Client-mux fuzzing: hostile locate replies and forwards             *)
+(* ------------------------------------------------------------------ *)
+
+(* The stage above attacks the SERVER with hostile requests; this one
+   attacks the CLIENT's reply demultiplexer with hostile locate-layer
+   frames — the new surface the replication work opened up. A "replica"
+   that answers every request with a damaged [Locate_forward] /
+   [Locate_reply] (truncated forward objref, rep_id matching nothing)
+   must cost the client exactly one connection: the tainted one. A call
+   pipelined to a HEALTHY replica over its own connection at the same
+   moment must complete untouched — the mux may never kill across
+   connections. *)
+
+type client_mutation =
+  | Fwd_truncated_objref  (* Locate_forward whose target won't parse *)
+  | Fwd_bogus_rep_id  (* well-formed forward for a rep_id nobody sent *)
+  | Locreply_truncated_forward  (* Locate_reply, damaged forward slot *)
+  | Locreply_bogus_rep_id  (* well-formed locate reply, orphan rep_id *)
+
+let client_mutation_name = function
+  | Fwd_truncated_objref -> "fwd-truncated-objref"
+  | Fwd_bogus_rep_id -> "fwd-bogus-rep-id"
+  | Locreply_truncated_forward -> "locreply-truncated-fwd"
+  | Locreply_bogus_rep_id -> "locreply-bogus-rep-id"
+
+let valid_forward_string =
+  Orb.Objref.to_string
+    (Orb.Objref.make ~proto:"tcp" ~host:"nowhere" ~port:1 ~oid:"1"
+       ~type_id:"IDL:Fuzz/Echo:1.0")
+
+let hostile_locate_body proto kind ~req_id =
+  let e = proto.Orb.Protocol.codec.Wire.Codec.encoder () in
+  (match kind with
+  | Fwd_truncated_objref ->
+      e.Wire.Codec.put_octet 4;
+      e.Wire.Codec.put_ulong req_id;
+      e.Wire.Codec.put_string "@tcp:h"
+  | Fwd_bogus_rep_id ->
+      e.Wire.Codec.put_octet 4;
+      e.Wire.Codec.put_ulong (req_id + 555_000);
+      e.Wire.Codec.put_string valid_forward_string
+  | Locreply_truncated_forward ->
+      e.Wire.Codec.put_octet 3;
+      e.Wire.Codec.put_ulong req_id;
+      e.Wire.Codec.put_bool true;
+      e.Wire.Codec.put_string "@tcp"
+  | Locreply_bogus_rep_id ->
+      e.Wire.Codec.put_octet 3;
+      e.Wire.Codec.put_ulong (req_id + 555_000);
+      e.Wire.Codec.put_bool true);
+  e.Wire.Codec.finish ()
+
+(* A replica gone hostile: speaks honest framing, answers every request
+   with the mutation currently selected by [kind]. *)
+let start_hostile_replica proto kind =
+  let listener = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
+  let rng = Random.State.make [| !seed |] in
+  let serve chan =
+    let comm = Orb.Communicator.wrap proto chan in
+    try
+      while true do
+        match Orb.Communicator.recv comm with
+        | Orb.Protocol.Request { Orb.Protocol.req_id; _ }
+        | Orb.Protocol.Locate_request { req_id; _ } ->
+            chan.Orb.Transport.write
+              (frame proto ~damage_header:false rng
+                 (hostile_locate_body proto !kind ~req_id))
+        | _ -> ()
+      done
+    with _ -> ( try chan.Orb.Transport.close () with _ -> ())
+  in
+  ignore
+    (Thread.create
+       (fun () ->
+         try
+           while true do
+             let chan = listener.Orb.Transport.accept () in
+             ignore (Thread.create serve chan)
+           done
+         with _ -> ())
+       ());
+  listener
+
+let run_client_mux (pname, proto) =
+  let healthy =
+    Orb.create ~protocol:proto ~transport:"mem" ~host:"local" ()
+  in
+  Orb.start healthy;
+  let healthy_target =
+    Orb.export healthy
+      (Orb.Skeleton.create ~type_id:"IDL:Fuzz/Echo:1.0"
+         [
+           ( "slow",
+             fun _ results ->
+               Thread.delay 0.02;
+               results.Wire.Codec.put_string "slow-done" );
+           ("echo", fun _ results -> results.Wire.Codec.put_string "ok");
+         ])
+  in
+  let kind = ref Fwd_truncated_objref in
+  let listener = start_hostile_replica proto kind in
+  let hostile_target =
+    Orb.Objref.make ~proto:"mem" ~host:"local"
+      ~port:listener.Orb.Transport.bound_port ~oid:"666"
+      ~type_id:"IDL:Fuzz/Echo:1.0"
+  in
+  (* No retries (each hostile exchange must surface) and a breaker that
+     never opens (every iteration must reach the wire). *)
+  let client =
+    Orb.create ~protocol:proto ~transport:"mem" ~host:"local"
+      ~retry:{ Orb.Retry.default with max_attempts = 1 }
+      ~breaker:{ Orb.Breaker.default_config with failure_threshold = 1_000_000 }
+      ()
+  in
+  let kinds =
+    [|
+      Fwd_truncated_objref; Fwd_bogus_rep_id; Locreply_truncated_forward;
+      Locreply_bogus_rep_id;
+    |]
+  in
+  let iters = max (Array.length kinds) (!count / 25) in
+  for i = 0 to iters - 1 do
+    kind := kinds.(i mod Array.length kinds);
+    if !verbose then
+      Printf.printf "[%s mux %3d] %s\n%!" pname i (client_mutation_name !kind);
+    (* A call in flight on the healthy replica's connection while the
+       tainted one dies: it must land, not become collateral damage. *)
+    let slow_result = ref `Pending in
+    let waiter =
+      Thread.create
+        (fun () ->
+          slow_result :=
+            match
+              Orb.invoke client healthy_target ~op:"slow" (fun _ -> ())
+            with
+            | Some d -> `Got (d.Wire.Codec.get_string ())
+            | None -> `Err "no reply"
+            | exception e -> `Err (Printexc.to_string e))
+        ()
+    in
+    Thread.delay 0.005;
+    (match
+       Orb.invoke client hostile_target ~op:"echo" ~timeout:5.0 (fun e ->
+           e.Wire.Codec.put_string "x")
+     with
+    | _ ->
+        raise
+          (Probe_failed
+             (Printf.sprintf "%s mux iteration %d (%s): hostile frame accepted"
+                pname i (client_mutation_name !kind)))
+    | exception (Probe_failed _ as e) -> raise e
+    | exception _ -> ());
+    Thread.join waiter;
+    (match !slow_result with
+    | `Got "slow-done" -> ()
+    | `Got other ->
+        raise
+          (Probe_failed
+             (Printf.sprintf "%s mux iteration %d: healthy reply corrupted: %S"
+                pname i other))
+    | `Pending | `Err _ ->
+        raise
+          (Probe_failed
+             (Printf.sprintf
+                "%s mux iteration %d (%s): call on the HEALTHY replica was \
+                 collateral damage: %s"
+                pname i (client_mutation_name !kind)
+                (match !slow_result with `Err m -> m | _ -> "no result"))));
+    (* And the healthy connection still pipelines fresh calls. *)
+    match Orb.invoke client healthy_target ~op:"echo" (fun _ -> ()) with
+    | Some d when d.Wire.Codec.get_string () = "ok" -> ()
+    | _ ->
+        raise
+          (Probe_failed
+             (Printf.sprintf "%s mux iteration %d: healthy replica unreachable"
+                pname i))
+  done;
+  (* The client never tore down the healthy replica's connection: the
+     server still holds exactly the one it accepted. *)
+  let sc = (Orb.stats healthy).Orb.server_connections in
+  if sc <> 1 then
+    raise
+      (Probe_failed
+         (Printf.sprintf
+            "%s: healthy replica holds %d connections, want 1 — the mux \
+             killed across connections"
+            pname sc));
+  Printf.printf
+    "%-6s %5d hostile locate frames: only tainted connections died\n%!" pname
+    iters;
+  listener.Orb.Transport.shutdown ();
+  Orb.shutdown client;
+  Orb.shutdown healthy
+
 let () =
   let protos = [ ("text", Orb.Protocol.text); ("giop", Giop.protocol ()) ] in
   match
-    List.iteri (fun ptag p -> run_proto ~ptag:(ptag + 1) p) protos
+    List.iteri (fun ptag p -> run_proto ~ptag:(ptag + 1) p) protos;
+    List.iter run_client_mux protos
   with
   | () -> ()
   | exception Probe_failed msg ->

@@ -1,0 +1,325 @@
+(* Replicated endpoints end-to-end (DESIGN.md "Replication and
+   naming"): a three-replica mem-transport cluster behind one
+   multi-endpoint reference. Kill a replica mid-flight and the
+   collateral waiters must land on the survivors; once its breaker
+   opens the endpoint is skipped outright; an ambiguous failure on an
+   at-most-once operation is never re-sent; and a lapsed naming lease
+   makes the resolver go back to the naming servant. *)
+
+let sensor_type = "IDL:Failover/Sensor:1.0"
+let oid = "sensor"
+
+type replica = { orb : Orb.t; r : Orb.Objref.t; count : int ref }
+
+(* One replica: counts every dispatched call, so the tests can assert
+   both load spread and (for at-most-once) exactly-how-many-times. *)
+let start_replica () =
+  let orb = Orb.create ~transport:"mem" ~host:"local" () in
+  Orb.start orb;
+  let count = ref 0 in
+  let m = Mutex.create () in
+  let bump () = Mutex.protect m (fun () -> incr count) in
+  let skel =
+    Orb.Skeleton.create ~type_id:sensor_type
+      [
+        ( "get",
+          fun _ results ->
+            bump ();
+            results.Wire.Codec.put_long 7 );
+        ( "slow",
+          fun _ results ->
+            bump ();
+            Thread.delay 0.08;
+            results.Wire.Codec.put_long 7 );
+        ( "bump_slow",
+          fun _ results ->
+            bump ();
+            Thread.delay 0.3;
+            results.Wire.Codec.put_long 7 );
+      ]
+  in
+  let r = Orb.export_named orb ~oid skel in
+  { orb; r; count }
+
+let multi_ref replicas =
+  Orb.Objref.make_multi
+    ~endpoints:(List.map (fun rep -> Orb.Objref.endpoint rep.r) replicas)
+    ~oid ~type_id:sensor_type
+
+let ep_key rep =
+  let proto, host, port = Orb.Objref.endpoint rep.r in
+  Printf.sprintf "%s:%s:%d" proto host port
+
+let get client target =
+  match Orb.invoke client target ~op:"get" (fun _ -> ()) with
+  | Some d -> d.Wire.Codec.get_long ()
+  | None -> Alcotest.fail "get returned no reply"
+
+let shutdown_all replicas = List.iter (fun rep -> Orb.shutdown rep.orb) replicas
+
+(* ---------------- load spread ---------------- *)
+
+let test_calls_spread_over_replicas () =
+  let replicas = List.init 3 (fun _ -> start_replica ()) in
+  let client = Orb.create ~transport:"mem" ~host:"local" () in
+  let target = multi_ref replicas in
+  for _ = 1 to 60 do
+    Alcotest.(check int) "result" 7 (get client target)
+  done;
+  let counts = List.map (fun rep -> !(rep.count)) replicas in
+  Alcotest.(check int) "total" 60 (List.fold_left ( + ) 0 counts);
+  List.iteri
+    (fun i c ->
+      if c = 0 then
+        Alcotest.failf "replica %d starved: spread %s" i
+          (String.concat "/" (List.map string_of_int counts)))
+    counts;
+  Orb.shutdown client;
+  shutdown_all replicas
+
+(* ---------------- mid-flight replica death ---------------- *)
+
+let test_midflight_death_lands_on_survivors () =
+  let replicas = List.init 3 (fun _ -> start_replica ()) in
+  let client =
+    Orb.create ~transport:"mem" ~host:"local"
+      ~retry:{ Orb.Retry.default with max_attempts = 4; base_delay = 0.005 }
+      ~breaker:{ Orb.Breaker.default_config with failure_threshold = 1 }
+      ()
+  in
+  let target = multi_ref replicas in
+  (* Prime a connection to every replica so the kill hits cached,
+     in-use connections, not fresh dials. *)
+  for _ = 1 to 12 do
+    ignore (get client target)
+  done;
+  let results = Array.make 8 `Pending in
+  let threads =
+    Array.init (Array.length results) (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              (match
+                 Orb.invoke client target ~op:"slow" (fun _ -> ())
+               with
+              | Some d -> `Ok (d.Wire.Codec.get_long ())
+              | None -> `Err "no reply"
+              | exception e -> `Err (Printexc.to_string e)))
+          ())
+  in
+  (* Kill one replica while those calls are in flight. *)
+  Thread.delay 0.02;
+  let doomed = List.hd replicas in
+  Orb.shutdown doomed.orb;
+  Array.iter Thread.join threads;
+  Array.iteri
+    (fun i res ->
+      match res with
+      | `Ok 7 -> ()
+      | `Ok n -> Alcotest.failf "waiter %d: corrupted result %d" i n
+      | `Err m -> Alcotest.failf "waiter %d did not land on a survivor: %s" i m
+      | `Pending -> Alcotest.failf "waiter %d never finished" i)
+    results;
+  (* And the cluster keeps serving without the dead replica. *)
+  for _ = 1 to 10 do
+    Alcotest.(check int) "after death" 7 (get client target)
+  done;
+  Orb.shutdown client;
+  shutdown_all (List.tl replicas)
+
+(* ---------------- breaker-open endpoints are skipped ---------------- *)
+
+let test_breaker_open_endpoint_skipped () =
+  let replicas = List.init 3 (fun _ -> start_replica ()) in
+  let client =
+    Orb.create ~transport:"mem" ~host:"local"
+      ~retry:{ Orb.Retry.default with max_attempts = 4; base_delay = 0.005 }
+      ~breaker:
+        (* A long cool-down: the circuit must stay open for the whole
+           assertion window, no half-open probes muddying the stats. *)
+        { Orb.Breaker.failure_threshold = 1; reset_timeout = 60.0 }
+      ()
+  in
+  let target = multi_ref replicas in
+  let doomed = List.hd replicas in
+  let doomed_key = ep_key doomed in
+  Orb.shutdown doomed.orb;
+  (* Call until the dead endpoint has been picked once and its breaker
+     tripped (power-of-two-choices may dodge it for a while). *)
+  let tripped = ref false in
+  let budget = ref 100 in
+  while (not !tripped) && !budget > 0 do
+    decr budget;
+    ignore (get client target);
+    match List.assoc_opt doomed_key (Orb.stats client).Orb.breaker_states with
+    | Some "open" -> tripped := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "breaker opened for dead endpoint" true !tripped;
+  (* From here on the dead endpoint is invisible to selection: no new
+     failovers, no new retries, every call lands first try. *)
+  let before = Orb.stats client in
+  for _ = 1 to 30 do
+    Alcotest.(check int) "steady" 7 (get client target)
+  done;
+  let after = Orb.stats client in
+  Alcotest.(check int) "no failovers once open" before.Orb.failovers
+    after.Orb.failovers;
+  Alcotest.(check int) "no retries once open" before.Orb.retries
+    after.Orb.retries;
+  Orb.shutdown client;
+  shutdown_all (List.tl replicas)
+
+(* ---------------- at-most-once: ambiguous failures ---------------- *)
+
+let test_ambiguous_failure_never_resent () =
+  let replicas = List.init 3 (fun _ -> start_replica ()) in
+  let client =
+    (* A generous retry budget ON PURPOSE: what must stop the re-send
+       is the duplicate-safety taxonomy, not an exhausted budget. *)
+    Orb.create ~transport:"mem" ~host:"local"
+      ~retry:{ Orb.Retry.default with max_attempts = 5; base_delay = 0.005 }
+      ()
+  in
+  let target = multi_ref replicas in
+  (* Prime connections so the timed-out call rides a cached one — the
+     most tempting case for a (wrong) resend. *)
+  for _ = 1 to 6 do
+    ignore (get client target)
+  done;
+  List.iter (fun rep -> rep.count := 0) replicas;
+  (match
+     Orb.invoke client target ~op:"bump_slow" ~timeout:0.05 (fun _ -> ())
+   with
+  | _ -> Alcotest.fail "expected a deadline failure"
+  | exception Orb.Transport.Timeout _ -> ()
+  | exception e ->
+      Alcotest.failf "expected Timeout, got %s" (Printexc.to_string e));
+  (* Let the dispatched handler finish, then count dispatches: the
+     operation ran at most once, on exactly one replica — an ambiguous
+     deadline failure is never re-sent, not even to another replica. *)
+  Thread.delay 0.45;
+  let total = List.fold_left (fun acc rep -> acc + !(rep.count)) 0 replicas in
+  Alcotest.(check int) "dispatched exactly once" 1 total;
+  Alcotest.(check int) "no retry burned" 0 (Orb.stats client).Orb.retries;
+  Orb.shutdown client;
+  shutdown_all replicas
+
+(* ---------------- lease expiry and re-resolution ---------------- *)
+
+let test_lease_expiry_triggers_reresolve () =
+  let ns = Orb.create ~transport:"mem" ~host:"local" () in
+  Orb.start ns;
+  let _registry, nref = Orb.Naming.serve ns in
+  let replicas = List.init 2 (fun _ -> start_replica ()) in
+  let client = Orb.create ~transport:"mem" ~host:"local" () in
+  List.iter
+    (fun rep ->
+      ignore (Orb.Naming.register client nref ~name:"s" rep.r ~ttl:0.3))
+    replicas;
+  let rs = Orb.Naming.resolver client nref ~name:"s" in
+  let t1 = Orb.Naming.current rs in
+  Alcotest.(check int) "one resolve" 1 (Orb.Naming.resolves rs);
+  Alcotest.(check int) "both endpoints" 2
+    (List.length (Orb.Objref.endpoints t1));
+  (* Within the lease: served from cache. *)
+  ignore (Orb.Naming.current rs);
+  ignore (Orb.Naming.current rs);
+  Alcotest.(check int) "cached within lease" 1 (Orb.Naming.resolves rs);
+  (* Past the lease: the providers renewed meanwhile (that is the
+     protocol — registration is renewal), and the client's next use
+     goes back to the naming servant instead of its lapsed cache. *)
+  Thread.delay 0.4;
+  List.iter
+    (fun rep ->
+      ignore (Orb.Naming.register client nref ~name:"s" rep.r ~ttl:30.))
+    replicas;
+  ignore (Orb.Naming.current rs);
+  Alcotest.(check int) "re-resolved after expiry" 2 (Orb.Naming.resolves rs);
+  Orb.shutdown client;
+  shutdown_all replicas;
+  Orb.shutdown ns
+
+let test_all_replicas_down_triggers_reresolve () =
+  let ns = Orb.create ~transport:"mem" ~host:"local" () in
+  Orb.start ns;
+  let _registry, nref = Orb.Naming.serve ns in
+  let old_rep = start_replica () in
+  let client =
+    Orb.create ~transport:"mem" ~host:"local" ~retry:Orb.Retry.none ()
+  in
+  ignore (Orb.Naming.register client nref ~name:"s" old_rep.r ~ttl:30.);
+  let rs = Orb.Naming.resolver client nref ~name:"s" in
+  Alcotest.(check int) "warm call" 7
+    (match Orb.Naming.call client rs ~op:"get" (fun _ -> ()) with
+    | Some d -> d.Wire.Codec.get_long ()
+    | None -> -1);
+  (* The registered replica dies and a replacement registers — long
+     before the client's cached lease would have lapsed. *)
+  Orb.shutdown old_rep.orb;
+  Orb.Naming.unregister client nref ~name:"s" old_rep.r;
+  let new_rep = start_replica () in
+  ignore (Orb.Naming.register client nref ~name:"s" new_rep.r ~ttl:30.);
+  (* The failure is duplicate-safe (nothing was dispatched), so the
+     call path re-resolves and lands on the replacement. *)
+  Alcotest.(check int) "call after re-resolve" 7
+    (match Orb.Naming.call client rs ~op:"get" (fun _ -> ()) with
+    | Some d -> d.Wire.Codec.get_long ()
+    | None -> -1);
+  Alcotest.(check int) "resolved twice" 2 (Orb.Naming.resolves rs);
+  Alcotest.(check int) "replacement served it" 1 !(new_rep.count);
+  Orb.shutdown client;
+  Orb.shutdown new_rep.orb;
+  Orb.shutdown ns
+
+(* ---------------- old-format interop ---------------- *)
+
+let test_old_format_reference_invokes_unchanged () =
+  let rep = start_replica () in
+  let client = Orb.create ~transport:"mem" ~host:"local" () in
+  (* A pre-replication peer's reference string: single endpoint, no
+     comma — parses and invokes exactly as before. *)
+  let s = Orb.Objref.to_string rep.r in
+  Alcotest.(check bool) "no comma" false (String.contains s ',');
+  let parsed = Orb.Objref.of_string s in
+  Alcotest.(check int) "invoke via reparsed ref" 7 (get client parsed);
+  (* And a multi-endpoint reference narrowed to one replica prints the
+     old grammar — what actually travels in every envelope. *)
+  let proto, host, port = Orb.Objref.endpoint rep.r in
+  let multi =
+    Orb.Objref.make_multi
+      ~endpoints:[ (proto, host, port); ("tcp", "ghost", 1) ]
+      ~oid ~type_id:sensor_type
+  in
+  Alcotest.(check string) "narrowed view is the old grammar" s
+    (Orb.Objref.to_string (Orb.Objref.at_endpoint multi (proto, host, port)));
+  Orb.shutdown client;
+  Orb.shutdown rep.orb
+
+let () =
+  Alcotest.run "failover"
+    [
+      ( "replication",
+        [
+          Alcotest.test_case "calls spread over replicas" `Quick
+            test_calls_spread_over_replicas;
+          Alcotest.test_case "mid-flight death lands on survivors" `Quick
+            test_midflight_death_lands_on_survivors;
+          Alcotest.test_case "breaker-open endpoint skipped" `Quick
+            test_breaker_open_endpoint_skipped;
+          Alcotest.test_case "ambiguous failure never re-sent" `Quick
+            test_ambiguous_failure_never_resent;
+        ] );
+      ( "naming",
+        [
+          Alcotest.test_case "lease expiry triggers re-resolve" `Quick
+            test_lease_expiry_triggers_reresolve;
+          Alcotest.test_case "all replicas down triggers re-resolve" `Quick
+            test_all_replicas_down_triggers_reresolve;
+        ] );
+      ( "interop",
+        [
+          Alcotest.test_case "old-format reference invokes unchanged" `Quick
+            test_old_format_reference_invokes_unchanged;
+        ] );
+    ]

@@ -43,6 +43,111 @@ let test_endpoint () =
   Alcotest.(check (triple string string int)) "endpoint"
     ("tcp", "galaxy.nec.com", 1234) (Orb.Objref.endpoint r)
 
+(* ---------------- replicated endpoint sets ---------------- *)
+
+let multi_example = "@tcp:h1:1234,tcp:h2:1234,tcp:h3:4321#9876#IDL:Heidi/A:1.0"
+
+let test_multi_parse_print () =
+  let r = Orb.Objref.of_string multi_example in
+  Alcotest.(check bool) "is_multi" true (Orb.Objref.is_multi r);
+  Alcotest.(check (list (triple string string int)))
+    "endpoints"
+    [ ("tcp", "h1", 1234); ("tcp", "h2", 1234); ("tcp", "h3", 4321) ]
+    (Orb.Objref.endpoints r);
+  Alcotest.(check (triple string string int))
+    "primary" ("tcp", "h1", 1234) (Orb.Objref.endpoint r);
+  Alcotest.(check string) "oid" "9876" r.Orb.Objref.oid;
+  Alcotest.(check string) "print" multi_example (Orb.Objref.to_string r)
+
+let test_single_endpoint_unchanged () =
+  (* The historical grammar must survive the extension untouched: a
+     single-endpoint reference prints with no comma and is not multi. *)
+  let r = Orb.Objref.of_string paper_example in
+  Alcotest.(check bool) "is_multi" false (Orb.Objref.is_multi r);
+  Alcotest.(check (list (triple string string int)))
+    "endpoints" [ ("tcp", "galaxy.nec.com", 1234) ] (Orb.Objref.endpoints r);
+  Alcotest.(check string) "print" paper_example (Orb.Objref.to_string r)
+
+let test_at_endpoint () =
+  let r = Orb.Objref.of_string multi_example in
+  let v = Orb.Objref.at_endpoint r ("tcp", "h2", 1234) in
+  Alcotest.(check bool) "single view" false (Orb.Objref.is_multi v);
+  Alcotest.(check string) "view prints single"
+    "@tcp:h2:1234#9876#IDL:Heidi/A:1.0" (Orb.Objref.to_string v);
+  Alcotest.(check string) "oid preserved" r.Orb.Objref.oid v.Orb.Objref.oid
+
+let test_multi_malformed () =
+  List.iter
+    (fun s ->
+      match Orb.Objref.of_string_opt s with
+      | None -> ()
+      | Some _ -> Alcotest.failf "expected parse failure for %S" s)
+    [
+      (* duplicate endpoint *)
+      "@tcp:h1:1#o#t" ^ ",tcp:h1:1#o#t";
+      "@tcp:h1:1,tcp:h1:1#o#t";
+      (* empty slots in the list *)
+      "@tcp:h1:1,#o#t";
+      "@,tcp:h1:1#o#t";
+      "@tcp:h1:1,,tcp:h2:1#o#t";
+      (* malformed member *)
+      "@tcp:h1:1,tcp:h2#o#t";
+      "@tcp:h1:1,tcp:h2:notaport#o#t";
+      "@tcp:h1:1,:h2:1#o#t";
+      "@tcp:h1:1,tcp::1#o#t";
+    ]
+
+let test_make_multi_validation () =
+  let expect_invalid label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  in
+  expect_invalid "empty set" (fun () ->
+      Orb.Objref.make_multi ~endpoints:[] ~oid:"o" ~type_id:"t");
+  expect_invalid "duplicate" (fun () ->
+      Orb.Objref.make_multi
+        ~endpoints:[ ("tcp", "h", 1); ("tcp", "h", 1) ]
+        ~oid:"o" ~type_id:"t");
+  expect_invalid "comma in host" (fun () ->
+      Orb.Objref.make_multi
+        ~endpoints:[ ("tcp", "h,x", 1) ]
+        ~oid:"o" ~type_id:"t");
+  expect_invalid "hash in proto" (fun () ->
+      Orb.Objref.make_multi
+        ~endpoints:[ ("t#cp", "h", 1) ]
+        ~oid:"o" ~type_id:"t");
+  expect_invalid "empty host" (fun () ->
+      Orb.Objref.make_multi ~endpoints:[ ("tcp", "", 1) ] ~oid:"o" ~type_id:"t");
+  expect_invalid "bad port" (fun () ->
+      Orb.Objref.make_multi
+        ~endpoints:[ ("tcp", "h", 70000) ]
+        ~oid:"o" ~type_id:"t");
+  expect_invalid "with_endpoints duplicate" (fun () ->
+      Orb.Objref.with_endpoints
+        (Orb.Objref.of_string paper_example)
+        [ ("tcp", "h", 1); ("tcp", "h", 1) ])
+
+let test_to_string_cache_multi () =
+  (* The memoized printer must not conflate a multi-endpoint reference
+     with its single-endpoint primary view (same oid/type), nor go
+     stale across [with_endpoints]. *)
+  let r = Orb.Objref.of_string multi_example in
+  let single = Orb.Objref.at_endpoint r (Orb.Objref.endpoint r) in
+  ignore (Orb.Objref.to_string r);
+  Alcotest.(check string) "single view after multi print"
+    "@tcp:h1:1234#9876#IDL:Heidi/A:1.0"
+    (Orb.Objref.to_string single);
+  Alcotest.(check string) "multi print stable" multi_example
+    (Orb.Objref.to_string r);
+  let narrowed = Orb.Objref.with_endpoints r [ ("tcp", "h2", 1234) ] in
+  Alcotest.(check string) "narrowed prints narrowed"
+    "@tcp:h2:1234#9876#IDL:Heidi/A:1.0"
+    (Orb.Objref.to_string narrowed);
+  (* Round-trip through the cache-heavy path: print, parse, print. *)
+  Alcotest.(check string) "reparse stable" multi_example
+    (Orb.Objref.to_string (Orb.Objref.of_string (Orb.Objref.to_string r)))
+
 let gen_objref =
   QCheck.Gen.(
     let* proto = oneofl [ "tcp"; "mem"; "udp" ] in
@@ -57,6 +162,42 @@ let roundtrip_prop =
     (QCheck.make ~print:Orb.Objref.to_string gen_objref)
     (fun r -> Orb.Objref.equal r (Orb.Objref.of_string (Orb.Objref.to_string r)))
 
+(* Generated endpoint sets: 1-5 distinct endpoints drawn from a pool
+   wide enough to exercise list order, single-member sets, and hosts
+   that stress the separator grammar. *)
+let gen_multi_objref =
+  QCheck.Gen.(
+    let gen_ep =
+      let* proto = oneofl [ "tcp"; "mem"; "udp" ] in
+      let* host = oneofl [ "h1"; "h2"; "10.0.0.1"; "r-3.example"; "local" ] in
+      let* port = map (fun p -> p + 1) (int_bound 65534) in
+      return (proto, host, port)
+    in
+    let* n = int_range 1 5 in
+    let* eps = list_repeat n gen_ep in
+    let distinct = List.sort_uniq compare eps in
+    (* Dedup preserving first-occurrence order, so the generator never
+       trips make_multi's duplicate rejection. *)
+    let ordered =
+      List.filter (fun e -> List.mem e distinct)
+        (List.fold_left
+           (fun acc e -> if List.mem e acc then acc else acc @ [ e ])
+           [] eps)
+    in
+    let* oid = oneofl [ "1"; "9876"; "bootstrap" ] in
+    let* type_id = oneofl [ "IDL:Heidi/A:1.0"; "IDL:X:2.0" ] in
+    return (Orb.Objref.make_multi ~endpoints:ordered ~oid ~type_id))
+
+let multi_roundtrip_prop =
+  QCheck.Test.make ~count:500
+    ~name:"multi-endpoint objref round-trips with endpoint set intact"
+    (QCheck.make ~print:Orb.Objref.to_string gen_multi_objref)
+    (fun r ->
+      let r' = Orb.Objref.of_string (Orb.Objref.to_string r) in
+      Orb.Objref.equal r r'
+      && Orb.Objref.endpoints r = Orb.Objref.endpoints r'
+      && Orb.Objref.is_multi r = Orb.Objref.is_multi r')
+
 let () =
   Alcotest.run "objref"
     [
@@ -67,5 +208,18 @@ let () =
           Alcotest.test_case "malformed references" `Quick test_malformed;
           Alcotest.test_case "endpoint" `Quick test_endpoint;
           QCheck_alcotest.to_alcotest roundtrip_prop;
+        ] );
+      ( "endpoint sets",
+        [
+          Alcotest.test_case "multi parse-print" `Quick test_multi_parse_print;
+          Alcotest.test_case "single endpoint unchanged" `Quick
+            test_single_endpoint_unchanged;
+          Alcotest.test_case "at_endpoint view" `Quick test_at_endpoint;
+          Alcotest.test_case "malformed endpoint sets" `Quick test_multi_malformed;
+          Alcotest.test_case "make_multi validation" `Quick
+            test_make_multi_validation;
+          Alcotest.test_case "to_string cache with multi refs" `Quick
+            test_to_string_cache_multi;
+          QCheck_alcotest.to_alcotest multi_roundtrip_prop;
         ] );
     ]

@@ -36,7 +36,13 @@ let check_message proto msg =
           r.P.payload
     | P.Locate_request { req_id; target } ->
         Printf.sprintf "locate %d %s" req_id (Orb.Objref.to_string target)
-    | P.Locate_reply { rep_id; found } -> Printf.sprintf "located %d %b" rep_id found
+    | P.Locate_reply { rep_id; found; forward } ->
+        Printf.sprintf "located %d %b fwd=%s" rep_id found
+          (match forward with
+          | None -> "-"
+          | Some r -> Orb.Objref.to_string r)
+    | P.Locate_forward { rep_id; target } ->
+        Printf.sprintf "forward %d %s" rep_id (Orb.Objref.to_string target)
   in
   Alcotest.(check string) proto.P.name (render msg) (render back)
 
@@ -57,12 +63,49 @@ let test_request_roundtrip () =
              oneway = true; payload; trace_ctx = "" }))
     protocols
 
+let multi_target =
+  Orb.Objref.make_multi
+    ~endpoints:
+      [ ("tcp", "h1", 1234); ("tcp", "h2", 1234); ("mem", "local", 7) ]
+    ~oid:"9876" ~type_id:"IDL:Heidi/A:1.0"
+
 let test_locate_roundtrip () =
   List.iter
     (fun proto ->
       check_message proto (P.Locate_request { req_id = 5; target = sample_target });
-      check_message proto (P.Locate_reply { rep_id = 5; found = true });
-      check_message proto (P.Locate_reply { rep_id = 6; found = false }))
+      check_message proto (P.Locate_reply { rep_id = 5; found = true; forward = None });
+      check_message proto (P.Locate_reply { rep_id = 6; found = false; forward = None });
+      check_message proto
+        (P.Locate_reply { rep_id = 7; found = true; forward = Some sample_target });
+      check_message proto
+        (P.Locate_reply { rep_id = 8; found = true; forward = Some multi_target });
+      check_message proto (P.Locate_forward { rep_id = 9; target = sample_target });
+      check_message proto (P.Locate_forward { rep_id = 10; target = multi_target }))
+    protocols
+
+let test_multi_endpoint_request_roundtrip () =
+  (* A request whose target carries an endpoint set survives both
+     codecs' envelopes. *)
+  List.iter
+    (fun proto ->
+      check_message proto
+        (P.Request
+           { P.req_id = 42; target = multi_target; operation = "f";
+             oneway = false; payload = "x"; trace_ctx = "" }))
+    protocols
+
+let test_malformed_forward_rejected () =
+  (* A Locate_forward whose embedded reference is damaged must fail as a
+     protocol error, not leak a Type_error or a bogus objref. *)
+  List.iter
+    (fun proto ->
+      let e = proto.P.codec.Wire.Codec.encoder () in
+      e.Wire.Codec.put_octet 4;
+      e.Wire.Codec.put_ulong 1;
+      e.Wire.Codec.put_string "@tcp:h";
+      match proto.P.decode_message (e.Wire.Codec.finish ()) with
+      | exception P.Protocol_error _ -> ()
+      | _ -> Alcotest.failf "%s: malformed forward accepted" proto.P.name)
     protocols
 
 let test_reply_roundtrip () =
@@ -204,6 +247,65 @@ let test_empty_ctx_is_byte_identical_to_legacy () =
         (proto.P.encode_message (P.Request r)))
     protocols
 
+(* ---------------- locate-reply forward slot interop ---------------- *)
+
+(* The forward objref rides in a slot appended after the historical
+   locate-reply fields and omitted when [None] — same compatibility
+   scheme as the trace context, pinned in both directions. *)
+
+(* A locate reply exactly as pre-forward peers encoded it. *)
+let legacy_locate_encode proto ~rep_id ~found =
+  let e = proto.P.codec.Wire.Codec.encoder () in
+  e.Wire.Codec.put_octet 3;
+  e.Wire.Codec.put_ulong rep_id;
+  e.Wire.Codec.put_bool found;
+  e.Wire.Codec.finish ()
+
+(* ... and the matching pre-forward decoder, which never looks past
+   the [found] flag. *)
+let legacy_locate_decode proto bytes =
+  let d = proto.P.codec.Wire.Codec.decoder bytes in
+  let tag = d.Wire.Codec.get_octet () in
+  let rep_id = d.Wire.Codec.get_ulong () in
+  let found = d.Wire.Codec.get_bool () in
+  (tag, rep_id, found)
+
+let test_old_locate_peer_to_new_decoder () =
+  List.iter
+    (fun proto ->
+      let bytes = legacy_locate_encode proto ~rep_id:7 ~found:true in
+      match proto.P.decode_message bytes with
+      | P.Locate_reply { rep_id; found; forward } ->
+          Alcotest.(check int) (proto.P.name ^ " rep_id") 7 rep_id;
+          Alcotest.(check bool) (proto.P.name ^ " found") true found;
+          Alcotest.(check bool) (proto.P.name ^ " no forward") true (forward = None)
+      | _ -> Alcotest.fail "wrong message kind")
+    protocols
+
+let test_new_locate_peer_to_old_decoder () =
+  (* Bytes WITH a forward, read by the pre-forward decoder: the fields
+     it knows about decode unchanged; the forward is trailing bytes. *)
+  List.iter
+    (fun proto ->
+      let bytes =
+        proto.P.encode_message
+          (P.Locate_reply { rep_id = 9; found = true; forward = Some multi_target })
+      in
+      let tag, rep_id, found = legacy_locate_decode proto bytes in
+      Alcotest.(check int) (proto.P.name ^ " tag") 3 tag;
+      Alcotest.(check int) (proto.P.name ^ " rep_id") 9 rep_id;
+      Alcotest.(check bool) (proto.P.name ^ " found") true found)
+    protocols
+
+let test_no_forward_is_byte_identical_to_legacy () =
+  List.iter
+    (fun proto ->
+      Alcotest.(check string) proto.P.name
+        (legacy_locate_encode proto ~rep_id:11 ~found:false)
+        (proto.P.encode_message
+           (P.Locate_reply { rep_id = 11; found = false; forward = None })))
+    protocols
+
 let test_text_message_is_a_line () =
   let bytes = P.text.P.encode_message (sample_request "l1 s\"x\"") in
   Alcotest.(check bool) "no newline" false (String.contains bytes '\n')
@@ -248,7 +350,7 @@ let test_framing_preserves_message_boundaries () =
           let payload = function
             | P.Request r -> r.P.payload
             | P.Reply r -> r.P.payload
-            | P.Locate_request _ | P.Locate_reply _ -> ""
+            | P.Locate_request _ | P.Locate_reply _ | P.Locate_forward _ -> ""
           in
           Alcotest.(check string) proto.P.name (payload want) (payload have))
         msgs got)
@@ -283,6 +385,10 @@ let () =
           Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
           Alcotest.test_case "reply round-trip" `Quick test_reply_roundtrip;
           Alcotest.test_case "locate round-trip" `Quick test_locate_roundtrip;
+          Alcotest.test_case "multi-endpoint request round-trip" `Quick
+            test_multi_endpoint_request_roundtrip;
+          Alcotest.test_case "malformed forward rejected" `Quick
+            test_malformed_forward_rejected;
           Alcotest.test_case "payload encapsulation" `Quick test_payload_encapsulation;
           Alcotest.test_case "malformed messages" `Quick test_malformed_messages;
           Alcotest.test_case "bad target rejected" `Quick test_bad_target_rejected;
@@ -295,6 +401,12 @@ let () =
           Alcotest.test_case "new peer -> old decoder" `Quick test_new_peer_to_old_decoder;
           Alcotest.test_case "empty context is the legacy encoding" `Quick
             test_empty_ctx_is_byte_identical_to_legacy;
+          Alcotest.test_case "old locate peer -> new decoder" `Quick
+            test_old_locate_peer_to_new_decoder;
+          Alcotest.test_case "new locate peer -> old decoder" `Quick
+            test_new_locate_peer_to_old_decoder;
+          Alcotest.test_case "no forward is the legacy encoding" `Quick
+            test_no_forward_is_byte_identical_to_legacy;
         ] );
       ( "framing",
         [
