@@ -1204,6 +1204,10 @@ let figures () =
 
 let () =
   match Sys.argv with
+  | [| _; "--e9"; out |] ->
+      (* Full E9 only: the trace-overhead measurement at the real call
+         quota (the §E9 no-regression pin for Obs-layer changes). *)
+      e9 ~out ()
   | [| _; "--e9-smoke"; out |] ->
       (* CI smoke mode (`dune build @bench-smoke`): run only E9 with a
          tiny call quota, writing [out] for the schema check. *)

@@ -440,6 +440,91 @@ let lint_cmd =
         (const lint_run $ lint_files_arg $ against_arg $ lint_mapping_arg
        $ json_arg $ werror_arg $ enable_arg $ disable_arg $ explain_arg))
 
+(* ---------------- analyze-conc ---------------- *)
+
+let conc_run paths json werror enables disables explain =
+  match explain with
+  | Some "" ->
+      print_string (Analysis.Codes.table ());
+      print_newline ();
+      `Ok 0
+  | Some code -> (
+      match Analysis.Codes.explain code with
+      | Some text ->
+          print_string text;
+          `Ok 0
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown diagnostic code %S (try --explain with \
+                              no argument for the list)"
+                code ))
+  | None -> (
+      match
+        List.find_opt
+          (fun c -> not (Analysis.Codes.is_known c))
+          (enables @ disables)
+      with
+      | Some c -> `Error (false, Printf.sprintf "unknown diagnostic code %S" c)
+      | None when paths = [] ->
+          `Error (true, "no input paths (expected .ml files or directories)")
+      | None -> (
+          let reporter = Idl.Diag.reporter ~werror () in
+          List.iter (fun c -> Idl.Diag.set_enabled reporter c false) disables;
+          List.iter (fun c -> Idl.Diag.set_enabled reporter c true) enables;
+          try
+            List.iter (Analysis.Conc.check_path reporter) paths;
+            if json then print_string (Idl.Diag.render_json reporter)
+            else (
+              let text = Idl.Diag.render_text reporter in
+              if text <> "" then prerr_string text;
+              let e = Idl.Diag.error_count reporter
+              and w = Idl.Diag.warning_count reporter in
+              if e > 0 || w > 0 then
+                Printf.eprintf "%d error%s, %d warning%s\n" e
+                  (if e = 1 then "" else "s")
+                  w
+                  (if w = 1 then "" else "s"));
+            `Ok (if Idl.Diag.has_errors reporter then 1 else 0)
+          with Sys_error m ->
+            Printf.eprintf "idlc: %s\n" m;
+            `Ok 1))
+
+let conc_paths_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"PATH"
+        ~doc:
+          "OCaml sources to analyze: $(b,.ml) files, or directories \
+           searched recursively (skipping $(b,_build) and dot \
+           directories).")
+
+let conc_cmd =
+  let doc = "check the ORB sources' lock-rank discipline (C4xx)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses OCaml sources with the compiler's own parser and checks \
+         the concurrency conventions the runtime's $(b,Locked) module \
+         documents: rank-ordered lock acquisition (C401), no blocking \
+         calls under a lock (C402), no raw threading primitives outside \
+         locked.ml (C403), no unlocked mutation of module-level state \
+         (C404), no split atomic read-modify-write (C405), and every \
+         lock carrying a registered rank (C406).";
+      `P
+        "The pass is syntactic and per-file; the runtime checker \
+         (ORB_LOCK_CHECK=1) covers what wrappers hide from it. Use \
+         $(b,--explain) $(i,CODE) for the rationale behind any code.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "analyze-conc" ~doc ~man ~exits)
+    Term.(
+      ret
+        (const conc_run $ conc_paths_arg $ json_arg $ werror_arg $ enable_arg
+       $ disable_arg $ explain_arg))
+
 (* ---------------- entry point ---------------- *)
 
 let compile_cmd =
@@ -450,6 +535,9 @@ let compile_cmd =
       `P
         "$(b,lint) $(i,FILE)... — statically check IDL files, templates, \
          and interface evolution (see $(b,idlc lint --help)).";
+      `P
+        "$(b,analyze-conc) $(i,PATH)... — check OCaml sources against the \
+         ORB's lock-rank discipline (see $(b,idlc analyze-conc --help)).";
     ]
   in
   Cmd.v
@@ -470,6 +558,11 @@ let () =
           Cmd.eval_value
             ~argv:(Array.of_list ((argv0 ^ " lint") :: rest))
             lint_cmd
+    | argv0 :: "analyze-conc" :: rest ->
+        fun () ->
+          Cmd.eval_value
+            ~argv:(Array.of_list ((argv0 ^ " analyze-conc") :: rest))
+            conc_cmd
     | _ -> fun () -> Cmd.eval_value compile_cmd
   in
   match eval () with

@@ -8,7 +8,9 @@
       promoted to errors under [--werror]; per-code [--disable]/[--enable].
     - [T2xx] — template static-checker findings.
     - [V3xx] — interface-evolution findings against an IR snapshot
-      ([W310] marks benign evolution). *)
+      ([W310] marks benign evolution).
+    - [C4xx] — concurrency findings over the ORB's own OCaml sources
+      ([idlc analyze-conc], implemented in {!Conc}). *)
 
 type info = {
   code : string;
@@ -149,6 +151,59 @@ let all : info list =
        order than in the snapshot. Protocols that address operations by \
        index (the paper's compact ESIOP-style encodings) dispatch to the \
        wrong method.";
+    e "C401" "lock acquisition violates the rank order"
+      "A Locked.with_lock nests inside another while the inner lock's \
+       rank is not strictly below the outer's (the table is \
+       Locked.Rank.all; higher ranks are outermost). Two threads taking \
+       the same pair of locks in opposite orders deadlock; the rank \
+       lattice makes cycles impossible by construction. The check is \
+       syntactic and per-file — nesting hidden behind wrapper functions \
+       is covered by the runtime checker (ORB_LOCK_CHECK=1) instead. \
+       Fix by reordering the acquisitions, or by restructuring so the \
+       inner work happens after the outer lock is released (collect \
+       under the lock, act outside it).";
+    e "C402" "blocking call while holding a lock"
+      "A call that can park the thread — a blocking Unix syscall \
+       (connect, accept, select, read, write, sleep, waitpid, ...), \
+       Thread.delay/join, or a Locked.wait on a lock other than the \
+       innermost one held — appears inside a with_lock scope. Every \
+       other thread needing that lock stalls for the full duration, \
+       and a wait on a foreign lock releases the wrong mutex, sleeping \
+       with the held one still taken. Restructure as a locked step \
+       function that returns a decision (`Poll remaining`) consumed by \
+       an unlocked retry loop — the pattern Pool.submit and \
+       Transport.Pipe.read_with use. Non-blocking teardown \
+       (Unix.shutdown, Unix.close) is deliberately exempt.";
+    w "C403" "raw threading primitive outside locked.ml"
+      "Mutex, Condition or Thread.create is used directly. Raw \
+       primitives bypass the rank table: the runtime checker cannot \
+       see the acquisition and the C401 analysis cannot rank it. Use \
+       Locked.create/with_lock/wait for locks and Locked.spawn for \
+       threads (it also clears the spawned thread's rank stack and \
+       contains stray exceptions). locked.ml itself is the one \
+       sanctioned implementation site.";
+    w "C404" "module-level mutable state mutated outside a lock"
+      "A top-level ref, Hashtbl or Buffer in a concurrency-aware file \
+       (one that references Locked/Thread/Atomic) is mutated outside \
+       any with_lock scope. Module-level state is reachable from every \
+       thread, so an unlocked := or Hashtbl.replace is a data race \
+       under OCaml's memory model. Guard the mutation with the owning \
+       lock, or make the cell an Atomic.t. (A read-only probe of a \
+       grow-only table can be sound, but the mutation itself must be \
+       locked — see Metrics.find_or_create.)";
+    w "C405" "atomic read-modify-write split into get and set"
+      "An Atomic.set whose value expression reads the same atomic with \
+       Atomic.get: between the read and the write another thread's \
+       update is silently lost. Use Atomic.incr/fetch_and_add for \
+       integers, or a compare_and_set retry loop for anything else \
+       (see Metrics.atomic_add_float for the sanctioned shape).";
+    e "C406" "lock created without a registered rank"
+      "A Locked.create whose ~rank argument is not a constant from \
+       Locked.Rank (the central rank table). Unranked locks cannot be \
+       ordered against the rest of the lattice, so neither the static \
+       C401 check nor the runtime checker can reason about them. Add \
+       the lock to Locked.Rank.all at the right height (outermost = \
+       highest) and reference it as ~rank:Locked.Rank.<name>.";
     w "W310" "benign interface evolution"
       "An addition relative to the IR snapshot: a new interface, \
        operation, attribute or parameter default. Old clients are \

@@ -2,7 +2,9 @@
 
     Families: [E0xx] front-end errors, [W1xx] lint findings, [T2xx]
     template-checker findings, [V3xx] evolution findings ([W310] = benign
-    evolution). [idlc lint --explain CODE] prints the long-form entry. *)
+    evolution), [C4xx] concurrency findings over the ORB's own sources
+    ([idlc analyze-conc], see {!Conc}). [idlc lint --explain CODE] prints
+    the long-form entry. *)
 
 type info = {
   code : string;

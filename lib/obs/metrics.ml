@@ -1,8 +1,14 @@
 (* Wire-level and call-level metrics: fixed-bucket latency histograms,
-   per-endpoint byte counters, and named event counters. One mutex per
-   registry — every operation is a few array/hashtable touches, so
-   contention is not a concern at the call rates the mem/tcp transports
-   reach. *)
+   per-endpoint byte counters, and named event counters.
+
+   Concurrency: the registry tables (name -> histogram/counter) sit
+   behind a [Locked.t] at rank [metrics], but every *cell* is atomic —
+   bucket counts, totals, byte counters and event counters are
+   [Atomic.t], float accumulators use compare-and-set loops. The lock
+   is only taken to find-or-create a cell, so the hot recording paths
+   are lock-free after first touch — the first concrete step of the
+   ROADMAP's domain-safe Obs (the remaining systhread assumption is
+   the unlocked table probe in [find_or_create]). *)
 
 (* Log-spaced 1-2-5 bucket upper bounds, in seconds: 1µs .. 5s, then an
    overflow bucket. Fixed buckets keep observation O(#buckets) with no
@@ -15,52 +21,69 @@ let default_bounds =
 
 type hist = {
   bounds : float array;
-  counts : int array;  (* length bounds + 1; last = overflow *)
-  mutable total : int;
-  mutable sum_s : float;
-  mutable max_s : float;
+  counts : int Atomic.t array;  (* length bounds + 1; last = overflow *)
+  total : int Atomic.t;
+  sum_s : float Atomic.t;
+  max_s : float Atomic.t;
 }
 
 type bytes_counter = {
-  mutable bytes_in : int;
-  mutable bytes_out : int;
-  mutable reads : int;
-  mutable writes : int;
+  bytes_in : int Atomic.t;
+  bytes_out : int Atomic.t;
+  reads : int Atomic.t;
+  writes : int Atomic.t;
 }
 
 type t = {
-  mutex : Mutex.t;
+  lock : Locked.t;  (* guards table *structure* only, never cell values *)
   hists : (string, hist) Hashtbl.t;
   bytes : (string, bytes_counter) Hashtbl.t;
-  counters : (string, int ref) Hashtbl.t;
-  gauges : (string, float) Hashtbl.t;  (* last-written-wins level values *)
+  counters : (string, int Atomic.t) Hashtbl.t;
+  gauges : (string, float Atomic.t) Hashtbl.t;  (* last-written-wins *)
 }
 
 let create () =
   {
-    mutex = Mutex.create ();
+    lock = Locked.create ~name:"metrics" ~rank:Locked.Rank.metrics;
     hists = Hashtbl.create 16;
     bytes = Hashtbl.create 8;
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 8;
   }
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+(* Accumulate a float into an atomic cell. Retry on collision; the
+   compare-and-set loop is the sanctioned read-modify-write shape
+   (expressing this as Atomic.get + Atomic.set is a C405). *)
+let rec atomic_add_float a x =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
 
-(* The recording paths below lock/unlock directly instead of going
-   through {!with_lock}: they are on the traced-call hot path (several
-   calls per invocation) and their bodies cannot raise, so the closure
-   allocation and Fun.protect frame would be pure overhead. *)
+let rec atomic_max_float a x =
+  let cur = Atomic.get a in
+  if x > cur && not (Atomic.compare_and_set a cur x) then atomic_max_float a x
+
+(* Find-or-create goes through the lock; the returned cell is then
+   updated atomically outside it, so two racing creators both end up
+   incrementing the same surviving cell. *)
+let find_or_create lock tbl key make =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v  (* benign unlocked probe: keys are never removed *)
+  | None ->
+      Locked.with_lock lock (fun () ->
+          match Hashtbl.find_opt tbl key with
+          | Some v -> v
+          | None ->
+              let v = make () in
+              Hashtbl.replace tbl key v;
+              v)
 
 let new_hist () =
   {
     bounds = default_bounds;
-    counts = Array.make (Array.length default_bounds + 1) 0;
-    total = 0;
-    sum_s = 0.;
-    max_s = 0.;
+    counts = Array.init (Array.length default_bounds + 1) (fun _ -> Atomic.make 0);
+    total = Atomic.make 0;
+    sum_s = Atomic.make 0.;
+    max_s = Atomic.make 0.;
   }
 
 let bucket_index bounds v =
@@ -71,53 +94,36 @@ let bucket_index bounds v =
 
 let observe t ~name seconds =
   if not (Float.is_nan seconds) then begin
-    Mutex.lock t.mutex;
-    let h =
-      match Hashtbl.find_opt t.hists name with
-      | Some h -> h
-      | None ->
-          let h = new_hist () in
-          Hashtbl.replace t.hists name h;
-          h
-    in
-    let i = bucket_index h.bounds seconds in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.total <- h.total + 1;
-    h.sum_s <- h.sum_s +. seconds;
-    if seconds > h.max_s then h.max_s <- seconds;
-    Mutex.unlock t.mutex
+    let h = find_or_create t.lock t.hists name new_hist in
+    Atomic.incr h.counts.(bucket_index h.bounds seconds);
+    Atomic.incr h.total;
+    atomic_add_float h.sum_s seconds;
+    atomic_max_float h.max_s seconds
   end
 
+let new_bytes () =
+  {
+    bytes_in = Atomic.make 0;
+    bytes_out = Atomic.make 0;
+    reads = Atomic.make 0;
+    writes = Atomic.make 0;
+  }
+
 let add_bytes t ~endpoint ~dir n =
-  Mutex.lock t.mutex;
-  let c =
-    match Hashtbl.find_opt t.bytes endpoint with
-    | Some c -> c
-    | None ->
-        let c = { bytes_in = 0; bytes_out = 0; reads = 0; writes = 0 } in
-        Hashtbl.replace t.bytes endpoint c;
-        c
-  in
-  (match dir with
+  let c = find_or_create t.lock t.bytes endpoint new_bytes in
+  match dir with
   | `In ->
-      c.bytes_in <- c.bytes_in + n;
-      c.reads <- c.reads + 1
+      ignore (Atomic.fetch_and_add c.bytes_in n);
+      Atomic.incr c.reads
   | `Out ->
-      c.bytes_out <- c.bytes_out + n;
-      c.writes <- c.writes + 1);
-  Mutex.unlock t.mutex
+      ignore (Atomic.fetch_and_add c.bytes_out n);
+      Atomic.incr c.writes
 
 let incr t ~name =
-  Mutex.lock t.mutex;
-  (match Hashtbl.find_opt t.counters name with
-  | Some r -> incr r
-  | None -> Hashtbl.replace t.counters name (ref 1));
-  Mutex.unlock t.mutex
+  Atomic.incr (find_or_create t.lock t.counters name (fun () -> Atomic.make 0))
 
 let set_gauge t ~name v =
-  Mutex.lock t.mutex;
-  Hashtbl.replace t.gauges name v;
-  Mutex.unlock t.mutex
+  Atomic.set (find_or_create t.lock t.gauges name (fun () -> Atomic.make 0.)) v
 
 (* ---------------- snapshots ---------------- *)
 
@@ -146,21 +152,23 @@ type snapshot = {
 }
 
 let snapshot t =
-  with_lock t (fun () ->
+  Locked.with_lock t.lock (fun () ->
       let latencies =
         Hashtbl.fold
-          (fun name h acc ->
+          (fun name (h : hist) acc ->
+            let total = Atomic.get h.total in
+            let sum_s = Atomic.get h.sum_s in
             let buckets =
               List.init (Array.length h.counts) (fun i ->
                   ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
-                    h.counts.(i) ))
+                    Atomic.get h.counts.(i) ))
             in
             {
               name;
-              total = h.total;
-              sum_s = h.sum_s;
-              max_s = h.max_s;
-              mean_s = (if h.total = 0 then nan else h.sum_s /. float_of_int h.total);
+              total;
+              sum_s;
+              max_s = Atomic.get h.max_s;
+              mean_s = (if total = 0 then nan else sum_s /. float_of_int total);
               buckets;
             }
             :: acc)
@@ -172,21 +180,21 @@ let snapshot t =
           (fun endpoint (c : bytes_counter) acc ->
             {
               endpoint;
-              bytes_in = c.bytes_in;
-              bytes_out = c.bytes_out;
-              reads = c.reads;
-              writes = c.writes;
+              bytes_in = Atomic.get c.bytes_in;
+              bytes_out = Atomic.get c.bytes_out;
+              reads = Atomic.get c.reads;
+              writes = Atomic.get c.writes;
             }
             :: acc)
           t.bytes []
         |> List.sort (fun a b -> compare a.endpoint b.endpoint)
       in
       let counters =
-        Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+        Hashtbl.fold (fun k r acc -> (k, Atomic.get r) :: acc) t.counters []
         |> List.sort compare
       in
       let gauges =
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges []
+        Hashtbl.fold (fun k v acc -> (k, Atomic.get v) :: acc) t.gauges []
         |> List.sort compare
       in
       { latencies; endpoints; counters; gauges })

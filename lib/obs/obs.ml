@@ -11,18 +11,18 @@ module Sink = Sink
 
 type t = {
   mutable on : bool;
-  mutex : Mutex.t;  (* guards [sinks] and the emit counter *)
+  lock : Locked.t;  (* guards [sinks]; rank [obs] *)
   mutable sinks : Sink.t list;  (* registration order; emit iterates as-is *)
-  mutable spans_emitted : int;
+  spans_emitted : int Atomic.t;
   metrics : Metrics.t;
 }
 
 let create ?(enabled = true) () =
   {
     on = enabled;
-    mutex = Mutex.create ();
+    lock = Locked.create ~name:"obs" ~rank:Locked.Rank.obs;
     sinks = [];
-    spans_emitted = 0;
+    spans_emitted = Atomic.make 0;
     metrics = Metrics.create ();
   }
 
@@ -31,24 +31,19 @@ let set_enabled t on = t.on <- on
 let metrics t = t.metrics
 
 let add_sink t sink =
-  Mutex.lock t.mutex;
-  (* Append: registration is rare, emit is per-span — keeping the list
-     in registration order saves a List.rev on every emit. *)
-  t.sinks <- t.sinks @ [ sink ];
-  Mutex.unlock t.mutex
+  Locked.with_lock t.lock (fun () ->
+      (* Append: registration is rare, emit is per-span — keeping the
+         list in registration order saves a List.rev on every emit. *)
+      t.sinks <- t.sinks @ [ sink ])
 
 let sink_names t =
-  Mutex.lock t.mutex;
-  let names = List.map (fun (s : Sink.t) -> s.Sink.name) t.sinks in
-  Mutex.unlock t.mutex;
-  names
+  Locked.with_lock t.lock (fun () ->
+      List.map (fun (s : Sink.t) -> s.Sink.name) t.sinks)
 
 let emit t span =
   if t.on then begin
-    Mutex.lock t.mutex;
-    let sinks = t.sinks in
-    t.spans_emitted <- t.spans_emitted + 1;
-    Mutex.unlock t.mutex;
+    let sinks = Locked.with_lock t.lock (fun () -> t.sinks) in
+    Atomic.incr t.spans_emitted;
     (* Sinks run outside the lock (a slow sink must not serialize the
        ORB) and never propagate: losing a span beats failing a call. *)
     List.iter (fun (s : Sink.t) -> try s.Sink.emit span with _ -> ()) sinks
@@ -66,14 +61,11 @@ let set_gauge t ~name v = if t.on then Metrics.set_gauge t.metrics ~name v
 
 type snapshot = { spans_emitted : int; metrics : Metrics.snapshot }
 
-let snapshot t =
-  let spans_emitted =
-    Mutex.lock t.mutex;
-    let n = t.spans_emitted in
-    Mutex.unlock t.mutex;
-    n
-  in
-  { spans_emitted; metrics = Metrics.snapshot t.metrics }
+let snapshot (t : t) =
+  {
+    spans_emitted = Atomic.get t.spans_emitted;
+    metrics = Metrics.snapshot t.metrics;
+  }
 
 let snapshot_to_json s =
   Jout.obj

@@ -2,7 +2,9 @@
    so applications can plug exporters without the ORB knowing about
    them; the stock sinks cover the two common needs — a bounded
    in-memory buffer for tests/benches and JSONL on stderr for ad-hoc
-   inspection of a live process. *)
+   inspection of a live process. Sink locks sit at the bottom of the
+   lock lattice (rank [sinks]): a sink may be invoked from any ORB
+   context and must never need another lock. *)
 
 type t = { name : string; emit : Trace.span -> unit }
 
@@ -12,42 +14,36 @@ let make ~name emit = { name; emit }
    dropped. [contents] returns spans oldest-first. *)
 let ring ?(capacity = 1024) () =
   let capacity = max 1 capacity in
-  let mutex = Mutex.create () in
+  let lock = Locked.create ~name:"sink.ring" ~rank:Locked.Rank.sinks in
   let buf = Array.make capacity None in
   let next = ref 0 in
   let count = ref 0 in
   let emit span =
-    Mutex.lock mutex;
-    buf.(!next) <- Some span;
-    next := (!next + 1) mod capacity;
-    if !count < capacity then incr count;
-    Mutex.unlock mutex
+    Locked.with_lock lock (fun () ->
+        buf.(!next) <- Some span;
+        next := (!next + 1) mod capacity;
+        if !count < capacity then incr count)
   in
   let contents () =
-    Mutex.lock mutex;
-    let n = !count in
-    let start = (!next - n + capacity) mod capacity in
-    let spans =
-      List.init n (fun i ->
-          match buf.((start + i) mod capacity) with
-          | Some s -> s
-          | None -> assert false (* slots below [count] are always filled *))
-    in
-    Mutex.unlock mutex;
-    spans
+    Locked.with_lock lock (fun () ->
+        let n = !count in
+        let start = (!next - n + capacity) mod capacity in
+        List.init n (fun i ->
+            match buf.((start + i) mod capacity) with
+            | Some s -> s
+            | None -> assert false (* slots below [count] are always filled *)))
   in
   ({ name = "ring"; emit }, contents)
 
 let stderr_jsonl () =
-  let mutex = Mutex.create () in
+  let lock = Locked.create ~name:"sink.stderr" ~rank:Locked.Rank.sinks in
   {
     name = "stderr-jsonl";
     emit =
       (fun span ->
         let line = Trace.to_json span ^ "\n" in
         (* One locked write per span keeps lines intact across threads. *)
-        Mutex.lock mutex;
-        output_string stderr line;
-        flush stderr;
-        Mutex.unlock mutex);
+        Locked.with_lock lock (fun () ->
+            output_string stderr line;
+            flush stderr));
   }

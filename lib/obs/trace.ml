@@ -39,8 +39,8 @@ let now () = Unix.gettimeofday ()
 
 (* Ids must be unique across address spaces (a trace spans processes),
    so the generator is seeded from wall clock + pid, not deterministic.
-   Random.State is not thread-safe; one mutex guards it. *)
-let id_mutex = Mutex.create ()
+   Random.State is not thread-safe; one lock guards it. *)
+let id_lock = Locked.create ~name:"trace.ids" ~rank:Locked.Rank.trace_ids
 
 let id_state =
   lazy
@@ -64,10 +64,10 @@ let hex_of_bits bits digits =
   Bytes.unsafe_to_string out
 
 let hex_id digits =
-  Mutex.lock id_mutex;
-  let st = Lazy.force id_state in
-  let bits = Random.State.int64 st Int64.max_int in
-  Mutex.unlock id_mutex;
+  let bits =
+    Locked.with_lock id_lock (fun () ->
+        Random.State.int64 (Lazy.force id_state) Int64.max_int)
+  in
   hex_of_bits bits digits
 
 let new_trace_id () = hex_id 16
@@ -75,11 +75,13 @@ let new_span_id () = hex_id 8
 
 (* Client spans need both ids; fuse the draws under one lock. *)
 let new_trace_and_span_ids () =
-  Mutex.lock id_mutex;
-  let st = Lazy.force id_state in
-  let b1 = Random.State.int64 st Int64.max_int in
-  let b2 = Random.State.int64 st Int64.max_int in
-  Mutex.unlock id_mutex;
+  let b1, b2 =
+    Locked.with_lock id_lock (fun () ->
+        let st = Lazy.force id_state in
+        let b1 = Random.State.int64 st Int64.max_int in
+        let b2 = Random.State.int64 st Int64.max_int in
+        (b1, b2))
+  in
   (hex_of_bits b1 16, hex_of_bits b2 8)
 
 (* ---------------- wire context ---------------- *)

@@ -28,7 +28,7 @@ type entry = {
 
 type t = {
   cfg : config;
-  mutex : Mutex.t;
+  lock : Locked.t;
   entries : (string, entry) Hashtbl.t;
   mutable trips : int;
   mutable fast_fails : int;
@@ -37,15 +37,13 @@ type t = {
 let create ?(config = default_config) () =
   {
     cfg = config;
-    mutex = Mutex.create ();
+    lock = Locked.create ~name:"breaker" ~rank:Locked.Rank.breaker;
     entries = Hashtbl.create 8;
     trips = 0;
     fast_fails = 0;
   }
 
-let with_mutex t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let with_mutex t f = Locked.with_lock t.lock f
 
 let entry t key =
   match Hashtbl.find_opt t.entries key with

@@ -16,20 +16,15 @@ let make ?(on_request = Fun.id) ?(on_reply = fun _ r -> r)
     ?(on_error = fun _ _ -> ()) name =
   { name; on_request; on_reply; on_error }
 
-type chain = { mutex : Mutex.t; mutable items : t list (* reversed *) }
+type chain = { lock : Locked.t; mutable items : t list (* reversed *) }
 
-let empty_chain () = { mutex = Mutex.create (); items = [] }
+let empty_chain () =
+  { lock = Locked.create ~name:"interceptor" ~rank:Locked.Rank.interceptor;
+    items = [] }
 
-let add chain i =
-  Mutex.lock chain.mutex;
-  chain.items <- i :: chain.items;
-  Mutex.unlock chain.mutex
+let add chain i = Locked.with_lock chain.lock (fun () -> chain.items <- i :: chain.items)
 
-let snapshot chain =
-  Mutex.lock chain.mutex;
-  let items = List.rev chain.items in
-  Mutex.unlock chain.mutex;
-  items
+let snapshot chain = Locked.with_lock chain.lock (fun () -> List.rev chain.items)
 
 let names chain = List.map (fun i -> i.name) (snapshot chain)
 
@@ -70,43 +65,27 @@ let logger emit =
   }
 
 let call_counter () =
-  let count = ref 0 in
-  let mutex = Mutex.create () in
+  let count = Atomic.make 0 in
   ( {
       name = "call-counter";
       on_request =
         (fun req ->
-          Mutex.lock mutex;
-          incr count;
-          Mutex.unlock mutex;
+          Atomic.incr count;
           req);
       on_reply = (fun _ rep -> rep);
       on_error = (fun _ _ -> ());
     },
-    fun () ->
-      Mutex.lock mutex;
-      let n = !count in
-      Mutex.unlock mutex;
-      n )
+    fun () -> Atomic.get count )
 
 let failure_counter () =
-  let count = ref 0 in
-  let mutex = Mutex.create () in
+  let count = Atomic.make 0 in
   ( {
       name = "failure-counter";
       on_request = Fun.id;
       on_reply = (fun _ rep -> rep);
-      on_error =
-        (fun _ _ ->
-          Mutex.lock mutex;
-          incr count;
-          Mutex.unlock mutex);
+      on_error = (fun _ _ -> Atomic.incr count);
     },
-    fun () ->
-      Mutex.lock mutex;
-      let n = !count in
-      Mutex.unlock mutex;
-      n )
+    fun () -> Atomic.get count )
 
 let deny pred ~reason =
   {

@@ -28,7 +28,7 @@ type lease = { provider : Objref.t; mutable expires_at : float }
 
 type registry = {
   cfg : config;
-  mutex : Mutex.t;
+  lock : Locked.t;
   entries : (string, lease list) Hashtbl.t;  (* name -> live-ish leases *)
   mutable grants : int;  (* registrations + renewals *)
   mutable expiries : int;  (* leases dropped because they lapsed *)
@@ -37,14 +37,14 @@ type registry = {
 let create ?(config = default_config) () =
   {
     cfg = config;
-    mutex = Mutex.create ();
+    lock = Locked.create ~name:"naming.registry" ~rank:Locked.Rank.naming_registry;
     entries = Hashtbl.create 16;
     grants = 0;
     expiries = 0;
   }
 
 (* Expiry is lazy: leases are pruned whenever their name is touched.
-   Call with [r.mutex] held. *)
+   Call with [r.lock] held. *)
 let prune_locked r name now =
   match Hashtbl.find_opt r.entries name with
   | None -> []
@@ -61,7 +61,7 @@ let granted_ttl r ttl =
 let grant r ~name provider ~ttl =
   let now = Unix.gettimeofday () in
   let granted = granted_ttl r ttl in
-  Mutex.protect r.mutex (fun () ->
+  Locked.with_lock r.lock (fun () ->
       let live = prune_locked r name now in
       (match List.find_opt (fun l -> Objref.equal l.provider provider) live with
       | Some l -> l.expires_at <- now +. granted  (* renewal *)
@@ -73,7 +73,7 @@ let grant r ~name provider ~ttl =
 
 let revoke r ~name provider =
   let now = Unix.gettimeofday () in
-  Mutex.protect r.mutex (fun () ->
+  Locked.with_lock r.lock (fun () ->
       match
         List.filter
           (fun l -> not (Objref.equal l.provider provider))
@@ -90,7 +90,7 @@ let revoke r ~name provider =
    then keeps the client ahead of every expiry. *)
 let lookup r ~name =
   let now = Unix.gettimeofday () in
-  Mutex.protect r.mutex (fun () ->
+  Locked.with_lock r.lock (fun () ->
       match prune_locked r name now with
       | [] -> None
       | first :: _ as live ->
@@ -121,13 +121,13 @@ let lookup r ~name =
 
 let names r =
   let now = Unix.gettimeofday () in
-  Mutex.protect r.mutex (fun () ->
+  Locked.with_lock r.lock (fun () ->
       let ns = Hashtbl.fold (fun k _ acc -> k :: acc) r.entries [] in
       List.sort compare
         (List.filter (fun n -> prune_locked r n now <> []) ns))
 
-let grants r = Mutex.protect r.mutex (fun () -> r.grants)
-let expiries r = Mutex.protect r.mutex (fun () -> r.expiries)
+let grants r = Locked.with_lock r.lock (fun () -> r.grants)
+let expiries r = Locked.with_lock r.lock (fun () -> r.expiries)
 
 (* The wire surface. TTLs travel as seconds in a double; a nil byref
    answers a failed resolve. *)
@@ -218,7 +218,7 @@ type resolver = {
   rs_call : invoker;
   rs_nref : Objref.t;
   rs_name : string;
-  rs_mutex : Mutex.t;
+  rs_lock : Locked.t;
   mutable rs_cached : (Objref.t * float) option;  (* target, lease deadline *)
   mutable rs_resolves : int;  (* trips to the naming service *)
 }
@@ -228,18 +228,19 @@ let resolver_via (call : invoker) nref ~name =
     rs_call = call;
     rs_nref = nref;
     rs_name = name;
-    rs_mutex = Mutex.create ();
+    rs_lock =
+      Locked.create ~name:"naming.resolver" ~rank:Locked.Rank.naming_resolver;
     rs_cached = None;
     rs_resolves = 0;
   }
 
-let invalidate rs = Mutex.protect rs.rs_mutex (fun () -> rs.rs_cached <- None)
-let resolves rs = Mutex.protect rs.rs_mutex (fun () -> rs.rs_resolves)
+let invalidate rs = Locked.with_lock rs.rs_lock (fun () -> rs.rs_cached <- None)
+let resolves rs = Locked.with_lock rs.rs_lock (fun () -> rs.rs_resolves)
 
 let current rs =
   let now = Unix.gettimeofday () in
   let cached =
-    Mutex.protect rs.rs_mutex (fun () ->
+    Locked.with_lock rs.rs_lock (fun () ->
         match rs.rs_cached with
         | Some (target, deadline) when deadline > now -> Some target
         | _ -> None)
@@ -251,12 +252,12 @@ let current rs =
          expirers may resolve twice, which is merely redundant. *)
       match resolve_via rs.rs_call rs.rs_nref ~name:rs.rs_name with
       | Some (target, ttl) ->
-          Mutex.protect rs.rs_mutex (fun () ->
+          Locked.with_lock rs.rs_lock (fun () ->
               rs.rs_cached <- Some (target, now +. ttl);
               rs.rs_resolves <- rs.rs_resolves + 1);
           target
       | None ->
-          Mutex.protect rs.rs_mutex (fun () ->
+          Locked.with_lock rs.rs_lock (fun () ->
               rs.rs_cached <- None;
               rs.rs_resolves <- rs.rs_resolves + 1);
           raise

@@ -1,5 +1,5 @@
 type t = {
-  mutex : Mutex.t;
+  lock : Locked.t;
   skeletons : (string, Skeleton.t) Hashtbl.t;
   by_key : (int, string) Hashtbl.t;  (* servant identity -> oid *)
   forwards : (string, Objref.t) Hashtbl.t;  (* oid -> redirect target *)
@@ -8,13 +8,12 @@ type t = {
 }
 
 let create () =
-  { mutex = Mutex.create (); skeletons = Hashtbl.create 64;
+  { lock = Locked.create ~name:"adapter" ~rank:Locked.Rank.adapter;
+    skeletons = Hashtbl.create 64;
     by_key = Hashtbl.create 64; forwards = Hashtbl.create 8; next_oid = 1;
     hits = 0 }
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let with_lock t f = Locked.with_lock t.lock f
 
 let register t skel =
   with_lock t (fun () ->

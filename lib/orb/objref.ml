@@ -65,7 +65,10 @@ let at_endpoint r (proto, host, port) =
    a workload that synthesizes references (one per call) cannot grow the
    table without limit. *)
 let to_string_cache : (t, string) Hashtbl.t = Hashtbl.create 64
-let to_string_mutex = Mutex.create ()
+
+let to_string_lock =
+  Locked.create ~name:"objref.to_string" ~rank:Locked.Rank.objref_cache
+
 let to_string_cache_max = 1024
 
 let add_endpoint buf (proto, host, port) =
@@ -76,38 +79,34 @@ let add_endpoint buf (proto, host, port) =
   Buffer.add_string buf (string_of_int port)
 
 let to_string r =
-  Mutex.lock to_string_mutex;
-  let s =
-    match Hashtbl.find_opt to_string_cache r with
-    | Some s -> s
-    | None ->
-        let s =
-          match r.extra with
-          | [] ->
-              Printf.sprintf "@%s:%s:%d#%s#%s" r.proto r.host r.port r.oid
-                r.type_id
-          | extra ->
-              let buf = Buffer.create 64 in
-              Buffer.add_char buf '@';
-              add_endpoint buf (r.proto, r.host, r.port);
-              List.iter
-                (fun ep ->
-                  Buffer.add_char buf ',';
-                  add_endpoint buf ep)
-                extra;
-              Buffer.add_char buf '#';
-              Buffer.add_string buf r.oid;
-              Buffer.add_char buf '#';
-              Buffer.add_string buf r.type_id;
-              Buffer.contents buf
-        in
-        if Hashtbl.length to_string_cache >= to_string_cache_max then
-          Hashtbl.reset to_string_cache;
-        Hashtbl.replace to_string_cache r s;
-        s
-  in
-  Mutex.unlock to_string_mutex;
-  s
+  Locked.with_lock to_string_lock @@ fun () ->
+  match Hashtbl.find_opt to_string_cache r with
+  | Some s -> s
+  | None ->
+      let s =
+        match r.extra with
+        | [] ->
+            Printf.sprintf "@%s:%s:%d#%s#%s" r.proto r.host r.port r.oid
+              r.type_id
+        | extra ->
+            let buf = Buffer.create 64 in
+            Buffer.add_char buf '@';
+            add_endpoint buf (r.proto, r.host, r.port);
+            List.iter
+              (fun ep ->
+                Buffer.add_char buf ',';
+                add_endpoint buf ep)
+              extra;
+            Buffer.add_char buf '#';
+            Buffer.add_string buf r.oid;
+            Buffer.add_char buf '#';
+            Buffer.add_string buf r.type_id;
+            Buffer.contents buf
+      in
+      if Hashtbl.length to_string_cache >= to_string_cache_max then
+        Hashtbl.reset to_string_cache;
+      Hashtbl.replace to_string_cache r s;
+      s
 
 (* One endpoint segment: proto:host:port — host may not contain ':',
    ',' or '#'; the proto may itself contain ':' (e.g. "faulty:mem"), so

@@ -84,7 +84,7 @@ type t = {
   policy : server_policy;
   mux_cfg : mux;  (* client connection-sharing policy *)
   oa : Object_adapter.t;
-  mutex : Mutex.t;  (* guards the mutable fields below *)
+  lock : Locked.t;  (* guards the mutable fields below; rank [connection_cache] *)
   mutable listener : Transport.listener option;
   mutable bound_port : int;
   mutable running : bool;
@@ -120,7 +120,7 @@ type t = {
    below owns all receives and the mutex covers only the send. *)
 and conn = {
   comm : Communicator.t;
-  conn_mutex : Mutex.t;
+  conn_lock : Locked.t;  (* send lock; rank [communicator] *)
   mux : mux_state option;
 }
 
@@ -131,8 +131,7 @@ and conn = {
    (reader I/O failure, send failure, a waiter's deadline expiring),
    after which every current and future waiter fails with that error. *)
 and mux_state = {
-  mx_mutex : Mutex.t;
-  mx_cond : Condition.t;  (* broadcast on: delivery, death, slot free *)
+  mx_lock : Locked.t;  (* rank [mux]; intrinsic cond: delivery/death/slot free *)
   mx_pending : (int, Protocol.message option ref) Hashtbl.t;
   mutable mx_dead : exn option;
   mutable mx_inflight : int;  (* registered waiters = replies owed *)
@@ -145,7 +144,7 @@ and mux_state = {
    serialized by [s_write]. *)
 and sconn = {
   scomm : Communicator.t;
-  s_write : Mutex.t;
+  s_write : Locked.t;  (* reply serialization; rank [communicator] *)
   mutable s_last_active : float;  (* for idle-LRU eviction *)
   mutable s_inflight : int;  (* requests read but not yet answered *)
 }
@@ -167,7 +166,7 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     policy = server_policy;
     mux_cfg = mux;
     oa = Object_adapter.create ();
-    mutex = Mutex.create ();
+    lock = Locked.create ~name:"orb" ~rank:Locked.Rank.connection_cache;
     listener = None;
     bound_port = 0;
     running = false;
@@ -216,15 +215,8 @@ let meter_channel t label chan =
     ~on_read:(fun n -> Obs.add_bytes obs ~endpoint:label ~dir:`In n)
     ~on_write:(fun n -> Obs.add_bytes obs ~endpoint:label ~dir:`Out n)
 
-let port t =
-  Mutex.lock t.mutex;
-  let p = t.bound_port in
-  Mutex.unlock t.mutex;
-  p
-
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let with_lock t f = Locked.with_lock t.lock f
+let port t = with_lock t (fun () -> t.bound_port)
 
 (* ---------------- server side ---------------- *)
 
@@ -336,10 +328,7 @@ let serve_connection t sc =
   (* Replies can come from several pool workers and the reader thread
      interleaved; the write mutex keeps each framed message whole. *)
   let send_msg msg =
-    Mutex.lock sc.s_write;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock sc.s_write)
-      (fun () -> Communicator.send comm msg)
+    Locked.with_lock sc.s_write (fun () -> Communicator.send comm msg)
   in
   let error_reply rep_id reason =
     send_msg
@@ -533,13 +522,15 @@ let start t =
               let sc =
                 {
                   scomm = comm;
-                  s_write = Mutex.create ();
+                  s_write =
+                    Locked.create ~name:"sconn.write"
+                      ~rank:Locked.Rank.communicator;
                   s_last_active = Unix.gettimeofday ();
                   s_inflight = 0;
                 }
               in
               admit_connection t sc;
-              ignore (Thread.create (fun () -> serve_connection t sc) ());
+              ignore (Locked.spawn "orb.serve" (fun () -> serve_connection t sc));
               loop t.policy.accept_backoff
           | exception Transport.Transport_error msg ->
               (* Two very different failures share this exception: the
@@ -559,7 +550,7 @@ let start t =
         in
         loop t.policy.accept_backoff
       in
-      ignore (Thread.create accept_loop ())
+      ignore (Locked.spawn "orb.accept" accept_loop)
 
 (* ---------------- client connection teardown ---------------- *)
 
@@ -573,11 +564,13 @@ let mux_gauge t mx n = Obs.set_gauge t.obs ~name:mx.mx_gauge (float_of_int n)
    exactly the stale-cached-connection semantics the serialized path
    always had. *)
 let mux_kill conn mx err =
-  Mutex.lock mx.mx_mutex;
-  let first = mx.mx_dead = None in
-  if first then mx.mx_dead <- Some err;
-  Condition.broadcast mx.mx_cond;
-  Mutex.unlock mx.mx_mutex;
+  let first =
+    Locked.with_lock mx.mx_lock (fun () ->
+        let first = mx.mx_dead = None in
+        if first then mx.mx_dead <- Some err;
+        Locked.broadcast mx.mx_lock;
+        first)
+  in
   if first then try Communicator.close conn.comm with _ -> ()
 
 (* Closing a muxed connection must go through [mux_kill]: besides
@@ -719,38 +712,34 @@ let mux_reader t conn mx =
      previous call) and the thread accounting at shutdown depend on.
      Returns [false] when the connection dies while idle. *)
   let await_work () =
-    Mutex.lock mx.mx_mutex;
-    let rec wait () =
-      if mx.mx_dead <> None then begin
-        Mutex.unlock mx.mx_mutex;
-        false
-      end
-      else if Hashtbl.length mx.mx_pending > 0 then begin
-        Mutex.unlock mx.mx_mutex;
-        true
-      end
-      else begin
-        Condition.wait mx.mx_cond mx.mx_mutex;
-        wait ()
-      end
-    in
-    wait ()
+    Locked.with_lock mx.mx_lock (fun () ->
+        let rec wait () =
+          if mx.mx_dead <> None then false
+          else if Hashtbl.length mx.mx_pending > 0 then true
+          else begin
+            Locked.wait mx.mx_lock;
+            wait ()
+          end
+        in
+        wait ())
   in
   let deliver rep_id reply =
-    Mutex.lock mx.mx_mutex;
-    match Hashtbl.find_opt mx.mx_pending rep_id with
-    | Some cell ->
-        cell := Some reply;
-        Hashtbl.remove mx.mx_pending rep_id;
-        mx.mx_inflight <- mx.mx_inflight - 1;
-        let n = mx.mx_inflight in
-        Condition.broadcast mx.mx_cond;
-        Mutex.unlock mx.mx_mutex;
+    let delivered =
+      Locked.with_lock mx.mx_lock (fun () ->
+          match Hashtbl.find_opt mx.mx_pending rep_id with
+          | Some cell ->
+              cell := Some reply;
+              Hashtbl.remove mx.mx_pending rep_id;
+              mx.mx_inflight <- mx.mx_inflight - 1;
+              Locked.broadcast mx.mx_lock;
+              Some mx.mx_inflight
+          | None -> None)
+    in
+    match delivered with
+    | Some n ->
         mux_gauge t mx n;
         true
-    | None ->
-        Mutex.unlock mx.mx_mutex;
-        false
+    | None -> false
   in
   let rec loop () =
     if not (await_work ()) then ()
@@ -810,8 +799,7 @@ let get_connection t endpoint =
         else
           Some
             {
-              mx_mutex = Mutex.create ();
-              mx_cond = Condition.create ();
+              mx_lock = Locked.create ~name:"mux" ~rank:Locked.Rank.mux;
               mx_pending = Hashtbl.create 16;
               mx_dead = None;
               mx_inflight = 0;
@@ -820,7 +808,9 @@ let get_connection t endpoint =
             }
       in
       let c =
-        { comm = Communicator.wrap t.proto chan; conn_mutex = Mutex.create ();
+        { comm = Communicator.wrap t.proto chan;
+          conn_lock =
+            Locked.create ~name:"conn.send" ~rank:Locked.Rank.communicator;
           mux }
       in
       let outcome =
@@ -838,7 +828,8 @@ let get_connection t endpoint =
              enters the cache — a race loser is closed before any
              request can be sent on it. *)
           (match c.mux with
-          | Some mx -> ignore (Thread.create (fun () -> mux_reader t c mx) ())
+          | Some mx ->
+              ignore (Locked.spawn "orb.mux_reader" (fun () -> mux_reader t c mx))
           | None -> ());
           (c, true)
       | `Lost winner ->
@@ -846,13 +837,22 @@ let get_connection t endpoint =
           (winner, false))
 
 let drop_connection t endpoint =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.conns endpoint with
-      | Some c ->
-          Hashtbl.remove t.conns endpoint;
-          close_connection c
-            (Transport.Transport_error "connection closed locally")
-      | None -> ())
+  (* The close (channel shutdown + demux teardown) runs outside the ORB
+     lock, like [drop_this_connection] and [shutdown] already do: a
+     lock-held close would stall every concurrent call behind this
+     endpoint's teardown syscalls. *)
+  let victim =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.conns endpoint with
+        | Some c ->
+            Hashtbl.remove t.conns endpoint;
+            Some c
+        | None -> None)
+  in
+  match victim with
+  | None -> ()
+  | Some c ->
+      close_connection c (Transport.Transport_error "connection closed locally")
 
 (* Identity-aware drop for failure paths that hold the failed connection:
    with many waiters waking from one connection death at once, the first
@@ -885,11 +885,10 @@ exception
    Still the entire story for [mux.max_in_flight <= 1] connections. *)
 let exchange_serialized conn msg ~oneway ~deadline
     ~(span : Obs.Trace.span option) =
-  Mutex.lock conn.conn_mutex;
+  Locked.with_lock conn.conn_lock @@ fun () ->
   Fun.protect
     ~finally:(fun () ->
-      (try Communicator.set_deadline conn.comm None with _ -> ());
-      Mutex.unlock conn.conn_mutex)
+      try Communicator.set_deadline conn.comm None with _ -> ())
     (fun () ->
       Communicator.set_deadline conn.comm deadline;
       let t0 = match span with Some _ -> Obs.Trace.now () | None -> 0. in
@@ -938,49 +937,51 @@ let exchange_mux t conn mx msg ~oneway ~deadline
      sender's return. A dead connection fails fast as a send-phase error:
      nothing was sent, the retry engine treats it exactly like the stale
      cached connection it is. *)
-  Mutex.lock mx.mx_mutex;
-  let rec admit () =
-    match mx.mx_dead with
-    | Some err ->
-        Mutex.unlock mx.mx_mutex;
-        fail_ `Send ~fatal:true err
-    | None ->
-        if oneway || mx.mx_inflight < mx.mx_limit then ()
-        else (
-          match deadline with
+  let admit_step () =
+    Locked.with_lock mx.mx_lock (fun () ->
+        let rec admit () =
+          match mx.mx_dead with
+          | Some err -> `Dead err
           | None ->
-              Condition.wait mx.mx_cond mx.mx_mutex;
-              admit ()
-          | Some d ->
-              let remaining = d -. Unix.gettimeofday () in
-              if remaining <= 0. then begin
-                Mutex.unlock mx.mx_mutex;
-                (* Never sent: the connection is healthy, just saturated.
-                   Not fatal — the cache entry stays. *)
-                fail_ `Send ~fatal:false
-                  (Transport.Timeout
-                     (Printf.sprintf
-                        "timed out waiting for an in-flight slot to %s"
-                        (Communicator.peer conn.comm)))
+              if oneway || mx.mx_inflight < mx.mx_limit then begin
+                let registered = not oneway in
+                if registered then begin
+                  Hashtbl.replace mx.mx_pending msg_id cell;
+                  mx.mx_inflight <- mx.mx_inflight + 1;
+                  (* Wake the reader: it parks on this condvar while
+                     nothing is in flight and only enters the transport
+                     read once it owes a reply. *)
+                  Locked.broadcast mx.mx_lock
+                end;
+                `Admitted (registered, mx.mx_inflight)
               end
-              else begin
-                Mutex.unlock mx.mx_mutex;
-                Thread.delay (Float.min Transport.poll_interval remaining);
-                Mutex.lock mx.mx_mutex;
-                admit ()
-              end)
+              else
+                match deadline with
+                | None ->
+                    Locked.wait mx.mx_lock;
+                    admit ()
+                | Some d ->
+                    let remaining = d -. Unix.gettimeofday () in
+                    if remaining <= 0. then `Saturated else `Poll remaining
+        in
+        admit ())
   in
-  admit ();
-  let registered = not oneway in
-  if registered then begin
-    Hashtbl.replace mx.mx_pending msg_id cell;
-    mx.mx_inflight <- mx.mx_inflight + 1;
-    (* Wake the reader: it parks on this condvar while nothing is in
-       flight and only enters the transport read once it owes a reply. *)
-    Condition.broadcast mx.mx_cond
-  end;
-  let inflight_now = mx.mx_inflight in
-  Mutex.unlock mx.mx_mutex;
+  let rec admit_loop () =
+    match admit_step () with
+    | `Poll remaining ->
+        Thread.delay (Float.min Transport.poll_interval remaining);
+        admit_loop ()
+    | `Dead err -> fail_ `Send ~fatal:true err
+    | `Saturated ->
+        (* Never sent: the connection is healthy, just saturated.
+           Not fatal — the cache entry stays. *)
+        fail_ `Send ~fatal:false
+          (Transport.Timeout
+             (Printf.sprintf "timed out waiting for an in-flight slot to %s"
+                (Communicator.peer conn.comm)))
+    | `Admitted (registered, inflight_now) -> (registered, inflight_now)
+  in
+  let registered, inflight_now = admit_loop () in
   if registered then begin
     mux_gauge t mx inflight_now;
     (* The unlocked read is a monotone hint; the lock re-checks. *)
@@ -989,22 +990,19 @@ let exchange_mux t conn mx msg ~oneway ~deadline
           if inflight_now > t.mux_peak then t.mux_peak <- inflight_now)
   end;
   let unregister () =
-    Mutex.lock mx.mx_mutex;
-    if Hashtbl.mem mx.mx_pending msg_id then begin
-      Hashtbl.remove mx.mx_pending msg_id;
-      mx.mx_inflight <- mx.mx_inflight - 1;
-      Condition.broadcast mx.mx_cond
-    end;
-    let n = mx.mx_inflight in
-    Mutex.unlock mx.mx_mutex;
+    let n =
+      Locked.with_lock mx.mx_lock (fun () ->
+          if Hashtbl.mem mx.mx_pending msg_id then begin
+            Hashtbl.remove mx.mx_pending msg_id;
+            mx.mx_inflight <- mx.mx_inflight - 1;
+            Locked.broadcast mx.mx_lock
+          end;
+          mx.mx_inflight)
+    in
     mux_gauge t mx n
   in
   let t0 = match span with Some _ -> Obs.Trace.now () | None -> 0. in
-  (try
-     Mutex.lock conn.conn_mutex;
-     Fun.protect
-       ~finally:(fun () -> Mutex.unlock conn.conn_mutex)
-       (fun () -> Communicator.send conn.comm msg)
+  (try Locked.with_lock conn.conn_lock (fun () -> Communicator.send conn.comm msg)
    with e ->
      (* A failed send may have left a partial frame on the wire: the
         stream is desynchronized for every in-flight call. Kill. *)
@@ -1021,57 +1019,58 @@ let exchange_mux t conn mx msg ~oneway ~deadline
   in
   if oneway then None
   else begin
-    Mutex.lock mx.mx_mutex;
-    let rec await () =
-      match !cell with
-      | Some reply ->
-          Mutex.unlock mx.mx_mutex;
+    let await_step () =
+      Locked.with_lock mx.mx_lock (fun () ->
+          let rec await () =
+            match !cell with
+            | Some reply -> `Got reply
+            | None -> (
+                match mx.mx_dead with
+                | Some err -> `Dead err
+                | None -> (
+                    match deadline with
+                    | None ->
+                        Locked.wait mx.mx_lock;
+                        await ()
+                    | Some d ->
+                        let remaining = d -. Unix.gettimeofday () in
+                        if remaining <= 0. then `Expired else `Poll remaining))
+          in
+          await ())
+    in
+    let rec await_loop () =
+      match await_step () with
+      | `Poll remaining ->
+          Thread.delay (Float.min Transport.poll_interval remaining);
+          await_loop ()
+      | `Got reply ->
           (match span with
           | Some s -> s.Obs.Trace.wait_s <- Obs.Trace.now () -. t1
           | None -> ());
           Some reply
-      | None -> (
-          match mx.mx_dead with
-          | Some err ->
-              Mutex.unlock mx.mx_mutex;
-              unregister ();
-              fail_ `Recv ~fatal:true err
-          | None -> (
-              match deadline with
-              | None ->
-                  Condition.wait mx.mx_cond mx.mx_mutex;
-                  await ()
-              | Some d ->
-                  let remaining = d -. Unix.gettimeofday () in
-                  if remaining <= 0. then begin
-                    Mutex.unlock mx.mx_mutex;
-                    unregister ();
-                    (* The stream still owes us a reply we will never
-                       consume; leaving the connection alive would hand
-                       that reply to some later call. Kill it — which is
-                       also what heals an endpoint whose reads stall:
-                       the cache entry goes, the next attempt dials
-                       fresh. Collateral waiters see a transport error
-                       (retry-classifiable), not our timeout. *)
-                    mux_kill conn mx
-                      (Transport.Transport_error
-                         (Printf.sprintf
-                            "connection to %s closed: a call deadline expired \
-                             mid-stream"
-                            (Communicator.peer conn.comm)));
-                    fail_ `Recv ~fatal:true
-                      (Transport.Timeout
-                         (Printf.sprintf "reply %d from %s timed out" msg_id
-                            (Communicator.peer conn.comm)))
-                  end
-                  else begin
-                    Mutex.unlock mx.mx_mutex;
-                    Thread.delay (Float.min Transport.poll_interval remaining);
-                    Mutex.lock mx.mx_mutex;
-                    await ()
-                  end))
+      | `Dead err ->
+          unregister ();
+          fail_ `Recv ~fatal:true err
+      | `Expired ->
+          unregister ();
+          (* The stream still owes us a reply we will never consume;
+             leaving the connection alive would hand that reply to some
+             later call. Kill it — which is also what heals an endpoint
+             whose reads stall: the cache entry goes, the next attempt
+             dials fresh. Collateral waiters see a transport error
+             (retry-classifiable), not our timeout. *)
+          mux_kill conn mx
+            (Transport.Transport_error
+               (Printf.sprintf
+                  "connection to %s closed: a call deadline expired \
+                   mid-stream"
+                  (Communicator.peer conn.comm)));
+          fail_ `Recv ~fatal:true
+            (Transport.Timeout
+               (Printf.sprintf "reply %d from %s timed out" msg_id
+                  (Communicator.peer conn.comm)))
     in
-    await ()
+    await_loop ()
   end
 
 let exchange t conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =

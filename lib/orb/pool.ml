@@ -9,7 +9,8 @@
 
    OCaml's [Condition] has no timed wait, so deadline-bounded waits poll
    at the transport layer's granularity — the same compromise
-   [Transport.Pipe.read_with] makes. *)
+   [Transport.Pipe.read_with] makes: each locked step either decides or
+   returns [`Poll], and the delay happens with the lock released. *)
 
 type admission = Reject | Block of float option
 
@@ -23,9 +24,9 @@ let default_config = { workers = 8; queue_capacity = 64; admission = Reject }
 
 type t = {
   config : config;
-  mutex : Mutex.t;
-  nonempty : Condition.t;  (* workers park here waiting for jobs *)
-  change : Condition.t;  (* space freed / job finished / state flipped *)
+  lock : Locked.t;  (* rank [pool] *)
+  nonempty : Locked.cond;  (* workers park here waiting for jobs *)
+  change : Locked.cond;  (* space freed / job finished / state flipped *)
   queue : (unit -> unit) Queue.t;
   mutable accepting : bool;
   mutable stopping : bool;
@@ -38,25 +39,24 @@ type t = {
 let poll_interval = 0.005
 
 let rec worker_loop t =
-  Mutex.lock t.mutex;
   let job =
-    let rec next () =
-      if not (Queue.is_empty t.queue) then begin
-        let job = Queue.pop t.queue in
-        t.active <- t.active + 1;
-        (* Queue space freed: wake blocked submitters. *)
-        Condition.broadcast t.change;
-        Some job
-      end
-      else if t.stopping then None
-      else begin
-        Condition.wait t.nonempty t.mutex;
-        next ()
-      end
-    in
-    next ()
+    Locked.with_lock t.lock (fun () ->
+        let rec next () =
+          if not (Queue.is_empty t.queue) then begin
+            let job = Queue.pop t.queue in
+            t.active <- t.active + 1;
+            (* Queue space freed: wake blocked submitters. *)
+            Locked.broadcast_c t.change;
+            Some job
+          end
+          else if t.stopping then None
+          else begin
+            Locked.wait_c t.nonempty;
+            next ()
+          end
+        in
+        next ())
   in
-  Mutex.unlock t.mutex;
   match job with
   | None -> ()  (* stopped and drained: the worker thread exits *)
   | Some job ->
@@ -64,11 +64,10 @@ let rec worker_loop t =
          responsible for error replies; residual exceptions here mean
          the connection died under it. *)
       (try job () with _ -> ());
-      Mutex.lock t.mutex;
-      t.active <- t.active - 1;
-      t.completed <- t.completed + 1;
-      Condition.broadcast t.change;
-      Mutex.unlock t.mutex;
+      Locked.with_lock t.lock (fun () ->
+          t.active <- t.active - 1;
+          t.completed <- t.completed + 1;
+          Locked.broadcast_c t.change);
       worker_loop t
 
 let create config =
@@ -79,12 +78,13 @@ let create config =
       queue_capacity = max 1 config.queue_capacity;
     }
   in
+  let lock = Locked.create ~name:"pool" ~rank:Locked.Rank.pool in
   let t =
     {
       config;
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      change = Condition.create ();
+      lock;
+      nonempty = Locked.new_cond lock;
+      change = Locked.new_cond lock;
       queue = Queue.create ();
       accepting = true;
       stopping = false;
@@ -95,116 +95,112 @@ let create config =
     }
   in
   for _ = 1 to config.workers do
-    ignore (Thread.create worker_loop t)
+    ignore (Locked.spawn "pool.worker" (fun () -> worker_loop t))
   done;
   t
 
 let submit t job =
-  Mutex.lock t.mutex;
-  let accept () =
-    Queue.push job t.queue;
-    t.submitted <- t.submitted + 1;
-    Condition.signal t.nonempty;
-    Mutex.unlock t.mutex;
-    `Accepted
-  in
-  let reject reason =
-    t.rejected <- t.rejected + 1;
-    Mutex.unlock t.mutex;
-    `Rejected reason
-  in
-  let has_space () = Queue.length t.queue < t.config.queue_capacity in
-  if not t.accepting then reject "draining: not accepting new requests"
-  else if has_space () then accept ()
-  else
-    match t.config.admission with
-    | Reject -> reject "overloaded: request queue is full"
-    | Block rel_deadline ->
-        let deadline =
-          Option.map (fun s -> Unix.gettimeofday () +. s) rel_deadline
+  (* One locked step: accept, reject, park on [change] (no deadline), or
+     hand a [`Poll] back to the unlocked retry loop below. *)
+  let step deadline =
+    Locked.with_lock t.lock (fun () ->
+        let accept () =
+          Queue.push job t.queue;
+          t.submitted <- t.submitted + 1;
+          Locked.signal_c t.nonempty;
+          `Accepted
         in
-        let rec wait () =
+        let reject reason =
+          t.rejected <- t.rejected + 1;
+          `Rejected reason
+        in
+        let has_space () = Queue.length t.queue < t.config.queue_capacity in
+        let rec attempt () =
           if not t.accepting then reject "draining: not accepting new requests"
           else if has_space () then accept ()
           else
-            match deadline with
-            | None ->
-                Condition.wait t.change t.mutex;
-                wait ()
-            | Some d ->
-                let remaining = d -. Unix.gettimeofday () in
-                if remaining <= 0. then
-                  reject "overloaded: queue full past admission deadline"
-                else begin
-                  Mutex.unlock t.mutex;
-                  Thread.delay (Float.min poll_interval remaining);
-                  Mutex.lock t.mutex;
-                  wait ()
-                end
+            match t.config.admission with
+            | Reject -> reject "overloaded: request queue is full"
+            | Block None ->
+                Locked.wait_c t.change;
+                attempt ()
+            | Block (Some _) -> (
+                match deadline with
+                | None -> assert false  (* deadline set below for Block Some *)
+                | Some d ->
+                    let remaining = d -. Unix.gettimeofday () in
+                    if remaining <= 0. then
+                      reject "overloaded: queue full past admission deadline"
+                    else `Poll remaining)
         in
-        wait ()
+        attempt ())
+  in
+  let deadline =
+    match t.config.admission with
+    | Block (Some s) -> Some (Unix.gettimeofday () +. s)
+    | _ -> None
+  in
+  let rec loop () =
+    match step deadline with
+    | `Poll remaining ->
+        Thread.delay (Float.min poll_interval remaining);
+        loop ()
+    | (`Accepted | `Rejected _) as decision -> decision
+  in
+  loop ()
 
-let depth t =
-  Mutex.lock t.mutex;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.mutex;
-  n
-
-let active t =
-  Mutex.lock t.mutex;
-  let n = t.active in
-  Mutex.unlock t.mutex;
-  n
+let depth t = Locked.with_lock t.lock (fun () -> Queue.length t.queue)
+let active t = Locked.with_lock t.lock (fun () -> t.active)
 
 type stats = { submitted : int; completed : int; rejected : int }
 
 let stats t =
-  Mutex.lock t.mutex;
-  let s = { submitted = t.submitted; completed = t.completed; rejected = t.rejected } in
-  Mutex.unlock t.mutex;
-  s
+  Locked.with_lock t.lock (fun () ->
+      { submitted = t.submitted; completed = t.completed; rejected = t.rejected })
 
 let drain t ~deadline =
-  Mutex.lock t.mutex;
-  t.accepting <- false;
-  (* Wake submitters blocked on admission so they observe the drain and
-     reject instead of waiting on space that may never free. *)
-  Condition.broadcast t.change;
-  let rec wait () =
-    if Queue.is_empty t.queue && t.active = 0 then begin
-      Mutex.unlock t.mutex;
-      `Drained
-    end
-    else
-      match deadline with
-      | None ->
-          Condition.wait t.change t.mutex;
-          wait ()
-      | Some d ->
-          let remaining = d -. Unix.gettimeofday () in
-          if remaining <= 0. then begin
-            let abandoned = Queue.length t.queue + t.active in
-            Mutex.unlock t.mutex;
-            `Aborted abandoned
-          end
-          else begin
-            Mutex.unlock t.mutex;
-            Thread.delay (Float.min poll_interval remaining);
-            Mutex.lock t.mutex;
-            wait ()
-          end
+  Locked.with_lock t.lock (fun () ->
+      t.accepting <- false;
+      (* Wake submitters blocked on admission so they observe the drain
+         and reject instead of waiting on space that may never free. *)
+      Locked.broadcast_c t.change);
+  let step () =
+    Locked.with_lock t.lock (fun () ->
+        let rec wait () =
+          if Queue.is_empty t.queue && t.active = 0 then `Drained
+          else
+            match deadline with
+            | None ->
+                Locked.wait_c t.change;
+                wait ()
+            | Some d ->
+                let remaining = d -. Unix.gettimeofday () in
+                if remaining <= 0. then
+                  `Aborted (Queue.length t.queue + t.active)
+                else `Poll remaining
+        in
+        wait ())
   in
-  wait ()
+  let rec loop () =
+    match step () with
+    | `Poll remaining ->
+        Thread.delay (Float.min poll_interval remaining);
+        loop ()
+    | (`Drained | `Aborted _) as outcome -> outcome
+  in
+  loop ()
 
 let stop t =
-  Mutex.lock t.mutex;
-  t.accepting <- false;
-  t.stopping <- true;
-  let dropped = Queue.length t.queue in
-  Queue.clear t.queue;
-  Condition.broadcast t.nonempty;
-  Condition.broadcast t.change;
-  Mutex.unlock t.mutex;
+  let dropped =
+    Locked.with_lock t.lock (fun () ->
+        t.accepting <- false;
+        t.stopping <- true;
+        let dropped = Queue.length t.queue in
+        Queue.clear t.queue;
+        Locked.broadcast_c t.nonempty;
+        Locked.broadcast_c t.change;
+        dropped)
+  in
   (* Workers are not joined: one may be executing a job blocked on I/O
      that only the caller's next step (closing the connections)
      unblocks. Idle workers exit immediately; busy ones exit after

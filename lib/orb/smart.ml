@@ -4,7 +4,7 @@ type t = {
   target : Objref.t;
   capacity : int;
   invalidate_on : string list;
-  mutex : Mutex.t;
+  lock : Locked.t;
   memo : (string * string, string) Hashtbl.t;  (* (op, args) -> reply payload *)
   mutable order : (string * string) list;  (* newest first *)
   mutable hits : int;
@@ -18,16 +18,14 @@ let create ?(capacity = 64) ?(invalidate_on = []) ~codec invoker target =
     target;
     capacity = max 1 capacity;
     invalidate_on;
-    mutex = Mutex.create ();
+    lock = Locked.create ~name:"smart" ~rank:Locked.Rank.smart;
     memo = Hashtbl.create 32;
     order = [];
     hits = 0;
     misses = 0;
   }
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let with_lock t f = Locked.with_lock t.lock f
 
 let invalidate t =
   with_lock t (fun () ->

@@ -60,7 +60,7 @@ let tcp_channel fd ~peer =
      reader blocked in select/read with EOF); the real [Unix.close] is
      done by the last thread to leave a syscall, or by [close] itself
      when no syscall is in flight. *)
-  let guard = Mutex.create () in
+  let guard = Locked.create ~name:"tcp.channel" ~rank:Locked.Rank.tcp_channel in
   let users = ref 0 in
   let closing = ref false in
   let fd_closed = ref false in
@@ -71,19 +71,14 @@ let tcp_channel fd ~peer =
     end
   in
   let enter () =
-    Mutex.lock guard;
-    if !closing then begin
-      Mutex.unlock guard;
-      fail "connection to %s is closed" peer
-    end;
-    incr users;
-    Mutex.unlock guard
+    Locked.with_lock guard (fun () ->
+        if !closing then fail "connection to %s is closed" peer;
+        incr users)
   in
   let leave () =
-    Mutex.lock guard;
-    decr users;
-    if !closing && !users = 0 then really_close ();
-    Mutex.unlock guard
+    Locked.with_lock guard (fun () ->
+        decr users;
+        if !closing && !users = 0 then really_close ())
   in
   let guarded f =
     enter ();
@@ -204,16 +199,16 @@ let tcp_channel fd ~peer =
         go 0)
   in
   let close () =
-    Mutex.lock guard;
-    if not !closing then begin
-      closing := true;
-      (* Wake any thread blocked in select/read on this socket; their
-         next step observes [closing] and fails cleanly. *)
-      (try Unix.shutdown fd Unix.SHUTDOWN_ALL
-       with Unix.Unix_error (_, _, _) -> ());
-      if !users = 0 then really_close ()
-    end;
-    Mutex.unlock guard
+    Locked.with_lock guard (fun () ->
+        if not !closing then begin
+          closing := true;
+          (* Wake any thread blocked in select/read on this socket; their
+             next step observes [closing] and fails cleanly. shutdown(2)
+             never blocks, so holding the guard across it is safe. *)
+          (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error (_, _, _) -> ());
+          if !users = 0 then really_close ()
+        end)
   in
   let set_deadline d = deadline := d in
   let set_recv_limit l = recv_limit := l in
@@ -249,7 +244,7 @@ let tcp_listen ~host ~port =
      the stale accept would then serve connections meant for whoever
      got the recycled fd. The accepting thread holds a use count; the
      real close happens only when the last user leaves. *)
-  let guard = Mutex.create () in
+  let guard = Locked.create ~name:"tcp.listener" ~rank:Locked.Rank.tcp_channel in
   let users = ref 0 in
   let sock_closed = ref false in
   let really_close () =
@@ -259,18 +254,13 @@ let tcp_listen ~host ~port =
     end
   in
   let accept () =
-    Mutex.lock guard;
-    if !stopped then begin
-      Mutex.unlock guard;
-      fail "listener on port %d is shut down" bound_port
-    end;
-    incr users;
-    Mutex.unlock guard;
+    Locked.with_lock guard (fun () ->
+        if !stopped then fail "listener on port %d is shut down" bound_port;
+        incr users);
     let leave () =
-      Mutex.lock guard;
-      decr users;
-      if !stopped && !users = 0 then really_close ();
-      Mutex.unlock guard
+      Locked.with_lock guard (fun () ->
+          decr users;
+          if !stopped && !users = 0 then really_close ())
     in
     match Fun.protect ~finally:leave (fun () -> Unix.accept sock) with
     | fd, addr ->
@@ -299,13 +289,19 @@ let tcp_listen ~host ~port =
         fail "accept on port %d failed: %s" bound_port (Unix.error_message e)
   in
   let shutdown () =
-    Mutex.lock guard;
-    if !stopped then Mutex.unlock guard
-    else begin
-      stopped := true;
-      let need_wake = !users > 0 in
-      if not need_wake then really_close ();
-      Mutex.unlock guard;
+    let need_wake =
+      Locked.with_lock guard (fun () ->
+          if !stopped then None
+          else begin
+            stopped := true;
+            let need_wake = !users > 0 in
+            if not need_wake then really_close ();
+            Some need_wake
+          end)
+    in
+    match need_wake with
+    | None -> ()
+    | Some need_wake ->
       (* Wake any thread blocked in [accept]. Closing alone does not
          interrupt a blocked accept on Linux (and [Unix.shutdown] on a
          listening socket is ENOTCONN): the thread would sleep on until
@@ -315,15 +311,14 @@ let tcp_listen ~host ~port =
          the blocked accept out of the kernel; the post-accept
          [stopped] re-check makes it discard the dummy and bail out,
          and its [leave] performs the deferred close. *)
-      if need_wake then
-        try
-          let wake = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          (try
-             Unix.connect wake (Unix.ADDR_INET (resolve_host host, bound_port))
-           with Unix.Unix_error (_, _, _) -> ());
-          try Unix.close wake with Unix.Unix_error (_, _, _) -> ()
-        with Unix.Unix_error (_, _, _) -> ()
-    end
+        if need_wake then
+          try
+            let wake = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            (try
+               Unix.connect wake (Unix.ADDR_INET (resolve_host host, bound_port))
+             with Unix.Unix_error (_, _, _) -> ());
+            try Unix.close wake with Unix.Unix_error (_, _, _) -> ()
+          with Unix.Unix_error (_, _, _) -> ()
   in
   { accept; shutdown; bound_host = host; bound_port }
 
@@ -345,32 +340,26 @@ let tcp_connect ~host ~port =
    messages do not cause quadratic copying. *)
 module Pipe = struct
   type t = {
-    mutex : Mutex.t;
-    cond : Condition.t;
+    lock : Locked.t;  (* rank [pipe]; intrinsic condition = data/close *)
     buf : Buffer.t;
     mutable pos : int;  (* consumed prefix *)
     mutable closed : bool;
   }
 
   let create () =
-    { mutex = Mutex.create (); cond = Condition.create (); buf = Buffer.create 1024;
-      pos = 0; closed = false }
+    { lock = Locked.create ~name:"mem.pipe" ~rank:Locked.Rank.pipe;
+      buf = Buffer.create 1024; pos = 0; closed = false }
 
   let write t s =
-    Mutex.lock t.mutex;
-    if t.closed then (
-      Mutex.unlock t.mutex;
-      fail "write to closed in-memory channel")
-    else (
-      Buffer.add_string t.buf s;
-      Condition.broadcast t.cond;
-      Mutex.unlock t.mutex)
+    Locked.with_lock t.lock (fun () ->
+        if t.closed then fail "write to closed in-memory channel";
+        Buffer.add_string t.buf s;
+        Locked.broadcast t.lock)
 
   let close t =
-    Mutex.lock t.mutex;
-    t.closed <- true;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mutex
+    Locked.with_lock t.lock (fun () ->
+        t.closed <- true;
+        Locked.broadcast t.lock)
 
   let compact t =
     if t.pos > 65536 && t.pos > Buffer.length t.buf / 2 then begin
@@ -383,38 +372,41 @@ module Pipe = struct
   (* Blocks until [check buf pos len] returns (consume, result), where
      [consume] counts from [pos]. [deadline] is re-read on every wakeup
      so a deadline installed mid-wait still takes effect. Without a
-     deadline we park on the condition variable; with one we poll, since
-     OCaml's [Condition] has no timed wait. *)
+     deadline we park on the lock's condition; with one we poll, since
+     OCaml's [Condition] has no timed wait — each locked step either
+     decides or hands [`Poll] to the unlocked delay loop below. *)
   let read_with t ?(deadline = fun () -> None) check ~what =
-    Mutex.lock t.mutex;
-    let rec wait () =
-      match check t.buf t.pos (Buffer.length t.buf) with
-      | Some (consume, result) ->
-          t.pos <- t.pos + consume;
-          compact t;
-          Mutex.unlock t.mutex;
-          result
-      | None ->
-          if t.closed then (
-            Mutex.unlock t.mutex;
-            fail "in-memory channel closed while reading %s" what)
-          else (
-            match deadline () with
+    let step () =
+      Locked.with_lock t.lock (fun () ->
+          let rec wait () =
+            match check t.buf t.pos (Buffer.length t.buf) with
+            | Some (consume, result) ->
+                t.pos <- t.pos + consume;
+                compact t;
+                `Done result
             | None ->
-                Condition.wait t.cond t.mutex;
-                wait ()
-            | Some d ->
-                let remaining = d -. Unix.gettimeofday () in
-                if remaining <= 0. then (
-                  Mutex.unlock t.mutex;
-                  timeout_fail "in-memory read of %s timed out" what)
-                else (
-                  Mutex.unlock t.mutex;
-                  Thread.delay (Float.min poll_interval remaining);
-                  Mutex.lock t.mutex;
-                  wait ()))
+                if t.closed then `Closed
+                else
+                  match deadline () with
+                  | None ->
+                      Locked.wait t.lock;
+                      wait ()
+                  | Some d ->
+                      let remaining = d -. Unix.gettimeofday () in
+                      if remaining <= 0. then `Timeout else `Poll remaining
+          in
+          wait ())
     in
-    wait ()
+    let rec loop () =
+      match step () with
+      | `Done result -> result
+      | `Closed -> fail "in-memory channel closed while reading %s" what
+      | `Timeout -> timeout_fail "in-memory read of %s timed out" what
+      | `Poll remaining ->
+          Thread.delay (Float.min poll_interval remaining);
+          loop ()
+    in
+    loop ()
 end
 
 let mem_channel_pair ~peer_a ~peer_b =
@@ -483,80 +475,81 @@ let mem_channel_pair ~peer_a ~peer_b =
 
 (* Registry of in-memory listeners: port -> pending-connection queue. *)
 type mem_listener_state = {
-  ml_mutex : Mutex.t;
-  ml_cond : Condition.t;
+  ml_lock : Locked.t;  (* rank [mem_listener]; intrinsic cond = pending *)
   mutable ml_pending : channel list;  (* server-side ends awaiting accept *)
   mutable ml_closed : bool;
 }
 
 let mem_registry : (int, mem_listener_state) Hashtbl.t = Hashtbl.create 16
-let mem_registry_mutex = Mutex.create ()
+
+let mem_registry_lock =
+  Locked.create ~name:"mem.registry" ~rank:Locked.Rank.mem_registry
+
 let mem_next_port = ref 1
 
 let mem_reset () =
-  Mutex.lock mem_registry_mutex;
-  Hashtbl.iter
-    (fun _ st ->
-      Mutex.lock st.ml_mutex;
-      st.ml_closed <- true;
-      Condition.broadcast st.ml_cond;
-      Mutex.unlock st.ml_mutex)
-    mem_registry;
-  Hashtbl.reset mem_registry;
-  Mutex.unlock mem_registry_mutex
+  (* registry (28) > listener (26): this nesting is the reason the two
+     ranks are distinct. *)
+  Locked.with_lock mem_registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ st ->
+          Locked.with_lock st.ml_lock (fun () ->
+              st.ml_closed <- true;
+              Locked.broadcast st.ml_lock))
+        mem_registry;
+      Hashtbl.reset mem_registry)
 
 let mem_listen ~port =
-  Mutex.lock mem_registry_mutex;
-  let port =
-    if port <> 0 then port
-    else (
-      while Hashtbl.mem mem_registry !mem_next_port do
-        incr mem_next_port
-      done;
-      !mem_next_port)
-  in
-  if Hashtbl.mem mem_registry port then (
-    Mutex.unlock mem_registry_mutex;
-    fail "in-memory port %d is already bound" port);
-  let st =
-    { ml_mutex = Mutex.create (); ml_cond = Condition.create (); ml_pending = [];
-      ml_closed = false }
-  in
-  Hashtbl.replace mem_registry port st;
-  Mutex.unlock mem_registry_mutex;
-  let accept () =
-    Mutex.lock st.ml_mutex;
-    let rec wait () =
-      match st.ml_pending with
-      | ch :: rest ->
-          st.ml_pending <- rest;
-          Mutex.unlock st.ml_mutex;
-          ch
-      | [] ->
-          if st.ml_closed then (
-            Mutex.unlock st.ml_mutex;
-            fail "in-memory listener on port %d is shut down" port)
+  let port, st =
+    Locked.with_lock mem_registry_lock (fun () ->
+        let port =
+          if port <> 0 then port
           else (
-            Condition.wait st.ml_cond st.ml_mutex;
-            wait ())
-    in
-    wait ()
+            while Hashtbl.mem mem_registry !mem_next_port do
+              incr mem_next_port
+            done;
+            !mem_next_port)
+        in
+        if Hashtbl.mem mem_registry port then
+          fail "in-memory port %d is already bound" port;
+        let st =
+          { ml_lock =
+              Locked.create ~name:"mem.listener" ~rank:Locked.Rank.mem_listener;
+            ml_pending = []; ml_closed = false }
+        in
+        Hashtbl.replace mem_registry port st;
+        (port, st))
+  in
+  let accept () =
+    Locked.with_lock st.ml_lock (fun () ->
+        let rec wait () =
+          match st.ml_pending with
+          | ch :: rest ->
+              st.ml_pending <- rest;
+              ch
+          | [] ->
+              if st.ml_closed then
+                fail "in-memory listener on port %d is shut down" port
+              else (
+                Locked.wait st.ml_lock;
+                wait ())
+        in
+        wait ())
   in
   let shutdown () =
-    Mutex.lock mem_registry_mutex;
-    Hashtbl.remove mem_registry port;
-    Mutex.unlock mem_registry_mutex;
-    Mutex.lock st.ml_mutex;
-    st.ml_closed <- true;
-    Condition.broadcast st.ml_cond;
-    Mutex.unlock st.ml_mutex
+    Locked.with_lock mem_registry_lock (fun () ->
+        Hashtbl.remove mem_registry port);
+    Locked.with_lock st.ml_lock (fun () ->
+        st.ml_closed <- true;
+        Locked.broadcast st.ml_lock)
   in
   { accept; shutdown; bound_host = "local"; bound_port = port }
 
 let mem_connect ~port =
-  Mutex.lock mem_registry_mutex;
-  let st = Hashtbl.find_opt mem_registry port in
-  Mutex.unlock mem_registry_mutex;
+  let st =
+    Locked.with_lock mem_registry_lock (fun () ->
+        Hashtbl.find_opt mem_registry port)
+  in
   match st with
   | None -> fail "no in-memory listener on port %d" port
   | Some st ->
@@ -565,13 +558,11 @@ let mem_connect ~port =
           ~peer_a:(Printf.sprintf "mem:%d(server)" port)
           ~peer_b:(Printf.sprintf "mem:%d(client)" port)
       in
-      Mutex.lock st.ml_mutex;
-      if st.ml_closed then (
-        Mutex.unlock st.ml_mutex;
-        fail "in-memory listener on port %d is shut down" port);
-      st.ml_pending <- st.ml_pending @ [ server_end ];
-      Condition.broadcast st.ml_cond;
-      Mutex.unlock st.ml_mutex;
+      Locked.with_lock st.ml_lock (fun () ->
+          if st.ml_closed then
+            fail "in-memory listener on port %d is shut down" port;
+          st.ml_pending <- st.ml_pending @ [ server_end ];
+          Locked.broadcast st.ml_lock);
       client_end
 
 (* ---------------- fault injection ---------------- *)
@@ -602,18 +593,16 @@ module Fault = struct
     | Corrupt_write _ -> "corrupt_write"
     | Delay_write _ -> "delay_write"
 
-  (* Global plan + deterministic per-op counters. One mutex guards all
+  (* Global plan + deterministic per-op counters. One lock guards all
      of it; fault decisions are cheap. *)
-  let mutex = Mutex.create ()
+  let lock = Locked.create ~name:"fault" ~rank:Locked.Rank.fault
   let active : plan ref = ref none
   let n_connect = ref 0
   let n_read = ref 0
   let n_write = ref 0
   let injected_counts : (string, int) Hashtbl.t = Hashtbl.create 8
 
-  let with_mutex f =
-    Mutex.lock mutex;
-    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+  let with_mutex f = Locked.with_lock lock f
 
   let set_plan p =
     with_mutex (fun () ->

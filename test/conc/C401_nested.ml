@@ -1,0 +1,12 @@
+(* Seeded C401: the inner acquisition climbs the rank table — pool (60)
+   taken while holding metrics (20). Two threads doing this and the
+   reverse order deadlock. *)
+
+let metrics_lock =
+  Locked.create ~name:"fixture.metrics" ~rank:Locked.Rank.metrics
+
+let pool_lock = Locked.create ~name:"fixture.pool" ~rank:Locked.Rank.pool
+
+let wrong () =
+  Locked.with_lock metrics_lock (fun () ->
+      Locked.with_lock pool_lock (fun () -> ()))

@@ -1,0 +1,6 @@
+(* Seeded C402: parking the thread with a lock held. Every other thread
+   needing [lock] stalls for the full delay. *)
+
+let lock = Locked.create ~name:"fixture.block" ~rank:Locked.Rank.pool
+
+let wrong () = Locked.with_lock lock (fun () -> Thread.delay 0.01)

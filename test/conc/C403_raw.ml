@@ -1,0 +1,5 @@
+(* Seeded C403: a thread spawned with the raw primitive. The rank
+   checker never learns about it, and an exception would kill the
+   process silently — [Locked.spawn] handles both. *)
+
+let wrong () = Thread.create (fun () -> ()) ()

@@ -1,0 +1,10 @@
+(* Seeded C404: module-level mutable state written with no lock held,
+   in a file that visibly does concurrency (it owns a ranked lock). *)
+
+let lock = Locked.create ~name:"fixture.c404" ~rank:Locked.Rank.breaker
+let hits : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let record name = Hashtbl.replace hits name 1
+
+let locked_ok name =
+  Locked.with_lock lock (fun () -> Hashtbl.remove hits name)

@@ -1,0 +1,7 @@
+(* Seeded C405: a read-modify-write spelled as separate Atomic.get and
+   Atomic.set. Updates racing between the two are silently lost;
+   Atomic.incr (or a compare_and_set loop) is the correct shape. *)
+
+let counter = Atomic.make 0
+
+let wrong () = Atomic.set counter (Atomic.get counter + 1)

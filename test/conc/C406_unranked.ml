@@ -1,0 +1,5 @@
+(* Seeded C406: a lock whose rank is a bare literal instead of a
+   constant from Locked.Rank — neither checker can place it in the
+   lattice. *)
+
+let lock = Locked.create ~name:"fixture.unranked" ~rank:99
