@@ -715,7 +715,8 @@ let e10 ?(out = "BENCH_overload.json") ?(duration = 1.5)
           pool =
             Some
               {
-                Orb.Pool.workers = 4;
+                Orb.Pool.default_config with
+                workers = 4;
                 queue_capacity = 16;
                 admission = Orb.Pool.Reject;
               };
@@ -873,7 +874,14 @@ let e11 ?(out = "BENCH_mux.json") ?(duration = 0.4)
       Orb.default_server_policy with
       pool =
         Some
-          { Orb.Pool.workers = 48; queue_capacity = 64; admission = Orb.Pool.Reject };
+          (* Sleep-bound servants want way more workers than cores:
+             systhreads overlap the naps without burning 48 domains. *)
+          {
+            Orb.Pool.workers = 48;
+            queue_capacity = 64;
+            admission = Orb.Pool.Reject;
+            backend = Orb.Pool.Systhreads;
+          };
     }
   in
   let protocols =
@@ -1187,6 +1195,171 @@ let e12 ?(out = "BENCH_failover.json") ?(duration = 3.0) ?(clients = 8)
   close_out oc;
   Printf.printf "  wrote %s\n" out
 
+(* Multicore dispatch (DESIGN.md §11 "Domains vs systhreads"): a
+   CPU-bound servant — a checksum over an incopy-style string payload —
+   behind the worker pool, swept over worker counts with both backends.
+   Domain workers execute dispatches on separate cores, so throughput
+   should scale with the worker count up to the machine's cores;
+   systhread workers share one runtime lock, so their arm stays flat no
+   matter how many workers the pool has. The artifact records the
+   machine's core count: the schema check asserts the >= 2.5x 4-domain
+   scaling only when the host actually has >= 4 cores, and always
+   asserts structure and call conservation (a 1-core CI box can verify
+   correctness but cannot exhibit parallelism). *)
+let e13 ?(out = "BENCH_multicore.json") ?(duration = 1.5)
+    ?(worker_counts = [ 1; 2; 4 ]) ?(payload_kb = 8) ?(passes = 120) () =
+  section "E13" "multicore dispatch: domain workers vs systhread flatline";
+  let payload = String.init (payload_kb * 1024) (fun i -> Char.chr (i land 0xff)) in
+  (* Adler-ish rolling checksum, [passes] sweeps over the payload: pure
+     OCaml arithmetic, no allocation in the loop, deterministic CPU
+     demand per call on every backend. *)
+  let checksum s =
+    let a = ref 1 and b = ref 0 in
+    for _ = 1 to passes do
+      for i = 0 to String.length s - 1 do
+        a := (!a + Char.code (String.unsafe_get s i)) land 0xffffff;
+        b := (!b + !a) land 0xffffff
+      done
+    done;
+    (!b lsl 4) lxor !a
+  in
+  let service_ms =
+    let reps = 5 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (checksum payload)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+  in
+  let checksum_skeleton () =
+    Orb.Skeleton.create ~type_id:"IDL:Bench/Checksum:1.0"
+      [
+        ( "checksum",
+          fun args results ->
+            results.Wire.Codec.put_long (checksum (args.Wire.Codec.get_string ()))
+        );
+      ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  let run_cell backend_name backend workers =
+    Orb.Transport.mem_reset ();
+    let policy =
+      {
+        Orb.default_server_policy with
+        pool =
+          Some
+            { Orb.Pool.default_config with workers; queue_capacity = 64; backend };
+      }
+    in
+    let server =
+      Orb.create ~transport:"mem" ~host:"local" ~server_policy:policy ()
+    in
+    Orb.start server;
+    let target = Orb.export server (checksum_skeleton ()) in
+    let ok = Atomic.make 0 and failed = Atomic.make 0 in
+    (* Closed loop with more clients than workers: the pool, not the
+       offered load, is the bottleneck in every cell. *)
+    let n_clients = (2 * workers) + 2 in
+    let deadline = Unix.gettimeofday () +. duration in
+    let threads =
+      List.init n_clients (fun _ ->
+          Thread.create
+            (fun () ->
+              let client =
+                Orb.create ~transport:"mem" ~host:"local"
+                  ~retry:Orb.Retry.none ()
+              in
+              while Unix.gettimeofday () < deadline do
+                match
+                  Orb.invoke client target ~op:"checksum" (fun e ->
+                      e.Wire.Codec.put_string payload)
+                with
+                | Some _ -> Atomic.incr ok
+                | None -> Atomic.incr failed
+                | exception Orb.System_exception _ ->
+                    (* Reject admission under saturation: back off. *)
+                    Thread.delay 0.002
+                | exception _ -> Atomic.incr failed
+              done;
+              Orb.shutdown client)
+            ())
+    in
+    List.iter Thread.join threads;
+    Orb.shutdown server;
+    ( backend_name,
+      workers,
+      n_clients,
+      Atomic.get ok,
+      Atomic.get failed,
+      float_of_int (Atomic.get ok) /. duration )
+  in
+  let cells =
+    List.concat_map
+      (fun w -> [ run_cell "domains" Orb.Pool.Domains w ])
+      worker_counts
+    @ List.concat_map
+        (fun w -> [ run_cell "systhreads" Orb.Pool.Systhreads w ])
+        worker_counts
+  in
+  let base =
+    List.find_map
+      (fun (b, w, _, _, _, ops) ->
+        if b = "domains" && w = 1 then Some ops else None)
+      cells
+  in
+  table
+    [ "backend"; "workers"; "clients"; "ok"; "failed"; "ok/s"; "vs 1-domain" ]
+    (List.map
+       (fun (b, w, n, ok, fail_, ops) ->
+         [
+           b;
+           string_of_int w;
+           string_of_int n;
+           string_of_int ok;
+           string_of_int fail_;
+           Printf.sprintf "%.0f" ops;
+           (match base with
+           | Some base when base > 0. -> Printf.sprintf "%.2fx" (ops /. base)
+           | _ -> "-");
+         ])
+       cells);
+  Printf.printf
+    "  (service demand per call: %.2f ms of pure-OCaml checksum over a\n\
+    \  %d KiB incopy payload; closed-loop clients, %.2gs per cell;\n\
+    \  this host reports %d recommended domain(s) — scaling needs >= 4.)\n"
+    service_ms payload_kb duration cores;
+  let json =
+    Obs.Jout.obj
+      [
+        ("experiment", Obs.Jout.str "E13");
+        ("transport", Obs.Jout.str "mem");
+        ("protocol", Obs.Jout.str "heidi-text");
+        ("duration_s", Obs.Jout.num duration);
+        ("payload_kb", Obs.Jout.int payload_kb);
+        ("service_ms", Obs.Jout.num service_ms);
+        ("cores", Obs.Jout.int cores);
+        ( "cells",
+          Obs.Jout.arr
+            (List.map
+               (fun (b, w, n, ok, fail_, ops) ->
+                 Obs.Jout.obj
+                   [
+                     ("backend", Obs.Jout.str b);
+                     ("workers", Obs.Jout.int w);
+                     ("clients", Obs.Jout.int n);
+                     ("ok", Obs.Jout.int ok);
+                     ("failed", Obs.Jout.int fail_);
+                     ("ok_per_s", Obs.Jout.num ops);
+                   ])
+               cells) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
 (* ================= F-series: figure regeneration pointers ========== *)
 
 let figures () =
@@ -1231,6 +1404,16 @@ let () =
   | [| _; "--e12"; out |] ->
       (* Full E12 only: the replica kill/restart sweep. *)
       e12 ~out ()
+  | [| _; "--e13"; out |] ->
+      (* Full E13 only: the multicore dispatch sweep at real duration
+         and payload (the BENCH_multicore.json artifact). *)
+      e13 ~out ()
+  | [| _; "--e13-smoke"; out |] ->
+      (* E13 with a small payload and short cells: exercises both pool
+         backends end to end (domain spawn/join, cancel-on-stop, the
+         domain-keyed checker) and writes a schema-checkable artifact.
+         The scaling assertion self-gates on the host's core count. *)
+      e13 ~out ~duration:0.2 ~worker_counts:[ 1; 4 ] ~payload_kb:2 ~passes:30 ()
   | [| _; "--e12-smoke"; out |] ->
       (* E12 on a compressed timeline: one kill, one restart, a breaker
          window short enough that recovery is measurable inside a
@@ -1255,5 +1438,6 @@ let () =
       e10 ();
       e11 ();
       e12 ();
+      e13 ();
       figures ();
       print_endline "\nAll benches complete."

@@ -188,9 +188,9 @@ let all : info list =
        any with_lock scope. Module-level state is reachable from every \
        thread, so an unlocked := or Hashtbl.replace is a data race \
        under OCaml's memory model. Guard the mutation with the owning \
-       lock, or make the cell an Atomic.t. (A read-only probe of a \
-       grow-only table can be sound, but the mutation itself must be \
-       locked — see Metrics.find_or_create.)";
+       lock, make the cell an Atomic.t, or replace the table with an \
+       immutable map behind an Atomic.t updated by compare_and_set \
+       (the shape Metrics.find_or_create uses).";
     w "C405" "atomic read-modify-write split into get and set"
       "An Atomic.set whose value expression reads the same atomic with \
        Atomic.get: between the read and the write another thread's \
@@ -204,6 +204,29 @@ let all : info list =
        C401 check nor the runtime checker can reason about them. Add \
        the lock to Locked.Rank.all at the right height (outermost = \
        highest) and reference it as ~rank:Locked.Rank.<name>.";
+    w "C407" "raw domain primitive outside locked.ml"
+      "Domain.spawn or Domain.DLS is used directly. Raw domain spawns \
+       bypass Locked.spawn_domain, so the runtime rank checker never \
+       clears the new domain's held-rank stack and stray exceptions \
+       escape the domain body; raw DLS keys scatter per-domain state \
+       the sanctioned wrappers (Locked.new_domain_local / \
+       Locked.domain_local_get) keep auditable in one place. locked.ml \
+       itself is the one sanctioned implementation site. Domain.join \
+       and Domain.recommended_domain_count are deliberately exempt — \
+       they synchronize with or size against domains but create none.";
+    w "C408" "unguarded Hashtbl mutation in a domain-shared module"
+      "A Hashtbl field is mutated outside any with_lock scope in a \
+       module that spawns domains or uses domain-local state. Under \
+       systhreads an unlocked probe-then-insert was merely sloppy — \
+       the runtime lock serialized the resize — but once the module's \
+       code runs on multiple domains, a concurrent resize during the \
+       mutation is a data race under OCaml's memory model (torn bucket \
+       array reads). Guard every mutation with the owning lock, or \
+       replace the table with an immutable map behind an Atomic.t \
+       updated by compare_and_set (the shape Metrics.find_or_create \
+       uses). Helper functions documented as caller-holds-lock are \
+       still flagged: in a domain-shared module the proof burden \
+       belongs next to the mutation.";
     w "W310" "benign interface evolution"
       "An addition relative to the IR snapshot: a new interface, \
        operation, attribute or parameter default. Old clients are \

@@ -21,7 +21,7 @@
    different ranks in one file is demoted to "unknown rank" rather than
    guessed. *)
 
-let codes = [ "C401"; "C402"; "C403"; "C404"; "C405"; "C406" ]
+let codes = [ "C401"; "C402"; "C403"; "C404"; "C405"; "C406"; "C407"; "C408" ]
 
 (* ---------------- reporting ---------------- *)
 
@@ -98,6 +98,11 @@ type state = {
   reporter : Idl.Diag.reporter;
   is_locked_impl : bool;  (* locked.ml itself: C403/C404 exempt *)
   conc_aware : bool;  (* file references Locked/Thread/Mutex: gates C404 *)
+  mutable domain_shared : bool;
+      (* file spawns domains or uses domain-local state (detected from
+         the AST in pass 1, not the raw source, so an analyzer or doc
+         string merely *mentioning* the wrappers does not count):
+         gates C408 *)
   ranks : (string, int) Hashtbl.t;  (* lock key -> rank; absent = unknown *)
   ambiguous : (string, unit) Hashtbl.t;  (* key bound to two ranks *)
   mutables : (string, unit) Hashtbl.t;  (* module-level ref/Hashtbl/Buffer *)
@@ -208,6 +213,13 @@ let pass1 st str =
           Ast_iterator.default_iterator.value_binding self vb);
       expr =
         (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Longident.flatten txt with
+              | [ "Locked"; ("spawn_domain" | "new_domain_local" | "domain_local_get") ] ->
+                  st.domain_shared <- true
+              | _ -> ())
+          | _ -> ());
           (match e.pexp_desc with
           | Pexp_record (fields, _) ->
               List.iter
@@ -421,6 +433,34 @@ let pass2 st str =
                    | _ -> ())
                | None -> ())
            | None -> ());
+        (if st.domain_shared && (not st.is_locked_impl) && st.held = [] then
+           match
+             List.find_opt
+               (fun (p, _) ->
+                 p = path
+                 && match p with "Hashtbl" :: _ -> true | _ -> false)
+               mutators_first_arg
+           with
+           | Some (_, what) -> (
+               match pos_arg 0 args with
+               | Some target -> (
+                   match target.pexp_desc with
+                   | Pexp_field (_, { txt; _ }) -> (
+                       match last (Longident.flatten txt) with
+                       | Some field ->
+                           report st.reporter ~code:"C408"
+                             ~loc:(loc_of e.pexp_loc st.file)
+                             (Printf.sprintf
+                                "Hashtbl field %S mutated (%s) outside any \
+                                 Locked.with_lock scope in a domain-shared \
+                                 module: a concurrent resize is a data race \
+                                 across domains — lock the mutation or use \
+                                 an atomic immutable map"
+                                field what)
+                       | None -> ())
+                   | _ -> ())
+               | None -> ())
+           | None -> ());
         false
   in
   let it =
@@ -444,6 +484,17 @@ let pass2 st str =
                     ~loc:(loc_of e.pexp_loc st.file)
                     "raw Thread.create outside locked.ml: use Locked.spawn \
                      so the rank checker tracks the thread"
+              | [ "Domain"; "spawn" ] ->
+                  report st.reporter ~code:"C407"
+                    ~loc:(loc_of e.pexp_loc st.file)
+                    "raw Domain.spawn outside locked.ml: use \
+                     Locked.spawn_domain so the rank checker tracks the \
+                     domain and its held-rank stack is cleared on exit"
+              | "Domain" :: "DLS" :: _ :: _ ->
+                  report st.reporter ~code:"C407"
+                    ~loc:(loc_of e.pexp_loc st.file)
+                    "raw Domain.DLS outside locked.ml: use \
+                     Locked.new_domain_local / Locked.domain_local_get"
               | _ -> ())
           | _ -> ());
           let handled =
@@ -494,6 +545,7 @@ let check_file reporter path =
           reporter;
           is_locked_impl = Filename.basename path = "locked.ml";
           conc_aware = references_concurrency src;
+          domain_shared = false;
           ranks = Hashtbl.create 16;
           ambiguous = Hashtbl.create 4;
           mutables = Hashtbl.create 16;

@@ -89,16 +89,24 @@ let checking () = Atomic.get checking_flag
 
 (* Internal bookkeeping state. These are deliberately raw primitives —
    the checker cannot be built on top of itself — and this module is
-   the one place C403 exempts. *)
+   the one place C403/C407 exempts.
+
+   Held-rank stacks are keyed by (domain, thread), not by thread id
+   alone: each domain runs its own threads library instance, so a
+   worker domain's threads can report ids that collide with the main
+   domain's readers. Under a thread-only key two innocent threads on
+   different domains would share one stack and the checker would
+   report phantom inversions. *)
 let reg_mutex = Mutex.create ()
-let held : (int, (int * string) list) Hashtbl.t = Hashtbl.create 64
+let held : (int * int, (int * string) list) Hashtbl.t = Hashtbl.create 64
 let violation_log : string list ref = ref []
 
 let violations () = Mutex.protect reg_mutex (fun () -> !violation_log)
 let reset_violations () =
   Mutex.protect reg_mutex (fun () -> violation_log := [])
 
-let self_id () = Thread.id (Thread.self ())
+let domain_id () = (Domain.self () :> int)
+let self_id () = (domain_id (), Thread.id (Thread.self ()))
 
 let stack_of id =
   Mutex.protect reg_mutex (fun () ->
@@ -116,15 +124,15 @@ let record_violation msg =
 (* Called before blocking on [l.l_mutex]: the would-be acquisition must
    sit strictly below the newest lock this thread already holds. *)
 let check_push l =
-  let id = self_id () in
+  let ((d, th) as id) = self_id () in
   let st = stack_of id in
   (match st with
   | (top_rank, top_name) :: _ when l.l_rank >= top_rank ->
       record_violation
         (Printf.sprintf
-           "thread %d acquiring %S (rank %d) while holding %S (rank %d): \
-            acquisition order must strictly descend ranks"
-           id l.l_name l.l_rank top_name top_rank)
+           "domain %d thread %d acquiring %S (rank %d) while holding %S \
+            (rank %d): acquisition order must strictly descend ranks"
+           d th l.l_name l.l_rank top_name top_rank)
   | _ -> ());
   set_stack id ((l.l_rank, l.l_name) :: st)
 
@@ -146,17 +154,19 @@ let check_pop l =
    newest one held (waiting with a *nested* inner lock still held
    would block the whole lattice below us). *)
 let check_wait l what =
-  let id = self_id () in
+  let ((d, th) as id) = self_id () in
   match stack_of id with
   | (r, n) :: _ when r = l.l_rank && n = l.l_name -> ()
   | (_, top_name) :: _ ->
       record_violation
         (Printf.sprintf
-           "thread %d waiting on %s of %S while %S is the newest held lock"
-           id what l.l_name top_name)
+           "domain %d thread %d waiting on %s of %S while %S is the newest \
+            held lock"
+           d th what l.l_name top_name)
   | [] ->
       record_violation
-        (Printf.sprintf "thread %d waiting on %s of %S without holding it" id
+        (Printf.sprintf
+           "domain %d thread %d waiting on %s of %S without holding it" d th
            what l.l_name)
 
 (* ---------------- the lock itself ---------------- *)
@@ -199,7 +209,7 @@ let wait_c c =
 let signal_c c = Condition.signal c.c_cond
 let broadcast_c c = Condition.broadcast c.c_cond
 
-(* ---------------- threads ---------------- *)
+(* ---------------- threads and domains ---------------- *)
 
 let spawn _name f =
   Thread.create
@@ -207,3 +217,23 @@ let spawn _name f =
       (try f () with _ -> ());
       if Atomic.get checking_flag then set_stack (self_id ()) [])
     ()
+
+let spawn_domain _name f =
+  Domain.spawn (fun () ->
+      (try f () with _ -> ());
+      (* The checker's stack entry for this (domain, thread) key would
+         otherwise outlive the domain; domain ids are recycled, so a
+         stale entry could frame an unrelated future domain. *)
+      if Atomic.get checking_flag then set_stack (self_id ()) [])
+
+(* ---------------- domain-local storage ---------------- *)
+
+(* The sanctioned Domain.DLS access point (raw Domain.DLS outside this
+   module is a C407): per-domain state such as the trace-id RNG lives
+   behind these, so the analyzer has one place to trust and callers
+   never touch split-orphan DLS keys directly. *)
+
+type 'a domain_local = 'a Domain.DLS.key
+
+let new_domain_local init = Domain.DLS.new_key init
+let domain_local_get k = Domain.DLS.get k

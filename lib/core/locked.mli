@@ -80,6 +80,33 @@ val spawn : string -> (unit -> unit) -> Thread.t
     their error handling); the checker's per-thread rank stack is
     discarded when the thread exits. *)
 
+val spawn_domain : string -> (unit -> unit) -> unit Domain.t
+(** [spawn_domain name f] starts a domain running [f] — the sanctioned
+    domain-creation point (raw [Domain.spawn] outside this module is a
+    C407). Same exception and rank-stack contract as {!spawn}. The
+    checker keys held-rank stacks by [(domain, thread)], so locks taken
+    on a worker domain are tracked independently of same-id threads on
+    other domains. Join the returned handle (or hand it to a reaper)
+    so the runtime's domain slot is reclaimed. *)
+
+val domain_id : unit -> int
+(** Numeric id of the calling domain (0 = the main domain). Exposed so
+    domain-aware seeding (e.g. trace-id RNGs) need not touch [Domain]
+    directly. *)
+
+type 'a domain_local
+(** A per-domain cell: each domain sees its own value, created lazily
+    by the init function on first access from that domain. The
+    sanctioned [Domain.DLS] access point — raw DLS outside locked.ml
+    is a C407. *)
+
+val new_domain_local : (unit -> 'a) -> 'a domain_local
+(** [new_domain_local init] registers a new per-domain cell. [init]
+    runs once per domain, in that domain, on first {!domain_local_get};
+    it may call {!domain_id} to vary the value per domain. *)
+
+val domain_local_get : 'a domain_local -> 'a
+
 exception Rank_violation of string
 
 val set_checking : bool -> unit

@@ -1,14 +1,39 @@
 (* Wire-level and call-level metrics: fixed-bucket latency histograms,
    per-endpoint byte counters, and named event counters.
 
-   Concurrency: the registry tables (name -> histogram/counter) sit
-   behind a [Locked.t] at rank [metrics], but every *cell* is atomic —
-   bucket counts, totals, byte counters and event counters are
-   [Atomic.t], float accumulators use compare-and-set loops. The lock
-   is only taken to find-or-create a cell, so the hot recording paths
-   are lock-free after first touch — the first concrete step of the
-   ROADMAP's domain-safe Obs (the remaining systhread assumption is
-   the unlocked table probe in [find_or_create]). *)
+   Concurrency: fully lock-free and domain-safe. Every *cell* is
+   atomic — bucket counts, totals, byte counters and event counters
+   are [Atomic.t], float accumulators use compare-and-set loops — and
+   the registries (name -> cell) are immutable maps behind an
+   [Atomic.t], updated by a compare-and-set loop on insert. A probe is
+   one atomic load plus a map lookup, valid from any domain.
+
+   This replaced the PR-7 shape (Hashtbl + lock, with an *unlocked*
+   fast-path probe). That probe was benign under systhreads — the
+   runtime lock made [Hashtbl.find_opt] observe the table either
+   before or after a resize — but once observers run on worker
+   domains, a concurrent [Hashtbl.replace]-triggered resize during the
+   probe is a real data race (torn bucket array reads). An immutable
+   snapshot can never be observed mid-resize, which is the whole
+   point of the structure. *)
+
+module Smap = Map.Make (String)
+
+(* A grow-only, domain-safe registry. [find_or_create] publishes a new
+   cell with compare-and-set and re-probes on collision, so two racing
+   creators both end up updating the single surviving cell. *)
+type 'a registry = 'a Smap.t Atomic.t
+
+let registry () : 'a registry = Atomic.make Smap.empty
+
+let rec find_or_create (reg : 'a registry) key make =
+  let cur = Atomic.get reg in
+  match Smap.find_opt key cur with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      if Atomic.compare_and_set reg cur (Smap.add key v cur) then v
+      else find_or_create reg key make  (* lost the race: take the winner's *)
 
 (* Log-spaced 1-2-5 bucket upper bounds, in seconds: 1µs .. 5s, then an
    overflow bucket. Fixed buckets keep observation O(#buckets) with no
@@ -35,20 +60,18 @@ type bytes_counter = {
 }
 
 type t = {
-  lock : Locked.t;  (* guards table *structure* only, never cell values *)
-  hists : (string, hist) Hashtbl.t;
-  bytes : (string, bytes_counter) Hashtbl.t;
-  counters : (string, int Atomic.t) Hashtbl.t;
-  gauges : (string, float Atomic.t) Hashtbl.t;  (* last-written-wins *)
+  hists : hist registry;
+  bytes : bytes_counter registry;
+  counters : int Atomic.t registry;
+  gauges : float Atomic.t registry;  (* last-written-wins *)
 }
 
 let create () =
   {
-    lock = Locked.create ~name:"metrics" ~rank:Locked.Rank.metrics;
-    hists = Hashtbl.create 16;
-    bytes = Hashtbl.create 8;
-    counters = Hashtbl.create 16;
-    gauges = Hashtbl.create 8;
+    hists = registry ();
+    bytes = registry ();
+    counters = registry ();
+    gauges = registry ();
   }
 
 (* Accumulate a float into an atomic cell. Retry on collision; the
@@ -61,21 +84,6 @@ let rec atomic_add_float a x =
 let rec atomic_max_float a x =
   let cur = Atomic.get a in
   if x > cur && not (Atomic.compare_and_set a cur x) then atomic_max_float a x
-
-(* Find-or-create goes through the lock; the returned cell is then
-   updated atomically outside it, so two racing creators both end up
-   incrementing the same surviving cell. *)
-let find_or_create lock tbl key make =
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v  (* benign unlocked probe: keys are never removed *)
-  | None ->
-      Locked.with_lock lock (fun () ->
-          match Hashtbl.find_opt tbl key with
-          | Some v -> v
-          | None ->
-              let v = make () in
-              Hashtbl.replace tbl key v;
-              v)
 
 let new_hist () =
   {
@@ -94,7 +102,7 @@ let bucket_index bounds v =
 
 let observe t ~name seconds =
   if not (Float.is_nan seconds) then begin
-    let h = find_or_create t.lock t.hists name new_hist in
+    let h = find_or_create t.hists name new_hist in
     Atomic.incr h.counts.(bucket_index h.bounds seconds);
     Atomic.incr h.total;
     atomic_add_float h.sum_s seconds;
@@ -110,7 +118,7 @@ let new_bytes () =
   }
 
 let add_bytes t ~endpoint ~dir n =
-  let c = find_or_create t.lock t.bytes endpoint new_bytes in
+  let c = find_or_create t.bytes endpoint new_bytes in
   match dir with
   | `In ->
       ignore (Atomic.fetch_and_add c.bytes_in n);
@@ -120,10 +128,10 @@ let add_bytes t ~endpoint ~dir n =
       Atomic.incr c.writes
 
 let incr t ~name =
-  Atomic.incr (find_or_create t.lock t.counters name (fun () -> Atomic.make 0))
+  Atomic.incr (find_or_create t.counters name (fun () -> Atomic.make 0))
 
 let set_gauge t ~name v =
-  Atomic.set (find_or_create t.lock t.gauges name (fun () -> Atomic.make 0.)) v
+  Atomic.set (find_or_create t.gauges name (fun () -> Atomic.make 0.)) v
 
 (* ---------------- snapshots ---------------- *)
 
@@ -151,53 +159,58 @@ type snapshot = {
   gauges : (string * float) list;
 }
 
+(* Lock-free: one [Atomic.get] per registry yields an immutable map
+   that cannot change under the fold. Cell values read during the fold
+   are each individually atomic; the snapshot is a consistent map of
+   per-cell instants, which is all the Hashtbl+lock version gave —
+   observers never took the lock for the cells themselves. Smap folds
+   ascending by key, so the views come out already sorted. *)
 let snapshot t =
-  Locked.with_lock t.lock (fun () ->
-      let latencies =
-        Hashtbl.fold
-          (fun name (h : hist) acc ->
-            let total = Atomic.get h.total in
-            let sum_s = Atomic.get h.sum_s in
-            let buckets =
-              List.init (Array.length h.counts) (fun i ->
-                  ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
-                    Atomic.get h.counts.(i) ))
-            in
-            {
-              name;
-              total;
-              sum_s;
-              max_s = Atomic.get h.max_s;
-              mean_s = (if total = 0 then nan else sum_s /. float_of_int total);
-              buckets;
-            }
-            :: acc)
-          t.hists []
-        |> List.sort (fun a b -> compare a.name b.name)
-      in
-      let endpoints =
-        Hashtbl.fold
-          (fun endpoint (c : bytes_counter) acc ->
-            {
-              endpoint;
-              bytes_in = Atomic.get c.bytes_in;
-              bytes_out = Atomic.get c.bytes_out;
-              reads = Atomic.get c.reads;
-              writes = Atomic.get c.writes;
-            }
-            :: acc)
-          t.bytes []
-        |> List.sort (fun a b -> compare a.endpoint b.endpoint)
-      in
-      let counters =
-        Hashtbl.fold (fun k r acc -> (k, Atomic.get r) :: acc) t.counters []
-        |> List.sort compare
-      in
-      let gauges =
-        Hashtbl.fold (fun k v acc -> (k, Atomic.get v) :: acc) t.gauges []
-        |> List.sort compare
-      in
-      { latencies; endpoints; counters; gauges })
+  let latencies =
+    Smap.fold
+      (fun name (h : hist) acc ->
+        let total = Atomic.get h.total in
+        let sum_s = Atomic.get h.sum_s in
+        let buckets =
+          List.init (Array.length h.counts) (fun i ->
+              ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
+                Atomic.get h.counts.(i) ))
+        in
+        {
+          name;
+          total;
+          sum_s;
+          max_s = Atomic.get h.max_s;
+          mean_s = (if total = 0 then nan else sum_s /. float_of_int total);
+          buckets;
+        }
+        :: acc)
+      (Atomic.get t.hists) []
+    |> List.rev
+  in
+  let endpoints =
+    Smap.fold
+      (fun endpoint (c : bytes_counter) acc ->
+        {
+          endpoint;
+          bytes_in = Atomic.get c.bytes_in;
+          bytes_out = Atomic.get c.bytes_out;
+          reads = Atomic.get c.reads;
+          writes = Atomic.get c.writes;
+        }
+        :: acc)
+      (Atomic.get t.bytes) []
+    |> List.rev
+  in
+  let counters =
+    Smap.fold (fun k r acc -> (k, Atomic.get r) :: acc) (Atomic.get t.counters) []
+    |> List.rev
+  in
+  let gauges =
+    Smap.fold (fun k v acc -> (k, Atomic.get v) :: acc) (Atomic.get t.gauges) []
+    |> List.rev
+  in
+  { latencies; endpoints; counters; gauges }
 
 let hist_view_to_json (h : hist_view) =
   Jout.obj

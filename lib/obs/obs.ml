@@ -10,7 +10,8 @@ module Metrics = Metrics
 module Sink = Sink
 
 type t = {
-  mutable on : bool;
+  on : bool Atomic.t;  (* read from every domain; a plain mutable bool
+                          would be an unsynchronized cross-domain read *)
   lock : Locked.t;  (* guards [sinks]; rank [obs] *)
   mutable sinks : Sink.t list;  (* registration order; emit iterates as-is *)
   spans_emitted : int Atomic.t;
@@ -19,15 +20,15 @@ type t = {
 
 let create ?(enabled = true) () =
   {
-    on = enabled;
+    on = Atomic.make enabled;
     lock = Locked.create ~name:"obs" ~rank:Locked.Rank.obs;
     sinks = [];
     spans_emitted = Atomic.make 0;
     metrics = Metrics.create ();
   }
 
-let enabled t = t.on
-let set_enabled t on = t.on <- on
+let enabled t = Atomic.get t.on
+let set_enabled t on = Atomic.set t.on on
 let metrics t = t.metrics
 
 let add_sink t sink =
@@ -41,7 +42,7 @@ let sink_names t =
       List.map (fun (s : Sink.t) -> s.Sink.name) t.sinks)
 
 let emit t span =
-  if t.on then begin
+  if Atomic.get t.on then begin
     let sinks = Locked.with_lock t.lock (fun () -> t.sinks) in
     Atomic.incr t.spans_emitted;
     (* Sinks run outside the lock (a slow sink must not serialize the
@@ -49,13 +50,16 @@ let emit t span =
     List.iter (fun (s : Sink.t) -> try s.Sink.emit span with _ -> ()) sinks
   end
 
-let observe t ~name seconds = if t.on then Metrics.observe t.metrics ~name seconds
+let observe t ~name seconds =
+  if Atomic.get t.on then Metrics.observe t.metrics ~name seconds
 
 let add_bytes t ~endpoint ~dir n =
-  if t.on then Metrics.add_bytes t.metrics ~endpoint ~dir n
+  if Atomic.get t.on then Metrics.add_bytes t.metrics ~endpoint ~dir n
 
-let incr t ~name = if t.on then Metrics.incr t.metrics ~name
-let set_gauge t ~name v = if t.on then Metrics.set_gauge t.metrics ~name v
+let incr t ~name = if Atomic.get t.on then Metrics.incr t.metrics ~name
+
+let set_gauge t ~name v =
+  if Atomic.get t.on then Metrics.set_gauge t.metrics ~name v
 
 (* ---------------- snapshots ---------------- *)
 

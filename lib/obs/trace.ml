@@ -39,16 +39,25 @@ let now () = Unix.gettimeofday ()
 
 (* Ids must be unique across address spaces (a trace spans processes),
    so the generator is seeded from wall clock + pid, not deterministic.
-   Random.State is not thread-safe; one lock guards it. *)
-let id_lock = Locked.create ~name:"trace.ids" ~rank:Locked.Rank.trace_ids
-
+   Random.State is not thread-safe; one global lock used to guard one
+   global state, which worker domains would turn into a cross-domain
+   serialization point on the traced-call hot path. So each domain gets
+   its own state via DLS, with the domain id folded into the seed so
+   sibling domains (which may initialize within the same microsecond)
+   draw from distinct streams. The state still travels with a lock —
+   per-domain, so never contended across domains — because systhreads
+   of one domain share their domain's cell, and a thread switch at an
+   allocation point mid-draw could otherwise hand two threads the same
+   generator position (duplicate ids). *)
 let id_state =
-  lazy
-    (Random.State.make
-       [|
-         Unix.getpid ();
-         int_of_float (Unix.gettimeofday () *. 1e6) land 0x3FFFFFFF;
-       |])
+  Locked.new_domain_local (fun () ->
+      ( Locked.create ~name:"trace.ids" ~rank:Locked.Rank.trace_ids,
+        Random.State.make
+          [|
+            Unix.getpid ();
+            int_of_float (Unix.gettimeofday () *. 1e6) land 0x3FFFFFFF;
+            Locked.domain_id ();
+          |] ))
 
 (* One 64-bit draw yields 16 hex digits by nibble slicing — ids are on
    the traced-call hot path, so this beats drawing one random int per
@@ -64,20 +73,20 @@ let hex_of_bits bits digits =
   Bytes.unsafe_to_string out
 
 let hex_id digits =
+  let id_lock, st = Locked.domain_local_get id_state in
   let bits =
-    Locked.with_lock id_lock (fun () ->
-        Random.State.int64 (Lazy.force id_state) Int64.max_int)
+    Locked.with_lock id_lock (fun () -> Random.State.int64 st Int64.max_int)
   in
   hex_of_bits bits digits
 
 let new_trace_id () = hex_id 16
 let new_span_id () = hex_id 8
 
-(* Client spans need both ids; fuse the draws under one lock. *)
+(* Client spans need both ids; fuse the draws under one acquisition. *)
 let new_trace_and_span_ids () =
+  let id_lock, st = Locked.domain_local_get id_state in
   let b1, b2 =
     Locked.with_lock id_lock (fun () ->
-        let st = Lazy.force id_state in
         let b1 = Random.State.int64 st Int64.max_int in
         let b2 = Random.State.int64 st Int64.max_int in
         (b1, b2))

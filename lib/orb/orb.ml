@@ -377,7 +377,15 @@ let serve_connection t sc =
                      reader thread unwinds and reaps it. *)
                   (try Communicator.close comm with _ -> ()))
           in
-          match Pool.submit pool job with
+          (* Runs iff the pool is stopped while this request is still
+             queued (immediate shutdown): answer it like an admission
+             refusal so a pipelined client fails fast instead of
+             waiting out its call deadline on a silently dropped job. *)
+          let cancel () =
+            dec_inflight ();
+            reject_request req "shutting down: request dropped before execution"
+          in
+          match Pool.submit pool ~cancel job with
           | `Accepted ->
               Obs.set_gauge t.obs ~name:"server:pool_depth"
                 (float_of_int (Pool.depth pool))
@@ -497,15 +505,21 @@ let start t =
           t.bound_port <- l.Transport.bound_port;
           t.running <- true;
           t.draining <- false;
-          (match (t.policy.pool, t.pool) with
-          | Some cfg, None -> t.pool <- Some (Pool.create cfg)
-          | _ -> ());
           Some l
         end)
   in
   match listener with
   | None -> ()
   | Some l ->
+      (* Worker creation happens outside the ORB lock: spawning a
+         domain per worker is not instant, and nothing about it needs
+         ORB state. [running] is already true, so a concurrent start
+         cannot race another pool into existence. *)
+      (match with_lock t (fun () -> (t.policy.pool, t.pool)) with
+      | Some cfg, None ->
+          let p = Pool.create cfg in
+          with_lock t (fun () -> t.pool <- Some p)
+      | _ -> ());
       let accept_loop () =
         (* Inbound bytes are accounted to the listening endpoint (one
            bounded label per server), not per remote peer. *)

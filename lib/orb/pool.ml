@@ -7,33 +7,54 @@
    latency) or block the submitting reader (backpressure through the
    transport) up to a deadline.
 
+   Workers come in two shapes. [Domains] (the default) runs one OCaml
+   domain per worker: CPU-bound dispatches execute in parallel on
+   separate cores instead of time-slicing one runtime lock — the model
+   bench E13 measures. [Systhreads] keeps the historical
+   one-runtime-lock pool, retained as the flatline control and for
+   configurations that want many more workers than cores (e.g. purely
+   I/O-bound servants). The queue between reader threads and workers is
+   the same either way: OCaml 5's [Mutex]/[Condition] (via [Locked])
+   synchronize threads and domains alike, so admission semantics are
+   identical across backends.
+
    OCaml's [Condition] has no timed wait, so deadline-bounded waits poll
    at the transport layer's granularity — the same compromise
    [Transport.Pipe.read_with] makes: each locked step either decides or
    returns [`Poll], and the delay happens with the lock released. *)
 
 type admission = Reject | Block of float option
+type backend = Systhreads | Domains
 
 type config = {
   workers : int;
   queue_capacity : int;
   admission : admission;
+  backend : backend;
 }
 
-let default_config = { workers = 8; queue_capacity = 64; admission = Reject }
+let default_config =
+  { workers = 8; queue_capacity = 64; admission = Reject; backend = Domains }
+
+(* A queued job and what to do with it if the pool is stopped before a
+   worker picks it up. The cancel callback must answer the peer (a
+   system-error reply) so a pipelined client is not left waiting out
+   its call deadline on a request that silently evaporated. *)
+type job = { run : unit -> unit; cancel : unit -> unit }
 
 type t = {
   config : config;
   lock : Locked.t;  (* rank [pool] *)
   nonempty : Locked.cond;  (* workers park here waiting for jobs *)
   change : Locked.cond;  (* space freed / job finished / state flipped *)
-  queue : (unit -> unit) Queue.t;
+  queue : job Queue.t;
   mutable accepting : bool;
   mutable stopping : bool;
   mutable active : int;  (* jobs currently executing *)
   mutable submitted : int;
   mutable completed : int;
   mutable rejected : int;
+  mutable domains : unit Domain.t list;  (* worker handles; Domains only *)
 }
 
 let poll_interval = 0.005
@@ -58,12 +79,12 @@ let rec worker_loop t =
         next ())
   in
   match job with
-  | None -> ()  (* stopped and drained: the worker thread exits *)
+  | None -> ()  (* stopped and drained: the worker exits *)
   | Some job ->
       (* A job failing must never kill its worker: the job itself is
          responsible for error replies; residual exceptions here mean
          the connection died under it. *)
-      (try job () with _ -> ());
+      (try job.run () with _ -> ());
       Locked.with_lock t.lock (fun () ->
           t.active <- t.active - 1;
           t.completed <- t.completed + 1;
@@ -92,14 +113,22 @@ let create config =
       submitted = 0;
       completed = 0;
       rejected = 0;
+      domains = [];
     }
   in
-  for _ = 1 to config.workers do
-    ignore (Locked.spawn "pool.worker" (fun () -> worker_loop t))
-  done;
+  (match config.backend with
+  | Systhreads ->
+      for _ = 1 to config.workers do
+        ignore (Locked.spawn "pool.worker" (fun () -> worker_loop t))
+      done
+  | Domains ->
+      t.domains <-
+        List.init config.workers (fun _ ->
+            Locked.spawn_domain "pool.worker" (fun () -> worker_loop t)));
   t
 
-let submit t job =
+let submit t ?(cancel = fun () -> ()) run =
+  let job = { run; cancel } in
   (* One locked step: accept, reject, park on [change] (no deadline), or
      hand a [`Poll] back to the unlocked retry loop below. *)
   let step deadline =
@@ -191,18 +220,32 @@ let drain t ~deadline =
   loop ()
 
 let stop t =
-  let dropped =
+  let dropped, handles =
     Locked.with_lock t.lock (fun () ->
         t.accepting <- false;
         t.stopping <- true;
-        let dropped = Queue.length t.queue in
+        let dropped = List.rev (Queue.fold (fun acc j -> j :: acc) [] t.queue) in
         Queue.clear t.queue;
         Locked.broadcast_c t.nonempty;
         Locked.broadcast_c t.change;
-        dropped)
+        let hs = t.domains in
+        t.domains <- [];
+        (dropped, hs))
   in
-  (* Workers are not joined: one may be executing a job blocked on I/O
-     that only the caller's next step (closing the connections)
+  (* Cancel dropped jobs OUTSIDE the pool lock, in submission order: a
+     cancel sends an error reply, which takes the connection's write
+     lock (rank communicator, above pool) and may block on the
+     transport — both forbidden under the pool lock. *)
+  List.iter (fun j -> try j.cancel () with _ -> ()) dropped;
+  (* Workers are not joined here: one may be executing a job blocked on
+     I/O that only the caller's next step (closing the connections)
      unblocks. Idle workers exit immediately; busy ones exit after
-     their current job. *)
-  dropped
+     their current job. Domain workers still need a join eventually —
+     the runtime caps live domains — so a detached reaper joins the
+     handles as the workers wind down. *)
+  (match handles with
+  | [] -> ()
+  | handles ->
+      ignore
+        (Locked.spawn "pool.reaper" (fun () -> List.iter Domain.join handles)));
+  List.length dropped

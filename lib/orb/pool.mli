@@ -2,8 +2,12 @@
     overload policy (see DESIGN.md "Server model and overload policy").
 
     Connection reader threads decode requests and {!submit} them; a
-    fixed set of worker threads executes them. The pending queue is
-    bounded; the {!admission} policy decides what happens at the bound. *)
+    fixed set of workers executes them. The pending queue is bounded;
+    the {!admission} policy decides what happens at the bound, and the
+    {!backend} decides what a worker is: an OCaml domain (parallel
+    dispatch, the default) or a systhread (one shared runtime lock,
+    kept as the E13 control and for I/O-bound workloads that want more
+    workers than cores). *)
 
 type admission =
   | Reject
@@ -15,25 +19,43 @@ type admission =
           Blocking the reader stops that connection's intake, pushing
           the overload back through the transport to the client. *)
 
+type backend =
+  | Systhreads
+      (** One systhread per worker: workers share the spawning domain's
+          runtime lock, so they overlap waiting but not compute. *)
+  | Domains
+      (** One domain per worker: CPU-bound jobs run in parallel on
+          separate cores. Worker domains are joined by a detached
+          reaper after {!stop}; keep [workers] within the same order
+          as the machine's cores — the runtime caps live domains. *)
+
 type config = {
-  workers : int;  (** Worker thread count (min 1). *)
+  workers : int;  (** Worker count (min 1). *)
   queue_capacity : int;  (** Pending-request bound (min 1). *)
   admission : admission;
+  backend : backend;
 }
 
 val default_config : config
-(** 8 workers, 64 queued requests, [Reject] admission. *)
+(** 8 workers, 64 queued requests, [Reject] admission, [Domains]. *)
 
 type t
 
 val create : config -> t
-(** Create the pool and start its worker threads. *)
+(** Create the pool and start its workers. *)
 
-val submit : t -> (unit -> unit) -> [ `Accepted | `Rejected of string ]
+val submit :
+  t -> ?cancel:(unit -> unit) -> (unit -> unit) -> [ `Accepted | `Rejected of string ]
 (** Enqueue a job, subject to admission control. [`Rejected reason]
     when the queue is full (under [Reject], or past the [Block]
     deadline) or the pool is draining/stopped. The job must not raise;
-    residual exceptions are swallowed to protect the worker. *)
+    residual exceptions are swallowed to protect the worker.
+
+    [cancel] runs (at most once, never together with the job) if the
+    pool is stopped while the job is still queued: the submitter's
+    chance to answer the peer — e.g. a system-error reply — instead of
+    silently discarding an admitted request. It is called outside the
+    pool lock and may perform I/O. *)
 
 val depth : t -> int
 (** Currently queued (not yet started) jobs. *)
@@ -53,7 +75,10 @@ val drain : t -> deadline:float option -> [ `Drained | `Aborted of int ]
     indefinitely. *)
 
 val stop : t -> int
-(** Stop immediately: discard queued jobs (returning how many), let
-    running jobs finish, and shut the workers down. Does not join the
-    worker threads — a running job may be blocked on I/O the caller is
-    about to unblock (e.g. by closing connections). Idempotent. *)
+(** Stop immediately: discard queued jobs — running each one's [cancel]
+    callback first, in submission order — and return how many were
+    dropped. Running jobs finish; workers then shut down (domain
+    workers are joined by a detached reaper so their runtime slots are
+    reclaimed). Does not block on the workers — a running job may be
+    blocked on I/O the caller is about to unblock (e.g. by closing
+    connections). Idempotent. *)

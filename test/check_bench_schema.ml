@@ -379,6 +379,65 @@ let check_e11 path root =
 
 (* ---------------- E12: replica kill/restart failover ---------------- *)
 
+(* ---------------- E13: multicore dispatch ---------------- *)
+
+let check_e13 path root =
+  ignore (want_str root "transport");
+  ignore (want_str root "protocol");
+  check (want_num root "duration_s" > 0.) "duration_s must be > 0";
+  check (want_num root "service_ms" > 0.) "service_ms must be > 0";
+  check (want_num root "payload_kb" > 0.) "payload_kb must be > 0";
+  let cores = want_num root "cores" in
+  check (cores >= 1.) "cores must be >= 1";
+  let cells = want_arr root "cells" in
+  check (cells <> []) "cells must be non-empty";
+  List.iter
+    (fun cell ->
+      let backend = want_str cell "backend" in
+      check
+        (backend = "domains" || backend = "systhreads")
+        "cell backend must be domains or systhreads";
+      check (want_num cell "workers" > 0.) "cell workers must be > 0";
+      check (want_num cell "clients" > 0.) "cell clients must be > 0";
+      check (want_num cell "ok" >= 0.) "cell ok must be >= 0";
+      check (want_num cell "failed" = 0.)
+        "cells must account for every call: failed must be 0";
+      check (want_num cell "ok_per_s" >= 0.) "cell ok_per_s must be >= 0")
+    cells;
+  let ops backend workers =
+    List.find_map
+      (fun c ->
+        if want_str c "backend" = backend && want_num c "workers" = workers
+        then Some (want_num c "ok_per_s")
+        else None)
+      cells
+  in
+  (* Both backends must appear with a 1-worker baseline that did work. *)
+  let d1 =
+    match ops "domains" 1. with
+    | Some v -> v
+    | None -> raise (Bad "cells must include the 1-worker domains baseline")
+  in
+  check (d1 > 0.) "the 1-domain baseline must complete calls";
+  check (ops "systhreads" 1. <> None)
+    "cells must include the 1-worker systhreads control";
+  (* The acceptance gate: 4 domains >= 2.5x the 1-domain arm — a claim
+     about parallel hardware, so it only binds when the host actually
+     has >= 4 cores. A 1-core CI box still verifies structure and
+     conservation above; the committed BENCH_multicore.json from a
+     multicore host carries the scaling evidence. *)
+  (match ops "domains" 4. with
+  | Some d4 when cores >= 4. ->
+      check
+        (d4 >= 2.5 *. d1)
+        (Printf.sprintf
+           "4-domain throughput must be >= 2.5x the 1-domain arm on a >= \
+            4-core host (got %.2fx)"
+           (d4 /. d1))
+  | _ -> ());
+  Printf.printf "%s: schema OK (%d cells, cores %d, 1-domain %.0f ok/s)\n" path
+    (List.length cells) (int_of_float cores) d1
+
 let check_e12 path root =
   ignore (want_str root "transport");
   let duration = want_num root "duration_s" in
@@ -466,6 +525,7 @@ let () =
     | "E10" -> check_e10 path root
     | "E11" -> check_e11 path root
     | "E12" -> check_e12 path root
+    | "E13" -> check_e13 path root
     | other -> raise (Bad (Printf.sprintf "unknown experiment %S" other))
   with Bad msg ->
     Printf.eprintf "%s: schema check FAILED: %s\n" path msg;

@@ -1,0 +1,6 @@
+(* Seeded C407: a domain spawned with the raw primitive. The rank
+   checker never clears its held-rank stack, and an exception escaping
+   the body tears the domain down silently — [Locked.spawn_domain]
+   handles both. *)
+
+let wrong () = Domain.spawn (fun () -> ())

@@ -1,0 +1,14 @@
+(* Seeded C408: a Hashtbl field mutated with no lock held, in a module
+   whose work runs on spawned domains. Under systhreads the runtime
+   lock made this merely sloppy; across domains a concurrent resize
+   during the mutation is a data race. *)
+
+type t = { lock : Locked.t; table : (string, int) Hashtbl.t }
+
+let start t =
+  ignore (Locked.spawn_domain "fixture.worker" (fun () -> ignore t))
+
+let wrong t name = Hashtbl.replace t.table name 1
+
+let locked_ok t name =
+  Locked.with_lock t.lock (fun () -> Hashtbl.remove t.table name)

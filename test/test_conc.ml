@@ -22,7 +22,7 @@ let corpus_cases () =
 
 let test_corpus () =
   let cases = corpus_cases () in
-  Alcotest.(check int) "one fixture per C4xx code" 6 (List.length cases);
+  Alcotest.(check int) "one fixture per C4xx code" 8 (List.length cases);
   List.iter
     (fun case ->
       let path = Filename.concat corpus_dir case in

@@ -24,7 +24,14 @@ let wide_pool =
   { Orb.default_server_policy with
     pool =
       Some
-        { Orb.Pool.workers = 24; queue_capacity = 64; admission = Orb.Pool.Reject }
+        (* Nap servants, not compute: systhreads overlap the sleeps
+           without needing 24 domains. *)
+        {
+          Orb.Pool.workers = 24;
+          queue_capacity = 64;
+          admission = Orb.Pool.Reject;
+          backend = Orb.Pool.Systhreads;
+        }
   }
 
 let eventually ?(timeout = 5.0) ?(msg = "condition") cond =

@@ -64,7 +64,7 @@ let test_pool_runs_jobs () =
     Orb.Pool.create
       (* Capacity >= job count: nothing may be shed even if the workers
          have not started draining when the last submit lands. *)
-      { Orb.Pool.workers = 3; queue_capacity = 32; admission = Orb.Pool.Reject }
+      { Orb.Pool.default_config with workers = 3; queue_capacity = 32 }
   in
   let done_ = Atomic.make 0 in
   for _ = 1 to 20 do
@@ -83,7 +83,7 @@ let test_pool_runs_jobs () =
 let test_pool_rejects_when_full () =
   let pool =
     Orb.Pool.create
-      { Orb.Pool.workers = 1; queue_capacity = 1; admission = Orb.Pool.Reject }
+      { Orb.Pool.default_config with workers = 1; queue_capacity = 1 }
   in
   let wait, release = make_gate () in
   (* Occupy the single worker, then the single queue slot. *)
@@ -109,7 +109,8 @@ let test_pool_block_admission_deadline () =
   let pool =
     Orb.Pool.create
       {
-        Orb.Pool.workers = 1;
+        Orb.Pool.default_config with
+        workers = 1;
         queue_capacity = 1;
         admission = Orb.Pool.Block (Some 0.08);
       }
@@ -153,7 +154,7 @@ let test_pool_drain () =
   (* Clean drain: everything in flight finishes, then submits fail. *)
   let pool =
     Orb.Pool.create
-      { Orb.Pool.workers = 2; queue_capacity = 8; admission = Orb.Pool.Reject }
+      { Orb.Pool.default_config with workers = 2; queue_capacity = 8 }
   in
   let done_ = Atomic.make 0 in
   for _ = 1 to 6 do
@@ -175,7 +176,7 @@ let test_pool_drain () =
   (* Aborted drain: a stuck job forces the deadline path. *)
   let pool =
     Orb.Pool.create
-      { Orb.Pool.workers = 1; queue_capacity = 4; admission = Orb.Pool.Reject }
+      { Orb.Pool.default_config with workers = 1; queue_capacity = 4 }
   in
   let wait, release = make_gate () in
   ignore (Orb.Pool.submit pool wait);
@@ -190,7 +191,7 @@ let test_pool_drain () =
 (* ------------- ORB-level: overload, pipelining, eviction ------------- *)
 
 let tiny_pool =
-  { Orb.Pool.workers = 1; queue_capacity = 1; admission = Orb.Pool.Reject }
+  { Orb.Pool.default_config with workers = 1; queue_capacity = 1 }
 
 let test_overload_rejects_with_system_exception () =
   (* 8 single-call clients against 1 worker + 1 queue slot of 150 ms
@@ -482,9 +483,9 @@ let test_soak_conservation () =
           pool =
             Some
               {
-                Orb.Pool.workers = 4;
+                Orb.Pool.default_config with
+                workers = 4;
                 queue_capacity = 8;
-                admission = Orb.Pool.Reject;
               };
         }
       ()
