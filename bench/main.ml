@@ -1360,6 +1360,190 @@ let e13 ?(out = "BENCH_multicore.json") ?(duration = 1.5)
   close_out oc;
   Printf.printf "  wrote %s\n" out
 
+(* ================= E14: deadline propagation under saturation ====== *)
+
+(* An open-loop saturation sweep over one small pool (2 workers x 10 ms
+   sleep service = ~200 calls/s capacity). Every call carries the same
+   client deadline; the only variable is whether the client propagates
+   the remaining budget on the wire. Offered load is paced by a global
+   ticket counter (senders sleep until their ticket's fire time), so the
+   generator keeps offering at the target rate even while earlier calls
+   are stuck in the server's queue — the regime where the two arms
+   diverge: without propagation the workers burn their whole service
+   time on requests whose caller has already timed out; with it the
+   expired backlog is shed at ~no cost and the freed capacity goes to
+   requests that can still make their deadline. Goodput = replies that
+   arrived within the deadline (the invoke timeout enforces it). *)
+let e14 ?(out = "BENCH_deadline.json") ?(duration = 2.0)
+    ?(multipliers = [ 1; 2; 4; 8 ]) () =
+  section "E14" "end-to-end deadlines: goodput with and without propagation";
+  let service_s = 0.010 in
+  let deadline_s = 0.030 in
+  let workers = 2 in
+  let capacity = float_of_int workers /. service_s in
+  let senders = 64 in
+  let executed = Atomic.make 0 in
+  let nap_skeleton () =
+    Orb.Skeleton.create ~type_id:"IDL:Bench/Deadline:1.0"
+      [
+        ( "work",
+          fun _ results ->
+            Atomic.incr executed;
+            Thread.delay service_s;
+            results.Wire.Codec.put_string "ok" );
+      ]
+  in
+  let run_cell ~propagate mult =
+    Orb.Transport.mem_reset ();
+    Atomic.set executed 0;
+    let server =
+      Orb.create ~transport:"mem" ~host:"local"
+        ~server_policy:
+          {
+            Orb.default_server_policy with
+            pool =
+              Some
+                {
+                  Orb.Pool.default_config with
+                  workers;
+                  queue_capacity = 512;
+                  admission = Orb.Pool.Reject;
+                };
+          }
+        ()
+    in
+    Orb.start server;
+    let target = Orb.export server (nap_skeleton ()) in
+    let rate = float_of_int mult *. capacity in
+    let total = int_of_float (rate *. duration) in
+    let ticket = Atomic.make 0 in
+    let ok = Atomic.make 0
+    and timeout = Atomic.make 0
+    and shed = Atomic.make 0
+    and failed = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init senders (fun _ ->
+          Thread.create
+            (fun () ->
+              (* One client ORB (one connection) per sender: calls are
+                 serial per connection, so a deadline expiring mid-reply
+                 tears down only the timed-out caller's own connection —
+                 shared-mux collateral would charge one call's expiry to
+                 its innocent neighbours and mask the server-side
+                 effect under saturation. *)
+              let client =
+                Orb.create ~transport:"mem" ~host:"local"
+                  ~retry:Orb.Retry.none ~propagate_deadlines:propagate ()
+              in
+              let rec loop () =
+                let i = Atomic.fetch_and_add ticket 1 in
+                if i < total then begin
+                  let fire_at = t0 +. (float_of_int i /. rate) in
+                  let d = fire_at -. Unix.gettimeofday () in
+                  if d > 0. then Thread.delay d;
+                  (match
+                     Orb.invoke client target ~op:"work" ~timeout:deadline_s
+                       (fun _ -> ())
+                   with
+                  | Some _ -> Atomic.incr ok
+                  | None -> Atomic.incr failed
+                  | exception Orb.Transport.Timeout _ -> Atomic.incr timeout
+                  | exception Orb.System_exception _ -> Atomic.incr shed
+                  | exception _ -> Atomic.incr failed);
+                  loop ()
+                end
+              in
+              loop ();
+              Orb.shutdown client)
+            ())
+    in
+    List.iter Thread.join threads;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let st = Orb.stats server in
+    Orb.shutdown server;
+    ( (if propagate then "on" else "off"),
+      mult,
+      rate,
+      Atomic.get ok,
+      Atomic.get timeout,
+      Atomic.get shed,
+      Atomic.get failed,
+      float_of_int (Atomic.get ok) /. elapsed,
+      Atomic.get executed,
+      st.Orb.expired_pre_admission,
+      st.Orb.expired_in_queue,
+      st.Orb.rejected )
+  in
+  let cells =
+    List.concat_map
+      (fun propagate -> List.map (run_cell ~propagate) multipliers)
+      [ true; false ]
+  in
+  table
+    [
+      "propagation"; "load"; "offered/s"; "ok"; "timeout"; "shed"; "goodput/s";
+      "executed"; "exp_pre"; "exp_queue"; "rejected";
+    ]
+    (List.map
+       (fun (arm, m, rate, ok, tmo, shed, _fail, gput, exec, pre, q, rej) ->
+         [
+           arm;
+           Printf.sprintf "%dx" m;
+           Printf.sprintf "%.0f" rate;
+           string_of_int ok;
+           string_of_int tmo;
+           string_of_int shed;
+           Printf.sprintf "%.0f" gput;
+           string_of_int exec;
+           string_of_int pre;
+           string_of_int q;
+           string_of_int rej;
+         ])
+       cells);
+  Printf.printf
+    "  (open-loop: %d senders paced to load x %.0f calls/s capacity; every\n\
+    \  call has a %.0f ms deadline over %.0f ms of sleep service. \"executed\"\n\
+    \  counts servant runs — off-arm executions above ok-count are capacity\n\
+    \  burned on already-dead requests; the on-arm sheds them in queue.)\n"
+    senders capacity (deadline_s *. 1000.) (service_s *. 1000.);
+  let json =
+    Obs.Jout.obj
+      [
+        ("experiment", Obs.Jout.str "E14");
+        ("transport", Obs.Jout.str "mem");
+        ("duration_s", Obs.Jout.num duration);
+        ("service_ms", Obs.Jout.num (service_s *. 1000.));
+        ("deadline_ms", Obs.Jout.num (deadline_s *. 1000.));
+        ("capacity_per_s", Obs.Jout.num capacity);
+        ( "cells",
+          Obs.Jout.arr
+            (List.map
+               (fun (arm, m, rate, ok, tmo, shed, fail_, gput, exec, pre, q, rej) ->
+                 Obs.Jout.obj
+                   [
+                     ("propagation", Obs.Jout.str arm);
+                     ("multiplier", Obs.Jout.int m);
+                     ("offered_per_s", Obs.Jout.num rate);
+                     ("ok", Obs.Jout.int ok);
+                     ("timeout", Obs.Jout.int tmo);
+                     ("shed", Obs.Jout.int shed);
+                     ("failed", Obs.Jout.int fail_);
+                     ("goodput_per_s", Obs.Jout.num gput);
+                     ("executed", Obs.Jout.int exec);
+                     ("expired_pre_admission", Obs.Jout.int pre);
+                     ("expired_in_queue", Obs.Jout.int q);
+                     ("rejected", Obs.Jout.int rej);
+                   ])
+               cells) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
 (* ================= F-series: figure regeneration pointers ========== *)
 
 let figures () =
@@ -1414,6 +1598,15 @@ let () =
          domain-keyed checker) and writes a schema-checkable artifact.
          The scaling assertion self-gates on the host's core count. *)
       e13 ~out ~duration:0.2 ~worker_counts:[ 1; 4 ] ~payload_kb:2 ~passes:30 ()
+  | [| _; "--e14"; out |] ->
+      (* Full E14 only: the deadline-propagation saturation sweep (the
+         BENCH_deadline.json artifact). *)
+      e14 ~out ()
+  | [| _; "--e14-smoke"; out |] ->
+      (* E14 with short cells at the two interesting loads: unsaturated
+         (1x) and deep saturation (4x) — enough for the schema check to
+         assert that propagation never loses goodput at saturation. *)
+      e14 ~out ~duration:0.4 ~multipliers:[ 1; 4 ] ()
   | [| _; "--e12-smoke"; out |] ->
       (* E12 on a compressed timeline: one kill, one restart, a breaker
          window short enough that recovery is measurable inside a
@@ -1439,5 +1632,6 @@ let () =
       e11 ();
       e12 ();
       e13 ();
+      e14 ();
       figures ();
       print_endline "\nAll benches complete."

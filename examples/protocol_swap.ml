@@ -55,6 +55,7 @@ let demo protocol label =
         operation = "zoom";
         oneway = false;
         trace_ctx = "";
+        budget_us = None;
         payload =
           (let e = protocol.Orb.Protocol.codec.Wire.Codec.encoder () in
            e.Wire.Codec.put_long 3;

@@ -78,7 +78,9 @@ type t = {
   host : string;
   cfg_port : int;
   call_timeout : float option;  (* default per-call deadline, seconds *)
+  propagate_deadlines : bool;  (* stamp remaining budget into requests *)
   retry : Retry.policy;
+  retry_budget : Retry.Budget.t;  (* aggregate retry/failover gate *)
   breaker : Breaker.t option;
   obs : Obs.t;  (* tracing + metrics; disabled unless supplied *)
   policy : server_policy;
@@ -96,20 +98,34 @@ type t = {
   mutable accepted : sconn list;  (* server-side connections *)
   mutable next_req_id : int;
   mutable opened : int;  (* outbound connections ever opened *)
-  mutable served : int;  (* requests dispatched *)
-  mutable retries : int;  (* attempts beyond the first, across all calls *)
-  mutable timeouts : int;  (* calls that hit their deadline *)
-  mutable rejected : int;  (* requests refused by admission control *)
+  (* Hot-path counters are [Atomic.t], not lock-guarded mutables: they
+     are bumped from pool worker domains, demux reader threads, and
+     callers concurrently, and several increment sites used to take the
+     ORB lock for nothing but the counter (see the C404 fixture pinning
+     the unlocked-mutable anti-pattern this replaces). Cold counters
+     mutated only under [lock] alongside other state stay mutable. *)
+  served : int Atomic.t;  (* requests dispatched *)
+  retries : int Atomic.t;  (* attempts beyond the first, across all calls *)
+  timeouts : int Atomic.t;  (* calls that hit their deadline *)
+  rejected : int Atomic.t;  (* requests refused by admission control *)
+  expired_pre_admission : int Atomic.t;
+      (* requests shed at decode/admission: budget lapsed before queueing *)
+  expired_in_queue : int Atomic.t;
+      (* requests shed at execution: budget lapsed while queued, or
+         remaining budget below the service-time estimate (doomed) *)
+  service_ewma_us : int Atomic.t;
+      (* EWMA of pool-dispatch service time in µs (0 until the first
+         completion) — the doomed-request shed threshold *)
   mutable evicted : int;  (* connections evicted by the LRU limit *)
   mutable drains_clean : int;  (* graceful drains that finished in time *)
   mutable drain_aborted_jobs : int;  (* dispatches abandoned at force-close *)
-  mutable mux_peak : int;  (* highest in-flight count any connection saw *)
+  mux_peak : int Atomic.t;  (* highest in-flight count any connection saw *)
   mutable bootstrap_registry : (string, Objref.t) Hashtbl.t option;
   fwd_cache : (string, Objref.t) Hashtbl.t;
       (* logical target (stringified) -> last Locate_forward redirect;
          invalidated when the forwarded target fails *)
   rng : Random.State.t;  (* replica selection; guarded by [mutex] *)
-  mutable failovers : int;  (* attempts rerouted away from a failed replica *)
+  failovers : int Atomic.t;  (* attempts rerouted away from a failed replica *)
   mutable forwards_followed : int;  (* Locate_forward redirects honoured *)
 }
 
@@ -151,7 +167,8 @@ and sconn = {
 
 let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     ?(transport = "mem") ?(host = "local") ?(port = 0) ?call_timeout
-    ?(retry = Retry.default) ?breaker ?obs
+    ?(propagate_deadlines = true) ?(retry = Retry.default)
+    ?(retry_budget = Retry.Budget.default_config) ?breaker ?obs
     ?(server_policy = default_server_policy) ?(mux = default_mux) () =
   {
     proto = protocol;
@@ -160,7 +177,9 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     host;
     cfg_port = port;
     call_timeout;
+    propagate_deadlines;
     retry;
+    retry_budget = Retry.Budget.create ~config:retry_budget ();
     breaker = Option.map (fun config -> Breaker.create ~config ()) breaker;
     obs = (match obs with Some o -> o | None -> Obs.create ~enabled:false ());
     policy = server_policy;
@@ -178,20 +197,23 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     accepted = [];
     next_req_id = 1;
     opened = 0;
-    served = 0;
-    retries = 0;
-    timeouts = 0;
-    rejected = 0;
+    served = Atomic.make 0;
+    retries = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    rejected = Atomic.make 0;
+    expired_pre_admission = Atomic.make 0;
+    expired_in_queue = Atomic.make 0;
+    service_ewma_us = Atomic.make 0;
     evicted = 0;
     drains_clean = 0;
     drain_aborted_jobs = 0;
-    mux_peak = 0;
+    mux_peak = Atomic.make 0;
     bootstrap_registry = None;
     fwd_cache = Hashtbl.create 8;
     (* Fixed seed: replica selection only needs spread, not entropy, and
        determinism keeps test runs reproducible. *)
     rng = Random.State.make [| 0x9e3779b9 |];
-    failovers = 0;
+    failovers = Atomic.make 0;
     forwards_followed = 0;
   }
 
@@ -226,7 +248,7 @@ let handle_request_inner t (req : Protocol.request) : Protocol.reply option =
     if req.Protocol.oneway then None
     else Some { Protocol.rep_id = req.Protocol.req_id; status; payload }
   in
-  with_lock t (fun () -> t.served <- t.served + 1);
+  Atomic.incr t.served;
   match Object_adapter.lookup t.oa req.Protocol.target.Objref.oid with
   | None ->
       reply
@@ -339,8 +361,16 @@ let serve_connection t sc =
   (* Admission refusal: a diagnosable System_exception reply, never a
      dropped connection. *)
   let reject_request (req : Protocol.request) reason =
-    with_lock t (fun () -> t.rejected <- t.rejected + 1);
+    Atomic.incr t.rejected;
     Obs.incr t.obs ~name:"server:rejected";
+    if not req.Protocol.oneway then error_reply req.Protocol.req_id reason
+  in
+  (* Budget-expiry shedding: like an admission refusal, but counted and
+     worded as the Timeout-class outcome it is — the client's budget
+     lapsed, nobody is waiting for the result anymore. *)
+  let expire_request (req : Protocol.request) ~counter ~obs_name reason =
+    Atomic.incr counter;
+    Obs.incr t.obs ~name:obs_name;
     if not req.Protocol.oneway then error_reply req.Protocol.req_id reason
   in
   let finish_dispatch req =
@@ -352,7 +382,24 @@ let serve_connection t sc =
     with_lock t (fun () -> sc.s_inflight <- sc.s_inflight - 1)
   in
   let dispatch (req : Protocol.request) =
-    sc.s_last_active <- Unix.gettimeofday ();
+    let received_at = Unix.gettimeofday () in
+    sc.s_last_active <- received_at;
+    (* The wire budget is relative (no clock sync with the peer): anchor
+       it to our own receive time. Everything downstream — admission
+       waits, the pre-execution check — compares against this absolute
+       instant on the server's clock. Conservative by the network
+       transit time: we may execute work the client has just given up
+       on, never shed work it is still waiting for. *)
+    let expiry =
+      Option.map
+        (fun b -> received_at +. (float_of_int b /. 1e6))
+        req.Protocol.budget_us
+    in
+    let expired_now () =
+      match expiry with
+      | Some x -> Unix.gettimeofday () >= x
+      | None -> false
+    in
     if with_lock t (fun () -> t.draining) then
       reject_request req "draining: not accepting new requests"
     else if
@@ -361,21 +408,80 @@ let serve_connection t sc =
       reject_request req
         (Printf.sprintf "too many pipelined requests (limit %d)"
            t.policy.max_pipelined)
+    else if expired_now () then
+      (* Shed point 1 (decode): the budget lapsed in transit — drop
+         before enqueueing anything. *)
+      expire_request req ~counter:t.expired_pre_admission
+        ~obs_name:"server:expired_pre_admission"
+        "expired before admission: request deadline budget lapsed"
     else begin
       with_lock t (fun () -> sc.s_inflight <- sc.s_inflight + 1);
       match with_lock t (fun () -> t.pool) with
       | None ->
           (* Thread-per-connection mode: dispatch inline on the reader
-             thread, exactly the paper's Fig. 5 loop. *)
+             thread, exactly the paper's Fig. 5 loop. No queue, so the
+             decode-point check above is the only shed point. *)
           Fun.protect ~finally:dec_inflight (fun () -> finish_dispatch req)
       | Some pool -> (
           let job () =
             Fun.protect ~finally:dec_inflight (fun () ->
-                try finish_dispatch req
-                with _ ->
-                  (* The connection died under the reply: close it so the
-                     reader thread unwinds and reaps it. *)
-                  (try Communicator.close comm with _ -> ()))
+                (* Shed point 3 (pre-execution): a queued request whose
+                   budget lapsed while waiting is answered without ever
+                   running the servant — the zombie-work kill. A request
+                   that has not lapsed yet but whose remaining budget is
+                   below the learned service time is equally dead: it
+                   would be guaranteed to complete after its deadline,
+                   so executing it burns a worker on a reply nobody can
+                   use. Under FIFO saturation the oldest not-yet-expired
+                   request always has near-zero budget left, so without
+                   the doomed check expiry shedding alone recovers no
+                   goodput at all. *)
+                let doomed_now () =
+                  match expiry with
+                  | None -> false
+                  | Some x ->
+                      let ewma = Atomic.get t.service_ewma_us in
+                      ewma > 0
+                      && x -. Unix.gettimeofday ()
+                         < 1.25 *. float_of_int ewma /. 1e6
+                in
+                if expired_now () then
+                  try
+                    expire_request req ~counter:t.expired_in_queue
+                      ~obs_name:"server:expired_in_queue"
+                      "expired in queue: request deadline budget lapsed \
+                       before execution"
+                  with _ -> (try Communicator.close comm with _ -> ())
+                else if doomed_now () then
+                  try
+                    expire_request req ~counter:t.expired_in_queue
+                      ~obs_name:"server:doomed_in_queue"
+                      "doomed in queue: remaining deadline budget below \
+                       the service-time estimate"
+                  with _ -> (try Communicator.close comm with _ -> ())
+                else begin
+                  let run_started = Unix.gettimeofday () in
+                  (try finish_dispatch req
+                   with _ ->
+                     (* The connection died under the reply: close it so
+                        the reader thread unwinds and reaps it. *)
+                     (try Communicator.close comm with _ -> ()));
+                  let sample_us =
+                    int_of_float ((Unix.gettimeofday () -. run_started) *. 1e6)
+                  in
+                  (* EWMA (alpha = 1/8) via CAS so concurrent workers
+                     never lose each other's updates. *)
+                  let rec ewma_update () =
+                    let cur = Atomic.get t.service_ewma_us in
+                    let next =
+                      if cur = 0 then sample_us
+                      else cur + ((sample_us - cur) / 8)
+                    in
+                    if not (Atomic.compare_and_set t.service_ewma_us cur next)
+                    then ewma_update ()
+                  in
+                  ewma_update ()
+                end)
           in
           (* Runs iff the pool is stopped while this request is still
              queued (immediate shutdown): answer it like an admission
@@ -385,13 +491,21 @@ let serve_connection t sc =
             dec_inflight ();
             reject_request req "shutting down: request dropped before execution"
           in
-          match Pool.submit pool ~cancel job with
+          (* Shed point 2 (admission): [?expire] caps any Block parking
+             at the request's own remaining budget. *)
+          match Pool.submit pool ~cancel ?expire:expiry job with
           | `Accepted ->
               Obs.set_gauge t.obs ~name:"server:pool_depth"
                 (float_of_int (Pool.depth pool))
           | `Rejected reason ->
               dec_inflight ();
-              reject_request req reason)
+              reject_request req reason
+          | `Expired ->
+              dec_inflight ();
+              expire_request req ~counter:t.expired_pre_admission
+                ~obs_name:"server:expired_pre_admission"
+                "expired before admission: request deadline budget lapsed \
+                 while awaiting queue space")
     end
   in
   let rec loop () =
@@ -640,11 +754,15 @@ let shutdown ?drain_deadline t =
             let rec wait () =
               let n = inflight () in
               if n = 0 then `Drained
-              else if Unix.gettimeofday () >= d then `Aborted n
-              else begin
-                Thread.delay 0.005;
-                wait ()
-              end
+              else
+                let remaining = d -. Unix.gettimeofday () in
+                if remaining <= 0. then `Aborted n
+                else begin
+                  (* Tick bounded by the actual deadline, not a fixed
+                     interval: a near deadline fires promptly. *)
+                  Thread.delay (Float.min 0.005 remaining);
+                  wait ()
+                end
             in
             wait ()
       in
@@ -998,10 +1116,16 @@ let exchange_mux t conn mx msg ~oneway ~deadline
   let registered, inflight_now = admit_loop () in
   if registered then begin
     mux_gauge t mx inflight_now;
-    (* The unlocked read is a monotone hint; the lock re-checks. *)
-    if inflight_now > t.mux_peak then
-      with_lock t (fun () ->
-          if inflight_now > t.mux_peak then t.mux_peak <- inflight_now)
+    (* Monotone max via CAS: losing a race means someone recorded an
+       even higher peak, so losing is winning. *)
+    let rec bump () =
+      let cur = Atomic.get t.mux_peak in
+      if
+        inflight_now > cur
+        && not (Atomic.compare_and_set t.mux_peak cur inflight_now)
+      then bump ()
+    in
+    bump ()
   end;
   let unregister () =
     let n =
@@ -1092,9 +1216,11 @@ let exchange t conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =
   | None -> exchange_serialized conn msg ~oneway ~deadline ~span
   | Some mx -> exchange_mux t conn mx msg ~oneway ~deadline ~span
 
+(* Counted atomically, NOT under the ORB lock: this runs on the exchange
+   failure path from arbitrary caller threads and pool domains, and the
+   lock guarded nothing about it (the C404 pattern). *)
 let count_failure t e =
-  with_lock t (fun () ->
-      match e with Transport.Timeout _ -> t.timeouts <- t.timeouts + 1 | _ -> ())
+  match e with Transport.Timeout _ -> Atomic.incr t.timeouts | _ -> ()
 
 let breaker_failure t key e =
   match (t.breaker, Retry.classify e) with
@@ -1158,6 +1284,16 @@ let rec request_reply t target ~make_msg ~oneway ~timeout ~notify ~span
   let eps = Objref.endpoints target in
   let multi = match eps with _ :: _ :: _ -> true | _ -> false in
   let deadline = call_deadline t timeout in
+  (* The wire budget for ONE attempt: the remaining slice of the call
+     deadline, re-read at each (re)send so a retry or failover carries
+     what is actually left, not the original allowance. Relative µs —
+     no clock synchronization with the server is assumed. *)
+  let budget_now () =
+    match deadline with
+    | Some d when t.propagate_deadlines ->
+        Some (max 0 (int_of_float ((d -. Unix.gettimeofday ()) *. 1e6)))
+    | Some _ | None -> None
+  in
   let available ep =
     match t.breaker with
     | None -> true
@@ -1178,28 +1314,60 @@ let rec request_reply t target ~make_msg ~oneway ~timeout ~notify ~span
   in
   let count_failover () =
     if multi then begin
-      with_lock t (fun () -> t.failovers <- t.failovers + 1);
+      Atomic.incr t.failovers;
       Obs.incr t.obs ~name:"client:failover"
     end
   in
   (* [gate_spins] bounds the selection/gate race: an endpoint can trip
      between the read-only availability check and [before_call]. *)
   let rec attempt n gate_spins =
+    let fail e =
+      notify e;
+      raise e
+    in
     let retry_after ~failed_ep e =
-      with_lock t (fun () -> t.retries <- t.retries + 1);
+      (* The aggregate retry budget gates every re-attempt — plain
+         retries, failovers, and probe-failure failovers alike. An empty
+         bucket means the client fleet is already retrying at its bound:
+         fail fast (Permanent class) instead of joining the storm. *)
+      if not (Retry.Budget.try_withdraw t.retry_budget) then begin
+        Obs.incr t.obs ~name:"client:retry_budget_exhausted";
+        fail
+          (Retry.Budget_exhausted
+             (Printf.sprintf "retry budget exhausted (last error: %s)"
+                (Printexc.to_string e)))
+      end;
+      Atomic.incr t.retries;
       (match span with
       | Some s -> s.Obs.Trace.retries <- s.Obs.Trace.retries + 1
       | None -> ());
       if not (List.mem failed_ep !tried) then tried := failed_ep :: !tried;
       count_failover ();
       notify e;
-      Thread.delay (Retry.delay_for t.retry ~attempt:n);
+      (* Backoff clamped to the remaining call budget: never sleep past
+         the deadline only to fail on wakeup. *)
+      let nap = Retry.delay_for t.retry ~attempt:n in
+      let nap =
+        match deadline with
+        | Some d -> Float.max 0. (Float.min nap (d -. Unix.gettimeofday ()))
+        | None -> nap
+      in
+      Thread.delay nap;
       attempt (n + 1) 0
     in
-    let fail e =
-      notify e;
-      raise e
-    in
+    (* Fail fast when the deadline has already passed: an attempt that
+       cannot possibly answer in time must not be sent (the server
+       would shed it as expired anyway — with propagation off it would
+       even execute, pure zombie work). *)
+    (match deadline with
+    | Some d when Unix.gettimeofday () >= d ->
+        let e =
+          Transport.Timeout
+            (Printf.sprintf "call deadline expired before attempt %d" n)
+        in
+        count_failure t e;
+        fail e
+    | _ -> ());
     (* When every replica's breaker is open, gate on the primary anyway:
        [before_call] then either fast-fails (advancing the breaker's
        accounting exactly as in the single-endpoint case) or grants a
@@ -1222,11 +1390,14 @@ let rec request_reply t target ~make_msg ~oneway ~timeout ~notify ~span
       | conn, fresh -> (
           match
             exchange t conn
-              (make_msg (Objref.at_endpoint target ep))
+              (make_msg (Objref.at_endpoint target ep) (budget_now ()))
               ~oneway ~deadline ~span
           with
           | resp ->
               breaker_success t key;
+              (* Successes replenish the retry budget — the ~10% ratio
+                 that keeps the aggregate retry rate bounded. *)
+              Retry.Budget.deposit t.retry_budget;
               resp
           | exception Exchange_failed { phase; fatal; err = e } ->
               (* Never leave a failed connection poisoning the cache —
@@ -1391,7 +1562,15 @@ let invoke_raw_spanned t target ~op ~oneway ~timeout ~span ~dispatched payload
   in
   let req =
     Interceptor.apply_request t.client_chain
-      { Protocol.req_id; target; operation = op; oneway; payload; trace_ctx }
+      {
+        Protocol.req_id;
+        target;
+        operation = op;
+        oneway;
+        payload;
+        trace_ctx;
+        budget_us = None;
+      }
   in
   (* Honour interceptor rewrites of the oneway flag: the wire message
      carries [req.oneway], so the reply-wait decision must follow it —
@@ -1406,7 +1585,12 @@ let invoke_raw_spanned t target ~op ~oneway ~timeout ~span ~dispatched payload
      [via_forward] marks hops whose failure should invalidate the cache
      and — when duplicate-safe — fall back to the logical target. *)
   let rec call ~hops ~via_forward actual =
-    let make_msg tgt = Protocol.Request { req with Protocol.target = tgt } in
+    (* [budget] is stamped by [request_reply] per attempt: each retry or
+       failover re-reads the remaining call deadline, so the wire slot
+       always carries what is actually left, not the original timeout. *)
+    let make_msg tgt budget =
+      Protocol.Request { req with Protocol.target = tgt; budget_us = budget }
+    in
     match
       request_reply t actual ~make_msg ~oneway ~timeout ~notify ~span
         ~maybe_dispatched ()
@@ -1502,7 +1686,10 @@ let invoke_raw t target ~op ?(oneway = false) ?timeout payload =
    the object lives. *)
 let locate t ?timeout target =
   let req_id = next_req_id t in
-  let make_msg tgt = Protocol.Locate_request { req_id; target = tgt } in
+  (* Locate carries no deadline slot: it is control-plane traffic, like
+     the breaker's half-open probe, and pre-budget peers must keep
+     parsing it unchanged. *)
+  let make_msg tgt _budget = Protocol.Locate_request { req_id; target = tgt } in
   match
     request_reply t target ~make_msg ~oneway:false ~timeout
       ~notify:(fun _ -> ())
@@ -1580,7 +1767,7 @@ let smart_proxy t ?capacity ?invalidate_on target =
   Smart.create ?capacity ?invalidate_on ~codec:t.proto.Protocol.codec raw target
 
 let connections_opened t = with_lock t (fun () -> t.opened)
-let requests_served t = with_lock t (fun () -> t.served)
+let requests_served t = Atomic.get t.served
 
 type stats = {
   opened : int;
@@ -1594,6 +1781,10 @@ type stats = {
   breaker_states : (string * string) list;
   server_connections : int;
   rejected : int;
+  expired_pre_admission : int;
+  expired_in_queue : int;
+  retry_budget_balance : int;
+  retry_budget_exhaustions : int;
   evicted : int;
   drains_clean : int;
   drain_aborted_jobs : int;
@@ -1605,30 +1796,19 @@ type stats = {
 
 let stats t =
   let ( opened,
-        served,
-        retries,
-        timeouts,
-        failovers,
         forwards,
-        rejected,
         evicted,
         drains_clean,
         drain_aborted_jobs,
         server_connections,
         mux_in_flight,
-        mux_peak_in_flight,
         pool ) =
     with_lock t (fun () ->
         (* Count only live connections: a closed communicator may linger
            in [t.accepted] until its serving thread finishes unwinding,
            and must not inflate the gauge. *)
         ( t.opened,
-          t.served,
-          t.retries,
-          t.timeouts,
-          t.failovers,
           t.forwards_followed,
-          t.rejected,
           t.evicted,
           t.drains_clean,
           t.drain_aborted_jobs,
@@ -1643,7 +1823,6 @@ let stats t =
             (fun _ c acc ->
               match c.mux with Some mx -> acc + mx.mx_inflight | None -> acc)
             t.conns 0,
-          t.mux_peak,
           t.pool ))
   in
   let breaker_trips, breaker_fast_fails, breaker_states =
@@ -1660,10 +1839,30 @@ let stats t =
   let pool_depth, pool_active =
     match pool with Some p -> (Pool.depth p, Pool.active p) | None -> (0, 0)
   in
-  { opened; served; retries; timeouts; failovers; forwards; breaker_trips;
-    breaker_fast_fails; breaker_states; server_connections; rejected; evicted;
-    drains_clean; drain_aborted_jobs; pool_depth; pool_active; mux_in_flight;
-    mux_peak_in_flight }
+  {
+    opened;
+    served = Atomic.get t.served;
+    retries = Atomic.get t.retries;
+    timeouts = Atomic.get t.timeouts;
+    failovers = Atomic.get t.failovers;
+    forwards;
+    breaker_trips;
+    breaker_fast_fails;
+    breaker_states;
+    server_connections;
+    rejected = Atomic.get t.rejected;
+    expired_pre_admission = Atomic.get t.expired_pre_admission;
+    expired_in_queue = Atomic.get t.expired_in_queue;
+    retry_budget_balance = Retry.Budget.balance t.retry_budget;
+    retry_budget_exhaustions = Retry.Budget.exhaustions t.retry_budget;
+    evicted;
+    drains_clean;
+    drain_aborted_jobs;
+    pool_depth;
+    pool_active;
+    mux_in_flight;
+    mux_peak_in_flight = Atomic.get t.mux_peak;
+  }
 
 (* The stats snapshot as one JSON object — what an operator scrapes to
    debug a failover decision after the fact. *)
@@ -1683,6 +1882,10 @@ let stats_to_json (s : stats) =
           obj (List.map (fun (k, st) -> (k, str st)) s.breaker_states) );
         ("server_connections", int s.server_connections);
         ("rejected", int s.rejected);
+        ("expired_pre_admission", int s.expired_pre_admission);
+        ("expired_in_queue", int s.expired_in_queue);
+        ("retry_budget_balance", int s.retry_budget_balance);
+        ("retry_budget_exhaustions", int s.retry_budget_exhaustions);
         ("evicted", int s.evicted);
         ("drains_clean", int s.drains_clean);
         ("drain_aborted_jobs", int s.drain_aborted_jobs);

@@ -113,7 +113,9 @@ val create :
   ?host:string ->
   ?port:int ->
   ?call_timeout:float ->
+  ?propagate_deadlines:bool ->
   ?retry:Retry.policy ->
+  ?retry_budget:Retry.Budget.config ->
   ?breaker:Breaker.config ->
   ?obs:Obs.t ->
   ?server_policy:server_policy ->
@@ -136,11 +138,27 @@ val create :
     - [call_timeout] — default per-call deadline in seconds; a call whose
       reply does not arrive in time raises {!Transport.Timeout}. No
       deadline by default.
+    - [propagate_deadlines] (default [true]) — stamp each outgoing
+      request's remaining call-deadline budget into the envelope's
+      deadline slot (microseconds, relative), re-read at every retry
+      and failover so the wire always carries what is actually left.
+      A receiving ORB sheds work whose budget has lapsed — at decode,
+      at pool admission, and again just before execution — instead of
+      computing replies no caller is waiting for. [false] sends no
+      slot (bytes identical to pre-deadline peers); calls without a
+      deadline never send one either way.
     - [retry] — the {!Retry.policy} for transient connection failures
       (default {!Retry.default}: 3 attempts with exponential backoff).
       Retries fire only for connection setup and sends that failed
       before any reply bytes were read — a dispatched request is never
       duplicated.
+    - [retry_budget] — config for the client-wide {!Retry.Budget}
+      (default {!Retry.Budget.default_config}). Every retry and
+      failover first withdraws a credit; successes deposit [ratio] of
+      one back. An empty bucket fails the call with
+      {!Retry.Budget_exhausted} ([Permanent] — never retried), visible
+      in {!stats} as [retry_budget_exhaustions], so correlated failures
+      cannot amplify into a synchronized retry storm.
     - [breaker] — enable a per-endpoint circuit {!Breaker} with this
       config; repeated connection failures then fast-fail with
       {!Breaker.Circuit_open} until a half-open [Locate_request] probe
@@ -291,6 +309,24 @@ type stats = {
       (** Requests refused by admission control (overload, draining, or
           the pipelining cap) — each one answered with a system
           exception, none silently dropped. *)
+  expired_pre_admission : int;
+      (** Requests shed before entering the pool queue: their deadline
+          budget had already lapsed at decode time, or lapsed while the
+          reader was blocked awaiting queue space. Answered with an
+          ["expired before admission"] system exception. *)
+  expired_in_queue : int;
+      (** Requests admitted to the queue but shed at worker pickup — the
+          servant never ran (the zombie-work kill). Two flavours, both
+          counted here: the budget had already lapsed (["expired in
+          queue"]), or the remaining budget was below the pool's learned
+          service-time estimate, so execution was guaranteed to finish
+          past the deadline (["doomed in queue"]). *)
+  retry_budget_balance : int;
+      (** Whole retry credits currently banked in the client-wide
+          {!Retry.Budget}. *)
+  retry_budget_exhaustions : int;
+      (** Retries/failovers refused by the budget — each one failed the
+          call with {!Retry.Budget_exhausted}. *)
   evicted : int;  (** Connections evicted by the idle-LRU limit. *)
   drains_clean : int;  (** Graceful drains that finished in time. *)
   drain_aborted_jobs : int;

@@ -127,10 +127,15 @@ let create config =
             Locked.spawn_domain "pool.worker" (fun () -> worker_loop t)));
   t
 
-let submit t ?(cancel = fun () -> ()) run =
+let submit t ?(cancel = fun () -> ()) ?expire run =
   let job = { run; cancel } in
   (* One locked step: accept, reject, park on [change] (no deadline), or
-     hand a [`Poll] back to the unlocked retry loop below. *)
+     hand a [`Poll] back to the unlocked retry loop below. [expire] — the
+     request's own remaining-budget instant — bounds EVERY blocking wait:
+     an admission policy must never park a reader past the moment the
+     caller gives up, so the effective wait deadline is the min of the
+     admission deadline and the expiry, and a lapsed expiry is reported
+     as [`Expired], distinct from an overload rejection. *)
   let step deadline =
     Locked.with_lock t.lock (fun () ->
         let accept () =
@@ -143,16 +148,29 @@ let submit t ?(cancel = fun () -> ()) run =
           t.rejected <- t.rejected + 1;
           `Rejected reason
         in
+        let expired () =
+          t.rejected <- t.rejected + 1;
+          `Expired
+        in
         let has_space () = Queue.length t.queue < t.config.queue_capacity in
         let rec attempt () =
-          if not t.accepting then reject "draining: not accepting new requests"
+          if (match expire with Some x -> Unix.gettimeofday () >= x | None -> false)
+          then expired ()
+          else if not t.accepting then
+            reject "draining: not accepting new requests"
           else if has_space () then accept ()
           else
             match t.config.admission with
             | Reject -> reject "overloaded: request queue is full"
-            | Block None ->
-                Locked.wait_c t.change;
-                attempt ()
+            | Block None -> (
+                match expire with
+                | None ->
+                    Locked.wait_c t.change;
+                    attempt ()
+                | Some x ->
+                    (* No admission deadline, but the request itself has
+                       one: poll so the wait wakes when it lapses. *)
+                    `Poll (x -. Unix.gettimeofday ()))
             | Block (Some _) -> (
                 match deadline with
                 | None -> assert false  (* deadline set below for Block Some *)
@@ -166,15 +184,17 @@ let submit t ?(cancel = fun () -> ()) run =
   in
   let deadline =
     match t.config.admission with
-    | Block (Some s) -> Some (Unix.gettimeofday () +. s)
+    | Block (Some s) ->
+        let d = Unix.gettimeofday () +. s in
+        Some (match expire with Some x -> Float.min d x | None -> d)
     | _ -> None
   in
   let rec loop () =
     match step deadline with
     | `Poll remaining ->
-        Thread.delay (Float.min poll_interval remaining);
+        Thread.delay (Float.min poll_interval (Float.max 0.0005 remaining));
         loop ()
-    | (`Accepted | `Rejected _) as decision -> decision
+    | (`Accepted | `Rejected _ | `Expired) as decision -> decision
   in
   loop ()
 

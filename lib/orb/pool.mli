@@ -45,11 +45,23 @@ val create : config -> t
 (** Create the pool and start its workers. *)
 
 val submit :
-  t -> ?cancel:(unit -> unit) -> (unit -> unit) -> [ `Accepted | `Rejected of string ]
+  t ->
+  ?cancel:(unit -> unit) ->
+  ?expire:float ->
+  (unit -> unit) ->
+  [ `Accepted | `Rejected of string | `Expired ]
 (** Enqueue a job, subject to admission control. [`Rejected reason]
     when the queue is full (under [Reject], or past the [Block]
     deadline) or the pool is draining/stopped. The job must not raise;
     residual exceptions are swallowed to protect the worker.
+
+    [expire] is the request's own remaining-budget instant (absolute,
+    [Unix.gettimeofday] domain): no [Block] admission wait ever parks
+    past it — the effective wait bound is the min of the admission
+    deadline and [expire] — and a lapsed budget returns [`Expired]
+    (counted as a rejection in {!stats}), distinct from an overload
+    [`Rejected], so the server can answer "expired" rather than
+    "overloaded".
 
     [cancel] runs (at most once, never together with the job) if the
     pool is stopped while the job is still queued: the submitter's

@@ -7,6 +7,7 @@ type request = {
   oneway : bool;
   payload : string;
   trace_ctx : string;  (* service context; "" = absent *)
+  budget_us : int option;  (* remaining deadline budget, microseconds *)
 }
 
 type reply_status =
@@ -66,12 +67,22 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
         e.put_string (Objref.to_string r.target);
         e.put_string r.operation;
         e.put_string r.payload;
-        (* Service context (the trace context), appended AFTER the
-           payload so pre-slot peers — which stop decoding at the
-           payload — skip it as trailing bytes. Omitted entirely when
-           empty, which keeps no-context messages byte-identical to the
-           pre-slot encoding in every codec. *)
-        if r.trace_ctx <> "" then e.put_string r.trace_ctx
+        (* Two trailing slots, appended AFTER the payload so pre-slot
+           peers — which stop decoding at the payload — skip them as
+           trailing bytes: the service context (the trace context), then
+           the deadline budget (remaining call budget in microseconds,
+           as a decimal string; relative, so no clock sync is assumed).
+           Each is omitted when absent, which keeps no-context/no-budget
+           messages byte-identical to the pre-slot encoding in every
+           codec. Because the slots are positional, a present budget
+           forces the context slot to be written even when empty — a
+           budget-only message is still readable by context-era peers,
+           which decode the empty context and skip the budget. *)
+        (match r.budget_us with
+        | None -> if r.trace_ctx <> "" then e.put_string r.trace_ctx
+        | Some b ->
+            e.put_string r.trace_ctx;
+            e.put_string (string_of_int (max 0 b)))
     | Reply r ->
         e.put_octet tag_reply;
         e.put_ulong r.rep_id;
@@ -118,15 +129,30 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
         let operation = d.get_string () in
         let payload = d.get_string () in
         (* Old peers never send the service-context slot; its absence is
-           the empty context. *)
+           the empty context. A second trailing string, when present, is
+           the deadline-budget slot — untrusted wire data, validated
+           here so a hostile slot (negative, overflowing, non-numeric)
+           fails as a recoverable protocol error, never an unchecked
+           exception deeper in the server. *)
         let trace_ctx = if d.at_end () then "" else d.get_string () in
+        let budget_us =
+          if d.at_end () then None
+          else
+            let s = d.get_string () in
+            match int_of_string_opt s with
+            | Some b when b >= 0 -> Some b
+            | Some _ | None ->
+                raise
+                  (Protocol_error
+                     (Printf.sprintf "malformed deadline slot %S" s))
+        in
         let target =
           match Objref.of_string_opt target_s with
           | Some r -> r
           | None ->
               raise (Protocol_error (Printf.sprintf "malformed target reference %S" target_s))
         in
-        Request { req_id; target; operation; oneway; payload; trace_ctx })
+        Request { req_id; target; operation; oneway; payload; trace_ctx; budget_us })
       else if tag = tag_reply then (
         let rep_id = d.get_ulong () in
         let status_code = d.get_octet () in

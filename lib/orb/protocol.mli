@@ -27,6 +27,18 @@ type request = {
           payload and omitted when empty, so peers that predate the slot
           interoperate in both directions: they ignore it as trailing
           bytes on receive, and its absence decodes as [""]. *)
+  budget_us : int option;
+      (** Deadline-budget slot: the caller's remaining call budget in
+          microseconds, {e relative} (no clock synchronization assumed
+          between peers — the receiver anchors it to its own receive
+          time). Encoded after the service-context slot and omitted when
+          [None]; a present budget forces the context slot to be written
+          even when empty, keeping the slots positional. Same interop
+          contract as the context slot: pre-slot peers skip a present
+          budget as trailing bytes, and its absence decodes as [None].
+          Decoding rejects negative, overflowing, or non-numeric slots
+          with {!Protocol_error} — a recoverable malformed-frame error,
+          never a crash. *)
 }
 
 type reply_status =
@@ -75,8 +87,9 @@ val generic : name:string -> framing:framing -> Wire.Codec.t -> t
     string payload]. The payload is embedded as a counted string — the
     CDR-encapsulation trick — so its internal alignment is relative to its
     own start regardless of header size. Requests append the
-    service-context slot (the trace context) after the payload when
-    non-empty; decoding tolerates its absence. *)
+    service-context slot (the trace context) and the deadline-budget
+    slot after the payload when present; decoding tolerates the absence
+    of either. *)
 
 val text : t
 (** The HeidiRMI protocol: {!Wire.Text_codec} over {!Line} framing.

@@ -4,10 +4,71 @@
 
 type error_class = Transient | Deadline | Permanent
 
+exception Budget_exhausted of string
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exhausted m -> Some (Printf.sprintf "Retry.Budget_exhausted: %s" m)
+    | _ -> None)
+
 let classify = function
   | Transport.Timeout _ -> Deadline
   | Transport.Transport_error _ -> Transient
   | _ -> Permanent
+
+(* A client-wide retry budget: a token bucket replenished by successes,
+   drained by retries. Per-call [max_attempts] bounds one call's worst
+   case; the budget bounds the *aggregate* retry ratio, so correlated
+   failures (a replica set dying at once, a network partition) cannot
+   amplify every in-flight call into a synchronized retry storm — the
+   metastable feedback loop admission control alone cannot see. The
+   initial reserve lets a cold client ride out a startup blip; in steady
+   state the ratio dominates: ~[ratio] retries per success.
+
+   State is one Atomic int of milli-tokens, updated by CAS loops only
+   (the C405 rule: no split read-modify-write), so any thread or domain
+   may deposit/withdraw without a lock. *)
+module Budget = struct
+  type t = {
+    tokens : int Atomic.t;  (* milli-tokens: 1000 = one retry credit *)
+    deposit_mt : int;  (* milli-tokens credited per recorded success *)
+    cap_mt : int;  (* bucket bound: old successes must not bank forever *)
+    exhaustions : int Atomic.t;  (* withdrawals refused *)
+  }
+
+  type config = { ratio : float; reserve : int; cap : int }
+
+  (* 10% steady-state retry ratio, 100 retries of initial reserve, the
+     bucket capped at 250 banked retries. *)
+  let default_config = { ratio = 0.1; reserve = 100; cap = 250 }
+
+  let create ?(config = default_config) () =
+    {
+      tokens = Atomic.make (max 0 config.reserve * 1000);
+      deposit_mt =
+        max 0 (int_of_float (Float.min 1.0 (Float.max 0. config.ratio) *. 1000.));
+      cap_mt = max 1000 (config.cap * 1000);
+      exhaustions = Atomic.make 0;
+    }
+
+  let rec deposit t =
+    let cur = Atomic.get t.tokens in
+    let next = min t.cap_mt (cur + t.deposit_mt) in
+    if next <> cur && not (Atomic.compare_and_set t.tokens cur next) then
+      deposit t
+
+  let rec try_withdraw t =
+    let cur = Atomic.get t.tokens in
+    if cur < 1000 then begin
+      ignore (Atomic.fetch_and_add t.exhaustions 1);
+      false
+    end
+    else if Atomic.compare_and_set t.tokens cur (cur - 1000) then true
+    else try_withdraw t
+
+  let balance t = Atomic.get t.tokens / 1000
+  let exhaustions t = Atomic.get t.exhaustions
+end
 
 type policy = {
   max_attempts : int;
@@ -45,12 +106,30 @@ let delay_for p ~attempt =
 let retryable p ~attempt exn =
   attempt < p.max_attempts && classify exn = Transient
 
-let run ?(sleep = Thread.delay) ?(on_retry = fun ~attempt:_ _ -> ()) p f =
+let run ?(sleep = Thread.delay) ?(on_retry = fun ~attempt:_ _ -> ()) ?budget
+    ?deadline p f =
+  let remaining () =
+    match deadline with
+    | None -> infinity
+    | Some d -> d -. Unix.gettimeofday ()
+  in
   let rec go attempt =
     try f ~attempt
     with e when retryable p ~attempt e ->
+      (* Out of deadline: another attempt cannot finish in time, so the
+         backoff would only delay the failure. Propagate now. *)
+      if remaining () <= 0. then raise e;
+      (match budget with
+      | Some b when not (Budget.try_withdraw b) ->
+          raise
+            (Budget_exhausted
+               (Printf.sprintf
+                  "retry budget exhausted after attempt %d (last error: %s)"
+                  attempt (Printexc.to_string e)))
+      | _ -> ());
       on_retry ~attempt e;
-      sleep (delay_for p ~attempt);
+      (* Never sleep past the deadline only to fail on wakeup. *)
+      sleep (Float.max 0. (Float.min (delay_for p ~attempt) (remaining ())));
       go (attempt + 1)
   in
   go 1

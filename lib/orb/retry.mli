@@ -23,6 +23,49 @@ type error_class = Transient | Deadline | Permanent
 
 val classify : exn -> error_class
 
+exception Budget_exhausted of string
+(** The client-wide retry budget refused a withdrawal: the aggregate
+    retry ratio is at its bound. {!classify}d as [Permanent] — by
+    design, a budget-exhausted call fails fast and loudly instead of
+    joining a retry storm. *)
+
+(** A client-wide retry budget (cf. Finagle's RetryBudget): a token
+    bucket replenished by successes and drained by retries. The
+    per-call [max_attempts] bounds one call's worst case; the budget
+    bounds the {e aggregate} retry-to-success ratio, so correlated
+    replica failures cannot amplify every in-flight call into a
+    synchronized retry storm. Lock-free (one atomic, CAS updates);
+    safe from any thread or domain. *)
+module Budget : sig
+  type t
+
+  type config = {
+    ratio : float;
+        (** Steady-state retry credits earned per success (clamped to
+            [0..1]). 0.1 = at most ~10% retries long-run. *)
+    reserve : int;  (** Initial balance, in retries. *)
+    cap : int;  (** Bucket bound, in retries (min 1). *)
+  }
+
+  val default_config : config
+  (** 10% ratio, 100 retries of reserve, capped at 250. *)
+
+  val create : ?config:config -> unit -> t
+
+  val deposit : t -> unit
+  (** Record a success: credits [ratio] of a retry, up to [cap]. *)
+
+  val try_withdraw : t -> bool
+  (** Take one retry credit. [false] (and counts an exhaustion) when
+      the balance is under one whole credit. *)
+
+  val balance : t -> int
+  (** Whole retry credits currently banked. *)
+
+  val exhaustions : t -> int
+  (** Withdrawals refused so far — the retry-storm-suppressed count. *)
+end
+
 type policy = {
   max_attempts : int;  (** Total attempts, including the first (>= 1). *)
   base_delay : float;  (** Backoff before attempt 2, in seconds. *)
@@ -50,10 +93,17 @@ val retryable : policy -> attempt:int -> exn -> bool
 val run :
   ?sleep:(float -> unit) ->
   ?on_retry:(attempt:int -> exn -> unit) ->
+  ?budget:Budget.t ->
+  ?deadline:float ->
   policy ->
   (attempt:int -> 'a) ->
   'a
 (** Generic retry driver: calls [f ~attempt:1], retrying with backoff
-    while {!retryable}. [on_retry] observes each failed attempt. The
-    ORB's invocation path uses its own loop (it must also reason about
-    whether any reply bytes were read); [run] is for simpler cases. *)
+    while {!retryable}. [on_retry] observes each failed attempt. With
+    [budget], each retry first withdraws a credit — an empty bucket
+    raises {!Budget_exhausted} instead of retrying. With [deadline]
+    (absolute, [Unix.gettimeofday] domain), backoff sleeps are clamped
+    to the remaining budget and a retry is never started past it — the
+    original error propagates instead. The ORB's invocation path uses
+    its own loop (it must also reason about whether any reply bytes
+    were read); [run] is for simpler cases. *)

@@ -690,7 +690,18 @@ let faulty_channel inner =
               timeout_fail "read from %s timed out (injected stall)" inner.peer
           | _ -> ());
           guard ();
-          Thread.delay poll_interval;
+          (* Sleep to the actual deadline, not a fixed tick: a stalled
+             read with 1ms of budget left must wake in ~1ms, not after
+             a full poll interval — lapsed deadlines are load-shedding
+             signals and every extra tick is latency the caller pays. *)
+          let nap =
+            match !deadline with
+            | Some d ->
+                Float.min poll_interval
+                  (Float.max 0.0005 (d -. Unix.gettimeofday ()))
+            | None -> poll_interval
+          in
+          Thread.delay nap;
           stall ()
         in
         stall ()

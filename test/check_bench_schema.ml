@@ -512,6 +512,80 @@ let check_e12 path root =
   Printf.printf "%s: schema OK (recovery %.0f%%, %d ok, %d failed)\n" path
     (100. *. ratio) (int_of_float ok_total) (int_of_float failed_total)
 
+(* ---------------- E14: deadline propagation under saturation -------- *)
+
+let check_e14 path root =
+  ignore (want_str root "transport");
+  check (want_num root "duration_s" > 0.) "duration_s must be > 0";
+  check (want_num root "service_ms" > 0.) "service_ms must be > 0";
+  check
+    (want_num root "deadline_ms" > want_num root "service_ms")
+    "deadline_ms must exceed service_ms";
+  check (want_num root "capacity_per_s" > 0.) "capacity_per_s must be > 0";
+  let cells = want_arr root "cells" in
+  check (cells <> []) "cells must be non-empty";
+  List.iter
+    (fun cell ->
+      let arm = want_str cell "propagation" in
+      check (arm = "on" || arm = "off") "propagation must be on|off";
+      check (want_num cell "multiplier" >= 1.) "multiplier must be >= 1";
+      check (want_num cell "offered_per_s" > 0.) "offered_per_s must be > 0";
+      List.iter
+        (fun f ->
+          check (want_num cell f >= 0.)
+            (Printf.sprintf "cell %s must be >= 0" f))
+        [
+          "ok"; "timeout"; "shed"; "failed"; "goodput_per_s"; "executed";
+          "expired_pre_admission"; "expired_in_queue"; "rejected";
+        ];
+      (* The off arm sends no budget slot, so the server can never shed
+         on expiry there. *)
+      if arm = "off" then begin
+        check
+          (want_num cell "expired_pre_admission" = 0.)
+          "off-arm cells must not shed pre-admission";
+        check
+          (want_num cell "expired_in_queue" = 0.)
+          "off-arm cells must not shed in queue"
+      end)
+    cells;
+  let arm_cell arm m =
+    List.find_opt
+      (fun c -> want_str c "propagation" = arm && want_num c "multiplier" = m)
+      cells
+  in
+  let multipliers =
+    List.sort_uniq compare (List.map (fun c -> want_num c "multiplier") cells)
+  in
+  (* The experiment's claim: at deep saturation (>= 4x) propagation
+     never loses goodput — shedding expired and doomed work frees the
+     workers for requests that can still meet their deadline. *)
+  let saturated = List.filter (fun m -> m >= 4.) multipliers in
+  List.iter
+    (fun m ->
+      match (arm_cell "on" m, arm_cell "off" m) with
+      | Some on, Some off ->
+          check
+            (want_num on "goodput_per_s" >= want_num off "goodput_per_s")
+            (Printf.sprintf
+               "at %gx saturation the propagation arm must not lose goodput"
+               m);
+          check
+            (want_num on "expired_in_queue" > 0.)
+            (Printf.sprintf "at %gx saturation the on arm must shed in queue"
+               m)
+      | _ -> raise (Bad (Printf.sprintf "missing arm at multiplier %g" m)))
+    saturated;
+  check (saturated <> []) "sweep must include a >= 4x saturation point";
+  let goodput arm m =
+    match arm_cell arm m with Some c -> want_num c "goodput_per_s" | None -> 0.
+  in
+  Printf.printf
+    "%s: schema OK (%d cells; at %gx goodput on=%.0f/s off=%.0f/s)\n" path
+    (List.length cells) (List.hd saturated)
+    (goodput "on" (List.hd saturated))
+    (goodput "off" (List.hd saturated))
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
   let ic = open_in_bin path in
@@ -526,6 +600,7 @@ let () =
     | "E11" -> check_e11 path root
     | "E12" -> check_e12 path root
     | "E13" -> check_e13 path root
+    | "E14" -> check_e14 path root
     | other -> raise (Bad (Printf.sprintf "unknown experiment %S" other))
   with Bad msg ->
     Printf.eprintf "%s: schema check FAILED: %s\n" path msg;

@@ -1,0 +1,10 @@
+(* Seeded C404, the stats-counter shape: a module-level counter bumped
+   on a hot path with no lock held — the racy pattern that moved the
+   ORB's stats counters (timeouts, retries, served) to Atomic.t. *)
+
+let lock = Locked.create ~name:"fixture.c404.counter" ~rank:Locked.Rank.metrics
+let timeouts = ref 0
+
+let count_timeout () = incr timeouts
+
+let snapshot () = Locked.with_lock lock (fun () -> !timeouts)

@@ -68,6 +68,7 @@ type mutation =
   | Token_swap
   | Oversize
   | Header_damage  (* binary framing only: damage the frame header *)
+  | Budget_hostile  (* well-formed envelope, hostile deadline slot *)
 
 let mutation_name = function
   | Truncate -> "truncate"
@@ -76,6 +77,7 @@ let mutation_name = function
   | Token_swap -> "token-swap"
   | Oversize -> "oversize"
   | Header_damage -> "header-damage"
+  | Budget_hostile -> "budget-hostile"
 
 (* The attacker's claim of a 4-billion-element payload: the decode
    limits must refuse it without allocating it. Text protocol: splice
@@ -150,6 +152,7 @@ let mutate ~binary rng m body =
          must discard it in bounded chunks and answer, not buffer it. *)
       body ^ String.make (2 * fuzz_limits.Wire.Codec.max_frame_bytes) 'A'
   | Header_damage -> body (* handled at the framing layer *)
+  | Budget_hostile -> body (* the body is purpose-built, not mutated *)
 
 (* ------------------------------------------------------------------ *)
 (* Framing (mirrors Communicator.send, which refuses hostile bodies)   *)
@@ -269,9 +272,39 @@ let run_proto ~ptag (pname, proto) =
              oneway = false;
              payload;
              trace_ctx = "";
+             budget_us = None;
            });
       proto.Orb.Protocol.encode_message
         (Orb.Protocol.Locate_request { req_id = 9; target });
+    |]
+  in
+  (* Hostile deadline slots on an otherwise well-formed envelope: a
+     negative budget, a value past int range, garbage, an empty token,
+     a float, and a slot truncated mid-value. The server must answer
+     each with a malformed-request error (or at worst drop only this
+     connection) — never crash, never accept a bogus deadline. *)
+  let budget_bodies =
+    let mk budget =
+      let e = proto.Orb.Protocol.codec.Wire.Codec.encoder () in
+      e.Wire.Codec.put_octet 0;
+      e.Wire.Codec.put_ulong 11;
+      e.Wire.Codec.put_bool false;
+      e.Wire.Codec.put_string (Orb.Objref.to_string target);
+      e.Wire.Codec.put_string "echo";
+      e.Wire.Codec.put_string payload;
+      e.Wire.Codec.put_string "" (* trace slot: positional, must precede *);
+      e.Wire.Codec.put_string budget;
+      e.Wire.Codec.finish ()
+    in
+    [|
+      mk "-1";
+      mk "-4611686018427387904";
+      mk "99999999999999999999999999999";
+      mk "NaN";
+      mk "";
+      mk "1e9";
+      (let b = mk "123456789" in
+       String.sub b 0 (String.length b - 2));
     |]
   in
   let binary =
@@ -281,8 +314,13 @@ let run_proto ~ptag (pname, proto) =
   in
   let mutations =
     if binary then
-      [| Truncate; Bit_flip; Length_inflate; Token_swap; Oversize; Header_damage |]
-    else [| Truncate; Bit_flip; Length_inflate; Token_swap; Oversize |]
+      [|
+        Truncate; Bit_flip; Length_inflate; Token_swap; Oversize;
+        Header_damage; Budget_hostile;
+      |]
+    else
+      [| Truncate; Bit_flip; Length_inflate; Token_swap; Oversize;
+         Budget_hostile |]
   in
   let tally = { sent = 0; reconnects = 0; error_replies = 0 } in
   let a = ref (connect_proto proto ~port ()) in
@@ -295,7 +333,12 @@ let run_proto ~ptag (pname, proto) =
   for i = 0 to !count - 1 do
     let rng = Random.State.make [| !seed; ptag; i |] in
     let m = mutations.(Random.State.int rng (Array.length mutations)) in
-    let body = bases.(Random.State.int rng (Array.length bases)) in
+    let body =
+      match m with
+      | Budget_hostile ->
+          budget_bodies.(Random.State.int rng (Array.length budget_bodies))
+      | _ -> bases.(Random.State.int rng (Array.length bases))
+    in
     let hostile =
       frame proto
         ~damage_header:(m = Header_damage)

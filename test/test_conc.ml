@@ -22,7 +22,9 @@ let corpus_cases () =
 
 let test_corpus () =
   let cases = corpus_cases () in
-  Alcotest.(check int) "one fixture per C4xx code" 8 (List.length cases);
+  (* One fixture per C4xx code, plus the second C404 shape (the
+     unlocked stats counter). *)
+  Alcotest.(check int) "fixture count" 9 (List.length cases);
   List.iter
     (fun case ->
       let path = Filename.concat corpus_dir case in

@@ -25,12 +25,13 @@ let no_jitter =
 
 (* A server on the faulty-mem transport plus a client configured by the
    caller; the plan is always cleared afterwards. *)
-let with_faulty_server ?call_timeout ?retry ?breaker f =
+let with_faulty_server ?call_timeout ?retry ?retry_budget ?breaker f =
   let server = Orb.create ~transport:"faulty:mem" ~host:"local" () in
   Orb.start server;
   let target = Orb.export server (echo_skeleton ()) in
   let client =
-    Orb.create ~transport:"mem" ~host:"local" ?call_timeout ?retry ?breaker ()
+    Orb.create ~transport:"mem" ~host:"local" ?call_timeout ?retry
+      ?retry_budget ?breaker ()
   in
   Fun.protect
     ~finally:(fun () ->
@@ -339,6 +340,99 @@ let test_retry_run_driver () =
   | _ -> Alcotest.fail "expected Failure");
   Alcotest.(check int) "no retry of permanent" 1 !attempts
 
+(* ---------------- retry budget ---------------- *)
+
+let test_retry_budget_bucket () =
+  let b =
+    Orb.Retry.Budget.create
+      ~config:{ Orb.Retry.Budget.ratio = 0.5; reserve = 2; cap = 5 }
+      ()
+  in
+  Alcotest.(check int) "initial balance" 2 (Orb.Retry.Budget.balance b);
+  Alcotest.(check bool) "withdraw 1" true (Orb.Retry.Budget.try_withdraw b);
+  Alcotest.(check bool) "withdraw 2" true (Orb.Retry.Budget.try_withdraw b);
+  Alcotest.(check bool) "empty refuses" false (Orb.Retry.Budget.try_withdraw b);
+  Alcotest.(check int) "exhaustion counted" 1 (Orb.Retry.Budget.exhaustions b);
+  (* Two successes at ratio 0.5 bank one whole retry credit. *)
+  Orb.Retry.Budget.deposit b;
+  Alcotest.(check bool) "half a credit refuses" false
+    (Orb.Retry.Budget.try_withdraw b);
+  Orb.Retry.Budget.deposit b;
+  Alcotest.(check bool) "full credit withdraws" true
+    (Orb.Retry.Budget.try_withdraw b);
+  (* The cap bounds how much old success can bank. *)
+  for _ = 1 to 100 do
+    Orb.Retry.Budget.deposit b
+  done;
+  Alcotest.(check bool) "capped" true (Orb.Retry.Budget.balance b <= 5);
+  Alcotest.(check bool) "exhaustion is permanent" true
+    (Orb.Retry.classify (Orb.Retry.Budget_exhausted "x") = Orb.Retry.Permanent)
+
+let test_retry_run_budget_and_deadline () =
+  (* [Retry.run] with a one-credit budget: the first retry withdraws
+     it, the second raises Budget_exhausted instead of retrying. *)
+  let attempts = ref 0 in
+  let b =
+    Orb.Retry.Budget.create
+      ~config:{ Orb.Retry.Budget.ratio = 0.; reserve = 1; cap = 1 }
+      ()
+  in
+  (match
+     Orb.Retry.run ~sleep:(fun _ -> ()) ~budget:b
+       { Orb.Retry.default with max_attempts = 5 }
+       (fun ~attempt:_ ->
+         incr attempts;
+         raise (Orb.Transport.Transport_error "down"))
+   with
+  | exception Orb.Retry.Budget_exhausted _ -> ()
+  | _ -> Alcotest.fail "expected Budget_exhausted");
+  Alcotest.(check int) "one retry then cut off" 2 !attempts;
+  (* A deadline already in the past: the original error propagates
+     without a retry and without sleeping. *)
+  attempts := 0;
+  (match
+     Orb.Retry.run
+       ~sleep:(fun _ -> Alcotest.fail "slept past the deadline")
+       ~deadline:(Unix.gettimeofday () -. 1.)
+       { Orb.Retry.default with max_attempts = 5 }
+       (fun ~attempt:_ ->
+         incr attempts;
+         raise (Orb.Transport.Transport_error "down"))
+   with
+  | exception Orb.Transport.Transport_error _ -> ()
+  | _ -> Alcotest.fail "expected the original error");
+  Alcotest.(check int) "no attempt past deadline" 1 !attempts
+
+let test_orb_retry_budget_exhaustion () =
+  (* ORB-level: with a one-retry budget against a dead endpoint, the
+     call fails loudly with Budget_exhausted — a Permanent error, never
+     a silent stall — and the refusal is visible in stats. *)
+  with_faulty_server
+    ~retry:{ no_jitter with max_attempts = 5 }
+    ~retry_budget:{ Orb.Retry.Budget.ratio = 0.; reserve = 1; cap = 1 }
+    (fun ~server:_ ~client ~target ->
+      F.set_plan (fun { F.op; _ } ->
+          match op with `Connect -> Some F.Refuse_connect | _ -> None);
+      let t0 = Unix.gettimeofday () in
+      (match invoke_echo client target "x" with
+      | exception Orb.Retry.Budget_exhausted m ->
+          Alcotest.(check bool) "message names the last error" true
+            (Tutil.contains m "budget")
+      | exception e ->
+          Alcotest.failf "expected Budget_exhausted, got %s"
+            (Printexc.to_string e)
+      | _ -> Alcotest.fail "expected Budget_exhausted");
+      Alcotest.(check bool) "failed fast, no stall" true
+        (Unix.gettimeofday () -. t0 < 1.0);
+      let st = Orb.stats client in
+      Alcotest.(check int) "one retry spent the budget" 1 st.Orb.retries;
+      Alcotest.(check int) "exhaustion observable" 1
+        st.Orb.retry_budget_exhaustions;
+      Alcotest.(check int) "balance drained" 0 st.Orb.retry_budget_balance;
+      (* Successes refill it: lift the faults, land calls, retry again. *)
+      F.clear ();
+      Alcotest.(check string) "recovers" "echo:y" (invoke_echo client target "y"))
+
 (* ---------------- breaker unit tests ---------------- *)
 
 let test_breaker_state_machine () =
@@ -393,6 +487,14 @@ let () =
             test_corrupted_reply_is_protocol_error;
           Alcotest.test_case "delayed writes" `Quick
             test_delayed_write_slows_but_succeeds;
+        ] );
+      ( "retry budget",
+        [
+          Alcotest.test_case "token bucket" `Quick test_retry_budget_bucket;
+          Alcotest.test_case "run driver: budget + deadline" `Quick
+            test_retry_run_budget_and_deadline;
+          Alcotest.test_case "exhaustion fails loudly" `Quick
+            test_orb_retry_budget_exhaustion;
         ] );
       ( "breaker",
         [

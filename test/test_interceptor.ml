@@ -14,6 +14,7 @@ let sample_req =
     oneway = false;
     payload = "";
     trace_ctx = "";
+    budget_us = None;
   }
 
 let test_chain_ordering () =

@@ -123,10 +123,12 @@ let test_pool_jobs_overlap () =
   in
   (match Orb.Pool.submit pool job with
   | `Accepted -> ()
-  | `Rejected r -> Alcotest.failf "job 1 rejected: %s" r);
+  | `Rejected r -> Alcotest.failf "job 1 rejected: %s" r
+  | `Expired -> Alcotest.fail "job 1 unexpectedly expired");
   (match Orb.Pool.submit pool job with
   | `Accepted -> ()
-  | `Rejected r -> Alcotest.failf "job 2 rejected: %s" r);
+  | `Rejected r -> Alcotest.failf "job 2 rejected: %s" r
+  | `Expired -> Alcotest.fail "job 2 unexpectedly expired");
   let deadline = Unix.gettimeofday () +. 10.0 in
   while
     (Orb.Pool.stats pool).Orb.Pool.completed < 2

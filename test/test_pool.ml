@@ -71,6 +71,7 @@ let test_pool_runs_jobs () =
     match Orb.Pool.submit pool (fun () -> Atomic.incr done_) with
     | `Accepted -> ()
     | `Rejected r -> Alcotest.failf "unexpected rejection: %s" r
+    | `Expired -> Alcotest.fail "unexpected expiry"
   done;
   eventually ~msg:"20 jobs completed" (fun () -> Atomic.get done_ = 20);
   let s = Orb.Pool.stats pool in
@@ -89,14 +90,17 @@ let test_pool_rejects_when_full () =
   (* Occupy the single worker, then the single queue slot. *)
   (match Orb.Pool.submit pool wait with
   | `Accepted -> ()
-  | `Rejected r -> Alcotest.failf "worker job rejected: %s" r);
+  | `Rejected r -> Alcotest.failf "worker job rejected: %s" r
+  | `Expired -> Alcotest.fail "worker job unexpectedly expired");
   eventually ~msg:"worker busy" (fun () -> Orb.Pool.active pool = 1);
   (match Orb.Pool.submit pool wait with
   | `Accepted -> ()
-  | `Rejected r -> Alcotest.failf "queued job rejected: %s" r);
+  | `Rejected r -> Alcotest.failf "queued job rejected: %s" r
+  | `Expired -> Alcotest.fail "queued job unexpectedly expired");
   (* Third job: queue is full, Reject admission fails immediately. *)
   (match Orb.Pool.submit pool (fun () -> ()) with
   | `Accepted -> Alcotest.fail "expected rejection on a full queue"
+  | `Expired -> Alcotest.fail "expected rejection, got expiry"
   | `Rejected reason ->
       Alcotest.(check bool) "reason names overload" true
         (Tutil.contains reason "overloaded"));
@@ -124,6 +128,7 @@ let test_pool_block_admission_deadline () =
   let t0 = Unix.gettimeofday () in
   (match Orb.Pool.submit pool (fun () -> ()) with
   | `Accepted -> Alcotest.fail "expected deadline rejection"
+  | `Expired -> Alcotest.fail "expected deadline rejection, got expiry"
   | `Rejected reason ->
       Alcotest.(check bool) "reason names the deadline" true
         (Tutil.contains reason "deadline"));
@@ -139,7 +144,7 @@ let test_pool_block_admission_deadline () =
       (fun () ->
         match Orb.Pool.submit pool (fun () -> ()) with
         | `Accepted -> accepted := true
-        | `Rejected _ -> ())
+        | `Rejected _ | `Expired -> ())
       ()
   in
   Thread.delay 0.02;
@@ -169,6 +174,7 @@ let test_pool_drain () =
   Alcotest.(check int) "all jobs ran before drain returned" 6 (Atomic.get done_);
   (match Orb.Pool.submit pool (fun () -> ()) with
   | `Accepted -> Alcotest.fail "draining pool accepted a job"
+  | `Expired -> Alcotest.fail "draining pool reported expiry"
   | `Rejected reason ->
       Alcotest.(check bool) "reason names draining" true
         (Tutil.contains reason "draining"));
@@ -279,6 +285,7 @@ let test_pipelining_cap () =
            oneway = false;
            payload;
            trace_ctx = "";
+           budget_us = None;
          })
   done;
   let ok = ref 0 and capped = ref 0 in
@@ -466,6 +473,169 @@ let test_draining_rejects_new_requests () =
   Thread.join shut;
   List.iter Orb.shutdown [ client; holder ]
 
+(* ---------------- deadline budgets ---------------- *)
+
+(* A servant with a tripwire: executing "mark" proves the server ran
+   zombie work. Expired requests must never reach it. *)
+let probe_skeleton ran =
+  Orb.Skeleton.create ~type_id:echo_type
+    [
+      ("sleepy", fun args results ->
+          Thread.delay (float_of_int (args.Wire.Codec.get_long ()) /. 1000.);
+          results.Wire.Codec.put_bool true);
+      ("mark", fun _ results ->
+          Atomic.set ran true;
+          results.Wire.Codec.put_bool true);
+    ]
+
+let send_raw comm ~req_id ~target ~op ?budget_us payload =
+  Orb.Communicator.send comm
+    (Orb.Protocol.Request
+       {
+         req_id;
+         target;
+         operation = op;
+         oneway = false;
+         payload;
+         trace_ctx = "";
+         budget_us;
+       })
+
+let sleepy_payload ms =
+  let e = Orb.Protocol.text.Orb.Protocol.codec.Wire.Codec.encoder () in
+  e.Wire.Codec.put_long ms;
+  e.Wire.Codec.finish ()
+
+let test_budget_expires_in_queue () =
+  (* The zombie-work kill: a queued request whose budget lapses while a
+     slow job holds the single worker is answered "expired in queue" —
+     and its servant provably never runs. *)
+  let ran = Atomic.make false in
+  let server =
+    Orb.create ~transport:"mem" ~host:"local"
+      ~server_policy:{ Orb.default_server_policy with pool = Some tiny_pool }
+      ()
+  in
+  Orb.start server;
+  let target = Orb.export server (probe_skeleton ran) in
+  let chan =
+    Orb.Transport.connect ~proto:"mem" ~host:"local" ~port:(Orb.port server)
+  in
+  let comm = Orb.Communicator.wrap Orb.Protocol.text chan in
+  send_raw comm ~req_id:1 ~target ~op:"sleepy" (sleepy_payload 200);
+  (* Let the worker pick up the sleeper, then queue the doomed call:
+     50 ms of budget against 200 ms of queue wait. *)
+  Thread.delay 0.05;
+  send_raw comm ~req_id:2 ~target ~op:"mark" ~budget_us:50_000 "";
+  Orb.Communicator.set_deadline comm (Some (Unix.gettimeofday () +. 5.0));
+  let got_ok = ref 0 and got_expired = ref 0 in
+  for _ = 1 to 2 do
+    match Orb.Communicator.recv comm with
+    | Orb.Protocol.Reply { rep_id = 1; status = Orb.Protocol.Status_ok; _ } ->
+        incr got_ok
+    | Orb.Protocol.Reply
+        { rep_id = 2; status = Orb.Protocol.Status_system_error m; _ }
+      when Tutil.contains m "expired in queue" ->
+        incr got_expired
+    | Orb.Protocol.Reply { rep_id; status; _ } ->
+        Alcotest.failf "unexpected reply %d: %s" rep_id
+          (Orb.Protocol.status_to_string status)
+    | _ -> Alcotest.fail "unexpected non-reply message"
+  done;
+  Alcotest.(check int) "sleeper answered" 1 !got_ok;
+  Alcotest.(check int) "doomed call answered expired" 1 !got_expired;
+  Alcotest.(check bool) "servant never ran the expired request" false
+    (Atomic.get ran);
+  let st = Orb.stats server in
+  Alcotest.(check int) "expired_in_queue counted" 1 st.Orb.expired_in_queue;
+  Alcotest.(check int) "not conflated with overload" 0 st.Orb.rejected;
+  Orb.Communicator.close comm;
+  Orb.shutdown server
+
+let test_budget_expired_pre_admission () =
+  (* A request arriving with zero budget is shed at decode: answered
+     before any pool interaction, counted separately from overload. *)
+  let ran = Atomic.make false in
+  let server = Orb.create ~transport:"mem" ~host:"local" () in
+  Orb.start server;
+  let target = Orb.export server (probe_skeleton ran) in
+  let chan =
+    Orb.Transport.connect ~proto:"mem" ~host:"local" ~port:(Orb.port server)
+  in
+  let comm = Orb.Communicator.wrap Orb.Protocol.text chan in
+  send_raw comm ~req_id:7 ~target ~op:"mark" ~budget_us:0 "";
+  Orb.Communicator.set_deadline comm (Some (Unix.gettimeofday () +. 5.0));
+  (match Orb.Communicator.recv comm with
+  | Orb.Protocol.Reply
+      { rep_id = 7; status = Orb.Protocol.Status_system_error m; _ } ->
+      Alcotest.(check bool) "reason names admission" true
+        (Tutil.contains m "expired before admission")
+  | _ -> Alcotest.fail "expected an expired system-error reply");
+  Alcotest.(check bool) "servant never ran" false (Atomic.get ran);
+  let st = Orb.stats server in
+  Alcotest.(check int) "expired_pre_admission counted" 1
+    st.Orb.expired_pre_admission;
+  Orb.Communicator.close comm;
+  Orb.shutdown server
+
+let test_shutdown_expiry_exactly_one_reply () =
+  (* The shutdown x deadline interleaving: a queued request whose
+     budget expires while [Orb.shutdown ~drain_deadline] is draining
+     must get EXACTLY one reply — the expiry answer from the worker,
+     never a second one from the drain's cancel path, and never
+     silence. *)
+  let ran = Atomic.make false in
+  let server =
+    Orb.create ~transport:"mem" ~host:"local"
+      ~server_policy:{ Orb.default_server_policy with pool = Some tiny_pool }
+      ()
+  in
+  Orb.start server;
+  let target = Orb.export server (probe_skeleton ran) in
+  let chan =
+    Orb.Transport.connect ~proto:"mem" ~host:"local" ~port:(Orb.port server)
+  in
+  let comm = Orb.Communicator.wrap Orb.Protocol.text chan in
+  send_raw comm ~req_id:1 ~target ~op:"sleepy" (sleepy_payload 300);
+  Thread.delay 0.08;
+  (* 100 ms of budget; the worker frees up at ~300 ms, mid-drain. *)
+  send_raw comm ~req_id:2 ~target ~op:"mark" ~budget_us:100_000 "";
+  Thread.delay 0.02;
+  let shut =
+    Thread.create (fun () -> Orb.shutdown ~drain_deadline:3.0 server) ()
+  in
+  (* Read until the drain's force-close ends the connection, tallying
+     every reply per request id. *)
+  let replies = Hashtbl.create 4 in
+  let expired_msgs = ref 0 in
+  Orb.Communicator.set_deadline comm (Some (Unix.gettimeofday () +. 5.0));
+  (try
+     while true do
+       match Orb.Communicator.recv comm with
+       | Orb.Protocol.Reply { rep_id; status; _ } ->
+           Hashtbl.replace replies rep_id
+             (1 + Option.value ~default:0 (Hashtbl.find_opt replies rep_id));
+           (match status with
+           | Orb.Protocol.Status_system_error m
+             when Tutil.contains m "expired" ->
+               incr expired_msgs
+           | _ -> ())
+       | _ -> ()
+     done
+   with _ -> ());
+  Thread.join shut;
+  Alcotest.(check (option int)) "sleeper: exactly one reply" (Some 1)
+    (Hashtbl.find_opt replies 1);
+  Alcotest.(check (option int)) "expired call: exactly one reply" (Some 1)
+    (Hashtbl.find_opt replies 2);
+  Alcotest.(check int) "the one reply was the expiry answer" 1 !expired_msgs;
+  Alcotest.(check bool) "servant never ran after the budget lapsed" false
+    (Atomic.get ran);
+  let st = Orb.stats server in
+  Alcotest.(check int) "expired_in_queue counted" 1 st.Orb.expired_in_queue;
+  Alcotest.(check int) "drain finished clean" 1 st.Orb.drains_clean;
+  Orb.Communicator.close comm
+
 (* --------- soak: overload + faults, with conservation --------- *)
 
 let test_soak_conservation () =
@@ -560,6 +730,15 @@ let () =
           Alcotest.test_case "deadline aborts" `Quick test_drain_deadline_aborts;
           Alcotest.test_case "rejects during window" `Quick
             test_draining_rejects_new_requests;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "expires in queue, servant never runs" `Quick
+            test_budget_expires_in_queue;
+          Alcotest.test_case "expired before admission" `Quick
+            test_budget_expired_pre_admission;
+          Alcotest.test_case "shutdown x expiry: exactly one reply" `Quick
+            test_shutdown_expiry_exactly_one_reply;
         ] );
       ( "soak",
         [

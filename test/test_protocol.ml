@@ -17,16 +17,19 @@ let sample_target =
 let sample_request payload =
   P.Request
     { P.req_id = 42; target = sample_target; operation = "f"; oneway = false;
-      payload; trace_ctx = "" }
+      payload; trace_ctx = ""; budget_us = None }
 
 let check_message proto msg =
   let bytes = proto.P.encode_message msg in
   let back = proto.P.decode_message bytes in
   let render = function
     | P.Request r ->
-        Printf.sprintf "req %d %s %s %b %S ctx=%S" r.P.req_id
+        Printf.sprintf "req %d %s %s %b %S ctx=%S budget=%s" r.P.req_id
           (Orb.Objref.to_string r.P.target)
           r.P.operation r.P.oneway r.P.payload r.P.trace_ctx
+          (match r.P.budget_us with
+          | None -> "-"
+          | Some b -> string_of_int b)
     | P.Reply r ->
         Printf.sprintf "rep %d %s %S" r.P.rep_id
           (match r.P.status with
@@ -60,7 +63,7 @@ let test_request_roundtrip () =
       check_message proto
         (P.Request
            { P.req_id = 0; target = sample_target; operation = "_get_state";
-             oneway = true; payload; trace_ctx = "" }))
+             oneway = true; payload; trace_ctx = ""; budget_us = None }))
     protocols
 
 let multi_target =
@@ -91,7 +94,7 @@ let test_multi_endpoint_request_roundtrip () =
       check_message proto
         (P.Request
            { P.req_id = 42; target = multi_target; operation = "f";
-             oneway = false; payload = "x"; trace_ctx = "" }))
+             oneway = false; payload = "x"; trace_ctx = ""; budget_us = None }))
     protocols
 
 let test_malformed_forward_rejected () =
@@ -165,9 +168,9 @@ let test_bad_target_rejected () =
    payload and omitted when empty. These tests pin down both interop
    directions with peers that predate the slot. *)
 
-let ctx_request ~trace_ctx =
+let ctx_request ?budget_us ~trace_ctx () =
   { P.req_id = 42; target = sample_target; operation = "f"; oneway = false;
-    payload = "pay\008load"; trace_ctx }
+    payload = "pay\008load"; trace_ctx; budget_us }
 
 (* The request envelope exactly as pre-slot peers encoded it: every
    field up to and including the payload, nothing after. *)
@@ -197,7 +200,7 @@ let test_trace_ctx_roundtrip () =
   List.iter
     (fun proto ->
       check_message proto
-        (P.Request (ctx_request ~trace_ctx:"00112233445566778899aabbccddeeff-0123456789abcdef")))
+        (P.Request (ctx_request ~trace_ctx:"00112233445566778899aabbccddeeff-0123456789abcdef" ())))
     protocols
 
 let test_old_peer_to_new_decoder () =
@@ -205,7 +208,7 @@ let test_old_peer_to_new_decoder () =
      empty context instead of failing at end-of-message. *)
   List.iter
     (fun proto ->
-      let bytes = legacy_encode proto (ctx_request ~trace_ctx:"") in
+      let bytes = legacy_encode proto (ctx_request ~trace_ctx:"" ()) in
       match proto.P.decode_message bytes with
       | P.Request r ->
           Alcotest.(check string) (proto.P.name ^ " ctx") "" r.P.trace_ctx;
@@ -222,7 +225,7 @@ let test_new_peer_to_old_decoder () =
     (fun proto ->
       let bytes =
         proto.P.encode_message
-          (P.Request (ctx_request ~trace_ctx:"deadbeefdeadbeefdeadbeefdeadbeef-cafebabecafebabe"))
+          (P.Request (ctx_request ~trace_ctx:"deadbeefdeadbeefdeadbeefdeadbeef-cafebabecafebabe" ()))
       in
       let tag, req_id, oneway, target, operation, payload =
         legacy_decode proto bytes
@@ -242,9 +245,144 @@ let test_empty_ctx_is_byte_identical_to_legacy () =
      byte — not merely decodable. *)
   List.iter
     (fun proto ->
-      let r = ctx_request ~trace_ctx:"" in
+      let r = ctx_request ~trace_ctx:"" () in
       Alcotest.(check string) proto.P.name (legacy_encode proto r)
         (proto.P.encode_message (P.Request r)))
+    protocols
+
+(* ---------------- deadline slot interop ---------------- *)
+
+(* The deadline budget rides in a second trailing slot after the trace
+   context; slots are positional, so a present budget forces the trace
+   slot onto the wire even when empty. Pinned in both directions
+   against "pre-budget" peers — the trace-ctx-era encoder/decoder. *)
+
+(* The envelope exactly as trace-ctx-era (pre-budget) peers encoded it:
+   legacy fields, then the context slot iff non-empty, never a budget. *)
+let prebudget_encode proto (r : P.request) =
+  let e = proto.P.codec.Wire.Codec.encoder () in
+  e.Wire.Codec.put_octet 0;
+  e.Wire.Codec.put_ulong r.P.req_id;
+  e.Wire.Codec.put_bool r.P.oneway;
+  e.Wire.Codec.put_string (Orb.Objref.to_string r.P.target);
+  e.Wire.Codec.put_string r.P.operation;
+  e.Wire.Codec.put_string r.P.payload;
+  if r.P.trace_ctx <> "" then e.Wire.Codec.put_string r.P.trace_ctx;
+  e.Wire.Codec.finish ()
+
+(* ... and the matching pre-budget decoder: reads the context slot if
+   bytes remain, then stops — a budget is trailing bytes it never
+   touches. *)
+let prebudget_decode proto bytes =
+  let d = proto.P.codec.Wire.Codec.decoder bytes in
+  let tag = d.Wire.Codec.get_octet () in
+  let req_id = d.Wire.Codec.get_ulong () in
+  let _oneway = d.Wire.Codec.get_bool () in
+  let _target = d.Wire.Codec.get_string () in
+  let operation = d.Wire.Codec.get_string () in
+  let payload = d.Wire.Codec.get_string () in
+  let trace_ctx =
+    if d.Wire.Codec.at_end () then "" else d.Wire.Codec.get_string ()
+  in
+  (tag, req_id, operation, payload, trace_ctx)
+
+let test_budget_roundtrip () =
+  List.iter
+    (fun proto ->
+      (* With and without a context: the budget survives either way. *)
+      check_message proto
+        (P.Request (ctx_request ~budget_us:1_500_000 ~trace_ctx:"" ()));
+      check_message proto
+        (P.Request
+           (ctx_request ~budget_us:250
+              ~trace_ctx:"00112233445566778899aabbccddeeff-0123456789abcdef"
+              ()));
+      check_message proto
+        (P.Request (ctx_request ~budget_us:0 ~trace_ctx:"" ())))
+    protocols
+
+let test_no_budget_is_byte_identical_to_prebudget () =
+  (* A budget-capable encoder sending no budget produces the pre-budget
+     encoding byte for byte — with and without a trace context. *)
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun trace_ctx ->
+          let r = ctx_request ~trace_ctx () in
+          Alcotest.(check string)
+            (proto.P.name ^ " ctx=" ^ trace_ctx)
+            (prebudget_encode proto r)
+            (proto.P.encode_message (P.Request r)))
+        [ ""; "deadbeefdeadbeefdeadbeefdeadbeef-cafebabecafebabe" ])
+    protocols
+
+let test_prebudget_peer_to_new_decoder () =
+  (* Bytes from a pre-budget peer: the new decoder reads them as "no
+     deadline" instead of failing at end-of-message. *)
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun trace_ctx ->
+          let bytes = prebudget_encode proto (ctx_request ~trace_ctx ()) in
+          match proto.P.decode_message bytes with
+          | P.Request r ->
+              Alcotest.(check (option int))
+                (proto.P.name ^ " budget") None r.P.budget_us;
+              Alcotest.(check string) (proto.P.name ^ " ctx") trace_ctx
+                r.P.trace_ctx
+          | _ -> Alcotest.fail "wrong message kind")
+        [ ""; "deadbeefdeadbeefdeadbeefdeadbeef-cafebabecafebabe" ])
+    protocols
+
+let test_new_peer_to_prebudget_decoder () =
+  (* Bytes WITH a budget, read by the pre-budget decoder: every field it
+     knows about — including the trace context, which the budget forces
+     onto the wire even when empty — decodes unchanged. *)
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun trace_ctx ->
+          let bytes =
+            proto.P.encode_message
+              (P.Request (ctx_request ~budget_us:750_000 ~trace_ctx ()))
+          in
+          let tag, req_id, operation, payload, ctx =
+            prebudget_decode proto bytes
+          in
+          Alcotest.(check int) (proto.P.name ^ " tag") 0 tag;
+          Alcotest.(check int) (proto.P.name ^ " req_id") 42 req_id;
+          Alcotest.(check string) (proto.P.name ^ " op") "f" operation;
+          Alcotest.(check string) (proto.P.name ^ " payload") "pay\008load"
+            payload;
+          Alcotest.(check string) (proto.P.name ^ " ctx") trace_ctx ctx)
+        [ ""; "deadbeefdeadbeefdeadbeefdeadbeef-cafebabecafebabe" ])
+    protocols
+
+let test_hostile_budget_slots_rejected () =
+  (* A damaged or hostile deadline slot must surface as Protocol_error
+     (the recoverable "answer malformed-request and keep the
+     connection" class), never a crash or a bogus deadline. *)
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun hostile ->
+          let e = proto.P.codec.Wire.Codec.encoder () in
+          e.Wire.Codec.put_octet 0;
+          e.Wire.Codec.put_ulong 7;
+          e.Wire.Codec.put_bool false;
+          e.Wire.Codec.put_string (Orb.Objref.to_string sample_target);
+          e.Wire.Codec.put_string "f";
+          e.Wire.Codec.put_string "payload";
+          e.Wire.Codec.put_string "";  (* trace slot *)
+          e.Wire.Codec.put_string hostile;
+          match proto.P.decode_message (e.Wire.Codec.finish ()) with
+          | exception P.Protocol_error _ -> ()
+          | exception Wire.Codec.Type_error _ ->
+              Alcotest.fail "Type_error leaked through decode_message"
+          | _ ->
+              Alcotest.failf "%s: hostile budget %S accepted" proto.P.name
+                hostile)
+        [ "-5"; "not-a-number"; "99999999999999999999999999999"; "1.5"; "" ])
     protocols
 
 (* ---------------- locate-reply forward slot interop ---------------- *)
@@ -399,6 +537,15 @@ let () =
           Alcotest.test_case "trace-context round-trip" `Quick test_trace_ctx_roundtrip;
           Alcotest.test_case "old peer -> new decoder" `Quick test_old_peer_to_new_decoder;
           Alcotest.test_case "new peer -> old decoder" `Quick test_new_peer_to_old_decoder;
+          Alcotest.test_case "deadline budget round-trip" `Quick test_budget_roundtrip;
+          Alcotest.test_case "no budget is the pre-budget encoding" `Quick
+            test_no_budget_is_byte_identical_to_prebudget;
+          Alcotest.test_case "pre-budget peer -> new decoder" `Quick
+            test_prebudget_peer_to_new_decoder;
+          Alcotest.test_case "new peer -> pre-budget decoder" `Quick
+            test_new_peer_to_prebudget_decoder;
+          Alcotest.test_case "hostile budget slots rejected" `Quick
+            test_hostile_budget_slots_rejected;
           Alcotest.test_case "empty context is the legacy encoding" `Quick
             test_empty_ctx_is_byte_identical_to_legacy;
           Alcotest.test_case "old locate peer -> new decoder" `Quick
