@@ -1544,6 +1544,128 @@ let e14 ?(out = "BENCH_deadline.json") ?(duration = 2.0)
   close_out oc;
   Printf.printf "  wrote %s\n" out
 
+(* ================= E15: codec sweep ================================ *)
+
+(* The compact-codec claim (paper Section 5: "for many applications, a
+   simple protocol or messaging format may suffice" — and a cheaper one
+   pays at every call): the same echo workload under the heidi-text,
+   GIOP and HCX envelopes, swept across payload sizes. Bytes are read
+   from the Obs channel meter, so the figure is what actually crossed
+   the transport, framing included. Calls/s is a monotonic-clock loop
+   (see E3b on OLS and thread wakeups). Writes BENCH_codec.json for the
+   schema-checked smoke test, which pins HCX's bytes/call strictly
+   below heidi-text's at every payload size. *)
+let e15 ?(out = "BENCH_codec.json") ?(measure_s = 0.4)
+    ?(sizes = [ 16; 256; 4096; 65536 ]) () =
+  section "E15" "codec sweep: bytes/call and calls/s (hcx vs text vs giop, mem)";
+  let protos =
+    [
+      ("heidi-text", Orb.Protocol.text);
+      ("giop-be", Giop.protocol ());
+      ("hcx", Orb.Protocol.hcx);
+    ]
+  in
+  let blob_skeleton () =
+    Orb.Skeleton.create ~type_id:"IDL:Bench/Blob:1.0"
+      [
+        ("swallow", fun args results ->
+            let s = args.Wire.Codec.get_string () in
+            results.Wire.Codec.put_long (String.length s));
+      ]
+  in
+  let run_row (pname, protocol) size =
+    Orb.Transport.mem_reset ();
+    let server = Orb.create ~protocol ~transport:"mem" ~host:"local" () in
+    Orb.start server;
+    let target = Orb.export server (blob_skeleton ()) in
+    let obs = Obs.create () in
+    let client = Orb.create ~protocol ~transport:"mem" ~host:"local" ~obs () in
+    let blob = String.make size 'a' in
+    let call () =
+      ignore
+        (Orb.invoke client target ~op:"swallow" (fun e ->
+             e.Wire.Codec.put_string blob))
+    in
+    for _ = 1 to 20 do call () done;
+    (* bytes/call: meter delta over a fixed batch. Plain endpoint labels
+       only — the per-codec twins double-account the same bytes. *)
+    let wire_bytes () =
+      List.fold_left
+        (fun acc e ->
+          if String.starts_with ~prefix:"mem:" e.Obs.Metrics.endpoint then
+            acc + e.Obs.Metrics.bytes_in + e.Obs.Metrics.bytes_out
+          else acc)
+        0
+        (Obs.snapshot obs).Obs.metrics.Obs.Metrics.endpoints
+    in
+    let before = wire_bytes () in
+    let batch = 50 in
+    for _ = 1 to batch do call () done;
+    let bytes_per_call =
+      float_of_int (wire_bytes () - before) /. float_of_int batch
+    in
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 in
+    while Unix.gettimeofday () -. t0 < measure_s do
+      call ();
+      incr n
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let ns_per_call = elapsed *. 1e9 /. float_of_int !n in
+    let calls_per_s = float_of_int !n /. elapsed in
+    Orb.shutdown client;
+    Orb.shutdown server;
+    (pname, size, bytes_per_call, ns_per_call, calls_per_s)
+  in
+  let rows =
+    List.concat_map (fun proto -> List.map (run_row proto) sizes) protos
+  in
+  table
+    [ "protocol"; "payload B"; "bytes/call"; "ns/call"; "calls/s" ]
+    (List.map
+       (fun (p, size, bpc, ns, cps) ->
+         [
+           p;
+           string_of_int size;
+           Printf.sprintf "%.0f" bpc;
+           Printf.sprintf "%.0f" ns;
+           Printf.sprintf "%.0f" cps;
+         ])
+       rows);
+  Printf.printf
+    "  (bytes/call from the Obs channel meter over %d metered calls per\n\
+    \  row: request + reply, envelope + payload + framing. HCX varints\n\
+    \  and byte-count framing vs text tokens vs GIOP's 12-byte header\n\
+    \  and CDR padding.)\n"
+    50;
+  let json =
+    Obs.Jout.obj
+      [
+        ("experiment", Obs.Jout.str "E15");
+        ("transport", Obs.Jout.str "mem");
+        ("measure_s", Obs.Jout.num measure_s);
+        ("payload_sizes", Obs.Jout.arr (List.map Obs.Jout.int sizes));
+        ( "rows",
+          Obs.Jout.arr
+            (List.map
+               (fun (p, size, bpc, ns, cps) ->
+                 Obs.Jout.obj
+                   [
+                     ("protocol", Obs.Jout.str p);
+                     ("payload_bytes", Obs.Jout.int size);
+                     ("bytes_per_call", Obs.Jout.num bpc);
+                     ("ns_per_call", Obs.Jout.num ns);
+                     ("calls_per_s", Obs.Jout.num cps);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
 (* ================= F-series: figure regeneration pointers ========== *)
 
 let figures () =
@@ -1607,6 +1729,15 @@ let () =
          (1x) and deep saturation (4x) — enough for the schema check to
          assert that propagation never loses goodput at saturation. *)
       e14 ~out ~duration:0.4 ~multipliers:[ 1; 4 ] ()
+  | [| _; "--e15"; out |] ->
+      (* Full E15 only: the codec sweep (the BENCH_codec.json artifact
+         behind the §E15 table in EXPERIMENTS.md). *)
+      e15 ~out ()
+  | [| _; "--e15-smoke"; out |] ->
+      (* E15 with short timing loops at the two interesting sizes; the
+         bytes/call figures are exact at any quota, so the schema check
+         still pins HCX below heidi-text at every size. *)
+      e15 ~out ~measure_s:0.05 ~sizes:[ 16; 4096 ] ()
   | [| _; "--e12-smoke"; out |] ->
       (* E12 on a compressed timeline: one kill, one restart, a breaker
          window short enough that recovery is measurable inside a
@@ -1633,5 +1764,6 @@ let () =
       e12 ();
       e13 ();
       e14 ();
+      e15 ();
       figures ();
       print_endline "\nAll benches complete."

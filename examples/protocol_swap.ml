@@ -56,6 +56,7 @@ let demo protocol label =
         oneway = false;
         trace_ctx = "";
         budget_us = None;
+        nego_offer = "";
         payload =
           (let e = protocol.Orb.Protocol.codec.Wire.Codec.encoder () in
            e.Wire.Codec.put_long 3;
@@ -67,7 +68,8 @@ let demo protocol label =
     protocol.Orb.Protocol.name (String.length bytes);
   (match protocol.Orb.Protocol.framing with
   | Orb.Protocol.Line -> Printf.printf "  %s\n" bytes
-  | Orb.Protocol.Length_prefixed _ -> Printf.printf "%s\n" (hexdump bytes));
+  | Orb.Protocol.Length_prefixed _ | Orb.Protocol.Varint_prefixed _ ->
+      Printf.printf "%s\n" (hexdump bytes));
   Orb.shutdown client;
   Orb.shutdown server;
   print_newline ();
@@ -106,9 +108,43 @@ let telnet_scenario () =
   chan.Orb.Transport.close ();
   Orb.shutdown server
 
+(* The negotiated upgrade: both ORBs start on the text protocol (the
+   universally-understood floor) and advertise the HCX compact codec;
+   the first two-way call carries the offer, the server answers, and
+   every later call on the connection is HCX. *)
+let negotiation_scenario () =
+  Printf.printf "=== codec negotiation (text floor -> hcx) ===\n";
+  let server = Orb.create ~codecs:[ Orb.Protocol.hcx ] () in
+  Orb.start server;
+  let camera = Orb.export server
+      (Heidi_Camera.skeleton
+         {
+           Heidi_Camera.attach = (fun _ () -> ());
+           describe =
+             (fun () -> { name = "cam"; bitrate_kbps = 750; live = true });
+           zoom = (fun _ () -> ());
+           hint = (fun _ () -> ());
+           get_state = (fun () -> Start);
+         })
+  in
+  let client = Orb.create ~codecs:[ Orb.Protocol.hcx ] () in
+  let stub = Heidi_Camera.Stub.of_ref client camera in
+  let info = Heidi_Camera.Stub.describe stub () in
+  Printf.printf "describe() -> %s @%dkbps\n" info.name info.bitrate_kbps;
+  let info2 = Heidi_Camera.Stub.describe stub () in
+  let s = Orb.stats client in
+  Printf.printf
+    "negotiations: %d, fallbacks: %d (second describe -> %s rode hcx)\n\n"
+    s.Orb.codec_negotiations s.Orb.codec_fallbacks info2.name;
+  Orb.shutdown client;
+  Orb.shutdown server
+
 let () =
   let text_bytes, _ = demo Orb.Protocol.text "HeidiRMI text protocol" in
   let giop_bytes, _ = demo (Giop.protocol ()) "GIOP-like binary protocol" in
-  Printf.printf "request size: text %d bytes vs binary %d bytes\n\n"
-    (String.length text_bytes) (String.length giop_bytes);
+  let hcx_bytes, _ = demo Orb.Protocol.hcx "HCX compact binary protocol" in
+  Printf.printf "request size: text %d bytes vs giop %d bytes vs hcx %d bytes\n\n"
+    (String.length text_bytes) (String.length giop_bytes)
+    (String.length hcx_bytes);
+  negotiation_scenario ();
   telnet_scenario ()

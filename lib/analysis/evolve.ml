@@ -127,6 +127,28 @@ let diff_roots reporter ~file ~old_root new_root =
         benign reporter ~loc "new interface %S (not in the snapshot)" name)
     new_ifaces
 
+(* The V301–V304 verdict as a boolean, for callers that need a yes/no
+   rather than diagnostics: true iff no wire-breaking difference. Benign
+   W310 additions do not count against compatibility. *)
+let wire_compatible ~old_root new_root =
+  let reporter = Diag.reporter () in
+  diff_roots reporter ~file:"<compat>" ~old_root new_root;
+  not (Diag.has_errors reporter)
+
+(* Bridge to [Orb.create ?codec_compat]: interpret codec versions as
+   labels of interface snapshots and judge an (offered, local) pair by
+   the evolution model. Two equal versions are trivially compatible;
+   otherwise the older snapshot must survive diffing against the newer
+   with no V3xx error. Unknown versions are incompatible — the peers
+   fall back to the base protocol rather than guess. *)
+let codec_compat ~snapshots ~name:_ ~offered ~local =
+  offered = local
+  ||
+  let lo, hi = if offered < local then (offered, local) else (local, offered) in
+  match (snapshots lo, snapshots hi) with
+  | Some old_root, Some new_root -> wire_compatible ~old_root new_root
+  | _ -> false
+
 (* Diff the current EST against the snapshot stored for its compilation
    unit in [ir_dir]. Returns [false] when the repository has no snapshot
    for the unit (nothing to compare — the caller decides whether that is

@@ -19,3 +19,22 @@ val against :
 (** Diff an EST against the snapshot stored for its [fileBase] unit in
     [ir_dir]. Returns [false] when the repository holds no snapshot for
     the unit (nothing was compared). *)
+
+val wire_compatible : old_root:Est.Node.t -> Est.Node.t -> bool
+(** The V301–V304 verdict as a boolean: [true] iff diffing [old_root]
+    against the new root produces no wire-breaking error. Benign [W310]
+    additions do not count against compatibility. *)
+
+val codec_compat :
+  snapshots:(int -> Est.Node.t option) ->
+  name:string ->
+  offered:int ->
+  local:int ->
+  bool
+(** Evolution-model policy for [Orb.create ?codec_compat]: codec
+    versions label interface snapshots ([snapshots v] returns the EST
+    published under version [v]); an (offered, local) pair is
+    compatible iff the versions are equal or the older snapshot is
+    {!wire_compatible} with the newer. Versions with no snapshot are
+    incompatible, so peers fall back to the base protocol rather than
+    guess. *)

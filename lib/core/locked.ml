@@ -14,6 +14,7 @@
    handler swallowed the exception. *)
 
 module Rank = struct
+  let nego = 72
   let communicator = 70
   let pool = 60
   let connection_cache = 50
@@ -37,6 +38,7 @@ module Rank = struct
 
   let all =
     [
+      ("nego", nego);
       ("communicator", communicator);
       ("pool", pool);
       ("connection_cache", connection_cache);

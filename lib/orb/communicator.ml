@@ -1,22 +1,43 @@
 type t = {
-  proto : Protocol.t;
+  (* Separate send and receive protocols: a negotiated codec switch
+     takes effect at different frame boundaries in each direction (the
+     server answers the offering request in the old encoding but must
+     already read the next request in the new one; mirrored on the
+     client), so the two sides of the stream are re-pointed
+     independently by [set_protocol]. *)
+  mutable sproto : Protocol.t;
+  mutable rproto : Protocol.t;
   chan : Transport.channel;
   limits : Wire.Codec.limits;
   mutable closed : bool;
 }
 
-let wrap ?(limits = Wire.Codec.default_limits) proto chan =
-  (* Bound memory while a frame is still in flight: for line framing the
-     line IS the frame, so the channel receive limit is the frame
-     limit; for length-prefixed framing only the short fixed-size
-     header travels on a line. *)
+(* Bound memory while a frame is still in flight: for line framing the
+   line IS the frame, so the channel receive limit is the frame
+   limit; for length-prefixed framing only the short fixed-size
+   header travels on a line; varint framing never reads lines at all. *)
+let install_recv_limit proto limits chan =
   let line_limit =
     match proto.Protocol.framing with
     | Protocol.Line -> limits.Wire.Codec.max_frame_bytes
     | Protocol.Length_prefixed { header } -> String.length header + 64
+    | Protocol.Varint_prefixed _ -> 64
   in
-  chan.Transport.set_recv_limit (Some line_limit);
-  { proto; chan; limits; closed = false }
+  chan.Transport.set_recv_limit (Some line_limit)
+
+let wrap ?(limits = Wire.Codec.default_limits) proto chan =
+  install_recv_limit proto limits chan;
+  { sproto = proto; rproto = proto; chan; limits; closed = false }
+
+let set_protocol ?(dir = `Both) t proto =
+  (match dir with
+  | `Both | `Send -> t.sproto <- proto
+  | `Recv -> ());
+  match dir with
+  | `Both | `Recv ->
+      t.rproto <- proto;
+      install_recv_limit proto t.limits t.chan
+  | `Send -> ()
 
 (* Length-prefixed framing: magic header, 8 hex digits of body length,
    newline (for telnet-friendliness of the header even in binary
@@ -34,16 +55,41 @@ let add_hex8 buf n =
     end
   done
 
+(* Varint framing: one magic byte, then the body length as an unsigned
+   LEB128 varint — 2-3 bytes of framing on ordinary messages. *)
+let add_uvarint buf n =
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char buf (Char.unsafe_chr (!n land 0x7f lor 0x80));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !n)
+
 (* Bodies up to this size are concatenated with their frame header and
-   written in one syscall; larger bodies are written in two parts to
-   avoid copying the payload. The threshold keeps the common small-frame
-   case a single packet under TCP_NODELAY (a tiny header-only segment
-   would otherwise go out on its own). *)
+   written in one syscall; larger bodies go through the channel's
+   [writev] as header + body slices — no coalescing copy of the
+   payload. The threshold keeps the common small-frame case a single
+   packet under TCP_NODELAY (a tiny header-only segment would otherwise
+   go out on its own). *)
 let coalesce_limit = 4096
 
+(* Frame header + body, with the large-body zero-copy split. *)
+let send_framed t ~mk_header body =
+  let blen = String.length body in
+  let buf = Buffer.create (16 + min blen coalesce_limit) in
+  mk_header buf blen;
+  if blen <= coalesce_limit then begin
+    Buffer.add_string buf body;
+    t.chan.Transport.write (Buffer.contents buf)
+  end
+  else
+    (* The caller already serializes sends per connection, so the
+       header and body slices stay adjacent on the wire. *)
+    t.chan.Transport.writev [ Buffer.contents buf; body ]
+
 let send t msg =
-  let body = t.proto.Protocol.encode_message msg in
-  match t.proto.Protocol.framing with
+  let body = t.sproto.Protocol.encode_message msg in
+  match t.sproto.Protocol.framing with
   | Protocol.Line ->
       if String.contains body '\n' then
         raise
@@ -51,23 +97,14 @@ let send t msg =
              "line-framed message bodies must not contain newlines");
       t.chan.Transport.write (body ^ "\n")
   | Protocol.Length_prefixed { header } ->
-      let buf =
-        Buffer.create
-          (String.length header + 9 + min (String.length body) coalesce_limit)
-      in
-      Buffer.add_string buf header;
-      add_hex8 buf (String.length body);
-      Buffer.add_char buf '\n';
-      if String.length body <= coalesce_limit then begin
-        Buffer.add_string buf body;
-        t.chan.Transport.write (Buffer.contents buf)
-      end
-      else begin
-        (* Two-part write: the caller already serializes sends per
-           connection, so the header and body stay adjacent on the wire. *)
-        t.chan.Transport.write (Buffer.contents buf);
-        t.chan.Transport.write body
-      end
+      send_framed t body ~mk_header:(fun buf blen ->
+          Buffer.add_string buf header;
+          add_hex8 buf blen;
+          Buffer.add_char buf '\n')
+  | Protocol.Varint_prefixed { magic } ->
+      send_framed t body ~mk_header:(fun buf blen ->
+          Buffer.add_char buf magic;
+          add_uvarint buf blen)
 
 type recv_error = { reason : string; req_id_hint : int option }
 
@@ -78,12 +115,30 @@ type recv_error = { reason : string; req_id_hint : int option }
    state is unknown (bad header, I/O failure): close the connection. *)
 let recv_opt t =
   let decode body =
-    match t.proto.Protocol.decode_limited t.limits body with
+    match t.rproto.Protocol.decode_limited t.limits body with
     | msg -> Ok msg
     | exception Protocol.Protocol_error reason ->
-        Error { reason; req_id_hint = Protocol.request_id_hint t.proto body }
+        Error { reason; req_id_hint = Protocol.request_id_hint t.rproto body }
   in
-  match t.proto.Protocol.framing with
+  (* Consume the advertised body in bounded chunks — the peer declared
+     it honestly, so after the discard the stream is synchronized and an
+     error reply can be delivered. *)
+  let discard_body len =
+    let remaining = ref len in
+    while !remaining > 0 do
+      let n = min !remaining 65536 in
+      ignore (t.chan.Transport.read_exact n);
+      remaining := !remaining - n
+    done;
+    Error
+      {
+        reason =
+          Printf.sprintf "frame of %d bytes exceeds limit %d" len
+            t.limits.Wire.Codec.max_frame_bytes;
+        req_id_hint = None;
+      }
+  in
+  match t.rproto.Protocol.framing with
   | Protocol.Line -> (
       match t.chan.Transport.read_line () with
       | line -> decode line
@@ -113,24 +168,34 @@ let recv_opt t =
               (Protocol.Protocol_error
                  (Printf.sprintf "bad frame length %S" len_hex))
       in
-      if len > t.limits.Wire.Codec.max_frame_bytes then begin
-        (* Consume the advertised body in bounded chunks — the peer
-           declared it honestly, so after the discard the stream is
-           synchronized and an error reply can be delivered. *)
-        let remaining = ref len in
-        while !remaining > 0 do
-          let n = min !remaining 65536 in
-          ignore (t.chan.Transport.read_exact n);
-          remaining := !remaining - n
+      if len > t.limits.Wire.Codec.max_frame_bytes then discard_body len
+      else decode (t.chan.Transport.read_exact len)
+  | Protocol.Varint_prefixed { magic } ->
+      let m = (t.chan.Transport.read_exact 1).[0] in
+      if m <> magic then
+        (* The stream is positioned who-knows-where in a frame we cannot
+           delimit: fatal. *)
+        raise
+          (Protocol.Protocol_error
+             (Printf.sprintf "bad frame magic 0x%02x (expected 0x%02x)"
+                (Char.code m) (Char.code magic)));
+      (* Body length as LEB128, read byte-at-a-time (the transport
+         buffers). More than 9 groups cannot be a length any encoder
+         produced — and with the continuation bit's position unknown the
+         stream cannot be resynchronized: fatal. *)
+      let len =
+        let v = ref 0 and shift = ref 0 and continue = ref true in
+        while !continue do
+          if !shift > 56 then
+            raise (Protocol.Protocol_error "over-long frame length varint");
+          let b = Char.code (t.chan.Transport.read_exact 1).[0] in
+          v := !v lor ((b land 0x7f) lsl !shift);
+          shift := !shift + 7;
+          continue := b land 0x80 <> 0
         done;
-        Error
-          {
-            reason =
-              Printf.sprintf "frame of %d bytes exceeds limit %d" len
-                t.limits.Wire.Codec.max_frame_bytes;
-            req_id_hint = None;
-          }
-      end
+        !v
+      in
+      if len > t.limits.Wire.Codec.max_frame_bytes then discard_body len
       else decode (t.chan.Transport.read_exact len)
 
 let recv t =
@@ -146,5 +211,5 @@ let close t =
 
 let is_closed t = t.closed
 let peer t = t.chan.Transport.peer
-let protocol t = t.proto
+let protocol t = t.sproto
 let set_deadline t d = t.chan.Transport.set_deadline d

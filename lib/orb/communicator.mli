@@ -48,7 +48,20 @@ val is_closed : t -> bool
     closed but not yet reaped by their serving thread. *)
 
 val peer : t -> string
+
 val protocol : t -> Protocol.t
+(** The current {e send}-side protocol (send and receive agree except
+    inside a negotiated codec switch). *)
+
+val set_protocol : ?dir:[ `Both | `Send | `Recv ] -> t -> Protocol.t -> unit
+(** Re-point the communicator at another protocol — the mechanism of a
+    negotiated codec switch. A switch takes effect at different frame
+    boundaries in each direction (the offering request's reply is still
+    sent in the old encoding while the next incoming request is already
+    read in the new one), so [dir] (default [`Both]) selects which side
+    of the stream moves. Callers must guarantee no frame of the old
+    encoding is still in flight in the re-pointed direction — the
+    negotiation layer's hold-until-answer discipline does. *)
 
 val set_deadline : t -> float option -> unit
 (** Install or clear the underlying channel's read deadline (an absolute

@@ -71,8 +71,25 @@ let default_mux = { max_in_flight = 32 }
 (* Below the default server policy's [max_pipelined] (64), so a default
    client never trips a default server's pipelining cap. *)
 
+(* Client-side negotiation state of one connection, guarded by its
+   [nego_lock]. [Nego_offering] is the hold-until-answer gate: while an
+   offer's roundtrip is in flight every other send on the connection
+   waits, so the encoding switch lands on a quiet stream — no frame of
+   the old encoding can be in flight when either side re-points its
+   communicator. *)
+type nego_state =
+  | Nego_idle  (* negotiation off, already resolved, or fallen back *)
+  | Nego_fresh  (* no offer sent yet on this connection *)
+  | Nego_offering  (* offer in flight: all other sends hold *)
+
 type t = {
   proto : Protocol.t;
+  codecs : Protocol.t list;
+      (* negotiable codecs, preference-ordered; [] = negotiation off *)
+  codec_compat : name:string -> offered:int -> local:int -> bool;
+      (* version-compatibility predicate for negotiation (default
+         [Protocol.Nego.exact]; the analysis layer's evolution verdict
+         can be wired in) *)
   strat : Dispatch.strategy;
   transport : string;
   host : string;
@@ -120,6 +137,8 @@ type t = {
   mutable drains_clean : int;  (* graceful drains that finished in time *)
   mutable drain_aborted_jobs : int;  (* dispatches abandoned at force-close *)
   mux_peak : int Atomic.t;  (* highest in-flight count any connection saw *)
+  codec_negotiations : int Atomic.t;  (* connections switched to a negotiated codec *)
+  codec_fallbacks : int Atomic.t;  (* offers that fell back to the base protocol *)
   mutable bootstrap_registry : (string, Objref.t) Hashtbl.t option;
   fwd_cache : (string, Objref.t) Hashtbl.t;
       (* logical target (stringified) -> last Locate_forward redirect;
@@ -138,6 +157,11 @@ and conn = {
   comm : Communicator.t;
   conn_lock : Locked.t;  (* send lock; rank [communicator] *)
   mux : mux_state option;
+  nego_lock : Locked.t;  (* negotiation gate; rank [nego] *)
+  mutable nego : nego_state;  (* guarded by [nego_lock] *)
+  c_codec : string ref;
+      (* current codec label for per-codec byte metering; re-pointed at
+         the negotiated switch *)
 }
 
 (* Demultiplexer state, guarded by [mx_mutex]. Waiters register a cell
@@ -163,15 +187,23 @@ and sconn = {
   s_write : Locked.t;  (* reply serialization; rank [communicator] *)
   mutable s_last_active : float;  (* for idle-LRU eviction *)
   mutable s_inflight : int;  (* requests read but not yet answered *)
+  mutable s_nego : (string * Protocol.t) option;
+      (* negotiation answer awaiting its reply, and the protocol the
+         send side switches to once it is out; guarded by [s_write] *)
+  mutable s_negotiated : bool;  (* an offer was processed; guarded by [s_write] *)
+  s_codec : string ref;  (* current codec label for byte metering *)
 }
 
-let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
+let create ?(protocol = Protocol.text) ?(codecs = [])
+    ?(codec_compat = Protocol.Nego.exact) ?(strategy = Dispatch.Linear)
     ?(transport = "mem") ?(host = "local") ?(port = 0) ?call_timeout
     ?(propagate_deadlines = true) ?(retry = Retry.default)
     ?(retry_budget = Retry.Budget.default_config) ?breaker ?obs
     ?(server_policy = default_server_policy) ?(mux = default_mux) () =
   {
     proto = protocol;
+    codecs;
+    codec_compat;
     strat = strategy;
     transport;
     host;
@@ -208,6 +240,8 @@ let create ?(protocol = Protocol.text) ?(strategy = Dispatch.Linear)
     drains_clean = 0;
     drain_aborted_jobs = 0;
     mux_peak = Atomic.make 0;
+    codec_negotiations = Atomic.make 0;
+    codec_fallbacks = Atomic.make 0;
     bootstrap_registry = None;
     fwd_cache = Hashtbl.create 8;
     (* Fixed seed: replica selection only needs spread, not entropy, and
@@ -230,12 +264,19 @@ let endpoint_key (proto, host, port) =
 
 (* Channels report their wire bytes (framing included) to the ORB's
    metrics under an endpoint label; [Obs.add_bytes] is a boolean load
-   when observability is disabled. *)
-let meter_channel t label chan =
+   when observability is disabled. Each byte is also accounted to a
+   per-codec label ([<codec>:<endpoint>]) through a mutable codec-name
+   cell: a negotiated switch re-points the cell, so the split shows how
+   much of an endpoint's traffic travelled in each encoding. *)
+let meter_channel t label codec chan =
   let obs = t.obs in
   Transport.metered chan
-    ~on_read:(fun n -> Obs.add_bytes obs ~endpoint:label ~dir:`In n)
-    ~on_write:(fun n -> Obs.add_bytes obs ~endpoint:label ~dir:`Out n)
+    ~on_read:(fun n ->
+      Obs.add_bytes obs ~endpoint:label ~dir:`In n;
+      Obs.add_bytes obs ~endpoint:(!codec ^ ":" ^ label) ~dir:`In n)
+    ~on_write:(fun n ->
+      Obs.add_bytes obs ~endpoint:label ~dir:`Out n;
+      Obs.add_bytes obs ~endpoint:(!codec ^ ":" ^ label) ~dir:`Out n)
 
 let with_lock t f = Locked.with_lock t.lock f
 let port t = with_lock t (fun () -> t.bound_port)
@@ -246,7 +287,10 @@ let handle_request_inner t (req : Protocol.request) : Protocol.reply option =
   let codec = t.proto.Protocol.codec in
   let reply status payload =
     if req.Protocol.oneway then None
-    else Some { Protocol.rep_id = req.Protocol.req_id; status; payload }
+    else
+      Some
+        { Protocol.rep_id = req.Protocol.req_id; status; payload;
+          nego_answer = "" }
   in
   Atomic.incr t.served;
   match Object_adapter.lookup t.oa req.Protocol.target.Objref.oid with
@@ -324,6 +368,7 @@ let handle_request t (req : Protocol.request) : Protocol.reply option =
               Protocol.rep_id = req.Protocol.req_id;
               status = Protocol.Status_system_error ("rejected: " ^ reason);
               payload = "";
+              nego_answer = "";
             }
   in
   (match span with
@@ -348,15 +393,62 @@ let handle_request t (req : Protocol.request) : Protocol.reply option =
 let serve_connection t sc =
   let comm = sc.scomm in
   (* Replies can come from several pool workers and the reader thread
-     interleaved; the write mutex keeps each framed message whole. *)
+     interleaved; the write mutex keeps each framed message whole. A
+     pending negotiation answer rides the next reply out, after which
+     the send side switches to the chosen protocol — the offering
+     client holds all further sends until it has the answer, so no
+     frame of the old encoding is in flight across the switch. *)
   let send_msg msg =
-    Locked.with_lock sc.s_write (fun () -> Communicator.send comm msg)
+    Locked.with_lock sc.s_write (fun () ->
+        match (msg, sc.s_nego) with
+        | Protocol.Reply r, Some (tok, p) ->
+            Communicator.send comm
+              (Protocol.Reply { r with Protocol.nego_answer = tok });
+            sc.s_nego <- None;
+            Communicator.set_protocol ~dir:`Send comm p;
+            sc.s_codec := p.Protocol.name
+        | _ -> Communicator.send comm msg)
   in
   let error_reply rep_id reason =
     send_msg
       (Protocol.Reply
          { Protocol.rep_id; status = Protocol.Status_system_error reason;
-           payload = "" })
+           payload = ""; nego_answer = "" })
+  in
+  (* Server half of codec negotiation, run on the reader thread at
+     offer-read time. The receive side switches immediately: the
+     offering client sends nothing further until it has processed our
+     answer, so the next inbound frame is already in the chosen
+     encoding. The send side switches in [send_msg] when the answer
+     goes out. Offers ride only two-way requests, and only the first
+     one on a connection is honoured. *)
+  let process_offer (req : Protocol.request) =
+    if (not req.Protocol.oneway) && t.codecs <> [] then begin
+      let decided =
+        Locked.with_lock sc.s_write (fun () ->
+            if sc.s_negotiated then None
+            else begin
+              sc.s_negotiated <- true;
+              match
+                Protocol.Nego.choose ~offer:req.Protocol.nego_offer
+                  ~supported:t.codecs ~compatible:t.codec_compat
+              with
+              | Some (p, tok) ->
+                  sc.s_nego <- Some (tok, p);
+                  Some (Some p)
+              | None -> Some None
+            end)
+      in
+      match decided with
+      | Some (Some p) ->
+          Communicator.set_protocol ~dir:`Recv comm p;
+          Atomic.incr t.codec_negotiations;
+          Obs.incr t.obs ~name:"server:codec_negotiated"
+      | Some None ->
+          Atomic.incr t.codec_fallbacks;
+          Obs.incr t.obs ~name:"server:codec_fallback"
+      | None -> ()
+    end
   in
   (* Admission refusal: a diagnosable System_exception reply, never a
      dropped connection. *)
@@ -517,11 +609,16 @@ let serve_connection t sc =
                LOCATION_FORWARD instead of dispatching. Answered inline
                like locate — it is control-plane traffic, never queued. *)
             sc.s_last_active <- Unix.gettimeofday ();
+            (* A carried offer is deliberately NOT honoured here: the
+               answer slot only exists on [Reply], and the client treats
+               a forward (like any answerless response) as fallback. *)
             if not req.Protocol.oneway then
               send_msg
                 (Protocol.Locate_forward
                    { rep_id = req.Protocol.req_id; target })
-        | None -> dispatch req);
+        | None ->
+            if req.Protocol.nego_offer <> "" then process_offer req;
+            dispatch req);
         loop ()
     | Ok (Protocol.Locate_request { req_id; target }) ->
         (* GIOP-style locate: answered by the adapter, never dispatched
@@ -643,9 +740,10 @@ let start t =
         let rec loop backoff =
           match l.Transport.accept () with
           | chan ->
+              let s_codec = ref t.proto.Protocol.name in
               let comm =
                 Communicator.wrap ~limits:t.policy.limits t.proto
-                  (meter_channel t label chan)
+                  (meter_channel t label s_codec chan)
               in
               let sc =
                 {
@@ -655,6 +753,9 @@ let start t =
                       ~rank:Locked.Rank.communicator;
                   s_last_active = Unix.gettimeofday ();
                   s_inflight = 0;
+                  s_nego = None;
+                  s_negotiated = false;
+                  s_codec;
                 }
               in
               admit_connection t sc;
@@ -925,7 +1026,8 @@ let get_connection t endpoint =
   | None -> (
       let proto_name, host, port = endpoint in
       let chan = Transport.connect ~proto:proto_name ~host ~port in
-      let chan = meter_channel t (endpoint_key endpoint) chan in
+      let c_codec = ref t.proto.Protocol.name in
+      let chan = meter_channel t (endpoint_key endpoint) c_codec chan in
       let mux =
         if t.mux_cfg.max_in_flight <= 1 then None
         else
@@ -943,7 +1045,10 @@ let get_connection t endpoint =
         { comm = Communicator.wrap t.proto chan;
           conn_lock =
             Locked.create ~name:"conn.send" ~rank:Locked.Rank.communicator;
-          mux }
+          mux;
+          nego_lock = Locked.create ~name:"conn.nego" ~rank:Locked.Rank.nego;
+          nego = (if t.codecs = [] then Nego_idle else Nego_fresh);
+          c_codec }
       in
       let outcome =
         with_lock t (fun () ->
@@ -1211,10 +1316,190 @@ let exchange_mux t conn mx msg ~oneway ~deadline
     await_loop ()
   end
 
-let exchange t conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =
+let exchange_core t conn msg ~oneway ~deadline ~(span : Obs.Trace.span option)
+    =
   match conn.mux with
   | None -> exchange_serialized conn msg ~oneway ~deadline ~span
   | Some mx -> exchange_mux t conn mx msg ~oneway ~deadline ~span
+
+(* ---------------- client side: codec negotiation ---------------- *)
+
+let nego_resolve conn state =
+  Locked.with_lock conn.nego_lock (fun () ->
+      conn.nego <- state;
+      Locked.broadcast conn.nego_lock)
+
+(* Substring search, for classifying a peer's error reply. Error path
+   only — allocation is fine. *)
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Nothing registered on the demultiplexer: the offer's encoding switch
+   will land on a quiet reply stream. Serialized connections are always
+   quiet here — the roundtrip is atomic under the connection lock. *)
+let conn_quiet conn =
+  match conn.mux with
+  | None -> true
+  | Some mx -> Locked.with_lock mx.mx_lock (fun () -> mx.mx_inflight = 0)
+
+(* The negotiation gate every send passes through. [`Plain]: proceed in
+   the current encoding. [`Offer]: this call owns the connection's one
+   offer. While an offer is in flight all other calls hold here — the
+   hold-until-answer discipline both communicator re-pointings rely
+   on. An offering call additionally waits for in-flight replies to
+   drain, so an out-of-order earlier reply cannot arrive after the
+   switch in the wrong encoding. *)
+let nego_gate conn ~deadline ~can_offer =
+  let step () =
+    Locked.with_lock conn.nego_lock (fun () ->
+        match conn.nego with
+        | Nego_idle -> `Plain
+        | Nego_fresh ->
+            if not can_offer then `Plain
+            else if conn_quiet conn then begin
+              conn.nego <- Nego_offering;
+              `Offer
+            end
+            else `Busy
+        | Nego_offering -> (
+            match deadline with
+            | None ->
+                Locked.wait conn.nego_lock;
+                `Again
+            | Some d ->
+                let remaining = d -. Unix.gettimeofday () in
+                if remaining <= 0. then `Expired else `Poll remaining))
+  in
+  let rec loop () =
+    match step () with
+    | `Plain -> `Plain
+    | `Offer -> `Offer
+    | `Again -> loop ()
+    | `Busy ->
+        (* Wait for the demux to drain; replies arrive on the reader
+           thread, which does not signal our gate — poll. *)
+        Thread.delay Transport.poll_interval;
+        loop ()
+    | `Poll remaining ->
+        Thread.delay (Float.min Transport.poll_interval remaining);
+        loop ()
+    | `Expired ->
+        (* Never sent; the connection is healthy, just mid-offer. *)
+        raise
+          (Exchange_failed
+             {
+               phase = `Send;
+               fatal = false;
+               err =
+                 Transport.Timeout
+                   (Printf.sprintf
+                      "timed out behind a codec negotiation to %s"
+                      (Communicator.peer conn.comm));
+             })
+  in
+  loop ()
+
+(* Run the connection's one offer: send [msg] with the offer slot
+   attached, then act on what comes back. An answer re-points both
+   directions of the communicator; no answer means the peer is older
+   (or found nothing compatible) — stay on the base protocol. A
+   deadline-era peer that predates negotiation rejects the offer's
+   empty forced budget slot with a recoverable error reply and never
+   dispatches, so that one shape is detected and the request re-sent
+   once without the offer. *)
+let exchange_offer t conn msg ~oneway ~deadline ~span =
+  let offered =
+    match msg with
+    | Protocol.Request r ->
+        Protocol.Request
+          { r with Protocol.nego_offer = Protocol.Nego.offer_of t.codecs }
+    | other -> other
+  in
+  let fallback () =
+    Atomic.incr t.codec_fallbacks;
+    Obs.incr t.obs ~name:"client:codec_fallback";
+    nego_resolve conn Nego_idle
+  in
+  match exchange_core t conn offered ~oneway ~deadline ~span with
+  | exception e ->
+      (* Resolve without counting a fallback: the connection is failing,
+         not declining — unblock any held callers and re-raise. *)
+      nego_resolve conn Nego_idle;
+      raise e
+  | Some (Protocol.Reply r) when r.Protocol.nego_answer <> "" -> (
+      let tok = r.Protocol.nego_answer in
+      let chosen =
+        (* Match the answer by name, then vet the version pair with the
+           same predicate the server used: an old client and a new
+           server (or vice versa) converge as long as [codec_compat]
+           vouches that the two wire versions interoperate — each side
+           then speaks its own implementation of the codec. *)
+        match Protocol.Nego.parse_token tok with
+        | Some (nm, ver) -> (
+            match
+              List.find_opt (fun p -> p.Protocol.name = nm) t.codecs
+            with
+            | Some p
+              when ver = p.Protocol.version
+                   || t.codec_compat ~name:nm ~offered:ver
+                        ~local:p.Protocol.version ->
+                Some p
+            | Some _ | None -> None)
+        | None -> None
+      in
+      match chosen with
+      | Some p ->
+          Communicator.set_protocol conn.comm p;
+          conn.c_codec := p.Protocol.name;
+          Atomic.incr t.codec_negotiations;
+          Obs.incr t.obs ~name:"client:codec_negotiated";
+          nego_resolve conn Nego_idle;
+          Some (Protocol.Reply r)
+      | None ->
+          (* The peer answered a codec we never offered and has already
+             switched its stream: we cannot follow. Poison the
+             connection before anything is misread. *)
+          nego_resolve conn Nego_idle;
+          raise
+            (Exchange_failed
+               {
+                 phase = `Recv;
+                 fatal = true;
+                 err =
+                   System_exception
+                     (Printf.sprintf
+                        "peer answered unknown codec %S in negotiation" tok);
+               }))
+  | Some
+      (Protocol.Reply { Protocol.status = Protocol.Status_system_error m; _ })
+    when (match msg with
+         | Protocol.Request { Protocol.budget_us = None; _ } -> true
+         | _ -> false)
+         && contains_sub ~sub:"malformed deadline slot" m ->
+      (* The pre-negotiation deadline-era peer: it rejected the empty
+         forced budget slot recoverably, without dispatching anything —
+         re-sending the plain request is duplicate-safe. *)
+      fallback ();
+      exchange_core t conn msg ~oneway ~deadline ~span
+  | resp ->
+      (* A reply with no answer slot, or a non-reply (e.g. a forward):
+         the peer did not negotiate. *)
+      fallback ();
+      resp
+
+let exchange t conn msg ~oneway ~deadline ~(span : Obs.Trace.span option) =
+  let can_offer =
+    t.codecs <> []
+    &&
+    match msg with
+    | Protocol.Request r -> not r.Protocol.oneway
+    | _ -> false
+  in
+  match nego_gate conn ~deadline ~can_offer with
+  | `Plain -> exchange_core t conn msg ~oneway ~deadline ~span
+  | `Offer -> exchange_offer t conn msg ~oneway ~deadline ~span
 
 (* Counted atomically, NOT under the ORB lock: this runs on the exchange
    failure path from arbitrary caller threads and pool domains, and the
@@ -1570,6 +1855,7 @@ let invoke_raw_spanned t target ~op ~oneway ~timeout ~span ~dispatched payload
         payload;
         trace_ctx;
         budget_us = None;
+        nego_offer = "";
       }
   in
   (* Honour interceptor rewrites of the oneway flag: the wire message
@@ -1613,7 +1899,7 @@ let invoke_raw_spanned t target ~op ~oneway ~timeout ~span ~dispatched payload
         else raise e
     | None -> None
     | Some (Protocol.Reply reply) -> (
-        let { Protocol.rep_id; status; payload } =
+        let { Protocol.rep_id; status; payload; _ } =
           Interceptor.apply_reply t.client_chain req reply
         in
         if rep_id <> req_id then begin
@@ -1792,6 +2078,8 @@ type stats = {
   pool_active : int;
   mux_in_flight : int;
   mux_peak_in_flight : int;
+  codec_negotiations : int;
+  codec_fallbacks : int;
 }
 
 let stats t =
@@ -1862,6 +2150,8 @@ let stats t =
     pool_active;
     mux_in_flight;
     mux_peak_in_flight = Atomic.get t.mux_peak;
+    codec_negotiations = Atomic.get t.codec_negotiations;
+    codec_fallbacks = Atomic.get t.codec_fallbacks;
   }
 
 (* The stats snapshot as one JSON object — what an operator scrapes to
@@ -1893,6 +2183,8 @@ let stats_to_json (s : stats) =
         ("pool_active", int s.pool_active);
         ("mux_in_flight", int s.mux_in_flight);
         ("mux_peak_in_flight", int s.mux_peak_in_flight);
+        ("codec_negotiations", int s.codec_negotiations);
+        ("codec_fallbacks", int s.codec_fallbacks);
       ])
 
 let breaker_state t target =

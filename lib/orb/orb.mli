@@ -108,6 +108,8 @@ val default_mux : mux
 
 val create :
   ?protocol:Protocol.t ->
+  ?codecs:Protocol.t list ->
+  ?codec_compat:(name:string -> offered:int -> local:int -> bool) ->
   ?strategy:Dispatch.strategy ->
   ?transport:string ->
   ?host:string ->
@@ -125,6 +127,24 @@ val create :
 (** Defaults: the text protocol, [Linear] dispatch, the ["mem"] transport
     on a fresh port. For TCP use [~transport:"tcp" ~host:"127.0.0.1"]
     (with [port = 0] picking a free port at {!start}).
+
+    [codecs] — wire-level codec negotiation (empty and off by default).
+    A non-empty, preference-ordered list (e.g. [[Protocol.hcx]]) makes
+    this ORB negotiate per connection: as a client it attaches its
+    supported set to the first two-way request on each connection (a
+    backward-compatible trailing slot — no-offer messages stay
+    byte-identical); as a server it answers an offer with the first
+    mutually-compatible codec and both sides switch the connection's
+    encoding. Peers that predate negotiation, or share no compatible
+    codec, converge on the base [protocol] — mixed-version pairs need
+    no manual configuration. Outcomes are counted in {!stats}
+    ([codec_negotiations] / [codec_fallbacks]).
+
+    [codec_compat] — the version-compatibility predicate used when an
+    offered codec's version differs from the local one (default
+    {!Protocol.Nego.exact}: equality). Wire in the IDL-evolution
+    verdict of the analysis layer to make wire-compatibility (V301–
+    V304) a runtime property of negotiation.
 
     [obs] — attach an observability context (see {!Obs}): every
     {!invoke} then opens a client span with per-phase timings, every
@@ -340,6 +360,15 @@ type stats = {
   mux_peak_in_flight : int;
       (** Highest in-flight count any single client connection reached —
           [> 1] is the proof that calls actually pipelined. *)
+  codec_negotiations : int;
+      (** Connections switched to a negotiated codec, counted in both
+          roles: as the offering client (the answer arrived and both
+          directions re-pointed) and as the answering server. *)
+  codec_fallbacks : int;
+      (** Offers that ended on the base protocol instead: the peer
+          answered nothing (it predates negotiation, or found no
+          compatible codec), or this server found no compatible codec
+          in an offer it received. *)
 }
 
 val stats : t -> stats

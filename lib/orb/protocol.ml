@@ -1,4 +1,7 @@
-type framing = Line | Length_prefixed of { header : string }
+type framing =
+  | Line
+  | Length_prefixed of { header : string }
+  | Varint_prefixed of { magic : char }
 
 type request = {
   req_id : int;
@@ -8,6 +11,7 @@ type request = {
   payload : string;
   trace_ctx : string;  (* service context; "" = absent *)
   budget_us : int option;  (* remaining deadline budget, microseconds *)
+  nego_offer : string;  (* codec-negotiation offer; "" = absent *)
 }
 
 type reply_status =
@@ -15,7 +19,12 @@ type reply_status =
   | Status_user_exception of string
   | Status_system_error of string
 
-type reply = { rep_id : int; status : reply_status; payload : string }
+type reply = {
+  rep_id : int;
+  status : reply_status;
+  payload : string;
+  nego_answer : string;  (* codec-negotiation answer; "" = absent *)
+}
 
 type message =
   | Request of request
@@ -26,6 +35,7 @@ type message =
 
 type t = {
   name : string;
+  version : int;
   codec : Wire.Codec.t;
   framing : framing;
   encode_message : message -> string;
@@ -56,7 +66,31 @@ let status_to_string = function
   | Status_user_exception id -> "exception " ^ id
   | Status_system_error m -> "error " ^ m
 
-let generic ~name ~framing (codec : Wire.Codec.t) : t =
+(* Negotiation slots are untrusted wire data with a tiny grammar
+   (comma-separated [name/version] tokens): bound and charset-check them
+   at decode so a hostile slot fails as a recoverable protocol error
+   before any token is interpreted. *)
+let validate_nego_slot what s =
+  let ok_char c =
+    (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+    || c = '/' || c = ',' || c = '.' || c = '-' || c = '_'
+  in
+  if String.length s > 256 then
+    raise
+      (Protocol_error
+         (Printf.sprintf "%s slot of %d bytes exceeds the 256-byte bound" what
+            (String.length s)));
+  String.iter
+    (fun c ->
+      if not (ok_char c) then
+        raise
+          (Protocol_error
+             (Printf.sprintf "%s slot contains invalid byte 0x%02x" what
+                (Char.code c))))
+    s;
+  s
+
+let generic ~name ?(version = 1) ~framing (codec : Wire.Codec.t) : t =
   let encode_message msg =
     let e = codec.Wire.Codec.encoder () in
     (match msg with
@@ -77,12 +111,26 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
            codec. Because the slots are positional, a present budget
            forces the context slot to be written even when empty — a
            budget-only message is still readable by context-era peers,
-           which decode the empty context and skip the budget. *)
-        (match r.budget_us with
-        | None -> if r.trace_ctx <> "" then e.put_string r.trace_ctx
-        | Some b ->
+           which decode the empty context and skip the budget.
+
+           Slot 3 is the codec-negotiation offer. A present offer forces
+           both earlier slots; an absent budget is then encoded as the
+           empty string, which negotiation-era decoders read as
+           "no budget". Budget-era peers reject an empty budget slot as
+           malformed — recoverably, without dispatching — and the
+           client's negotiation layer treats exactly that error reply as
+           "peer pre-dates negotiation" and re-sends without the offer
+           (see DESIGN.md, "Wire protocols"). *)
+        (match (r.budget_us, r.nego_offer) with
+        | None, "" -> if r.trace_ctx <> "" then e.put_string r.trace_ctx
+        | Some b, "" ->
             e.put_string r.trace_ctx;
-            e.put_string (string_of_int (max 0 b)))
+            e.put_string (string_of_int (max 0 b))
+        | b, offer ->
+            e.put_string r.trace_ctx;
+            e.put_string
+              (match b with Some x -> string_of_int (max 0 x) | None -> "");
+            e.put_string offer)
     | Reply r ->
         e.put_octet tag_reply;
         e.put_ulong r.rep_id;
@@ -92,7 +140,13 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
           | Status_ok -> ""
           | Status_user_exception repo_id -> repo_id
           | Status_system_error message -> message);
-        e.put_string r.payload
+        e.put_string r.payload;
+        (* Trailing codec-negotiation answer slot, same interop contract
+           as the request's trailing slots: omitted when absent (the
+           encoding stays byte-identical to the pre-negotiation one),
+           skipped as trailing bytes by peers that predate it — though
+           in practice only clients that offered ever receive one. *)
+        if r.nego_answer <> "" then e.put_string r.nego_answer
     | Locate_request { req_id; target } ->
         e.put_octet tag_locate_request;
         e.put_ulong req_id;
@@ -139,12 +193,22 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
           if d.at_end () then None
           else
             let s = d.get_string () in
-            match int_of_string_opt s with
-            | Some b when b >= 0 -> Some b
-            | Some _ | None ->
-                raise
-                  (Protocol_error
-                     (Printf.sprintf "malformed deadline slot %S" s))
+            (* An empty budget slot means "no budget": it is written only
+               when a later slot (the negotiation offer) forces this
+               position. Anything else non-numeric or negative stays a
+               recoverable decode error. *)
+            if s = "" then None
+            else
+              match int_of_string_opt s with
+              | Some b when b >= 0 -> Some b
+              | Some _ | None ->
+                  raise
+                    (Protocol_error
+                       (Printf.sprintf "malformed deadline slot %S" s))
+        in
+        let nego_offer =
+          if d.at_end () then ""
+          else validate_nego_slot "negotiation offer" (d.get_string ())
         in
         let target =
           match Objref.of_string_opt target_s with
@@ -152,7 +216,9 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
           | None ->
               raise (Protocol_error (Printf.sprintf "malformed target reference %S" target_s))
         in
-        Request { req_id; target; operation; oneway; payload; trace_ctx; budget_us })
+        Request
+          { req_id; target; operation; oneway; payload; trace_ctx; budget_us;
+            nego_offer })
       else if tag = tag_reply then (
         let rep_id = d.get_ulong () in
         let status_code = d.get_octet () in
@@ -165,7 +231,11 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
           | 2 -> Status_system_error detail
           | n -> raise (Protocol_error (Printf.sprintf "unknown reply status %d" n))
         in
-        Reply { rep_id; status; payload })
+        let nego_answer =
+          if d.at_end () then ""
+          else validate_nego_slot "negotiation answer" (d.get_string ())
+        in
+        Reply { rep_id; status; payload; nego_answer })
       else if tag = tag_locate_request then (
         let req_id = d.get_ulong () in
         let target_s = d.get_string () in
@@ -207,7 +277,7 @@ let generic ~name ~framing (codec : Wire.Codec.t) : t =
     with Wire.Codec.Type_error m -> raise (Protocol_error m)
   in
   let decode_message bytes = decode_limited Wire.Codec.default_limits bytes in
-  { name; codec; framing; encode_message; decode_message; decode_limited }
+  { name; version; codec; framing; encode_message; decode_message; decode_limited }
 
 (* Best-effort request id of a frame that failed to decode: the tag and
    request id are the first two fields of every envelope, so they often
@@ -225,3 +295,67 @@ let request_id_hint t bytes =
   | exception _ -> None
 
 let text = generic ~name:"heidi-text" ~framing:Line Wire.Text_codec.codec
+
+(* HCX: the compact binary codec over varint framing — one magic byte
+   plus a varint body length, so the total framing overhead on a small
+   message is 2-3 bytes. The 0xC8 magic is outside both printable ASCII
+   (the text protocol) and "GIOP"'s first byte, so a protocol mix-up
+   fails at the first frame, not mid-stream. *)
+let hcx_magic = '\xC8'
+
+let hcx =
+  generic ~name:"hcx" ~version:Wire.Hcx_codec.version
+    ~framing:(Varint_prefixed { magic = hcx_magic })
+    Wire.Hcx_codec.codec
+
+(* ---------------- codec negotiation grammar ---------------- *)
+
+(* The offer/answer slot payloads: comma-separated [name/version]
+   tokens, client's preference order. The base protocol the offer rides
+   on is the implicit last resort and is never listed. *)
+module Nego = struct
+  let token p = Printf.sprintf "%s/%d" p.name p.version
+
+  let parse_token s =
+    match String.index_opt s '/' with
+    | None -> None
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt v with
+        | Some v when v >= 0 && name <> "" -> Some (name, v)
+        | _ -> None)
+
+  let offer_of supported = String.concat "," (List.map token supported)
+
+  let split_tokens s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
+  (* Server side: pick the first client-offered codec we also speak and
+     whose offered version our compatibility predicate accepts — the
+     client's preference order decides, so both sides converge on the
+     client's best mutually-compatible encoding. Returns the chosen
+     protocol and the answer token (which echoes OUR version of the
+     chosen codec; the offer's name, not its version, is the agreement —
+     the predicate has already vouched for the version pair). *)
+  let choose ~offer ~supported ~compatible =
+    let rec first = function
+      | [] -> None
+      | tok :: rest -> (
+          match parse_token tok with
+          | None -> first rest
+          | Some (name, offered_v) -> (
+              match List.find_opt (fun p -> p.name = name) supported with
+              | Some p when compatible ~name ~offered:offered_v ~local:p.version
+                ->
+                  Some (p, token p)
+              | Some _ | None -> first rest))
+    in
+    first (split_tokens offer)
+
+  (* Default version-compatibility predicate: exact version match. The
+     analysis layer's IDL-evolution verdict (V301-V304) can be wired in
+     instead via [Orb.create ?codec_compat] — a wire-breaking verdict
+     between two versions of the codec's payload schema then vetoes the
+     pair at negotiation time. *)
+  let exact ~name:_ ~offered ~local = offered = local
+end

@@ -14,6 +14,12 @@ type framing =
       (** [header ^ 8-hex-digit big-endian length ^ body] — the shape of a
           GIOP-style fixed header carrying a body length. The [header]
           magic identifies the protocol on the wire. *)
+  | Varint_prefixed of { magic : char }
+      (** [magic ^ LEB128 body length ^ body] — compact binary framing:
+          2-3 bytes of overhead on ordinary messages instead of the
+          fixed header's ~14. Large bodies are sent as header + body
+          slices through the transport's [writev] with no coalescing
+          copy. *)
 
 type request = {
   req_id : int;
@@ -38,7 +44,24 @@ type request = {
           budget as trailing bytes, and its absence decodes as [None].
           Decoding rejects negative, overflowing, or non-numeric slots
           with {!Protocol_error} — a recoverable malformed-frame error,
-          never a crash. *)
+          never a crash. An {e empty} budget slot decodes as [None]: it
+          is written only when the negotiation-offer slot forces this
+          position (peers that predate negotiation reject it,
+          recoverably — see [nego_offer]). *)
+  nego_offer : string;
+      (** Codec-negotiation offer slot (see {!Nego} for the token
+          grammar), carried by the first request on a connection.
+          Encoded after the deadline-budget slot and omitted when empty,
+          so no-offer messages stay byte-identical to the
+          pre-negotiation encoding; a present offer forces both earlier
+          slots (an absent budget is then the empty string). Peers with
+          a budget but no notion of negotiation skip a present offer as
+          trailing bytes; peers receiving the empty forced budget slot
+          answer with a recoverable malformed-frame error reply, which
+          the client's negotiation layer converts into fallback +
+          re-send (DESIGN.md, "Wire protocols"). Decoding bounds the
+          slot to 256 bytes of token charset, rejecting hostile slots
+          with {!Protocol_error}. *)
 }
 
 type reply_status =
@@ -46,7 +69,17 @@ type reply_status =
   | Status_user_exception of string  (** Exception repository ID. *)
   | Status_system_error of string  (** Human-readable error. *)
 
-type reply = { rep_id : int; status : reply_status; payload : string }
+type reply = {
+  rep_id : int;
+  status : reply_status;
+  payload : string;
+  nego_answer : string;
+      (** Codec-negotiation answer slot: the server's chosen codec token
+          (see {!Nego}), carried by the reply to an offering request.
+          Trailing and omitted when empty — same interop contract as
+          the request's slots. Only clients that offered ever receive
+          one. *)
+}
 
 val status_to_string : reply_status -> string
 (** Human-readable status for logs and interceptors. *)
@@ -70,6 +103,10 @@ type message =
 
 type t = {
   name : string;
+  version : int;
+      (** Wire-format version of this protocol's encoding, as used in
+          negotiation tokens ({!Nego.token}). Codecs with an explicit
+          on-the-wire version byte (HCX) report it here; others are 1. *)
   codec : Wire.Codec.t;
   framing : framing;
   encode_message : message -> string;
@@ -81,7 +118,7 @@ type t = {
           frames through this. *)
 }
 
-val generic : name:string -> framing:framing -> Wire.Codec.t -> t
+val generic : name:string -> ?version:int -> framing:framing -> Wire.Codec.t -> t
 (** Build a protocol with the standard envelope over any codec: messages
     are encoded as [octet tag, ulong request-id, ...header fields...,
     string payload]. The payload is embedded as a counted string — the
@@ -95,6 +132,49 @@ val text : t
 (** The HeidiRMI protocol: {!Wire.Text_codec} over {!Line} framing.
     Requests are single ASCII lines, so a human can telnet to the
     bootstrap port and type one in (Section 4.2). *)
+
+val hcx : t
+(** HCX ("heidi-compact"): {!Wire.Hcx_codec} over {!Varint_prefixed}
+    framing — the compact zero-copy binary protocol. Usually reached
+    via codec negotiation ([Orb.create ~codecs:[Protocol.hcx]]) rather
+    than configured as the base protocol, so mixed-version peers
+    converge without manual configuration. *)
+
+val hcx_magic : char
+(** The {!Varint_prefixed} frame magic of {!hcx} (0xC8 — outside both
+    printable ASCII and ["GIOP"], so a protocol mix-up fails at the
+    first frame). *)
+
+(** Codec-negotiation token grammar: an offer or answer slot holds
+    comma-separated [name/version] tokens in the sender's preference
+    order, e.g. ["hcx/1,giop-be/1"]. *)
+module Nego : sig
+  val token : t -> string
+  (** [name/version] of one protocol. *)
+
+  val offer_of : t list -> string
+  (** The offer slot for a preference-ordered supported set. *)
+
+  val parse_token : string -> (string * int) option
+  (** [Some (name, version)], or [None] on syntax errors. *)
+
+  val choose :
+    offer:string ->
+    supported:t list ->
+    compatible:(name:string -> offered:int -> local:int -> bool) ->
+    (t * string) option
+  (** Server-side choice: the first token of [offer] (client preference
+      order) naming a protocol in [supported] whose version pair passes
+      [compatible]. Returns the chosen protocol and the answer token to
+      send back. [None] means no mutually-compatible codec: stay on the
+      base protocol. *)
+
+  val exact : name:string -> offered:int -> local:int -> bool
+  (** Default compatibility predicate: exact version equality. The
+      IDL-evolution verdict (analysis layer, V301-V304) can replace it
+      via [Orb.create ?codec_compat], making wire-breaking-ness a
+      runtime property of negotiation. *)
+end
 
 exception Protocol_error of string
 (** Raised by [decode_message] on malformed messages. *)

@@ -20,6 +20,7 @@ let frame_fail fmt = Printf.ksprintf (fun m -> raise (Frame_limit m)) fmt
 
 type channel = {
   write : string -> unit;
+  writev : string list -> unit;
   read_line : unit -> string;
   read_exact : int -> string;
   close : unit -> unit;
@@ -183,21 +184,25 @@ let tcp_channel fd ~peer =
       refill ();
       read_exact n)
   in
-  let write s =
-    guarded (fun () ->
-        let bytes = Bytes.of_string s in
-        let len = Bytes.length bytes in
-        let rec go off =
-          if off < len then
-            let n =
-              try Unix.write fd bytes off (len - off)
-              with Unix.Unix_error (e, _, _) ->
-                fail "write to %s failed: %s" peer (Unix.error_message e)
-            in
-            go (off + n)
+  (* [Unix.write_substring] writes straight from the immutable string —
+     no [Bytes.of_string] copy of the payload — so a multi-slice send
+     (frame header + body) moves each slice from where it was encoded to
+     the socket with zero intermediate copies. *)
+  let write_slice s =
+    let len = String.length s in
+    let rec go off =
+      if off < len then
+        let n =
+          try Unix.write_substring fd s off (len - off)
+          with Unix.Unix_error (e, _, _) ->
+            fail "write to %s failed: %s" peer (Unix.error_message e)
         in
-        go 0)
+        go (off + n)
+    in
+    go 0
   in
+  let writev parts = guarded (fun () -> List.iter write_slice parts) in
+  let write s = writev [ s ] in
   let close () =
     Locked.with_lock guard (fun () ->
         if not !closing then begin
@@ -212,7 +217,7 @@ let tcp_channel fd ~peer =
   in
   let set_deadline d = deadline := d in
   let set_recv_limit l = recv_limit := l in
-  { write; read_line; read_exact; close; set_deadline; set_recv_limit; peer }
+  { write; writev; read_line; read_exact; close; set_deadline; set_recv_limit; peer }
 
 let resolve_host host =
   if host = "localhost" || host = "" then Unix.inet_addr_loopback
@@ -417,6 +422,10 @@ let mem_channel_pair ~peer_a ~peer_b =
     let recv_limit = ref None in
     {
       write = (fun s -> Pipe.write outgoing s);
+      (* The pipe buffer is the "wire": appending slice-by-slice is
+         already copy-free on the sender side, and callers serialize
+         sends per connection so the slices stay adjacent. *)
+      writev = (fun parts -> List.iter (Pipe.write outgoing) parts);
       read_line =
         (fun () ->
           (* Mirror of the TCP discard-resync: once a line is known to
@@ -732,6 +741,9 @@ let faulty_channel inner =
   in
   {
     write;
+    (* One fault draw per logical frame, as for [write]: the fault model
+       describes what the network does to a send, not to each slice. *)
+    writev = (fun parts -> write (String.concat "" parts));
     read_line = (fun () -> on_read inner.read_line);
     read_exact = (fun n -> on_read (fun () -> inner.read_exact n));
     (* Closing marks the channel broken so a concurrently stalled read
@@ -770,6 +782,10 @@ let metered ~on_read ~on_write chan =
       (fun s ->
         chan.write s;
         on_write (String.length s));
+    writev =
+      (fun parts ->
+        chan.writev parts;
+        on_write (List.fold_left (fun acc s -> acc + String.length s) 0 parts));
     read_line =
       (fun () ->
         let line = chan.read_line () in

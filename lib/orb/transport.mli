@@ -35,6 +35,12 @@ exception Frame_limit of string
 
 type channel = {
   write : string -> unit;  (** Write all bytes. *)
+  writev : string list -> unit;
+      (** Write the slices back-to-back, iovec-style: no coalescing copy
+          is taken — each slice goes to the underlying stream as-is (on
+          TCP via [Unix.write_substring], straight from the string with
+          no intermediate [Bytes]). Callers serialize sends per
+          connection, so the slices stay adjacent on the wire. *)
   read_line : unit -> string;
       (** Read up to (and excluding) the next ['\n'].
           @raise Transport_error on EOF.

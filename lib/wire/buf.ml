@@ -1,0 +1,72 @@
+(* Growable byte buffer backed by a Bigarray.
+
+   [Buffer.t] from the stdlib copies its contents on every [grow] and again
+   on [contents]; for multi-megabyte payloads that is two full copies per
+   encode.  This buffer keeps the bytes in a [Bigarray.Array1] (off the
+   OCaml heap, never moved by the GC) and hands the final frame out either
+   as a string ([contents], one copy, for small frames) or as the raw
+   bigarray plus length ([unsafe_raw], zero copies, for the writev path). *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { mutable data : bigstring; mutable len : int }
+
+let create ?(initial = 256) () =
+  let initial = max 16 initial in
+  { data = Bigarray.Array1.create Bigarray.char Bigarray.c_layout initial;
+    len = 0 }
+
+let length t = t.len
+
+let clear t = t.len <- 0
+
+let ensure t extra =
+  let needed = t.len + extra in
+  let cap = Bigarray.Array1.dim t.data in
+  if needed > cap then begin
+    let cap' = ref (max 16 cap) in
+    while !cap' < needed do cap' := !cap' * 2 done;
+    let data' = Bigarray.Array1.create Bigarray.char Bigarray.c_layout !cap' in
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub t.data 0 t.len)
+      (Bigarray.Array1.sub data' 0 t.len);
+    t.data <- data'
+  end
+
+let add_char t c =
+  ensure t 1;
+  Bigarray.Array1.unsafe_set t.data t.len c;
+  t.len <- t.len + 1
+
+let add_string t s =
+  let n = String.length s in
+  ensure t n;
+  let data = t.data and base = t.len in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set data (base + i) (String.unsafe_get s i)
+  done;
+  t.len <- base + n
+
+let add_substring t s pos n =
+  if pos < 0 || n < 0 || pos + n > String.length s then
+    invalid_arg "Buf.add_substring";
+  ensure t n;
+  let data = t.data and base = t.len in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set data (base + i) (String.unsafe_get s (pos + i))
+  done;
+  t.len <- base + n
+
+(* [String.init] calls its closure once per byte; for multi-megabyte
+   frames that is the whole cost of [contents].  A direct loop over a
+   [Bytes.t] keeps the copy branch-free. *)
+let contents t =
+  let data = t.data and n = t.len in
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Bigarray.Array1.unsafe_get data i)
+  done;
+  Bytes.unsafe_to_string b
+
+let unsafe_raw t = (t.data, t.len)

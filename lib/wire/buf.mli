@@ -1,0 +1,36 @@
+(** Growable byte buffer backed by a Bigarray.
+
+    Unlike [Stdlib.Buffer], the storage lives off the OCaml heap and is
+    never moved by the GC, so the encoded frame can be handed to the
+    transport layer without an intermediate copy (see [unsafe_raw]). *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** [create ?initial ()] allocates a buffer with [initial] bytes of
+    capacity (default 256, minimum 16). *)
+
+val length : t -> int
+(** Number of bytes written so far. *)
+
+val clear : t -> unit
+(** Reset the write position to zero without shrinking the storage. *)
+
+val add_char : t -> char -> unit
+val add_string : t -> string -> unit
+
+val add_substring : t -> string -> int -> int -> unit
+(** [add_substring t s pos len] appends [len] bytes of [s] starting at
+    [pos].  Raises [Invalid_argument] when the range is out of bounds. *)
+
+val contents : t -> string
+(** Copy the written bytes out as a fresh string. *)
+
+val unsafe_raw : t -> bigstring * int
+(** [unsafe_raw t] exposes the backing storage and the current length
+    without copying.  The bigarray remains owned by the buffer: any
+    subsequent [add_*] may reallocate it, so the caller must finish with
+    the view before writing again. *)

@@ -86,6 +86,7 @@ let make_encoder order () : Codec.encoder =
 
 let make_decoder_limited order (limits : Codec.limits) payload : Codec.decoder =
   let pos = ref 0 in
+  let depth = ref 0 in
   let len = String.length payload in
   let need n what =
     if !pos + n > len then
@@ -181,8 +182,15 @@ let make_decoder_limited order (limits : Codec.limits) payload : Codec.decoder =
     get_float = (fun () -> Int32.float_of_bits (get32 "float"));
     get_double = (fun () -> Int64.float_of_bits (get64 "double"));
     get_string;
-    get_begin = (fun () -> ());
-    get_end = (fun () -> ());
+    get_begin =
+      (fun () ->
+        incr depth;
+        if !depth > limits.Codec.max_nesting_depth then
+          raise
+            (Codec.Type_error
+               (Printf.sprintf "nesting depth %d exceeds limit %d" !depth
+                  limits.Codec.max_nesting_depth)));
+    get_end = (fun () -> if !depth > 0 then decr depth);
     get_len =
       (* CDR has no structural tokens, so a hostile length claim is the
          sole unbounded-allocation vector: cap it before any consumer

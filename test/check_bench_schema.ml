@@ -586,6 +586,64 @@ let check_e14 path root =
     (goodput "on" (List.hd saturated))
     (goodput "off" (List.hd saturated))
 
+(* ---------------- E15: codec sweep ---------------- *)
+
+let check_e15 path root =
+  ignore (want_str root "transport");
+  check (want_num root "measure_s" > 0.) "measure_s must be > 0";
+  let sizes =
+    List.map
+      (function
+        | Num f -> f
+        | _ -> raise (Bad "payload_sizes must be numbers"))
+      (want_arr root "payload_sizes")
+  in
+  check (sizes <> []) "payload_sizes must be non-empty";
+  let rows = want_arr root "rows" in
+  check (rows <> []) "rows must be non-empty";
+  List.iter
+    (fun row ->
+      ignore (want_str row "protocol");
+      check (want_num row "payload_bytes" >= 0.) "payload_bytes must be >= 0";
+      check (want_num row "bytes_per_call" > 0.) "bytes_per_call must be > 0";
+      check (want_num row "ns_per_call" > 0.) "ns_per_call must be > 0";
+      check (want_num row "calls_per_s" > 0.) "calls_per_s must be > 0";
+      (* A round trip moves at least the payload there and an envelope
+         back; a meter that missed the channel would report less. *)
+      check
+        (want_num row "bytes_per_call" > want_num row "payload_bytes")
+        "bytes_per_call must exceed the payload itself")
+    rows;
+  let row proto size =
+    List.find_opt
+      (fun r -> want_str r "protocol" = proto && want_num r "payload_bytes" = size)
+      rows
+  in
+  (* The compact-codec invariant: HCX moves strictly fewer bytes per
+     call than heidi-text at EVERY payload size in the sweep. This is a
+     structural property of the encodings (varints + byte-count framing
+     vs text tokens + escaping), so it must hold at any quota. *)
+  List.iter
+    (fun size ->
+      match (row "hcx" size, row "heidi-text" size) with
+      | Some h, Some t ->
+          check
+            (want_num h "bytes_per_call" < want_num t "bytes_per_call")
+            (Printf.sprintf
+               "hcx bytes/call must be strictly below heidi-text at %g B" size)
+      | _ ->
+          raise
+            (Bad (Printf.sprintf "missing hcx or heidi-text row at %g B" size)))
+    sizes;
+  let ratio size =
+    match (row "hcx" size, row "heidi-text" size) with
+    | Some h, Some t ->
+        want_num t "bytes_per_call" /. want_num h "bytes_per_call"
+    | _ -> 0.
+  in
+  Printf.printf "%s: schema OK (%d rows; text/hcx bytes ratio %.2fx at %g B)\n"
+    path (List.length rows) (ratio (List.hd sizes)) (List.hd sizes)
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
   let ic = open_in_bin path in
@@ -601,6 +659,7 @@ let () =
     | "E12" -> check_e12 path root
     | "E13" -> check_e13 path root
     | "E14" -> check_e14 path root
+    | "E15" -> check_e15 path root
     | other -> raise (Bad (Printf.sprintf "unknown experiment %S" other))
   with Bad msg ->
     Printf.eprintf "%s: schema check FAILED: %s\n" path msg;

@@ -69,6 +69,10 @@ type mutation =
   | Oversize
   | Header_damage  (* binary framing only: damage the frame header *)
   | Budget_hostile  (* well-formed envelope, hostile deadline slot *)
+  | Nego_hostile  (* well-formed envelope, hostile negotiation slot *)
+  | Varint_overlong  (* varint framing only: 10-group length prefix *)
+  | Varint_truncate  (* varint framing only: body cut mid-varint *)
+  | Version_bogus  (* varint framing only: stomp the codec version byte *)
 
 let mutation_name = function
   | Truncate -> "truncate"
@@ -78,6 +82,10 @@ let mutation_name = function
   | Oversize -> "oversize"
   | Header_damage -> "header-damage"
   | Budget_hostile -> "budget-hostile"
+  | Nego_hostile -> "nego-hostile"
+  | Varint_overlong -> "varint-overlong"
+  | Varint_truncate -> "varint-truncate"
+  | Version_bogus -> "version-bogus"
 
 (* The attacker's claim of a 4-billion-element payload: the decode
    limits must refuse it without allocating it. Text protocol: splice
@@ -152,30 +160,76 @@ let mutate ~binary rng m body =
          must discard it in bounded chunks and answer, not buffer it. *)
       body ^ String.make (2 * fuzz_limits.Wire.Codec.max_frame_bytes) 'A'
   | Header_damage -> body (* handled at the framing layer *)
-  | Budget_hostile -> body (* the body is purpose-built, not mutated *)
+  | Budget_hostile | Nego_hostile ->
+      body (* the bodies are purpose-built, not mutated *)
+  | Varint_overlong -> body (* handled at the framing layer *)
+  | Varint_truncate ->
+      (* Cut at a random point and end on a continuation bit: some
+         varint inside the body now promises bytes that never come. *)
+      if n = 0 then body
+      else String.sub body 0 (Random.State.int rng n) ^ "\xff"
+  | Version_bogus ->
+      (* The HCX envelope leads with its version byte: stomp it with a
+         version nobody ships. *)
+      if n = 0 then body
+      else begin
+        let b = Bytes.of_string body in
+        Bytes.set b 0 (Char.chr (2 + Random.State.int rng 254));
+        Bytes.to_string b
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Framing (mirrors Communicator.send, which refuses hostile bodies)   *)
 (* ------------------------------------------------------------------ *)
 
-let frame proto ~damage_header rng body =
+let uvarint n =
+  let buf = Buffer.create 4 in
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char buf (Char.chr (!n land 0x7f lor 0x80));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !n);
+  Buffer.contents buf
+
+(* [style]: [`Honest] frames the (mutated) body truthfully so the
+   stream stays synchronized; [`Damage] corrupts the frame header
+   itself; [`Overlong] (varint framing) sends a length prefix of ten
+   continuation groups — more than any honest encoder can produce, so
+   the server must kill the connection rather than guess. *)
+let frame proto ~style rng body =
   match proto.Orb.Protocol.framing with
   | Orb.Protocol.Line ->
       (* The terminating newline keeps the stream line-synchronized no
          matter what the mutation did (inner newlines just split the
          body into several hostile frames). *)
       body ^ "\n"
-  | Orb.Protocol.Length_prefixed { header } ->
-      if damage_header then begin
-        let h = Bytes.of_string (Printf.sprintf "%s%08x" header (String.length body)) in
-        let pos = Random.State.int rng (Bytes.length h) in
-        Bytes.set h pos (Char.chr (Random.State.int rng 256));
-        Bytes.to_string h ^ "\n" ^ body
-      end
-      else
-        (* Honest header for the (mutated) body, so the stream stays
-           synchronized and the server can keep the connection. *)
-        Printf.sprintf "%s%08x\n%s" header (String.length body) body
+  | Orb.Protocol.Length_prefixed { header } -> (
+      match style with
+      | `Damage ->
+          let h =
+            Bytes.of_string
+              (Printf.sprintf "%s%08x" header (String.length body))
+          in
+          let pos = Random.State.int rng (Bytes.length h) in
+          Bytes.set h pos (Char.chr (Random.State.int rng 256));
+          Bytes.to_string h ^ "\n" ^ body
+      | `Honest | `Overlong ->
+          (* Honest header for the (mutated) body, so the stream stays
+             synchronized and the server can keep the connection. *)
+          Printf.sprintf "%s%08x\n%s" header (String.length body) body)
+  | Orb.Protocol.Varint_prefixed { magic } -> (
+      match style with
+      | `Damage ->
+          let h =
+            Bytes.of_string
+              (String.make 1 magic ^ uvarint (String.length body))
+          in
+          let pos = Random.State.int rng (Bytes.length h) in
+          Bytes.set h pos (Char.chr (Random.State.int rng 256));
+          Bytes.to_string h ^ body
+      | `Overlong -> String.make 1 magic ^ String.make 10 '\xff' ^ "\x01" ^ body
+      | `Honest -> String.make 1 magic ^ uvarint (String.length body) ^ body)
 
 (* ------------------------------------------------------------------ *)
 (* The liveness prover                                                 *)
@@ -273,6 +327,7 @@ let run_proto ~ptag (pname, proto) =
              payload;
              trace_ctx = "";
              budget_us = None;
+             nego_offer = "";
            });
       proto.Orb.Protocol.encode_message
         (Orb.Protocol.Locate_request { req_id = 9; target });
@@ -307,20 +362,54 @@ let run_proto ~ptag (pname, proto) =
        String.sub b 0 (String.length b - 2));
     |]
   in
+  (* Hostile negotiation-offer slots on an otherwise well-formed
+     envelope: past the 256-byte bound, charset violations, and junk
+     that validates but names nothing. The server must answer each
+     with a malformed-request error or dispatch it with the offer
+     ignored — never crash, never switch codecs on garbage. *)
+  let nego_bodies =
+    let mk offer =
+      let e = proto.Orb.Protocol.codec.Wire.Codec.encoder () in
+      e.Wire.Codec.put_octet 0;
+      e.Wire.Codec.put_ulong 13;
+      e.Wire.Codec.put_bool false;
+      e.Wire.Codec.put_string (Orb.Objref.to_string target);
+      e.Wire.Codec.put_string "echo";
+      e.Wire.Codec.put_string payload;
+      e.Wire.Codec.put_string "" (* trace slot *);
+      e.Wire.Codec.put_string "" (* budget slot, forced empty *);
+      e.Wire.Codec.put_string offer;
+      e.Wire.Codec.finish ()
+    in
+    [|
+      mk (String.make 300 'a');
+      mk "hcx/\001\002";
+      mk "hcx/1,\"; exec evil";
+      mk "////,,,,";
+      mk "hcx/99999999999999999999";
+    |]
+  in
   let binary =
     match proto.Orb.Protocol.framing with
     | Orb.Protocol.Line -> false
-    | Orb.Protocol.Length_prefixed _ -> true
+    | Orb.Protocol.Length_prefixed _ | Orb.Protocol.Varint_prefixed _ -> true
   in
   let mutations =
-    if binary then
-      [|
-        Truncate; Bit_flip; Length_inflate; Token_swap; Oversize;
-        Header_damage; Budget_hostile;
-      |]
-    else
-      [| Truncate; Bit_flip; Length_inflate; Token_swap; Oversize;
-         Budget_hostile |]
+    match proto.Orb.Protocol.framing with
+    | Orb.Protocol.Line ->
+        [| Truncate; Bit_flip; Length_inflate; Token_swap; Oversize;
+           Budget_hostile; Nego_hostile |]
+    | Orb.Protocol.Length_prefixed _ ->
+        [|
+          Truncate; Bit_flip; Length_inflate; Token_swap; Oversize;
+          Header_damage; Budget_hostile; Nego_hostile;
+        |]
+    | Orb.Protocol.Varint_prefixed _ ->
+        [|
+          Truncate; Bit_flip; Length_inflate; Token_swap; Oversize;
+          Header_damage; Budget_hostile; Nego_hostile; Varint_overlong;
+          Varint_truncate; Version_bogus;
+        |]
   in
   let tally = { sent = 0; reconnects = 0; error_replies = 0 } in
   let a = ref (connect_proto proto ~port ()) in
@@ -337,14 +426,17 @@ let run_proto ~ptag (pname, proto) =
       match m with
       | Budget_hostile ->
           budget_bodies.(Random.State.int rng (Array.length budget_bodies))
+      | Nego_hostile ->
+          nego_bodies.(Random.State.int rng (Array.length nego_bodies))
       | _ -> bases.(Random.State.int rng (Array.length bases))
     in
-    let hostile =
-      frame proto
-        ~damage_header:(m = Header_damage)
-        rng
-        (mutate ~binary rng m body)
+    let style =
+      match m with
+      | Header_damage -> `Damage
+      | Varint_overlong -> `Overlong
+      | _ -> `Honest
     in
+    let hostile = frame proto ~style rng (mutate ~binary rng m body) in
     if !verbose then
       Printf.printf "[%s %4d] %-14s %d bytes\n%!" pname i (mutation_name m)
         (String.length hostile);
@@ -456,7 +548,7 @@ let start_hostile_replica proto kind =
         | Orb.Protocol.Request { Orb.Protocol.req_id; _ }
         | Orb.Protocol.Locate_request { req_id; _ } ->
             chan.Orb.Transport.write
-              (frame proto ~damage_header:false rng
+              (frame proto ~style:`Honest rng
                  (hostile_locate_body proto !kind ~req_id))
         | _ -> ()
       done
@@ -586,7 +678,13 @@ let run_client_mux (pname, proto) =
   Orb.shutdown healthy
 
 let () =
-  let protos = [ ("text", Orb.Protocol.text); ("giop", Giop.protocol ()) ] in
+  let protos =
+    [
+      ("text", Orb.Protocol.text);
+      ("giop", Giop.protocol ());
+      ("hcx", Orb.Protocol.hcx);
+    ]
+  in
   match
     List.iteri (fun ptag p -> run_proto ~ptag:(ptag + 1) p) protos;
     List.iter run_client_mux protos

@@ -7,7 +7,8 @@ module W = Wire.Wvalue
 let text = Wire.Text_codec.codec
 let cdr_be = Wire.Cdr_codec.codec Wire.Cdr_codec.Big_endian
 let cdr_le = Wire.Cdr_codec.codec Wire.Cdr_codec.Little_endian
-let all_codecs = [ text; cdr_be; cdr_le ]
+let hcx = Wire.Hcx_codec.codec
+let all_codecs = [ text; cdr_be; cdr_le; hcx ]
 
 let roundtrip (codec : Wire.Codec.t) v =
   let e = codec.Wire.Codec.encoder () in
@@ -165,7 +166,8 @@ let test_cdr_bad_bool_and_string () =
   | _ -> Alcotest.fail "zero-length CDR string"
 
 let test_size_comparison () =
-  (* Sanity for bench §E2: for numeric payloads CDR is denser; both
+  (* Sanity for bench §E2/§E15: for numeric payloads CDR is denser than
+     text and HCX denser still (varints beat fixed 4-byte longs); all
      codecs grow linearly in sequence length. *)
   let seq n = W.Seq (List.init n (fun i -> W.Long (1000000 + i))) in
   let size codec v =
@@ -175,7 +177,168 @@ let test_size_comparison () =
   in
   Alcotest.(check bool) "cdr denser for longs" true
     (size cdr_be (seq 64) < size text (seq 64));
+  Alcotest.(check bool) "hcx denser than cdr" true
+    (size hcx (seq 64) < size cdr_be (seq 64));
   Alcotest.(check bool) "text grows" true (size text (seq 128) > size text (seq 64))
+
+(* ---------------- HCX specifics ---------------- *)
+
+(* Encode one value through HCX and strip the leading version byte, so
+   assertions below talk about the field encoding alone. *)
+let hcx_field put =
+  let e = hcx.Wire.Codec.encoder () in
+  put e;
+  let p = e.Wire.Codec.finish () in
+  Alcotest.(check char) "version byte" '\001' p.[0];
+  String.sub p 1 (String.length p - 1)
+
+let test_hcx_version_byte () =
+  let e = hcx.Wire.Codec.encoder () in
+  e.Wire.Codec.put_long 7;
+  let p = e.Wire.Codec.finish () in
+  Alcotest.(check char) "leading byte is the format version" '\001' p.[0];
+  (* A frame from a future encoder fails at decoder construction,
+     before any field is interpreted. *)
+  let bogus = "\002" ^ String.sub p 1 (String.length p - 1) in
+  match hcx.Wire.Codec.decoder bogus with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected version rejection"
+
+let test_hcx_varint_layout () =
+  (* LEB128, LSB group first, minimal length. *)
+  let ulong v = hcx_field (fun e -> e.Wire.Codec.put_ulong v) in
+  Alcotest.(check string) "0 is one byte" "\000" (ulong 0);
+  Alcotest.(check string) "127 is one byte" "\127" (ulong 127);
+  Alcotest.(check string) "128 is two bytes" "\128\001" (ulong 128);
+  Alcotest.(check string) "300 = ac 02" "\172\002" (ulong 300);
+  Alcotest.(check string) "2^32-1 is five bytes" "\255\255\255\255\015"
+    (ulong 4294967295);
+  (* Signed values zigzag before the varint. *)
+  let long v = hcx_field (fun e -> e.Wire.Codec.put_long v) in
+  Alcotest.(check string) "-1 zigzags to 1" "\001" (long (-1));
+  Alcotest.(check string) "1 zigzags to 2" "\002" (long 1);
+  Alcotest.(check string) "min long is five bytes" "\255\255\255\255\015"
+    (long (-2147483648))
+
+let test_hcx_no_padding () =
+  (* octet then double: version + 1 + 8 = 10 bytes, no alignment holes
+     (the same pair costs 16 payload bytes in CDR). *)
+  let e = hcx.Wire.Codec.encoder () in
+  e.Wire.Codec.put_octet 1;
+  e.Wire.Codec.put_double 1.0;
+  Alcotest.(check int) "no alignment padding" 10
+    (String.length (e.Wire.Codec.finish ()))
+
+let test_hcx_boundary_varints () =
+  (* Every LEB128 group boundary, both signs, both integer widths. *)
+  List.iter
+    (fun v ->
+      match roundtrip hcx (W.Long v) with
+      | W.Long got -> Alcotest.(check int) (string_of_int v) v got
+      | _ -> Alcotest.fail "long shape")
+    [ 0; 1; -1; 127; 128; 129; 16383; 16384; 2097151; 2097152;
+      2147483647; -2147483648 ];
+  List.iter
+    (fun v ->
+      match roundtrip hcx (W.Ulong v) with
+      | W.Ulong got -> Alcotest.(check int) (string_of_int v) v got
+      | _ -> Alcotest.fail "ulong shape")
+    [ 0; 127; 128; 16384; 4294967295 ];
+  List.iter
+    (fun v ->
+      match roundtrip hcx (W.Longlong v) with
+      | W.Longlong got ->
+          Alcotest.(check int64) (Int64.to_string v) v got
+      | _ -> Alcotest.fail "longlong shape")
+    [ 0L; -1L; Int64.min_int; Int64.max_int ];
+  match roundtrip hcx (W.Ulonglong (-1L)) with
+  | W.Ulonglong got -> Alcotest.(check int64) "2^64-1" (-1L) got
+  | _ -> Alcotest.fail "ulonglong shape"
+
+let test_hcx_truncated_varint () =
+  (* A continuation bit with no following byte must fail as truncation,
+     not read past the frame. *)
+  let d = hcx.Wire.Codec.decoder "\001\128" in
+  (match d.Wire.Codec.get_ulong () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "truncated varint accepted");
+  (* More groups than any encoder emits is rejected by arithmetic. *)
+  let d = hcx.Wire.Codec.decoder ("\001" ^ String.make 10 '\255' ^ "\001") in
+  match d.Wire.Codec.get_ulong () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "over-long varint accepted"
+
+let test_hcx_hostile_lengths () =
+  (* A hostile length prefix fails before allocation: a claimed
+     4-billion-byte string on a tiny frame. *)
+  let e = hcx.Wire.Codec.encoder () in
+  e.Wire.Codec.put_ulong 4294967295;
+  let p = e.Wire.Codec.finish () in
+  let d = hcx.Wire.Codec.decoder p in
+  (match d.Wire.Codec.get_string () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "hostile string length accepted");
+  let d = hcx.Wire.Codec.decoder p in
+  match d.Wire.Codec.get_len () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | _ -> Alcotest.fail "hostile sequence length accepted"
+
+let test_hcx_decoder_view () =
+  (* The zero-copy receive path: decode from a sub-view of a larger
+     buffer without taking a String.sub of the frame. *)
+  let e = hcx.Wire.Codec.encoder () in
+  e.Wire.Codec.put_long 42;
+  e.Wire.Codec.put_string "view";
+  let frame = e.Wire.Codec.finish () in
+  let padded = "JUNK" ^ frame ^ "TRAILER" in
+  let d =
+    Wire.Hcx_codec.make_decoder_view Wire.Codec.default_limits padded ~off:4
+      ~len:(String.length frame)
+  in
+  Alcotest.(check int) "long through view" 42 (d.Wire.Codec.get_long ());
+  Alcotest.(check string) "string through view" "view" (d.Wire.Codec.get_string ());
+  Alcotest.(check bool) "view ends at frame end" true (d.Wire.Codec.at_end ())
+
+(* ---------------- decode limits ---------------- *)
+
+let test_nesting_depth_pinned () =
+  (* DESIGN.md and codec.mli both say depth 128; pin the number so the
+     docs cannot silently diverge from the code again. *)
+  Alcotest.(check int) "default nesting depth is 128" 128
+    Wire.Codec.default_limits.Wire.Codec.max_nesting_depth;
+  (* 128 nested get_begin are fine, the 129th trips — begin/end are
+     byteless in HCX so the decoder's own counter is the only guard. *)
+  let d = hcx.Wire.Codec.decoder "\001" in
+  for _ = 1 to 128 do
+    d.Wire.Codec.get_begin ()
+  done;
+  (match d.Wire.Codec.get_begin () with
+  | exception Wire.Codec.Type_error _ -> ()
+  | () -> Alcotest.fail "129th nesting level accepted");
+  (* Balanced begin/end at the edge stays under the limit. *)
+  let d = hcx.Wire.Codec.decoder "\001" in
+  for _ = 1 to 3 do
+    for _ = 1 to 128 do
+      d.Wire.Codec.get_begin ()
+    done;
+    for _ = 1 to 128 do
+      d.Wire.Codec.get_end ()
+    done
+  done;
+  (* Custom limits apply to every codec's decoder_limited. *)
+  let tiny =
+    { Wire.Codec.default_limits with Wire.Codec.max_nesting_depth = 2 }
+  in
+  List.iter
+    (fun codec ->
+      let deep = W.Group [ W.Group [ W.Group [ W.Long 1 ] ] ] in
+      let e = codec.Wire.Codec.encoder () in
+      W.encode e deep;
+      let p = e.Wire.Codec.finish () in
+      match W.decode_like (codec.Wire.Codec.decoder_limited tiny p) deep with
+      | exception Wire.Codec.Type_error _ -> ()
+      | _ -> Alcotest.failf "%s: depth limit not enforced" codec.Wire.Codec.name)
+    all_codecs
 
 (* ---------------- round-trip property ---------------- *)
 
@@ -263,6 +426,19 @@ let () =
           Alcotest.test_case "truncation" `Quick test_cdr_truncation;
           Alcotest.test_case "malformed bytes" `Quick test_cdr_bad_bool_and_string;
           Alcotest.test_case "size comparison" `Quick test_size_comparison;
+        ] );
+      ( "hcx",
+        [
+          Alcotest.test_case "version byte" `Quick test_hcx_version_byte;
+          Alcotest.test_case "varint layout" `Quick test_hcx_varint_layout;
+          Alcotest.test_case "no padding" `Quick test_hcx_no_padding;
+          Alcotest.test_case "boundary varints" `Quick test_hcx_boundary_varints;
+          Alcotest.test_case "truncated + over-long varints" `Quick
+            test_hcx_truncated_varint;
+          Alcotest.test_case "hostile lengths" `Quick test_hcx_hostile_lengths;
+          Alcotest.test_case "decoder view" `Quick test_hcx_decoder_view;
+          Alcotest.test_case "nesting depth pinned" `Quick
+            test_nesting_depth_pinned;
         ] );
       ( "property",
         QCheck_alcotest.to_alcotest cross_codec_prop

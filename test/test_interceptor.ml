@@ -15,6 +15,7 @@ let sample_req =
     payload = "";
     trace_ctx = "";
     budget_us = None;
+    nego_offer = "";
   }
 
 let test_chain_ordering () =
@@ -34,7 +35,7 @@ let test_chain_ordering () =
   I.add chain (mk "inner");
   Alcotest.(check (list string)) "names" [ "outer"; "inner" ] (I.names chain);
   let req = I.apply_request chain sample_req in
-  let _ = I.apply_reply chain req { P.rep_id = 1; status = P.Status_ok; payload = "" } in
+  let _ = I.apply_reply chain req { P.rep_id = 1; status = P.Status_ok; payload = ""; nego_answer = "" } in
   Alcotest.(check (list string)) "onion order"
     [ "req:outer"; "req:inner"; "rep:inner"; "rep:outer" ]
     (List.rev !trace)

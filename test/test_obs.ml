@@ -257,10 +257,28 @@ let test_tcp_trace_propagation () =
       Alcotest.(check bool) "req ids assigned" true
         (cs.Trace.req_id > 0 && cs.Trace.req_id = ss.Trace.req_id);
       (* Wire metrics flowed on both sides. *)
+      (* Every metered byte is double-accounted: once under the plain
+         endpoint label and once under a per-codec twin
+         ([<codec>:<endpoint>]). The plain label holds the totals; the
+         twin must mirror it exactly here, since all traffic travelled
+         in the base codec. *)
       let bytes_of obs =
-        match (Obs.snapshot obs).Obs.metrics.Metrics.endpoints with
-        | [ e ] -> (e.Metrics.bytes_in, e.Metrics.bytes_out)
-        | l -> Alcotest.failf "endpoints: %d" (List.length l)
+        let eps = (Obs.snapshot obs).Obs.metrics.Metrics.endpoints in
+        match
+          List.partition
+            (fun e -> String.starts_with ~prefix:"tcp:" e.Metrics.endpoint)
+            eps
+        with
+        | [ e ], [ twin ] ->
+            Alcotest.(check string) "per-codec twin label"
+              ("heidi-text:" ^ e.Metrics.endpoint)
+              twin.Metrics.endpoint;
+            Alcotest.(check int) "per-codec twin in" e.Metrics.bytes_in
+              twin.Metrics.bytes_in;
+            Alcotest.(check int) "per-codec twin out" e.Metrics.bytes_out
+              twin.Metrics.bytes_out;
+            (e.Metrics.bytes_in, e.Metrics.bytes_out)
+        | l, l' -> Alcotest.failf "endpoints: %d + %d" (List.length l) (List.length l')
       in
       let cin, cout = bytes_of client_obs in
       Alcotest.(check bool) "client bytes counted" true (cin > 0 && cout > 0);

@@ -286,6 +286,7 @@ let test_pipelining_cap () =
            payload;
            trace_ctx = "";
            budget_us = None;
+           nego_offer = "";
          })
   done;
   let ok = ref 0 and capped = ref 0 in
@@ -499,6 +500,7 @@ let send_raw comm ~req_id ~target ~op ?budget_us payload =
          payload;
          trace_ctx = "";
          budget_us;
+         nego_offer = "";
        })
 
 let sleepy_payload ms =

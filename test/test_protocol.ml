@@ -8,6 +8,7 @@ let protocols =
     P.text;
     Giop.protocol ();
     Giop.protocol ~order:Wire.Cdr_codec.Little_endian ();
+    P.hcx;
   ]
 
 let sample_target =
@@ -17,7 +18,7 @@ let sample_target =
 let sample_request payload =
   P.Request
     { P.req_id = 42; target = sample_target; operation = "f"; oneway = false;
-      payload; trace_ctx = ""; budget_us = None }
+      payload; trace_ctx = ""; budget_us = None; nego_offer = "" }
 
 let check_message proto msg =
   let bytes = proto.P.encode_message msg in
@@ -63,7 +64,7 @@ let test_request_roundtrip () =
       check_message proto
         (P.Request
            { P.req_id = 0; target = sample_target; operation = "_get_state";
-             oneway = true; payload; trace_ctx = ""; budget_us = None }))
+             oneway = true; payload; trace_ctx = ""; budget_us = None; nego_offer = "" }))
     protocols
 
 let multi_target =
@@ -94,7 +95,7 @@ let test_multi_endpoint_request_roundtrip () =
       check_message proto
         (P.Request
            { P.req_id = 42; target = multi_target; operation = "f";
-             oneway = false; payload = "x"; trace_ctx = ""; budget_us = None }))
+             oneway = false; payload = "x"; trace_ctx = ""; budget_us = None; nego_offer = "" }))
     protocols
 
 let test_malformed_forward_rejected () =
@@ -114,14 +115,15 @@ let test_malformed_forward_rejected () =
 let test_reply_roundtrip () =
   List.iter
     (fun proto ->
-      check_message proto (P.Reply { P.rep_id = 1; status = P.Status_ok; payload = "" });
+      check_message proto (P.Reply { P.rep_id = 1; status = P.Status_ok; payload = ""; nego_answer = "" });
       check_message proto
         (P.Reply
            { P.rep_id = 9999; status = P.Status_user_exception "IDL:E:1.0";
-             payload = "xyz" });
+             payload = "xyz"; nego_answer = "" });
       check_message proto
         (P.Reply
-           { P.rep_id = 3; status = P.Status_system_error "no object"; payload = "" }))
+           { P.rep_id = 3; status = P.Status_system_error "no object"; payload = "";
+             nego_answer = "" }))
     protocols
 
 let test_payload_encapsulation () =
@@ -170,7 +172,7 @@ let test_bad_target_rejected () =
 
 let ctx_request ?budget_us ~trace_ctx () =
   { P.req_id = 42; target = sample_target; operation = "f"; oneway = false;
-    payload = "pay\008load"; trace_ctx; budget_us }
+    payload = "pay\008load"; trace_ctx; budget_us; nego_offer = "" }
 
 (* The request envelope exactly as pre-slot peers encoded it: every
    field up to and including the payload, nothing after. *)
@@ -382,8 +384,292 @@ let test_hostile_budget_slots_rejected () =
           | _ ->
               Alcotest.failf "%s: hostile budget %S accepted" proto.P.name
                 hostile)
-        [ "-5"; "not-a-number"; "99999999999999999999999999999"; "1.5"; "" ])
+        [ "-5"; "not-a-number"; "99999999999999999999999999999"; "1.5" ];
+      (* The EMPTY slot is the one deliberate exception: the
+         negotiation offer forces the budget position even when no
+         deadline is set, so current decoders read [""] as [None]
+         (peers that predate negotiation still reject it — see the
+         interop tests). *)
+      let e = proto.P.codec.Wire.Codec.encoder () in
+      e.Wire.Codec.put_octet 0;
+      e.Wire.Codec.put_ulong 7;
+      e.Wire.Codec.put_bool false;
+      e.Wire.Codec.put_string (Orb.Objref.to_string sample_target);
+      e.Wire.Codec.put_string "f";
+      e.Wire.Codec.put_string "payload";
+      e.Wire.Codec.put_string "" (* trace slot *);
+      e.Wire.Codec.put_string "" (* budget slot: forced empty *);
+      match proto.P.decode_message (e.Wire.Codec.finish ()) with
+      | P.Request r ->
+          Alcotest.(check (option int))
+            (proto.P.name ^ " empty budget decodes as None")
+            None r.P.budget_us
+      | _ -> Alcotest.failf "%s: empty budget slot did not decode" proto.P.name)
     protocols
+
+(* ---------------- codec-negotiation slot interop ---------------- *)
+
+(* The negotiation offer rides in a third trailing slot after the
+   deadline budget; a present offer forces both earlier slots (the
+   budget as the empty string when unset). Pinned in both directions
+   against deadline-era peers. *)
+
+(* The envelope exactly as deadline-era (pre-negotiation) peers decoded
+   it: context slot if bytes remain, then a budget slot that must be a
+   non-empty decimal — an empty budget is malformed to this decoder,
+   which is precisely the signature the client's negotiation layer keys
+   its re-send on. *)
+let deadline_era_decode proto bytes =
+  let d = proto.P.codec.Wire.Codec.decoder bytes in
+  let tag = d.Wire.Codec.get_octet () in
+  let req_id = d.Wire.Codec.get_ulong () in
+  let _oneway = d.Wire.Codec.get_bool () in
+  let _target = d.Wire.Codec.get_string () in
+  let operation = d.Wire.Codec.get_string () in
+  let payload = d.Wire.Codec.get_string () in
+  let trace_ctx =
+    if d.Wire.Codec.at_end () then "" else d.Wire.Codec.get_string ()
+  in
+  let budget_us =
+    if d.Wire.Codec.at_end () then None
+    else
+      let s = d.Wire.Codec.get_string () in
+      match int_of_string_opt s with
+      | Some b when b >= 0 -> Some b
+      | _ ->
+          raise (P.Protocol_error (Printf.sprintf "malformed deadline slot %S" s))
+  in
+  (tag, req_id, operation, payload, trace_ctx, budget_us)
+
+let nego_request ?budget_us ?(trace_ctx = "") ~offer () =
+  { (ctx_request ?budget_us ~trace_ctx ()) with P.nego_offer = offer }
+
+let test_nego_offer_roundtrip () =
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun (budget_us, trace_ctx) ->
+          let r = nego_request ?budget_us ~trace_ctx ~offer:"hcx/1,heidi-text/1" () in
+          match proto.P.decode_message (proto.P.encode_message (P.Request r)) with
+          | P.Request got ->
+              Alcotest.(check string) (proto.P.name ^ " offer")
+                "hcx/1,heidi-text/1" got.P.nego_offer;
+              Alcotest.(check string) (proto.P.name ^ " ctx") trace_ctx
+                got.P.trace_ctx;
+              Alcotest.(check (option int)) (proto.P.name ^ " budget")
+                budget_us got.P.budget_us;
+              Alcotest.(check string) (proto.P.name ^ " payload") "pay\008load"
+                got.P.payload
+          | _ -> Alcotest.fail "wrong message kind")
+        [ (None, ""); (Some 750_000, ""); (None, "cafe-babe"); (Some 1, "cafe-babe") ])
+    protocols
+
+let test_nego_answer_roundtrip () =
+  List.iter
+    (fun proto ->
+      (match
+         proto.P.decode_message
+           (proto.P.encode_message
+              (P.Reply
+                 { P.rep_id = 4; status = P.Status_ok; payload = "result";
+                   nego_answer = "hcx/1" }))
+       with
+      | P.Reply got ->
+          Alcotest.(check string) (proto.P.name ^ " answer") "hcx/1"
+            got.P.nego_answer;
+          Alcotest.(check string) (proto.P.name ^ " payload") "result"
+            got.P.payload
+      | _ -> Alcotest.fail "wrong message kind");
+      (* An answer-carrying reply read by a pre-negotiation reply
+         decoder: every field it knows about decodes unchanged; the
+         answer is trailing bytes it never touches. *)
+      let bytes =
+        proto.P.encode_message
+          (P.Reply
+             { P.rep_id = 9; status = P.Status_user_exception "IDL:E:1.0";
+               payload = "xyz"; nego_answer = "hcx/1" })
+      in
+      let d = proto.P.codec.Wire.Codec.decoder bytes in
+      Alcotest.(check int) (proto.P.name ^ " tag") 1 (d.Wire.Codec.get_octet ());
+      Alcotest.(check int) (proto.P.name ^ " rep_id") 9 (d.Wire.Codec.get_ulong ());
+      Alcotest.(check int) (proto.P.name ^ " status") 1 (d.Wire.Codec.get_octet ());
+      Alcotest.(check string) (proto.P.name ^ " repo id") "IDL:E:1.0"
+        (d.Wire.Codec.get_string ());
+      Alcotest.(check string) (proto.P.name ^ " payload") "xyz"
+        (d.Wire.Codec.get_string ()))
+    protocols
+
+(* The envelope exactly as deadline-era peers encoded it: legacy
+   fields, the context slot iff needed, the budget slot iff set —
+   never an offer. *)
+let deadline_era_encode proto (r : P.request) =
+  let e = proto.P.codec.Wire.Codec.encoder () in
+  e.Wire.Codec.put_octet 0;
+  e.Wire.Codec.put_ulong r.P.req_id;
+  e.Wire.Codec.put_bool r.P.oneway;
+  e.Wire.Codec.put_string (Orb.Objref.to_string r.P.target);
+  e.Wire.Codec.put_string r.P.operation;
+  e.Wire.Codec.put_string r.P.payload;
+  (match r.P.budget_us with
+  | None -> if r.P.trace_ctx <> "" then e.Wire.Codec.put_string r.P.trace_ctx
+  | Some b ->
+      e.Wire.Codec.put_string r.P.trace_ctx;
+      e.Wire.Codec.put_string (string_of_int b));
+  e.Wire.Codec.finish ()
+
+let test_no_offer_is_byte_identical_to_prenego () =
+  (* The backward-compatibility invariant: with no offer, the
+     negotiation-era encoder produces the deadline-era encoding byte for
+     byte, for every context/budget combination. *)
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun (budget_us, trace_ctx) ->
+          let r = ctx_request ?budget_us ~trace_ctx () in
+          Alcotest.(check string)
+            (Printf.sprintf "%s ctx=%S budget=%s" proto.P.name trace_ctx
+               (match budget_us with None -> "-" | Some b -> string_of_int b))
+            (deadline_era_encode proto r)
+            (proto.P.encode_message (P.Request r)))
+        [ (None, ""); (None, "cafe-babe"); (Some 750, ""); (Some 750, "cafe-babe") ])
+    protocols
+
+let test_offer_forces_slots () =
+  (* A present offer forces the context and budget positions onto the
+     wire — the budget as the empty string when unset — so the offer is
+     always the third slot. *)
+  List.iter
+    (fun proto ->
+      let bytes =
+        proto.P.encode_message
+          (P.Request (nego_request ~offer:"hcx/1" ()))
+      in
+      let d = proto.P.codec.Wire.Codec.decoder bytes in
+      ignore (d.Wire.Codec.get_octet ());
+      ignore (d.Wire.Codec.get_ulong ());
+      ignore (d.Wire.Codec.get_bool ());
+      ignore (d.Wire.Codec.get_string ());
+      ignore (d.Wire.Codec.get_string ());
+      ignore (d.Wire.Codec.get_string ());
+      Alcotest.(check string) (proto.P.name ^ " forced ctx") ""
+        (d.Wire.Codec.get_string ());
+      Alcotest.(check string) (proto.P.name ^ " forced empty budget") ""
+        (d.Wire.Codec.get_string ());
+      Alcotest.(check string) (proto.P.name ^ " offer slot") "hcx/1"
+        (d.Wire.Codec.get_string ());
+      Alcotest.(check bool) (proto.P.name ^ " nothing after offer") true
+        (d.Wire.Codec.at_end ()))
+    protocols
+
+let test_offer_to_deadline_era_decoder () =
+  (* Offer-less messages decode fine on a deadline-era peer; an
+     offer-carrying message with no budget trips its malformed-deadline
+     check — recoverably, with the exact signature the client's
+     negotiation layer re-sends on. A message with BOTH a budget and an
+     offer decodes its known fields and only trips on the trailing
+     offer, which that decoder never reads. *)
+  List.iter
+    (fun proto ->
+      let plain = proto.P.encode_message (P.Request (ctx_request ~budget_us:500 ~trace_ctx:"" ())) in
+      let _, _, _, _, _, budget = deadline_era_decode proto plain in
+      Alcotest.(check (option int)) (proto.P.name ^ " plain budget") (Some 500) budget;
+      let offered =
+        proto.P.encode_message (P.Request (nego_request ~offer:"hcx/1" ()))
+      in
+      match deadline_era_decode proto offered with
+      | exception P.Protocol_error m ->
+          Alcotest.(check bool)
+            (proto.P.name ^ " malformed-deadline signature")
+            true
+            (let needle = "malformed deadline slot" in
+             let rec find i =
+               i + String.length needle <= String.length m
+               && (String.sub m i (String.length needle) = needle || find (i + 1))
+             in
+             find 0)
+      | _ ->
+          Alcotest.failf "%s: deadline-era peer accepted the forced-empty budget"
+            proto.P.name)
+    protocols
+
+let test_hostile_nego_slots_rejected () =
+  (* Oversized or charset-violating negotiation slots fail as
+     recoverable protocol errors before any token is interpreted. *)
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun hostile ->
+          let e = proto.P.codec.Wire.Codec.encoder () in
+          e.Wire.Codec.put_octet 0;
+          e.Wire.Codec.put_ulong 7;
+          e.Wire.Codec.put_bool false;
+          e.Wire.Codec.put_string (Orb.Objref.to_string sample_target);
+          e.Wire.Codec.put_string "f";
+          e.Wire.Codec.put_string "payload";
+          e.Wire.Codec.put_string "" (* trace slot *);
+          e.Wire.Codec.put_string "" (* budget slot *);
+          e.Wire.Codec.put_string hostile;
+          match proto.P.decode_message (e.Wire.Codec.finish ()) with
+          | exception P.Protocol_error _ -> ()
+          | exception Wire.Codec.Type_error _ ->
+              Alcotest.fail "Type_error leaked through decode_message"
+          | _ ->
+              Alcotest.failf "%s: hostile offer %S accepted" proto.P.name hostile)
+        [
+          String.make 300 'a';
+          "HCX/1";
+          "hcx/1; exec evil";
+          "hcx/1\000";
+          "h\xc3\xa1x/1";
+        ])
+    protocols
+
+let test_nego_module () =
+  Alcotest.(check string) "token" "hcx/1" (P.Nego.token P.hcx);
+  Alcotest.(check string) "offer_of preserves preference order"
+    "hcx/1,heidi-text/1"
+    (P.Nego.offer_of [ P.hcx; P.text ]);
+  Alcotest.(check (option (pair string int))) "parse" (Some ("hcx", 1))
+    (P.Nego.parse_token "hcx/1");
+  List.iter
+    (fun bad ->
+      Alcotest.(check (option (pair string int))) bad None (P.Nego.parse_token bad))
+    [ "bogus"; "hcx/"; "/1"; "hcx/9x"; "hcx/-1"; "hcx/99999999999999999999" ];
+  (* choose follows the client's preference order over the server's
+     supported set, under the compatibility predicate. *)
+  (match P.Nego.choose ~offer:"hcx/1" ~supported:[ P.hcx ] ~compatible:P.Nego.exact with
+  | Some (p, tok) ->
+      Alcotest.(check string) "chosen" "hcx" p.P.name;
+      Alcotest.(check string) "answer token" "hcx/1" tok
+  | None -> Alcotest.fail "no choice");
+  (match
+     P.Nego.choose ~offer:"giop-be/1,hcx/1"
+       ~supported:[ P.hcx; Giop.protocol () ]
+       ~compatible:P.Nego.exact
+   with
+  | Some (p, _) -> Alcotest.(check string) "client preference wins" "giop-be" p.P.name
+  | None -> Alcotest.fail "no choice");
+  (* Unknown tokens are skipped, not fatal. *)
+  (match
+     P.Nego.choose ~offer:"esiop/9,hcx/1" ~supported:[ P.hcx ]
+       ~compatible:P.Nego.exact
+   with
+  | Some (p, _) -> Alcotest.(check string) "unknown skipped" "hcx" p.P.name
+  | None -> Alcotest.fail "no choice");
+  (* Version mismatch: vetoed under exact, allowed under a permissive
+     predicate (the evolution-model hook). *)
+  Alcotest.(check bool) "exact vetoes" true
+    (P.Nego.choose ~offer:"hcx/2" ~supported:[ P.hcx ] ~compatible:P.Nego.exact
+     = None);
+  match
+    P.Nego.choose ~offer:"hcx/2" ~supported:[ P.hcx ]
+      ~compatible:(fun ~name:_ ~offered:_ ~local:_ -> true)
+  with
+  | Some (p, tok) ->
+      Alcotest.(check string) "permissive accepts" "hcx" p.P.name;
+      (* The answer echoes OUR version: the predicate vouched for the pair. *)
+      Alcotest.(check string) "answer is local version" "hcx/1" tok
+  | None -> Alcotest.fail "no choice"
 
 (* ---------------- locate-reply forward slot interop ---------------- *)
 
@@ -477,7 +763,9 @@ let test_framing_preserves_message_boundaries () =
       let msgs =
         [
           sample_request "payload-1";
-          P.Reply { P.rep_id = 1; status = P.Status_ok; payload = "payload-2" };
+          P.Reply
+            { P.rep_id = 1; status = P.Status_ok; payload = "payload-2";
+              nego_answer = "" };
           sample_request "";
         ]
       in
@@ -512,6 +800,45 @@ let test_giop_frame_header () =
   Thread.join t;
   Alcotest.(check string) "magic" Giop.magic (String.sub header 0 (String.length Giop.magic));
   Alcotest.(check int) "header length" (String.length Giop.magic + 8) (String.length header);
+  chan.Orb.Transport.close ();
+  listener.Orb.Transport.shutdown ()
+
+let test_hcx_frame_header () =
+  (* HCX framing on the wire: one magic byte, an LEB128 length varint,
+     then exactly [length] body bytes that decode as the message. *)
+  let proto = P.hcx in
+  let listener = Orb.Transport.listen ~proto:"mem" ~host:"local" ~port:0 in
+  let port = listener.Orb.Transport.bound_port in
+  let msg = sample_request "frame-me" in
+  let t =
+    Thread.create
+      (fun () ->
+        let chan = listener.Orb.Transport.accept () in
+        let comm = Orb.Communicator.wrap proto chan in
+        Orb.Communicator.send comm msg;
+        Orb.Communicator.close comm)
+      ()
+  in
+  let chan = Orb.Transport.connect ~proto:"mem" ~host:"local" ~port in
+  Alcotest.(check char) "magic byte" P.hcx_magic
+    (chan.Orb.Transport.read_exact 1).[0];
+  let len =
+    let v = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      let b = Char.code (chan.Orb.Transport.read_exact 1).[0] in
+      v := !v lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      continue := b land 0x80 <> 0
+    done;
+    !v
+  in
+  let body = chan.Orb.Transport.read_exact len in
+  Thread.join t;
+  (match proto.P.decode_message body with
+  | P.Request r -> Alcotest.(check string) "body decodes" "frame-me" r.P.payload
+  | _ -> Alcotest.fail "wrong message kind");
+  Alcotest.(check char) "body starts with the codec version byte" '\001'
+    body.[0];
   chan.Orb.Transport.close ();
   listener.Orb.Transport.shutdown ()
 
@@ -555,9 +882,25 @@ let () =
           Alcotest.test_case "no forward is the legacy encoding" `Quick
             test_no_forward_is_byte_identical_to_legacy;
         ] );
+      ( "negotiation",
+        [
+          Alcotest.test_case "offer round-trip" `Quick test_nego_offer_roundtrip;
+          Alcotest.test_case "answer round-trip + old decoder" `Quick
+            test_nego_answer_roundtrip;
+          Alcotest.test_case "no offer is the deadline-era encoding" `Quick
+            test_no_offer_is_byte_identical_to_prenego;
+          Alcotest.test_case "offer forces earlier slots" `Quick
+            test_offer_forces_slots;
+          Alcotest.test_case "offer -> deadline-era decoder" `Quick
+            test_offer_to_deadline_era_decoder;
+          Alcotest.test_case "hostile nego slots rejected" `Quick
+            test_hostile_nego_slots_rejected;
+          Alcotest.test_case "Nego module" `Quick test_nego_module;
+        ] );
       ( "framing",
         [
           Alcotest.test_case "message boundaries" `Quick test_framing_preserves_message_boundaries;
           Alcotest.test_case "GIOP frame header" `Quick test_giop_frame_header;
+          Alcotest.test_case "HCX frame header" `Quick test_hcx_frame_header;
         ] );
     ]
